@@ -1,0 +1,28 @@
+"""Benchmarks for the ablation studies (DESIGN.md design-choice probes)."""
+
+import pytest
+
+from repro.experiments import ablation_epsilon, ablation_locality
+
+
+def _run_once(benchmark, func):
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+class TestAblationBenchmarks:
+    def test_epsilon_knob(self, benchmark):
+        result = _run_once(
+            benchmark,
+            lambda: ablation_epsilon.run(scale="tiny", seed=0, epsilons=(0.02, 0.05, 0.2)),
+        )
+        table = result.tables[0]
+        assert len(table.rows) == 3
+        rejections = [row[1] for row in table.rows]
+        assert all(a >= b - 1e-9 for a, b in zip(rejections, rejections[1:]))
+
+    def test_locality_bias(self, benchmark):
+        result = _run_once(
+            benchmark,
+            lambda: ablation_locality.run(scale="tiny", seed=0, loads=(0.6,)),
+        )
+        assert len(result.tables[0].rows) == 2

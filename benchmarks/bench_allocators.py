@@ -1,0 +1,116 @@
+"""Micro-benchmarks of the VM allocation algorithms.
+
+Times a single allocation on a cold datacenter and on a pre-loaded one,
+for every algorithm the paper defines.  These are the operations the network
+manager performs per tenant arrival, so their latency bounds the admission
+throughput of the control plane.
+"""
+
+import numpy as np
+import pytest
+
+from repro.abstractions import DeterministicVC, HeterogeneousSVC, HomogeneousSVC
+from repro.allocation import (
+    AdaptedTIVCAllocator,
+    FirstFitAllocator,
+    OktopusAllocator,
+    SVCHeterogeneousAllocator,
+    SVCHeterogeneousExactAllocator,
+    SVCHomogeneousAllocator,
+)
+from repro.network import NetworkState
+from repro.stochastic import Normal
+
+
+def het_request(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return HeterogeneousSVC(
+        n_vms=n,
+        demands=tuple(
+            Normal(float(rng.choice([100, 200, 300])), float(rng.uniform(10, 80)))
+            for _ in range(n)
+        ),
+    )
+
+
+def preloaded_state(tree, count=6):
+    """A datacenter already hosting a handful of SVC tenants."""
+    state = NetworkState(tree, epsilon=0.05)
+    allocator = SVCHomogeneousAllocator()
+    for request_id in range(count):
+        allocation = allocator.allocate(
+            state, HomogeneousSVC(n_vms=4, mean=150.0, std=50.0), request_id + 1
+        )
+        if allocation is not None:
+            state.commit(allocation)
+    return state
+
+
+class TestHomogeneousAllocators:
+    def test_svc_dp_cold(self, benchmark, small_tree):
+        request = HomogeneousSVC(n_vms=24, mean=200.0, std=80.0)
+
+        def allocate():
+            return SVCHomogeneousAllocator().allocate(
+                NetworkState(small_tree, epsilon=0.05), request, 1
+            )
+
+        assert benchmark(allocate) is not None
+
+    def test_svc_dp_loaded(self, benchmark, small_tree):
+        state = preloaded_state(small_tree, count=10)
+        request = HomogeneousSVC(n_vms=24, mean=200.0, std=80.0)
+        allocator = SVCHomogeneousAllocator()
+        assert benchmark(lambda: allocator.allocate(state, request, 99)) is not None
+
+    def test_adapted_tivc_cold(self, benchmark, small_tree):
+        request = HomogeneousSVC(n_vms=24, mean=200.0, std=80.0)
+
+        def allocate():
+            return AdaptedTIVCAllocator().allocate(
+                NetworkState(small_tree, epsilon=0.05), request, 1
+            )
+
+        assert benchmark(allocate) is not None
+
+    def test_oktopus_cold(self, benchmark, small_tree):
+        request = DeterministicVC(n_vms=24, bandwidth=200.0)
+
+        def allocate():
+            return OktopusAllocator().allocate(
+                NetworkState(small_tree, epsilon=0.05), request, 1
+            )
+
+        assert benchmark(allocate) is not None
+
+
+class TestHeterogeneousAllocators:
+    def test_substring_heuristic(self, benchmark, tiny_tree):
+        request = het_request(12)
+
+        def allocate():
+            return SVCHeterogeneousAllocator().allocate(
+                NetworkState(tiny_tree, epsilon=0.05), request, 1
+            )
+
+        assert benchmark(allocate) is not None
+
+    def test_first_fit(self, benchmark, tiny_tree):
+        request = het_request(12)
+
+        def allocate():
+            return FirstFitAllocator().allocate(
+                NetworkState(tiny_tree, epsilon=0.05), request, 1
+            )
+
+        assert benchmark(allocate) is not None
+
+    def test_exact_dp_small_n(self, benchmark, tiny_tree):
+        request = het_request(7)
+
+        def allocate():
+            return SVCHeterogeneousExactAllocator().allocate(
+                NetworkState(tiny_tree, epsilon=0.05), request, 1
+            )
+
+        assert benchmark(allocate) is not None

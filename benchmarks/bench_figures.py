@@ -1,0 +1,82 @@
+"""One end-to-end benchmark per table/figure of the evaluation (Section VI).
+
+Each benchmark regenerates its figure at tiny scale and sanity-checks the
+output shape.  The timed quantity is the full pipeline: workload generation,
+admission control, VM allocation, flow-level simulation, and metric
+aggregation.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig5_batch_oversub,
+    fig6_runtime_vs_deviation,
+    fig7_rejection_vs_load,
+    fig8_concurrency,
+    fig9_occupancy_cdf,
+    fig10_svc_vs_tivc_rejection,
+    het_vs_first_fit,
+)
+
+
+def _run_once(benchmark, func):
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+class TestFigureBenchmarks:
+    def test_fig5_batch_completion_vs_oversubscription(self, benchmark):
+        result = _run_once(
+            benchmark,
+            lambda: fig5_batch_oversub.run(
+                scale="tiny", seed=0, oversubscriptions=(1.0, 2.0, 3.0, 4.0)
+            ),
+        )
+        table = result.tables[0]
+        assert len(table.rows) == 4
+        assert all(value > 0 for row in table.rows for value in row[1:])
+
+    def test_fig6_runtime_vs_deviation(self, benchmark):
+        result = _run_once(
+            benchmark,
+            lambda: fig6_runtime_vs_deviation.run(
+                scale="tiny", seed=0, deviations=(0.1, 0.5, 0.9)
+            ),
+        )
+        assert len(result.tables[0].rows) == 4
+
+    def test_fig7_rejection_vs_load(self, benchmark):
+        result = _run_once(
+            benchmark,
+            lambda: fig7_rejection_vs_load.run(
+                scale="tiny", seed=0, loads=(0.2, 0.4, 0.6, 0.8)
+            ),
+        )
+        table = result.tables[0]
+        assert all(0.0 <= value <= 100.0 for row in table.rows for value in row[1:])
+
+    def test_fig8_concurrency_timeseries(self, benchmark):
+        result = _run_once(benchmark, lambda: fig8_concurrency.run(scale="tiny", seed=0))
+        assert len(result.tables) == 2
+
+    def test_fig9_occupancy_cdf(self, benchmark):
+        result = _run_once(
+            benchmark,
+            lambda: fig9_occupancy_cdf.run(scale="tiny", seed=0, loads=(0.2, 0.6)),
+        )
+        assert len(result.tables[0].rows) == 4  # 2 algorithms x 2 loads
+
+    def test_fig10_svc_vs_tivc_rejection(self, benchmark):
+        result = _run_once(
+            benchmark,
+            lambda: fig10_svc_vs_tivc_rejection.run(
+                scale="tiny", seed=0, loads=(0.2, 0.4, 0.6, 0.8)
+            ),
+        )
+        assert len(result.tables[0].rows) == 2
+
+    def test_het_vs_first_fit(self, benchmark):
+        result = _run_once(
+            benchmark,
+            lambda: het_vs_first_fit.run(scale="tiny", seed=0, loads=(0.2, 0.6)),
+        )
+        assert len(result.tables) == 2

@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the substrates under the allocators and simulator."""
+
+import numpy as np
+import pytest
+
+from repro.abstractions import HeterogeneousSVC, HomogeneousSVC
+from repro.allocation.demand_model import (
+    SegmentDemandTable,
+    homogeneous_split_moments,
+)
+from repro.simulation.maxmin import build_incidence, max_min_fair_rates
+from repro.stochastic import Normal, min_of_normals
+from repro.topology import PAPER_SPEC, build_datacenter
+
+
+class TestStochasticPrimitives:
+    def test_min_of_normals_scalar(self, benchmark):
+        a, b = Normal(300.0, 90.0), Normal(500.0, 150.0)
+        result = benchmark(lambda: min_of_normals(a, b))
+        assert result.mean < 300.0
+
+    def test_split_moments_paper_sized_request(self, benchmark):
+        # The per-request precomputation of Algorithm 1 for N = 200.
+        request = HomogeneousSVC(n_vms=200, mean=300.0, std=120.0)
+        mu, _var = benchmark(lambda: homogeneous_split_moments(request))
+        assert len(mu) == 201
+
+    def test_segment_table_n50(self, benchmark, rng):
+        request = HeterogeneousSVC(
+            n_vms=50,
+            demands=tuple(
+                Normal(float(rng.uniform(50, 500)), float(rng.uniform(5, 100)))
+                for _ in range(50)
+            ),
+        )
+        table = benchmark(lambda: SegmentDemandTable(request))
+        assert table.demand_mean.shape == (51, 51)
+
+
+class TestDataPlanePrimitives:
+    def _random_flows(self, num_flows, num_links, rng):
+        demands = rng.uniform(10.0, 500.0, size=num_flows)
+        paths = [
+            rng.choice(num_links, size=rng.integers(1, 7), replace=False).tolist()
+            for _ in range(num_flows)
+        ]
+        capacities = rng.uniform(500.0, 5000.0, size=num_links)
+        return demands, paths, capacities
+
+    def test_maxmin_thousand_flows(self, benchmark, rng):
+        demands, paths, capacities = self._random_flows(1000, 300, rng)
+        link_of_entry, flow_ptr = build_incidence(paths, 300)
+
+        rates = benchmark(
+            lambda: max_min_fair_rates(demands, link_of_entry, flow_ptr, capacities)
+        )
+        assert (rates <= demands + 1e-6).all()
+
+    def test_build_paper_scale_topology(self, benchmark):
+        tree = benchmark(lambda: build_datacenter(PAPER_SPEC))
+        assert tree.total_slots == 4000

@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Every figure of the paper's evaluation has one benchmark that regenerates it
+end to end at tiny scale (so ``pytest benchmarks/ --benchmark-only`` finishes
+in minutes); the micro-benchmarks time the core algorithms in isolation.
+Full-scale reproductions run through the CLI: ``svc-repro <figN> --scale paper``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.topology import TINY_SPEC, SMALL_SPEC, build_datacenter
+
+
+@pytest.fixture(scope="session")
+def tiny_tree():
+    return build_datacenter(TINY_SPEC)
+
+
+@pytest.fixture(scope="session")
+def small_tree():
+    return build_datacenter(SMALL_SPEC)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""The worked example of Fig. 3: why occupancy optimization matters.
+
+Two machines A and B with 5 VM slots each hang off one switch; both links
+have capacity 50.  A deterministic virtual cluster ``<N=6, B=10>`` arrives.
+The paper contrasts the valid allocations 2+4 (reserved bandwidth
+``10 * min(2,4) = 20`` per link) and 3+3 (30 per link); the adapted-TIVC
+search "makes no distinction between them".  Algorithm 1 finds the true
+optimum — 1+5, reserving only ``10 * min(1,5) = 10``.
+
+Run: ``python examples/fig3_worked_example.py``
+"""
+
+from repro import (
+    AdaptedTIVCAllocator,
+    DeterministicVC,
+    NetworkManager,
+    SVCHomogeneousAllocator,
+    build_two_machine_example,
+)
+
+
+def describe(tree, label, allocation) -> None:
+    counts = {
+        tree.node(machine_id).name: count
+        for machine_id, count in allocation.machine_counts.items()
+    }
+    print(
+        f"  {label:18s} placement={counts}  "
+        f"max occupancy ratio={allocation.max_occupancy:.3f}"
+    )
+
+
+def main() -> None:
+    tree = build_two_machine_example(slots_per_machine=5, link_capacity=50.0)
+    request = DeterministicVC(n_vms=6, bandwidth=10.0)
+    print(f"topology: two machines x 5 slots, link capacity 50")
+    print(f"request:  <N={request.n_vms}, B={request.bandwidth}> (Fig. 3)\n")
+
+    print("candidate splits and the bandwidth they reserve on each link:")
+    for a in range(1, 6):
+        b = 6 - a
+        if b > 5:
+            continue
+        reserved = 10.0 * min(a, b)
+        print(f"  {a}+{b}: reserved {reserved:4.0f}/50 per link -> occupancy {reserved/50:.2f}")
+
+    print("\nallocators:")
+    for label, allocator in (
+        ("Algorithm 1 (SVC)", SVCHomogeneousAllocator()),
+        ("adapted TIVC", AdaptedTIVCAllocator()),
+    ):
+        manager = NetworkManager(tree, allocator=allocator)
+        tenancy = manager.request(request)
+        describe(tree, label, tenancy.allocation)
+        manager.release(tenancy)
+
+    print(
+        "\nAlgorithm 1 always returns the minimum-occupancy split; the"
+        "\nfeasibility-only search returns whichever valid split it finds first"
+        "\n(here it got lucky — both land on 1+5)."
+    )
+
+    asymmetric_demo()
+
+
+def asymmetric_demo() -> None:
+    """Three machines behind 30/50/200-capacity links: first fit goes wrong.
+
+    The feasibility-only search packs greedily and leaves 5 VMs behind the
+    thin 30-unit link (occupancy 1/3); the optimum parks them behind the
+    200-unit link (occupancy 0.2 everywhere).
+    """
+    from repro.topology.tree import Tree
+
+    tree = Tree()
+    switch = tree.add_switch("switch", level=1)
+    for name, capacity in (("thin", 30.0), ("mid", 50.0), ("fat", 200.0)):
+        machine = tree.add_machine(name, slot_capacity=5)
+        tree.attach(machine, switch, capacity)
+    tree.freeze()
+    request = DeterministicVC(n_vms=6, bandwidth=10.0)
+
+    print("\nasymmetric topology (link capacities 30 / 50 / 200), same request:")
+    for label, allocator in (
+        ("Algorithm 1 (SVC)", SVCHomogeneousAllocator()),
+        ("adapted TIVC", AdaptedTIVCAllocator()),
+    ):
+        manager = NetworkManager(tree, allocator=allocator)
+        tenancy = manager.request(request)
+        describe(tree, label, tenancy.allocation)
+        manager.release(tenancy)
+    print("the occupancy-blind search parks the bulk behind the thin link.")
+
+
+if __name__ == "__main__":
+    main()

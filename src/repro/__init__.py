@@ -1,0 +1,92 @@
+"""repro — reproduction of *Bandwidth Guarantee under Demand Uncertainty in
+Multi-tenant Clouds* (Lei Yu and Haiying Shen, ICDCS 2014).
+
+The package implements the paper end to end:
+
+- the **SVC abstraction** (stochastic virtual clusters) and its deterministic
+  special case (:mod:`repro.abstractions`);
+- the **probabilistic bandwidth guarantee** machinery — min-of-normals link
+  demands, CLT admission, effective bandwidth, occupancy ratios
+  (:mod:`repro.stochastic`, :mod:`repro.network`);
+- the **VM allocation algorithms** of Sections IV-V plus the Oktopus/TIVC and
+  first-fit baselines (:mod:`repro.allocation`);
+- the **network sharing framework** — network manager and rate limiting
+  (:mod:`repro.manager`);
+- a **flow-level datacenter simulator** and the two evaluation scenarios
+  (:mod:`repro.simulation`);
+- an **experiment harness** regenerating every figure of Section VI
+  (:mod:`repro.experiments`, CLI: ``svc-repro``).
+
+Quickstart::
+
+    from repro import (
+        HomogeneousSVC, NetworkManager, build_datacenter, SMALL_SPEC,
+    )
+
+    tree = build_datacenter(SMALL_SPEC)
+    manager = NetworkManager(tree, epsilon=0.05)
+    tenancy = manager.request(HomogeneousSVC(n_vms=20, mean=300.0, std=150.0))
+    print(tenancy.allocation.machine_counts, manager.max_occupancy())
+    manager.release(tenancy)
+"""
+
+from repro.abstractions import (
+    DeterministicVC,
+    HeterogeneousSVC,
+    HomogeneousSVC,
+    VirtualClusterRequest,
+)
+from repro.allocation import (
+    AdaptedTIVCAllocator,
+    Allocation,
+    Allocator,
+    FirstFitAllocator,
+    GlobalMinMaxAllocator,
+    OktopusAllocator,
+    SVCHeterogeneousAllocator,
+    SVCHeterogeneousExactAllocator,
+    SVCHomogeneousAllocator,
+)
+from repro.manager import NetworkManager, Tenancy
+from repro.network import LinkState, NetworkState
+from repro.stochastic import Normal
+from repro.topology import (
+    DatacenterSpec,
+    PAPER_SPEC,
+    SMALL_SPEC,
+    TINY_SPEC,
+    Tree,
+    build_datacenter,
+    build_two_machine_example,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeterministicVC",
+    "HeterogeneousSVC",
+    "HomogeneousSVC",
+    "VirtualClusterRequest",
+    "AdaptedTIVCAllocator",
+    "Allocation",
+    "Allocator",
+    "FirstFitAllocator",
+    "GlobalMinMaxAllocator",
+    "OktopusAllocator",
+    "SVCHeterogeneousAllocator",
+    "SVCHeterogeneousExactAllocator",
+    "SVCHomogeneousAllocator",
+    "NetworkManager",
+    "Tenancy",
+    "LinkState",
+    "NetworkState",
+    "Normal",
+    "DatacenterSpec",
+    "PAPER_SPEC",
+    "SMALL_SPEC",
+    "TINY_SPEC",
+    "Tree",
+    "build_datacenter",
+    "build_two_machine_example",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Virtual-network abstractions: deterministic VC and stochastic SVC.
+
+The tenant-facing request models of the paper (Sections II-III):
+
+- :class:`DeterministicVC` — Oktopus's ``<N, B>`` virtual cluster;
+- :class:`HomogeneousSVC` — the paper's ``<N, mu, sigma>`` stochastic virtual
+  cluster where every VM's demand is i.i.d. ``Normal(mu, sigma^2)``;
+- :class:`HeterogeneousSVC` — ``<N, (mu_1, sigma_1), ..., (mu_N, sigma_N)>``
+  with per-VM demand distributions (Section V).
+"""
+
+from repro.abstractions.requests import (
+    DeterministicVC,
+    HeterogeneousSVC,
+    HomogeneousSVC,
+    VirtualClusterRequest,
+)
+
+__all__ = [
+    "DeterministicVC",
+    "HeterogeneousSVC",
+    "HomogeneousSVC",
+    "VirtualClusterRequest",
+]

@@ -1,0 +1,58 @@
+"""VM allocation algorithms (Sections IV and V of the paper).
+
+=====================================  ===========================================
+:class:`SVCHomogeneousAllocator`       Algorithm 1: lowest-subtree DP that also
+                                       minimizes the maximum bandwidth occupancy
+                                       ratio (homogeneous SVC and deterministic VC)
+:class:`AdaptedTIVCAllocator`          the adapted-TIVC baseline: same validity
+                                       condition (Eq. 4) but feasibility-only,
+                                       no occupancy optimization (Section VI-B3)
+:class:`OktopusAllocator`              the adapted-TIVC search applied to
+                                       deterministic VC requests — the Oktopus
+                                       baseline used for mean-VC / percentile-VC
+:class:`SVCHeterogeneousExactAllocator`  subset DP, exact but exponential
+                                       (Section V-B, "Dynamic programming based
+                                       allocation algorithm")
+:class:`SVCHeterogeneousAllocator`     the substring first-fit heuristic with
+                                       occupancy optimization (Section V-B)
+:class:`FirstFitAllocator`             the plain first-fit baseline
+=====================================  ===========================================
+"""
+
+from repro.allocation.base import Allocation, Allocator, expand_vm_placement
+from repro.allocation.demand_model import (
+    SegmentDemandTable,
+    homogeneous_split_moments,
+    link_demand_homogeneous,
+    subset_split_demand,
+)
+from repro.allocation.svc_homogeneous import (
+    AdaptedTIVCAllocator,
+    GlobalMinMaxAllocator,
+    OktopusAllocator,
+    SVCHomogeneousAllocator,
+)
+from repro.allocation.svc_het_exact import SVCHeterogeneousExactAllocator
+from repro.allocation.svc_het_heuristic import SVCHeterogeneousAllocator
+from repro.allocation.first_fit import FirstFitAllocator
+from repro.allocation.dispatch import DispatchingAllocator, default_allocator, baseline_allocator
+
+__all__ = [
+    "Allocation",
+    "Allocator",
+    "expand_vm_placement",
+    "SegmentDemandTable",
+    "homogeneous_split_moments",
+    "link_demand_homogeneous",
+    "subset_split_demand",
+    "AdaptedTIVCAllocator",
+    "GlobalMinMaxAllocator",
+    "OktopusAllocator",
+    "SVCHomogeneousAllocator",
+    "SVCHeterogeneousExactAllocator",
+    "SVCHeterogeneousAllocator",
+    "FirstFitAllocator",
+    "DispatchingAllocator",
+    "default_allocator",
+    "baseline_allocator",
+]

@@ -1,0 +1,61 @@
+"""Request-type dispatching composite allocator.
+
+The network sharing framework accepts deterministic VC, homogeneous SVC, and
+heterogeneous SVC requests side by side (Section III-A: "the deterministic
+and stochastic bandwidth requirements can co-exist").  The dispatcher routes
+each request to the algorithm that handles its type.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.abstractions.requests import VirtualClusterRequest
+from repro.allocation.base import Allocation, Allocator
+from repro.allocation.first_fit import FirstFitAllocator
+from repro.allocation.svc_het_heuristic import SVCHeterogeneousAllocator
+from repro.allocation.svc_homogeneous import (
+    AdaptedTIVCAllocator,
+    SVCHomogeneousAllocator,
+)
+from repro.network.link_state import NetworkState
+
+
+class DispatchingAllocator(Allocator):
+    """Routes each request to the first registered allocator that supports it."""
+
+    name = "dispatch"
+
+    def __init__(self, allocators: Sequence[Allocator]) -> None:
+        if not allocators:
+            raise ValueError("at least one allocator is required")
+        self._allocators = tuple(allocators)
+
+    def supports(self, request: VirtualClusterRequest) -> bool:
+        return any(allocator.supports(request) for allocator in self._allocators)
+
+    def allocate(
+        self, state: NetworkState, request: VirtualClusterRequest, request_id: int
+    ) -> Optional[Allocation]:
+        for allocator in self._allocators:
+            if allocator.supports(request):
+                return allocator.allocate(state, request, request_id)
+        raise TypeError(
+            f"no registered allocator supports {type(request).__name__} "
+            f"(registered: {[a.name for a in self._allocators]})"
+        )
+
+
+def default_allocator() -> DispatchingAllocator:
+    """The paper's system: Algorithm 1 + the substring heuristic.
+
+    Homogeneous SVC and deterministic VC requests go through the optimizing
+    DP (Algorithm 1); heterogeneous SVC requests through the substring
+    heuristic with occupancy optimization.
+    """
+    return DispatchingAllocator([SVCHomogeneousAllocator(), SVCHeterogeneousAllocator()])
+
+
+def baseline_allocator() -> DispatchingAllocator:
+    """The comparison stack: adapted TIVC + plain first fit (Section VI-B3)."""
+    return DispatchingAllocator([AdaptedTIVCAllocator(), FirstFitAllocator()])

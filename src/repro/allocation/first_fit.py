@@ -1,0 +1,174 @@
+"""Plain first-fit heterogeneous allocation (Section V-B / VI-B3 baseline).
+
+"In FF, VMs are sorted by their bandwidth demands and then placed
+sequentially in the first subtree having sufficient bandwidth and empty VM
+slots.  Once a VM cannot be allocated to the current subtree, [the] next
+child subtree is tried."
+
+We walk the machines in tree order, maintaining for the current machine and
+every ancestor switch the contiguous segment of the sorted sequence placed in
+its subtree so far.  Placing the next VM is allowed when every one of those
+uplinks still satisfies ``O_L < 1`` under its extended segment (validity per
+Section V-A, checked with the final rest-of-cluster-outside split, which is
+exact because first fit never revisits a closed subtree).  No backtracking,
+no occupancy optimization — this is the baseline the substring heuristic is
+compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.abstractions.requests import HeterogeneousSVC, VirtualClusterRequest
+from repro.allocation.base import Allocation, Allocator
+from repro.allocation.demand_model import SegmentDemandTable
+from repro.network.link_state import NetworkState
+from repro.stochastic.normal import Normal
+
+_FEASIBLE_LIMIT = 1.0
+
+
+class FirstFitAllocator(Allocator):
+    """Sequential greedy placement of the percentile-sorted VM sequence."""
+
+    name = "first-fit"
+
+    def __init__(self, percentile: float = 95.0) -> None:
+        self._percentile = percentile
+
+    def supports(self, request: VirtualClusterRequest) -> bool:
+        return isinstance(request, HeterogeneousSVC)
+
+    def allocate(
+        self, state: NetworkState, request: VirtualClusterRequest, request_id: int
+    ) -> Optional[Allocation]:
+        if not isinstance(request, HeterogeneousSVC):
+            raise TypeError(f"{self.name} only places heterogeneous SVC requests")
+        n = request.n_vms
+        if n > state.total_free_slots:
+            return None
+        segments = SegmentDemandTable(request, percentile=self._percentile)
+        tree = state.tree
+
+        # Segment start per node: the sorted position at which its subtree
+        # began receiving VMs (None = nothing placed there yet).
+        segment_start: Dict[int, int] = {}
+        machine_segments: List[Tuple[int, int, int]] = []  # (machine, start, end)
+        position = 0
+        for machine_id in tree.machine_ids:
+            if position == n:
+                break
+            free = state.free_slots(machine_id)
+            if free == 0:
+                continue
+            placed_here = 0
+            start_here = position
+            while position < n and placed_here < free:
+                if not self._can_extend(state, tree, segments, segment_start, machine_id, position):
+                    break
+                self._extend(tree, segment_start, machine_id, position)
+                position += 1
+                placed_here += 1
+            if placed_here:
+                machine_segments.append((machine_id, start_here, position))
+        if position < n:
+            return None
+
+        machine_vms = {
+            machine_id: segments.segment_vms(start, end)
+            for machine_id, start, end in machine_segments
+        }
+        machine_counts = {m: len(vms) for m, vms in machine_vms.items()}
+        host = self._hosting_subtree(tree, [m for m, _, _ in machine_segments])
+        link_demands: Dict[int, Normal] = {}
+        for node_id, start in segment_start.items():
+            if node_id == host:
+                continue
+            end = self._segment_end(tree, segment_start, machine_segments, node_id)
+            if 0 < end - start < n:
+                link_demands[node_id] = segments.segment_demand(start, end)
+        max_occ = 0.0
+        for link in tree.links_under(host):
+            link_state = state.links[link.link_id]
+            demand = link_demands.get(link.link_id)
+            if demand is None:
+                occ = link_state.occupancy(state.risk_c)
+            else:
+                occ = link_state.occupancy_with(
+                    state.risk_c, extra_mean=demand.mean, extra_var=demand.variance
+                )
+            max_occ = max(max_occ, occ)
+        return Allocation(
+            request=request,
+            request_id=request_id,
+            host_node=host,
+            machine_counts=machine_counts,
+            machine_vms=machine_vms,
+            link_demands=link_demands,
+            max_occupancy=max_occ,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _can_extend(
+        self,
+        state: NetworkState,
+        tree,
+        segments: SegmentDemandTable,
+        segment_start: Dict[int, int],
+        machine_id: int,
+        position: int,
+    ) -> bool:
+        """Would placing sorted VM ``position`` on ``machine_id`` stay valid?
+
+        Checks ``O_L < 1`` on the machine uplink and every ancestor uplink
+        under the extended segment ``[start_v, position + 1)``.
+        """
+        for link_id in tree.uplink_chain(machine_id):
+            start = segment_start.get(link_id, position)
+            demand = segments.segment_demand(start, position + 1)
+            occ = state.links[link_id].occupancy_with(
+                state.risk_c, extra_mean=demand.mean, extra_var=demand.variance
+            )
+            if occ >= _FEASIBLE_LIMIT:
+                return False
+        return True
+
+    @staticmethod
+    def _extend(tree, segment_start: Dict[int, int], machine_id: int, position: int) -> None:
+        for link_id in tree.uplink_chain(machine_id):
+            segment_start.setdefault(link_id, position)
+
+    @staticmethod
+    def _hosting_subtree(tree, machines: List[int]) -> int:
+        """Lowest common ancestor of the used machines (the hosting subtree)."""
+        if len(machines) == 1:
+            return machines[0]
+        # Root-first ancestor paths; the host is the deepest common prefix node.
+        paths = [
+            [tree.root_id] + list(reversed(tree.uplink_chain(machine)))
+            for machine in machines
+        ]
+        depth = min(len(path) for path in paths)
+        host = tree.root_id
+        for level in range(depth):
+            candidates = {path[level] for path in paths}
+            if len(candidates) != 1:
+                break
+            host = candidates.pop()
+        return host
+
+    @staticmethod
+    def _segment_end(
+        tree,
+        segment_start: Dict[int, int],
+        machine_segments: List[Tuple[int, int, int]],
+        node_id: int,
+    ) -> int:
+        """Last sorted position (exclusive) placed inside ``node_id``'s subtree."""
+        end = segment_start[node_id]
+        machines = set(tree.machines_under(node_id))
+        for machine_id, _start, seg_end in machine_segments:
+            if machine_id in machines:
+                end = max(end, seg_end)
+        return end

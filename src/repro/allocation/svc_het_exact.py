@@ -1,0 +1,235 @@
+"""Exact DP allocation for heterogeneous SVC (Section V-B, first algorithm).
+
+The homogeneous DP generalizes by letting allocable sets contain *VM subsets*
+instead of VM counts.  The number of subsets is ``O(2^N)`` per subtree, so the
+algorithm is exponential — "which can be applied for small N but is
+infeasible for large N".  We implement it faithfully with bitmask subsets and
+guard against large ``N``; it serves as the optimality reference the
+substring heuristic is validated against in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.abstractions.requests import HeterogeneousSVC, VirtualClusterRequest
+from repro.allocation.base import Allocation, Allocator
+from repro.allocation.demand_model import _vec_min_moments
+from repro.network.link_state import LinkState, NetworkState
+from repro.stochastic.normal import Normal
+
+#: Hard cap on N for the exact algorithm; beyond this the state space
+#: (2^N subsets per vertex) makes the search impractical by design.
+MAX_EXACT_VMS = 14
+
+_FEASIBLE_LIMIT = 1.0
+
+
+def _mask_split_demands(request: HeterogeneousSVC) -> Tuple[np.ndarray, np.ndarray]:
+    """Demand moments on a link for *every* VM subset, indexed by bitmask.
+
+    ``mu[mask]``/``var[mask]`` give the moments of ``min(B(mask), B(~mask))``.
+    Computed via subset-sum DP over bits and one vectorized Lemma 1 pass.
+    """
+    n = request.n_vms
+    size = 1 << n
+    mean = np.zeros(size)
+    var = np.zeros(size)
+    for bit in range(n):
+        demand = request.demands[bit]
+        step = 1 << bit
+        for base in range(0, size, step << 1):
+            lo = base + step
+            mean[lo : lo + step] = mean[base : base + step] + demand.mean
+            var[lo : lo + step] = var[base : base + step] + demand.variance
+    total_mean = mean[size - 1]
+    total_var = var[size - 1]
+    mu, sigma_sq = _vec_min_moments(mean, var, total_mean - mean, total_var - var)
+    mu[0] = mu[size - 1] = 0.0
+    sigma_sq[0] = sigma_sq[size - 1] = 0.0
+    np.maximum(mu, 0.0, out=mu)
+    return mu, sigma_sq
+
+
+@dataclass
+class _MaskTable:
+    """DP state per vertex: Opt value per allocable subset + split choices."""
+
+    values: Dict[int, float]
+    choices: List[Dict[int, int]]  # choices[i][mask] = child-i submask
+
+
+class SVCHeterogeneousExactAllocator(Allocator):
+    """Exact (exponential) heterogeneous placement; optimal min-max occupancy."""
+
+    name = "svc-het-exact"
+
+    def __init__(self, max_vms: int = MAX_EXACT_VMS) -> None:
+        if max_vms < 1 or max_vms > MAX_EXACT_VMS:
+            raise ValueError(f"max_vms must be in [1, {MAX_EXACT_VMS}], got {max_vms}")
+        self._max_vms = max_vms
+
+    def supports(self, request: VirtualClusterRequest) -> bool:
+        return isinstance(request, HeterogeneousSVC) and request.n_vms <= self._max_vms
+
+    def allocate(
+        self, state: NetworkState, request: VirtualClusterRequest, request_id: int
+    ) -> Optional[Allocation]:
+        if not isinstance(request, HeterogeneousSVC):
+            raise TypeError(f"{self.name} only places heterogeneous SVC requests")
+        if request.n_vms > self._max_vms:
+            raise ValueError(
+                f"{self.name} is exponential in N; refusing N={request.n_vms} "
+                f"(> {self._max_vms}). Use SVCHeterogeneousAllocator instead."
+            )
+        n = request.n_vms
+        if n > state.total_free_slots:
+            return None
+        full_mask = (1 << n) - 1
+        demand_mean, demand_var = _mask_split_demands(request)
+
+        tree = state.tree
+        tables: Dict[int, _MaskTable] = {}
+        host: Optional[int] = None
+        host_value = math.inf
+        for _level, node_ids in tree.bottom_up_levels():
+            for node_id in node_ids:
+                table = self._build_vertex(
+                    state, node_id, request, demand_mean, demand_var, tables
+                )
+                tables[node_id] = table
+                value = table.values.get(full_mask)
+                if value is not None and value < host_value:
+                    host, host_value = node_id, value
+            if host is not None:
+                break
+        if host is None:
+            return None
+
+        machine_vms: Dict[int, Tuple[int, ...]] = {}
+        link_demands: Dict[int, Normal] = {}
+        self._backtrack(
+            state, tables, host, full_mask, demand_mean, demand_var, machine_vms,
+            link_demands, host,
+        )
+        machine_counts = {machine: len(vms) for machine, vms in machine_vms.items()}
+        return Allocation(
+            request=request,
+            request_id=request_id,
+            host_node=host,
+            machine_counts=machine_counts,
+            machine_vms=machine_vms,
+            link_demands=link_demands,
+            max_occupancy=host_value,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _build_vertex(
+        self,
+        state: NetworkState,
+        node_id: int,
+        request: HeterogeneousSVC,
+        demand_mean: np.ndarray,
+        demand_var: np.ndarray,
+        tables: Dict[int, _MaskTable],
+    ) -> _MaskTable:
+        tree = state.tree
+        node = tree.node(node_id)
+        n = request.n_vms
+        if node.is_machine:
+            limit = min(state.free_slots(node_id), n)
+            values = {
+                mask: 0.0
+                for mask in range(1 << n)
+                if bin(mask).count("1") <= limit
+            }
+            return _MaskTable(values=values, choices=[])
+
+        partial: Dict[int, float] = {0: 0.0}
+        choices: List[Dict[int, int]] = []
+        for child_id in node.children:
+            child_eff = self._child_effective(
+                state, child_id, demand_mean, demand_var, tables
+            )
+            new_partial: Dict[int, float] = {}
+            choice: Dict[int, int] = {}
+            for child_mask, child_value in child_eff.items():
+                for part_mask, part_value in partial.items():
+                    if child_mask & part_mask:
+                        continue
+                    mask = child_mask | part_mask
+                    value = max(child_value, part_value)
+                    best = new_partial.get(mask)
+                    if best is None or value < best:
+                        new_partial[mask] = value
+                        choice[mask] = child_mask
+            partial = new_partial
+            choices.append(choice)
+        return _MaskTable(values=partial, choices=choices)
+
+    def _child_effective(
+        self,
+        state: NetworkState,
+        child_id: int,
+        demand_mean: np.ndarray,
+        demand_var: np.ndarray,
+        tables: Dict[int, _MaskTable],
+    ) -> Dict[int, float]:
+        link_state: LinkState = state.links[child_id]
+        risk_c = state.risk_c
+        effective: Dict[int, float] = {}
+        for mask, value in tables[child_id].values.items():
+            occ = link_state.occupancy_with(
+                risk_c,
+                extra_mean=float(demand_mean[mask]),
+                extra_var=float(demand_var[mask]),
+            )
+            if occ >= _FEASIBLE_LIMIT:
+                continue
+            effective[mask] = max(value, occ)
+        return effective
+
+    def _backtrack(
+        self,
+        state: NetworkState,
+        tables: Dict[int, _MaskTable],
+        node_id: int,
+        mask: int,
+        demand_mean: np.ndarray,
+        demand_var: np.ndarray,
+        machine_vms: Dict[int, Tuple[int, ...]],
+        link_demands: Dict[int, Normal],
+        host: int,
+    ) -> None:
+        if mask == 0:
+            return
+        # Record the uplink demand unless the subset is empty/full
+        # (the demand arrays are exactly zero there).
+        if node_id != host and (demand_mean[mask] > 0.0 or demand_var[mask] > 0.0):
+            link_demands[node_id] = Normal.from_variance(
+                float(demand_mean[mask]), float(demand_var[mask])
+            )
+        node = state.tree.node(node_id)
+        if node.is_machine:
+            machine_vms[node_id] = tuple(
+                bit for bit in range(mask.bit_length()) if mask & (1 << bit)
+            )
+            return
+        table = tables[node_id]
+        remaining = mask
+        for index in range(len(node.children) - 1, -1, -1):
+            child_mask = table.choices[index].get(remaining)
+            if child_mask is None:
+                raise RuntimeError(f"backtracking hit an unknown mask at node {node_id}")
+            self._backtrack(
+                state, tables, node.children[index], child_mask,
+                demand_mean, demand_var, machine_vms, link_demands, host,
+            )
+            remaining &= ~child_mask
+        if remaining:
+            raise RuntimeError(f"backtracking left VMs unassigned at node {node_id}")

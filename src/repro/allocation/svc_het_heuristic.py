@@ -1,0 +1,198 @@
+"""Substring heuristic allocation for heterogeneous SVC (Section V-B).
+
+VMs are sorted in ascending order of the 95th percentile of their demand;
+allocable sets are restricted to *contiguous substrings* of the sorted
+sequence ``S_N`` (a first-fit-inspired structure: a sequential greedy pass
+always assigns disjoint substrings to sibling subtrees).  Each subtree's
+allocable set therefore has ``O(N^2)`` members instead of ``O(2^N)``, giving
+overall complexity ``O(|V| * Delta * N^4)`` while keeping the min-max
+occupancy optimization of Algorithm 1: ``Opt(T_v[i], <a,b>)`` is minimized
+over all split points ``k`` with ``<a,k-1>`` allocable in ``T_v[i-1]`` and
+``<k,b>`` allocable in the i-th child.
+
+Segments are half-open ``[s, e)`` with ``0 <= s <= e <= N`` over the sorted
+order; ``[s, s)`` is the empty segment.  Tables are dense ``(N+1) x (N+1)``
+float arrays with ``inf`` marking "not allocable"; entries below the
+diagonal are invalid and stay ``inf`` throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.abstractions.requests import HeterogeneousSVC, VirtualClusterRequest
+from repro.allocation.base import Allocation, Allocator
+from repro.allocation.demand_model import SegmentDemandTable
+from repro.network.link_state import LinkState, NetworkState
+from repro.stochastic.normal import Normal
+
+_FEASIBLE_LIMIT = 1.0
+
+
+@dataclass
+class _SegmentTable:
+    """DP state per vertex: Opt per segment + per-child split points."""
+
+    values: np.ndarray  # (N+1, N+1); values[s, e] = Opt(T_v, [s, e))
+    choices: List[np.ndarray]  # choices[i][s, e] = split point k for child i
+
+
+def _empty_segments(n: int) -> np.ndarray:
+    values = np.full((n + 1, n + 1), np.inf)
+    np.fill_diagonal(values, 0.0)
+    return values
+
+
+class SVCHeterogeneousAllocator(Allocator):
+    """The paper's polynomial heterogeneous allocator (substring heuristic)."""
+
+    name = "svc-het"
+
+    def __init__(self, percentile: float = 95.0) -> None:
+        self._percentile = percentile
+
+    def supports(self, request: VirtualClusterRequest) -> bool:
+        return isinstance(request, HeterogeneousSVC)
+
+    def allocate(
+        self, state: NetworkState, request: VirtualClusterRequest, request_id: int
+    ) -> Optional[Allocation]:
+        if not isinstance(request, HeterogeneousSVC):
+            raise TypeError(f"{self.name} only places heterogeneous SVC requests")
+        n = request.n_vms
+        if n > state.total_free_slots:
+            return None
+        segments = SegmentDemandTable(request, percentile=self._percentile)
+
+        tree = state.tree
+        tables: Dict[int, _SegmentTable] = {}
+        host: Optional[int] = None
+        host_value = np.inf
+        for _level, node_ids in tree.bottom_up_levels():
+            for node_id in node_ids:
+                table = self._build_vertex(state, node_id, n, segments, tables)
+                tables[node_id] = table
+                value = float(table.values[0, n])
+                if np.isfinite(value) and value < host_value:
+                    host, host_value = node_id, value
+            if host is not None:
+                break
+        if host is None:
+            return None
+
+        node_segments: Dict[int, Tuple[int, int]] = {}
+        self._backtrack(tree, tables, host, 0, n, node_segments)
+
+        machine_vms: Dict[int, Tuple[int, ...]] = {}
+        link_demands: Dict[int, Normal] = {}
+        for node_id, (start, end) in node_segments.items():
+            if start == end:
+                continue
+            if tree.node(node_id).is_machine:
+                machine_vms[node_id] = segments.segment_vms(start, end)
+            if node_id != host and 0 < end - start < n:
+                link_demands[node_id] = segments.segment_demand(start, end)
+        machine_counts = {machine: len(vms) for machine, vms in machine_vms.items()}
+        return Allocation(
+            request=request,
+            request_id=request_id,
+            host_node=host,
+            machine_counts=machine_counts,
+            machine_vms=machine_vms,
+            link_demands=link_demands,
+            max_occupancy=host_value,
+        )
+
+    # ------------------------------------------------------------------
+    # DP construction
+    # ------------------------------------------------------------------
+
+    def _build_vertex(
+        self,
+        state: NetworkState,
+        node_id: int,
+        n: int,
+        segments: SegmentDemandTable,
+        tables: Dict[int, _SegmentTable],
+    ) -> _SegmentTable:
+        tree = state.tree
+        node = tree.node(node_id)
+        if node.is_machine:
+            # Any substring short enough for the machine's free slots fits;
+            # co-located VMs use no links, so the inner objective is 0.
+            values = np.full((n + 1, n + 1), np.inf)
+            limit = state.free_slots(node_id)
+            starts, ends = np.meshgrid(np.arange(n + 1), np.arange(n + 1), indexing="ij")
+            length = ends - starts
+            values[(length >= 0) & (length <= limit)] = 0.0
+            return _SegmentTable(values=values, choices=[])
+
+        partial = _empty_segments(n)
+        choices: List[np.ndarray] = []
+        for child_id in node.children:
+            child_eff = self._child_effective(state, child_id, n, segments, tables)
+            new_values = np.full((n + 1, n + 1), np.inf)
+            choice = np.full((n + 1, n + 1), -1, dtype=np.int64)
+            for k in range(n + 1):
+                # Segment [s, e) = [s, k) placed so far + [k, e) in this child.
+                candidate = np.maximum(partial[:, k : k + 1], child_eff[k : k + 1, :])
+                better = candidate < new_values
+                new_values[better] = candidate[better]
+                choice[better] = k
+            partial = new_values
+            choices.append(choice)
+        return _SegmentTable(values=partial, choices=choices)
+
+    def _child_effective(
+        self,
+        state: NetworkState,
+        child_id: int,
+        n: int,
+        segments: SegmentDemandTable,
+        tables: Dict[int, _SegmentTable],
+    ) -> np.ndarray:
+        """max(Opt(child, seg), O_uplink(seg)), inf where the uplink rejects."""
+        link_state: LinkState = state.links[child_id]
+        variance = link_state.var_total + segments.demand_var
+        effective_demand = (
+            link_state.mean_total
+            + segments.demand_mean
+            + state.risk_c * np.sqrt(np.maximum(variance, 0.0))
+        )
+        occupancy = (link_state.deterministic_total + effective_demand) / link_state.capacity
+        effective = np.maximum(tables[child_id].values, occupancy)
+        effective[occupancy >= _FEASIBLE_LIMIT] = np.inf
+        return effective
+
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
+
+    def _backtrack(
+        self,
+        tree,
+        tables: Dict[int, _SegmentTable],
+        node_id: int,
+        start: int,
+        end: int,
+        node_segments: Dict[int, Tuple[int, int]],
+    ) -> None:
+        node_segments[node_id] = (start, end)
+        if start == end:
+            return
+        node = tree.node(node_id)
+        if node.is_machine:
+            return
+        table = tables[node_id]
+        right = end
+        for index in range(len(node.children) - 1, -1, -1):
+            split = int(table.choices[index][start, right])
+            if split < 0:
+                raise RuntimeError(f"backtracking hit an infeasible segment at {node_id}")
+            self._backtrack(tree, tables, node.children[index], split, right, node_segments)
+            right = split
+        if right != start:
+            raise RuntimeError(f"backtracking left [{start}, {right}) unassigned at {node_id}")

@@ -1,0 +1,343 @@
+"""Algorithm 1: homogeneous VM allocation with occupancy optimization.
+
+One bottom-up tree traversal computes, for every vertex ``v``, the allocable
+VM set of the subtree ``T_v`` together with ``Opt(T_v, h)`` — the minimum,
+over all valid placements of ``h`` VMs inside ``T_v``, of the maximum
+bandwidth occupancy ratio of the links in ``T_v`` (Lemma 2 / Eqs. 11-12).
+The request is placed in the lowest-level subtree that can host all ``N``
+VMs, choosing the placement that minimizes the maximum ``O_L``.
+
+The same tree search with the optimization switched off (feasible sums only,
+first-found split recorded) is exactly the paper's *adapted TIVC* baseline:
+the TIVC/Oktopus-style search with the validity condition replaced by Eq. (4)
+but "no distinction between [multiple valid allocations]" (Section IV-C).
+Running that variant on deterministic VC requests gives the Oktopus baseline
+used for mean-VC and percentile-VC.
+
+Implementation notes: allocable sets are dense ``float`` arrays of length
+``N + 1`` indexed by VM count, holding the ``Opt`` value (``inf`` means "not
+allocable").  The per-child combine step is the (min, max) convolution of the
+partial array with the child's array — done with one vectorized pass per
+feasible child count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.abstractions.requests import (
+    DeterministicVC,
+    HomogeneousSVC,
+    VirtualClusterRequest,
+)
+from repro.allocation.base import (
+    Allocation,
+    Allocator,
+    link_demands_from_counts,
+)
+from repro.allocation.demand_model import homogeneous_split_moments
+from repro.network.link_state import LinkState, NetworkState
+from repro.stochastic.normal import Normal
+
+_FEASIBLE_LIMIT = 1.0  # validity is the strict inequality O_L < 1 (Eq. 4)
+
+
+@dataclass
+class _VertexTable:
+    """DP state of one vertex: values over VM counts + per-child split choices."""
+
+    values: np.ndarray  # Opt(T_v, h) over h = 0..N; inf = not allocable
+    choices: List[np.ndarray]  # choices[i][s] = VMs given to child i when T_v[i] holds s
+
+
+def _uplink_occupancy_vector(
+    link_state: LinkState,
+    risk_c: float,
+    split_mean: np.ndarray,
+    split_var: np.ndarray,
+    deterministic: bool,
+) -> np.ndarray:
+    """``O_L(N, e)`` for every split size ``e`` of the candidate request.
+
+    For a stochastic request the candidate moments join the CLT aggregate;
+    for a deterministic request the candidate mean joins ``D_L`` and only the
+    existing stochastic aggregate contributes variance (Section IV-B).
+    """
+    if deterministic:
+        stoch_mean = link_state.mean_total
+        variance = np.full_like(split_mean, max(link_state.var_total, 0.0))
+        reserved = link_state.deterministic_total + split_mean
+    else:
+        stoch_mean = link_state.mean_total + split_mean
+        variance = link_state.var_total + split_var
+        reserved = np.full_like(split_mean, link_state.deterministic_total)
+    effective = stoch_mean + risk_c * np.sqrt(np.maximum(variance, 0.0))
+    return (reserved + effective) / link_state.capacity
+
+
+class _HomogeneousTreeSearch(Allocator):
+    """Shared machinery for Algorithm 1 and the adapted-TIVC baseline.
+
+    ``optimize=True`` records, per reachable VM count, the split minimizing
+    the maximum occupancy ratio (Algorithm 1 proper); ``optimize=False``
+    keeps only feasibility and the first-found split (adapted TIVC).
+    """
+
+    def __init__(self, optimize: bool, localize: bool = True) -> None:
+        self._optimize = optimize
+        self._localize = localize
+
+    def supports(self, request: VirtualClusterRequest) -> bool:
+        return isinstance(request, (HomogeneousSVC, DeterministicVC))
+
+    def allocate(
+        self, state: NetworkState, request: VirtualClusterRequest, request_id: int
+    ) -> Optional[Allocation]:
+        if not self.supports(request):
+            raise TypeError(f"{self.name} cannot place a {type(request).__name__}")
+        n = request.n_vms
+        if n > state.total_free_slots:
+            return None
+
+        split_mean, split_var = homogeneous_split_moments(request)
+        deterministic = request.is_deterministic
+        tree = state.tree
+        risk_c = state.risk_c
+
+        tables: Dict[int, _VertexTable] = {}
+        host: Optional[int] = None
+        host_value = np.inf
+        for _level, node_ids in tree.bottom_up_levels():
+            for node_id in node_ids:
+                table = self._build_vertex(
+                    state, node_id, n, split_mean, split_var, deterministic, tables
+                )
+                tables[node_id] = table
+                value = float(table.values[n])
+                if not np.isfinite(value):
+                    continue
+                if self._optimize:
+                    if value < host_value:
+                        host, host_value = node_id, value
+                elif host is None:
+                    host, host_value = node_id, value
+            if host is not None and self._localize:
+                break  # lowest feasible level found
+        if not self._localize and np.isfinite(float(tables[tree.root_id].values[n])):
+            # Locality ablation: ignore the lowest-subtree bias and take the
+            # global min-max placement, Opt(T_root, N).
+            host = tree.root_id
+            host_value = float(tables[tree.root_id].values[n])
+        if host is None:
+            return None
+
+        machine_counts: Dict[int, int] = {}
+        self._backtrack(tree, tables, host, n, machine_counts)
+        link_demands = link_demands_from_counts(
+            tree, host, machine_counts, split_mean, split_var
+        )
+        allocation = Allocation(
+            request=request,
+            request_id=request_id,
+            host_node=host,
+            machine_counts=machine_counts,
+            link_demands=link_demands,
+            max_occupancy=self._subtree_max_occupancy(state, host, link_demands),
+        )
+        return allocation
+
+    # ------------------------------------------------------------------
+    # DP construction
+    # ------------------------------------------------------------------
+
+    def _build_vertex(
+        self,
+        state: NetworkState,
+        node_id: int,
+        n: int,
+        split_mean: np.ndarray,
+        split_var: np.ndarray,
+        deterministic: bool,
+        tables: Dict[int, _VertexTable],
+    ) -> _VertexTable:
+        tree = state.tree
+        node = tree.node(node_id)
+        if node.is_machine:
+            # Lines 4-7 of Algorithm 1: a machine can absorb up to its free
+            # slots, and VMs co-located on one machine use no links.
+            values = np.full(n + 1, np.inf)
+            limit = min(state.free_slots(node_id), n)
+            values[: limit + 1] = 0.0
+            return _VertexTable(values=values, choices=[])
+
+        partial = np.full(n + 1, np.inf)
+        partial[0] = 0.0  # T_v[0] = {v}: no links, nothing placed
+        choices: List[np.ndarray] = []
+        for child_id in node.children:
+            child_eff = self._child_effective(
+                state, child_id, n, split_mean, split_var, deterministic, tables
+            )
+            partial, choice = self._combine(partial, child_eff, n)
+            choices.append(choice)
+        return _VertexTable(values=partial, choices=choices)
+
+    def _child_effective(
+        self,
+        state: NetworkState,
+        child_id: int,
+        n: int,
+        split_mean: np.ndarray,
+        split_var: np.ndarray,
+        deterministic: bool,
+        tables: Dict[int, _VertexTable],
+    ) -> np.ndarray:
+        """max(Opt(T_child, e), O_uplink(N, e)) with infeasible e set to inf.
+
+        The uplink filter implements the allocable-set definition
+        (Definition 1): the bandwidth constraint of every link inside the
+        child subtree *and* of its uplink.
+        """
+        child_values = tables[child_id].values
+        occ = _uplink_occupancy_vector(
+            state.links[child_id], state.risk_c, split_mean, split_var, deterministic
+        )
+        effective = np.maximum(child_values, occ)
+        effective[occ >= _FEASIBLE_LIMIT] = np.inf
+        return effective
+
+    def _combine(
+        self, partial: np.ndarray, child_eff: np.ndarray, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(min, max)-convolve the running table with one child's table.
+
+        Implements Eq. (11): ``Opt(T_v[i], s) = min over e+h=s of
+        max(Opt(T_v[i-1], h), effective_child(e))``, recording the minimizing
+        ``e`` (the ``D_v[i, s]`` table of Algorithm 1).  In the
+        feasibility-only variant the first feasible ``e`` is recorded
+        instead — TIVC "makes no distinction" between valid splits.
+        """
+        new_values = np.full(n + 1, np.inf)
+        choice = np.full(n + 1, -1, dtype=np.int64)
+        feasible_h = np.isfinite(partial)
+        if not feasible_h.any():
+            return new_values, choice
+        max_h = int(np.flatnonzero(feasible_h)[-1])
+        for e in np.flatnonzero(np.isfinite(child_eff)):
+            e = int(e)
+            upper = min(max_h, n - e)
+            if upper < 0:
+                continue
+            segment = partial[: upper + 1]
+            # Infeasible h (inf) propagates through the max, so no extra mask.
+            candidate = np.maximum(child_eff[e], segment)
+            target = new_values[e : e + upper + 1]
+            chosen = choice[e : e + upper + 1]
+            if self._optimize:
+                better = candidate < target
+            else:
+                better = np.isfinite(candidate) & ~np.isfinite(target)
+            target[better] = candidate[better]
+            chosen[better] = e
+        return new_values, choice
+
+    # ------------------------------------------------------------------
+    # Backtracking (the Alloc() procedure of Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def _backtrack(
+        self,
+        tree,
+        tables: Dict[int, _VertexTable],
+        node_id: int,
+        count: int,
+        machine_counts: Dict[int, int],
+    ) -> None:
+        if count == 0:
+            return
+        node = tree.node(node_id)
+        if node.is_machine:
+            machine_counts[node_id] = count
+            return
+        table = tables[node_id]
+        remaining = count
+        for index in range(len(node.children) - 1, -1, -1):
+            child_count = int(table.choices[index][remaining])
+            if child_count < 0:
+                raise RuntimeError(
+                    f"backtracking hit an infeasible entry at node {node_id}"
+                )
+            self._backtrack(tree, tables, node.children[index], child_count, machine_counts)
+            remaining -= child_count
+        if remaining != 0:
+            raise RuntimeError(f"backtracking left {remaining} VMs unassigned at {node_id}")
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _subtree_max_occupancy(
+        state: NetworkState, host: int, link_demands: Dict[int, Normal]
+    ) -> float:
+        """Post-allocation ``max O_L`` over the hosting subtree's links."""
+        worst = 0.0
+        for link in state.tree.links_under(host):
+            link_state = state.links[link.link_id]
+            demand = link_demands.get(link.link_id)
+            if demand is None:
+                occ = link_state.occupancy(state.risk_c)
+            else:
+                # extra mean and extra deterministic reservation enter Eq. (6)
+                # identically, so one call covers both request kinds.
+                occ = link_state.occupancy_with(
+                    state.risk_c, extra_mean=demand.mean, extra_var=demand.variance
+                )
+            if occ > worst:
+                worst = occ
+        return worst
+
+
+class SVCHomogeneousAllocator(_HomogeneousTreeSearch):
+    """Algorithm 1: lowest-level subtree + min-max occupancy placement."""
+
+    name = "svc-dp"
+
+    def __init__(self) -> None:
+        super().__init__(optimize=True)
+
+
+class GlobalMinMaxAllocator(_HomogeneousTreeSearch):
+    """Locality ablation: min-max occupancy over the *whole* tree.
+
+    Drops the lowest-level-subtree bias of Algorithm 1 and places at the
+    global optimum of ``max_L O_L``.  Not part of the paper's system — it
+    exists to quantify what the locality heuristic buys (upper-level links
+    conserved, future requests accommodated; see
+    ``experiments/ablation_locality.py``).
+    """
+
+    name = "svc-global"
+
+    def __init__(self) -> None:
+        super().__init__(optimize=True, localize=False)
+
+
+class AdaptedTIVCAllocator(_HomogeneousTreeSearch):
+    """The adapted-TIVC baseline: Eq. (4) validity, no occupancy optimization."""
+
+    name = "tivc"
+
+    def __init__(self) -> None:
+        super().__init__(optimize=False)
+
+
+class OktopusAllocator(AdaptedTIVCAllocator):
+    """The Oktopus virtual-cluster allocator (deterministic requests only)."""
+
+    name = "oktopus"
+
+    def supports(self, request: VirtualClusterRequest) -> bool:
+        return isinstance(request, DeterministicVC)

@@ -1,0 +1,80 @@
+"""Command-line entry point: ``svc-repro <experiment> [--scale ...]``.
+
+Examples::
+
+    svc-repro fig5 --scale small
+    svc-repro fig9 --scale tiny --seed 3
+    svc-repro all --scale paper        # the full 1,000-machine reproduction
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.config import SCALES
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="svc-repro",
+        description=(
+            "Reproduce the evaluation of 'Bandwidth Guarantee under Demand "
+            "Uncertainty in Multi-tenant Clouds' (ICDCS 2014)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure to reproduce (or 'all')",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="datacenter/workload scale (default: small; 'paper' = 1,000 machines)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed (default: 0)")
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also export every result table as CSV into this directory",
+    )
+    parser.add_argument(
+        "--markdown",
+        default=None,
+        help="also write all results as one Markdown report to this path",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    started = time.time()
+    if args.experiment == "all":
+        results = run_all(scale=args.scale, seed=args.seed)
+    else:
+        results = [EXPERIMENTS[args.experiment](scale=args.scale, seed=args.seed)]
+    for result in results:
+        print(result.format())
+        print()
+    if args.csv_dir:
+        from repro.experiments.export import export_csv
+
+        for result in results:
+            for path in export_csv(result, args.csv_dir):
+                print(f"[csv] {path}", file=sys.stderr)
+    if args.markdown:
+        from repro.experiments.export import export_markdown
+
+        path = export_markdown(results, args.markdown)
+        print(f"[markdown] {path}", file=sys.stderr)
+    print(f"[done in {time.time() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

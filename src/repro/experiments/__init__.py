@@ -1,0 +1,25 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(scale=..., seed=...) -> ExperimentResult`` whose
+table prints the same rows/series the paper reports:
+
+==========================================  ==========================================
+:mod:`repro.experiments.fig5_batch_oversub`   Fig. 5 — total completion time of a job
+                                              batch vs. network oversubscription
+:mod:`repro.experiments.fig6_runtime_vs_deviation`  Fig. 6 — average running time per
+                                              job vs. deviation coefficient
+:mod:`repro.experiments.fig7_rejection_vs_load`     Fig. 7 — % rejected requests vs. load
+:mod:`repro.experiments.fig8_concurrency`     Fig. 8 — concurrent jobs at 60% load
+:mod:`repro.experiments.fig9_occupancy_cdf`   Fig. 9 — CDF of max occupancy ratio,
+                                              SVC DP vs. adapted TIVC
+:mod:`repro.experiments.fig10_svc_vs_tivc_rejection`  Fig. 10 — rejection rate,
+                                              SVC DP vs. adapted TIVC
+:mod:`repro.experiments.het_vs_first_fit`     Section VI-B3 (text) — heterogeneous
+                                              DP vs. plain first fit
+==========================================  ==========================================
+"""
+
+from repro.experiments.config import SCALES, ExperimentScale, scale_by_name
+from repro.experiments.tables import ExperimentResult, Table
+
+__all__ = ["SCALES", "ExperimentScale", "scale_by_name", "ExperimentResult", "Table"]

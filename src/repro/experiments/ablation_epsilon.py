@@ -1,0 +1,51 @@
+"""Ablation: the risk factor epsilon as the concurrency/runtime knob.
+
+Section VI-B1: "With smaller epsilon, SVC provides better bandwidth guarantee
+and thus smaller job running time but reduces the job concurrency, which
+means that we can tune epsilon to achieve the desired trade-off."  This
+ablation sweeps epsilon in the online scenario and reports the three sides of
+the knob: rejection rate (admission cost), average concurrency (multiplexing
+gain), and average job running time (guarantee quality).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import online_workload, resolve_scale, simulation_rng
+from repro.experiments.tables import ExperimentResult, Table
+from repro.simulation.scenario import run_online
+from repro.topology.builder import build_datacenter
+
+DEFAULT_EPSILONS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.4)
+DEFAULT_LOAD = 0.6
+
+
+def run(
+    scale="small",
+    seed: int = 0,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    load: float = DEFAULT_LOAD,
+) -> ExperimentResult:
+    """Sweep epsilon at fixed load under the SVC abstraction."""
+    scale = resolve_scale(scale)
+    tree = build_datacenter(scale.spec)
+    specs = online_workload(scale, seed, load=load, total_slots=tree.total_slots)
+
+    table = Table(
+        title=f"Ablation — risk factor epsilon at {load:.0%} load [{scale.name}]",
+        headers=["epsilon", "rejected (%)", "avg concurrency", "avg runtime (s)"],
+    )
+    raw = {}
+    for epsilon in epsilons:
+        result = run_online(
+            tree, specs, model="svc", epsilon=epsilon, rng=simulation_rng(seed)
+        )
+        table.add_row(
+            f"{epsilon:g}",
+            100.0 * result.rejection_rate,
+            result.average_concurrency,
+            result.average_running_time,
+        )
+        raw[epsilon] = result
+    return ExperimentResult(experiment="ablation-epsilon", tables=[table], raw=raw)

@@ -1,0 +1,62 @@
+"""Terminal rendering of empirical CDFs (the Fig. 9 curves, in ASCII).
+
+The harness is plotting-library-free by design (offline reproduction); this
+module draws empirical CDFs as a character grid so the *shape* of a figure —
+which curve sits left of which — is visible straight from the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+_MARKERS = "ox+*#@"
+
+
+def render_cdf(
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "value",
+) -> str:
+    """Draw the empirical CDFs of up to six labelled sample sets.
+
+    The x-axis spans the pooled sample range; the y-axis is cumulative
+    probability 0..1.  Each series gets a marker from ``o x + * # @``.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+    pooled = np.concatenate([np.asarray(values, dtype=float) for values in series.values()])
+    if pooled.size == 0:
+        raise ValueError("series contain no samples")
+    lo, hi = float(pooled.min()), float(pooled.max())
+    if hi <= lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, values) in zip(_MARKERS, series.items()):
+        data = np.sort(np.asarray(values, dtype=float))
+        if data.size == 0:
+            continue
+        for column in range(width):
+            x = lo + (hi - lo) * (column + 0.5) / width
+            probability = float(np.searchsorted(data, x, side="right")) / data.size
+            row = min(height - 1, int((1.0 - probability) * (height - 1) + 0.5))
+            if grid[row][column] == " ":
+                grid[row][column] = marker
+
+    lines = []
+    for index, row in enumerate(grid):
+        probability = 1.0 - index / (height - 1)
+        lines.append(f"{probability:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    span = f"{lo:.3f}{' ' * max(1, width - len(f'{lo:.3f}') - len(f'{hi:.3f}'))}{hi:.3f}"
+    lines.append("      " + span)
+    legend = "   ".join(
+        f"{marker} {label}" for marker, label in zip(_MARKERS, series.keys())
+    )
+    lines.append(f"      [{x_label}]   {legend}")
+    return "\n".join(lines)

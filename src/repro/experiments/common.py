@@ -1,0 +1,77 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.allocation.base import Allocator
+from repro.experiments.config import ExperimentScale, scale_by_name
+from repro.simulation.jobs import JobSpec
+from repro.simulation.workload import assign_poisson_arrivals, generate_jobs
+
+
+@dataclass(frozen=True)
+class ModelVariant:
+    """One curve of a figure: an abstraction + risk factor (+ allocator)."""
+
+    label: str
+    model: str
+    epsilon: float = 0.05
+    allocator_factory: Optional[Callable[[], Allocator]] = None
+
+    def make_allocator(self) -> Optional[Allocator]:
+        return self.allocator_factory() if self.allocator_factory else None
+
+
+def standard_variants(epsilons: Sequence[float] = (0.05, 0.02)) -> List[ModelVariant]:
+    """The four curves of Figs. 5-7: mean-VC, percentile-VC, SVC per epsilon."""
+    variants = [
+        ModelVariant("mean-VC", "mean-vc"),
+        ModelVariant("percentile-VC", "percentile-vc"),
+    ]
+    for epsilon in epsilons:
+        variants.append(ModelVariant(f"SVC(eps={epsilon:g})", "svc", epsilon=epsilon))
+    return variants
+
+
+def resolve_scale(scale) -> ExperimentScale:
+    """Accept either a scale name or an :class:`ExperimentScale`."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    return scale_by_name(scale)
+
+
+def batch_workload(
+    scale: ExperimentScale, seed: int, **overrides
+) -> List[JobSpec]:
+    """The shared job batch for one (scale, seed): all models see it verbatim."""
+    config = scale.workload(**overrides)
+    return generate_jobs(config, np.random.default_rng(seed))
+
+
+def online_workload(
+    scale: ExperimentScale,
+    seed: int,
+    load: float,
+    total_slots: int,
+    **overrides,
+) -> List[JobSpec]:
+    """A Poisson-stamped arrival sequence at the given datacenter load."""
+    config = scale.workload(**overrides)
+    specs = generate_jobs(config, np.random.default_rng(seed))
+    return assign_poisson_arrivals(
+        specs,
+        load=load,
+        total_slots=total_slots,
+        mean_job_size=config.mean_job_size,
+        mean_compute_time=config.mean_compute_time,
+        rng=np.random.default_rng(seed + 1),
+    )
+
+
+def simulation_rng(seed: int) -> np.random.Generator:
+    """The data-plane RNG, decoupled from the workload RNG."""
+    return np.random.default_rng(seed + 10_000)

@@ -1,0 +1,61 @@
+"""Experiment scales.
+
+The paper simulates a 1,000-machine datacenter with 500 jobs of mean size 49
+("paper" scale).  The shapes of all results — which model wins, by roughly
+what factor, where crossovers fall — are preserved at reduced scale, so the
+default for interactive use is "small" and the pytest benchmarks run "tiny".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.workload import WorkloadConfig
+from repro.topology.builder import (
+    DatacenterSpec,
+    PAPER_SPEC,
+    SMALL_SPEC,
+    TINY_SPEC,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """A datacenter spec paired with a matching workload size."""
+
+    name: str
+    spec: DatacenterSpec
+    num_jobs: int
+    mean_job_size: float
+    max_job_size: int
+
+    def workload(self, **overrides) -> WorkloadConfig:
+        """The Section VI-A workload at this scale (kwargs override fields)."""
+        params = dict(
+            num_jobs=self.num_jobs,
+            mean_job_size=self.mean_job_size,
+            max_job_size=self.max_job_size,
+        )
+        params.update(overrides)
+        return WorkloadConfig(**params)
+
+
+TINY_SCALE = ExperimentScale(
+    name="tiny", spec=TINY_SPEC, num_jobs=15, mean_job_size=6.0, max_job_size=24
+)
+SMALL_SCALE = ExperimentScale(
+    name="small", spec=SMALL_SPEC, num_jobs=60, mean_job_size=12.0, max_job_size=48
+)
+PAPER_SCALE = ExperimentScale(
+    name="paper", spec=PAPER_SPEC, num_jobs=500, mean_job_size=49.0, max_job_size=200
+)
+
+SCALES = {scale.name: scale for scale in (TINY_SCALE, SMALL_SCALE, PAPER_SCALE)}
+
+
+def scale_by_name(name: str) -> ExperimentScale:
+    """Look up a scale, with a helpful error listing the choices."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(f"unknown scale {name!r}; choose from {sorted(SCALES)}") from None

@@ -1,0 +1,58 @@
+"""Exporting experiment results to CSV and Markdown.
+
+The harness prints aligned text tables; downstream plotting wants machine-
+readable files.  ``export_csv``/``export_markdown`` write one file per table
+into a directory, named ``<experiment>__<slug-of-title>.<ext>``.
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+from pathlib import Path
+from typing import Iterable, List
+
+from repro.experiments.tables import ExperimentResult, Table
+
+
+def _slugify(title: str) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")
+    return slug[:80] or "table"
+
+
+def export_csv(result: ExperimentResult, directory) -> List[Path]:
+    """Write each table of a result as CSV; returns the written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for table in result.tables:
+        path = directory / f"{result.experiment}__{_slugify(table.title)}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.headers)
+            writer.writerows(table.rows)
+        written.append(path)
+    return written
+
+
+def table_to_markdown(table: Table) -> str:
+    """One table as GitHub-flavoured Markdown."""
+    lines = [f"### {table.title}", ""]
+    lines.append("| " + " | ".join(str(h) for h in table.headers) + " |")
+    lines.append("|" + "|".join("---" for _ in table.headers) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(Table._render(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def export_markdown(results: Iterable[ExperimentResult], path) -> Path:
+    """Write all results into one Markdown report."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    sections = []
+    for result in results:
+        sections.append(f"## {result.experiment}")
+        for table in result.tables:
+            sections.append(table_to_markdown(table))
+    path.write_text("\n\n".join(sections) + "\n")
+    return path

@@ -1,0 +1,51 @@
+"""Fig. 10 — request rejection rate: SVC DP vs. adapted TIVC.
+
+Same setup as Fig. 9, reporting the rejection rate per load.  Paper shape:
+"SVC and TIVC have almost the same rejection rates" — the occupancy
+optimization barely affects the ability to accommodate future requests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import online_workload, resolve_scale, simulation_rng
+from repro.experiments.fig9_occupancy_cdf import ALGORITHMS
+from repro.experiments.tables import ExperimentResult, Table
+from repro.simulation.scenario import run_online
+from repro.topology.builder import build_datacenter
+
+DEFAULT_LOADS = (0.2, 0.4, 0.6, 0.8)
+
+
+def run(
+    scale="small",
+    seed: int = 0,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    epsilon: float = 0.05,
+) -> ExperimentResult:
+    """Reproduce Fig. 10 at the given scale."""
+    scale = resolve_scale(scale)
+    tree = build_datacenter(scale.spec)
+
+    table = Table(
+        title=f"Fig. 10 — rejected requests (%): SVC vs adapted TIVC [{scale.name}]",
+        headers=["algorithm"] + [f"load={load:.0%}" for load in loads],
+    )
+    raw = {}
+    for label, allocator_cls in ALGORITHMS:
+        cells = []
+        for load in loads:
+            specs = online_workload(scale, seed, load=load, total_slots=tree.total_slots)
+            result = run_online(
+                tree,
+                specs,
+                model="svc",
+                epsilon=epsilon,
+                allocator=allocator_cls(),
+                rng=simulation_rng(seed),
+            )
+            cells.append(100.0 * result.rejection_rate)
+            raw[(label, load)] = result
+        table.add_row(label, *cells)
+    return ExperimentResult(experiment="fig10", tables=[table], raw=raw)

@@ -1,0 +1,58 @@
+"""Fig. 5 — total completion time of a job batch vs. network oversubscription.
+
+The paper batches 500 jobs in a FIFO queue and reports the completion time of
+the whole batch while sweeping the physical oversubscription factor.  Paper
+shape: mean-VC lowest (smallest reservations, highest concurrency),
+percentile-VC highest (exclusive 95th-percentile reservations throttle
+concurrency), SVC in between and closer to mean-VC; all curves grow with
+oversubscription as upper-level links get scarcer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import (
+    batch_workload,
+    resolve_scale,
+    simulation_rng,
+    standard_variants,
+)
+from repro.experiments.tables import ExperimentResult, Table
+from repro.simulation.scenario import run_batch
+from repro.topology.builder import build_datacenter
+
+DEFAULT_OVERSUBSCRIPTIONS = (1.0, 2.0, 3.0, 4.0)
+
+
+def run(
+    scale="small",
+    seed: int = 0,
+    oversubscriptions: Sequence[float] = DEFAULT_OVERSUBSCRIPTIONS,
+    epsilons: Sequence[float] = (0.05, 0.02),
+) -> ExperimentResult:
+    """Reproduce Fig. 5 at the given scale."""
+    scale = resolve_scale(scale)
+    specs = batch_workload(scale, seed)
+    variants = standard_variants(epsilons)
+
+    table = Table(
+        title=f"Fig. 5 — batch completion time (s) vs oversubscription [{scale.name}]",
+        headers=["model"] + [f"oversub={factor:g}" for factor in oversubscriptions],
+    )
+    raw = {}
+    for variant in variants:
+        cells = []
+        for factor in oversubscriptions:
+            tree = build_datacenter(scale.spec.with_oversubscription(factor))
+            result = run_batch(
+                tree,
+                specs,
+                model=variant.model,
+                epsilon=variant.epsilon,
+                rng=simulation_rng(seed),
+            )
+            cells.append(float(result.makespan))
+            raw[(variant.label, factor)] = result
+        table.add_row(variant.label, *cells)
+    return ExperimentResult(experiment="fig5", tables=[table], raw=raw)

@@ -1,0 +1,37 @@
+"""Run every experiment in sequence (the ``all`` CLI subcommand)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ablation_epsilon,
+    ablation_locality,
+    validation_outage,
+    fig5_batch_oversub,
+    fig6_runtime_vs_deviation,
+    fig7_rejection_vs_load,
+    fig8_concurrency,
+    fig9_occupancy_cdf,
+    fig10_svc_vs_tivc_rejection,
+    het_vs_first_fit,
+)
+from repro.experiments.tables import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig5": fig5_batch_oversub.run,
+    "fig6": fig6_runtime_vs_deviation.run,
+    "fig7": fig7_rejection_vs_load.run,
+    "fig8": fig8_concurrency.run,
+    "fig9": fig9_occupancy_cdf.run,
+    "fig10": fig10_svc_vs_tivc_rejection.run,
+    "het": het_vs_first_fit.run,
+    "ablation-epsilon": ablation_epsilon.run,
+    "ablation-locality": ablation_locality.run,
+    "validate-outage": validation_outage.run,
+}
+
+
+def run_all(scale="small", seed: int = 0) -> List[ExperimentResult]:
+    """Run every experiment and return the results in figure order."""
+    return [runner(scale=scale, seed=seed) for runner in EXPERIMENTS.values()]

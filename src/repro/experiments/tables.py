@@ -1,0 +1,81 @@
+"""Plain-text result tables, in the spirit of the paper's figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class Table:
+    """A titled grid of results with one header row.
+
+    Cells may be numbers or strings; :meth:`format` right-aligns numeric
+    columns and renders floats compactly.
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but the table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    @staticmethod
+    def _render(cell: Any) -> str:
+        if isinstance(cell, float):
+            if cell != cell:  # NaN
+                return "-"
+            if abs(cell) >= 1000:
+                return f"{cell:.3g}"
+            return f"{cell:.3f}".rstrip("0").rstrip(".") or "0"
+        return str(cell)
+
+    def format(self) -> str:
+        rendered = [[self._render(cell) for cell in row] for row in self.rows]
+        widths = [len(header) for header in self.headers]
+        for row in rendered:
+            for idx, cell in enumerate(row):
+                widths[idx] = max(widths[idx], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in rendered:
+            lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def column(self, header: str) -> List[Any]:
+        """All cells of one column (for assertions in tests)."""
+        idx = list(self.headers).index(header)
+        return [row[idx] for row in self.rows]
+
+    def row_by_label(self, label: str) -> Sequence[Any]:
+        """The row whose first cell equals ``label``."""
+        for row in self.rows:
+            if row[0] == label:
+                return row
+        raise KeyError(f"no row labelled {label!r} in table {self.title!r}")
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's tables plus the raw data behind them.
+
+    ``notes`` carries preformatted text blocks (e.g. ASCII CDF plots) that
+    :meth:`format` appends after the tables.
+    """
+
+    experiment: str
+    tables: List[Table]
+    raw: Dict[str, Any] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        blocks = [table.format() for table in self.tables]
+        blocks.extend(self.notes)
+        return "\n\n".join(blocks)

@@ -1,0 +1,122 @@
+"""Network manager: admission control and tenancy lifecycle.
+
+"A network manager, upon receiving a tenant request, performs admission
+control and VM allocation in the datacenter with physical links satisfying
+the bandwidth requirements in terms of the probabilistic constraint (1)."
+(Section III-C.)
+
+The manager owns the authoritative :class:`NetworkState`, delegates placement
+to a pluggable :class:`Allocator`, commits successful placements, and tears
+them down on release.  Admitted requests are wrapped in :class:`Tenancy`
+handles carrying the allocation and the per-VM rate caps for the rate-limit
+enforcement plane.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.abstractions.requests import VirtualClusterRequest
+from repro.allocation.base import Allocation, Allocator, expand_vm_placement
+from repro.allocation.dispatch import default_allocator
+from repro.manager.rate_limiter import RateLimiterRegistry
+from repro.network.link_state import NetworkState
+from repro.topology.tree import Tree
+
+
+@dataclass
+class Tenancy:
+    """An admitted tenant: its allocation plus derived placement views."""
+
+    allocation: Allocation
+    #: Machine hosting each VM, indexed by VM number 0..N-1.
+    vm_machines: List[int] = field(default_factory=list)
+
+    @property
+    def request_id(self) -> int:
+        return self.allocation.request_id
+
+    @property
+    def request(self) -> VirtualClusterRequest:
+        return self.allocation.request
+
+    @property
+    def n_vms(self) -> int:
+        return self.allocation.request.n_vms
+
+
+class NetworkManager:
+    """Admission control + allocation + release for a shared datacenter.
+
+    ``epsilon`` is the provider-wide SLA risk factor of Eq. (1); the default
+    0.05 matches the paper's evaluation.  ``allocator`` defaults to the
+    paper's system (Algorithm 1 + the substring heuristic) and can be swapped
+    for the baselines.
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        epsilon: float = 0.05,
+        allocator: Optional[Allocator] = None,
+    ) -> None:
+        self.tree = tree
+        self.state = NetworkState(tree, epsilon=epsilon)
+        self.allocator = allocator if allocator is not None else default_allocator()
+        self.rate_limiters = RateLimiterRegistry()
+        self._ids = itertools.count(1)
+        self._tenancies: Dict[int, Tenancy] = {}
+        self.admitted_count = 0
+        self.rejected_count = 0
+
+    @property
+    def epsilon(self) -> float:
+        return self.state.epsilon
+
+    @property
+    def active_tenancies(self) -> int:
+        """Number of tenants currently holding resources (job concurrency)."""
+        return len(self._tenancies)
+
+    def request(self, request: VirtualClusterRequest) -> Optional[Tenancy]:
+        """Admit (place + commit) a tenant request, or reject with None.
+
+        Rejection means no valid allocation exists under the probabilistic
+        guarantee — in the online scenario of Section VI-B2 such requests are
+        dropped; in the batch scenario they wait in the FIFO queue.
+        """
+        request_id = next(self._ids)
+        allocation = self.allocator.allocate(self.state, request, request_id)
+        if allocation is None:
+            self.rejected_count += 1
+            return None
+        self.state.commit(allocation)
+        tenancy = Tenancy(
+            allocation=allocation, vm_machines=expand_vm_placement(allocation)
+        )
+        self._tenancies[request_id] = tenancy
+        self.rate_limiters.register(tenancy)
+        self.admitted_count += 1
+        return tenancy
+
+    def release(self, tenancy: Tenancy) -> None:
+        """Return a departing tenant's slots and bandwidth to the pool."""
+        stored = self._tenancies.pop(tenancy.request_id, None)
+        if stored is None:
+            raise KeyError(f"tenancy {tenancy.request_id} is not active")
+        self.rate_limiters.unregister(tenancy)
+        self.state.release(tenancy.allocation)
+
+    def tenancy(self, request_id: int) -> Tenancy:
+        return self._tenancies[request_id]
+
+    def max_occupancy(self) -> float:
+        """``max_L O_L`` over the datacenter (the Fig. 9 statistic)."""
+        return self.state.max_occupancy()
+
+    def rejection_rate(self) -> float:
+        """Fraction of requests rejected so far (Fig. 7 / Fig. 10 statistic)."""
+        total = self.admitted_count + self.rejected_count
+        return self.rejected_count / total if total else 0.0

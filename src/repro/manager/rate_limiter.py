@@ -1,0 +1,53 @@
+"""Rate-limiting enforcement plane.
+
+"Rate limiting components at end-host hypervisors or switches are used to
+enforce the bandwidth reservations ... our framework uses the rate limiting
+component to enforce the bandwidth reservation for requests with
+deterministic bandwidth demands.  Since SVC statistically shares the
+bandwidth ... no fixed bandwidth reservation needs to be enforced for them."
+(Section III-C.)
+
+This registry is the control-plane side of that component: it answers, for
+every placed VM, the rate cap its hypervisor must enforce — a finite cap for
+deterministic VC tenants, ``inf`` (uncapped) for stochastic SVC tenants.
+The data plane (the flow simulator) consults it every second.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.abstractions.requests import DeterministicVC
+
+UNLIMITED = math.inf
+"""Rate cap of a stochastic (SVC) VM: statistically shared, not reserved."""
+
+
+class RateLimiterRegistry:
+    """Per-VM rate caps, keyed by ``(request_id, vm_index)``."""
+
+    def __init__(self) -> None:
+        self._caps: Dict[Tuple[int, int], float] = {}
+
+    def register(self, tenancy) -> None:
+        """Install caps for an admitted tenancy."""
+        request = tenancy.request
+        if isinstance(request, DeterministicVC):
+            cap = request.bandwidth
+        else:
+            cap = UNLIMITED
+        for vm_index in range(request.n_vms):
+            self._caps[(tenancy.request_id, vm_index)] = cap
+
+    def unregister(self, tenancy) -> None:
+        """Remove a departing tenancy's caps."""
+        for vm_index in range(tenancy.request.n_vms):
+            self._caps.pop((tenancy.request_id, vm_index), None)
+
+    def cap(self, request_id: int, vm_index: int) -> float:
+        """The enforced egress cap of one VM (``inf`` when uncapped)."""
+        return self._caps.get((request_id, vm_index), UNLIMITED)
+
+    def __len__(self) -> int:
+        return len(self._caps)

@@ -1,0 +1,23 @@
+"""Per-link bandwidth bookkeeping for the network manager.
+
+The network manager "maintains the up-to-date status of the datacenter
+network" (Section III-C): per-link deterministic reservations ``D_L``, the
+stochastic sharing bandwidth ``S_L = C_L - D_L``, the distribution of every
+resident SVC demand per link, and the free VM slots per machine.  This
+subpackage is that state.
+"""
+
+from repro.network.link_state import LinkState, NetworkState
+from repro.network.snapshot import (
+    LevelUtilization,
+    format_utilization,
+    utilization_by_level,
+)
+
+__all__ = [
+    "LinkState",
+    "NetworkState",
+    "LevelUtilization",
+    "format_utilization",
+    "utilization_by_level",
+]

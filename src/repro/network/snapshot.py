@@ -1,0 +1,72 @@
+"""Datacenter utilization snapshots.
+
+Aggregates the per-link occupancy ratios of a :class:`NetworkState` by tree
+level — the view that makes locality effects visible: localized placements
+keep aggregation/core (level 2/3) occupancy low, spreading placements push
+it up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.network.link_state import NetworkState
+
+
+@dataclass(frozen=True)
+class LevelUtilization:
+    """Occupancy statistics of all uplinks of nodes at one tree level."""
+
+    level: int
+    num_links: int
+    mean_occupancy: float
+    max_occupancy: float
+    mean_deterministic_share: float
+
+    @property
+    def label(self) -> str:
+        names = {0: "machine", 1: "ToR", 2: "aggregation"}
+        return names.get(self.level, f"level-{self.level}")
+
+
+def utilization_by_level(state: NetworkState) -> List[LevelUtilization]:
+    """Per-level occupancy summary, machines (level 0 uplinks) first.
+
+    A link is attributed to the level of its *lower* endpoint: machine
+    uplinks are level 0, ToR uplinks level 1, aggregation uplinks level 2.
+    """
+    tree = state.tree
+    buckets: Dict[int, List[float]] = {}
+    det_share: Dict[int, List[float]] = {}
+    for link_id, link_state in state.links.items():
+        level = tree.node(link_id).level
+        occupancy = link_state.occupancy(state.risk_c)
+        buckets.setdefault(level, []).append(occupancy)
+        det_share.setdefault(level, []).append(
+            link_state.deterministic_total / link_state.capacity
+        )
+    summary = []
+    for level in sorted(buckets):
+        values = buckets[level]
+        summary.append(
+            LevelUtilization(
+                level=level,
+                num_links=len(values),
+                mean_occupancy=sum(values) / len(values),
+                max_occupancy=max(values),
+                mean_deterministic_share=sum(det_share[level]) / len(det_share[level]),
+            )
+        )
+    return summary
+
+
+def format_utilization(state: NetworkState) -> str:
+    """Human-readable multi-line utilization report."""
+    lines = ["level         links  mean-occ  max-occ  det-share"]
+    for row in utilization_by_level(state):
+        lines.append(
+            f"{row.label:12s}  {row.num_links:5d}  {row.mean_occupancy:8.3f}  "
+            f"{row.max_occupancy:7.3f}  {row.mean_deterministic_share:9.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Deriving tenant requests from bandwidth usage profiles.
+
+Section III-A: "Given the bandwidth usage profile of an application, one can
+derive the probability distributions of bandwidth demands of VMs and include
+them in the virtual cluster requests."  The paper's future work asks for
+"characterizing the probability distributions of bandwidth demands from a
+variety of real workloads".
+
+This subpackage implements that derivation path: per-VM rate traces (from
+profiling runs) are moment-fitted into the normal demands the SVC machinery
+consumes, with the same NIC-truncation convention the evaluation uses, plus
+synthetic trace generators that mimic the bursty phase behaviour of
+MapReduce-style applications for experimentation.
+"""
+
+from repro.profiling.traces import (
+    RateTrace,
+    synthetic_constant_trace,
+    synthetic_normal_trace,
+    synthetic_phased_trace,
+)
+from repro.profiling.derive import (
+    derive_deterministic_vc,
+    derive_heterogeneous_svc,
+    derive_homogeneous_svc,
+    fit_demand,
+)
+
+__all__ = [
+    "RateTrace",
+    "synthetic_constant_trace",
+    "synthetic_normal_trace",
+    "synthetic_phased_trace",
+    "derive_deterministic_vc",
+    "derive_heterogeneous_svc",
+    "derive_homogeneous_svc",
+    "fit_demand",
+]

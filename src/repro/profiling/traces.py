@@ -1,0 +1,93 @@
+"""Bandwidth rate traces from profiling runs.
+
+A :class:`RateTrace` is the raw material of request derivation: one VM's
+egress rate sampled once per second during a profiling run (the measurement
+granularity of the paper's evaluation, which redraws rates every second).
+
+The synthetic generators model the traffic classes the paper's motivation
+cites: steady flows, noisy flows, and the strongly phased (shuffle-heavy)
+patterns of MapReduce applications whose volatility breaks deterministic
+reservations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RateTrace:
+    """One VM's measured egress rates (Mbps), one sample per second."""
+
+    samples: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.samples) < 2:
+            raise ValueError("a trace needs at least two samples to estimate variance")
+        if any(sample < 0.0 for sample in self.samples):
+            raise ValueError("rates cannot be negative")
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1)."""
+        return float(np.std(self.samples, ddof=1))
+
+    def percentile(self, pct: float) -> float:
+        return float(np.percentile(self.samples, pct))
+
+
+def synthetic_constant_trace(rate: float, duration: int = 300) -> RateTrace:
+    """A perfectly steady application — degenerates SVC to a plain VC."""
+    if rate < 0.0:
+        raise ValueError("rate must be >= 0")
+    return RateTrace(samples=(float(rate),) * max(duration, 2))
+
+
+def synthetic_normal_trace(
+    mean: float,
+    std: float,
+    rng: np.random.Generator,
+    duration: int = 300,
+    cap: float = float("inf"),
+) -> RateTrace:
+    """A noisy application: i.i.d. normal rates clipped to ``[0, cap]``."""
+    samples = rng.normal(mean, std, size=max(duration, 2))
+    np.clip(samples, 0.0, cap, out=samples)
+    return RateTrace(samples=tuple(float(sample) for sample in samples))
+
+
+def synthetic_phased_trace(
+    low_rate: float,
+    high_rate: float,
+    rng: np.random.Generator,
+    duration: int = 300,
+    high_fraction: float = 0.3,
+    jitter: float = 0.1,
+    cap: float = float("inf"),
+) -> RateTrace:
+    """A MapReduce-style phased application.
+
+    The VM alternates between a quiet compute phase (``low_rate``) and a
+    shuffle phase (``high_rate``); ``high_fraction`` of the run is spent
+    shuffling, and every sample carries multiplicative jitter.  This is the
+    "highly volatile" demand class the paper's introduction motivates SVC
+    with — a single constant reservation is either wasteful or insufficient.
+    """
+    if not 0.0 <= high_fraction <= 1.0:
+        raise ValueError(f"high_fraction must be in [0, 1], got {high_fraction}")
+    duration = max(duration, 2)
+    phases = rng.uniform(size=duration) < high_fraction
+    base = np.where(phases, high_rate, low_rate)
+    noisy = base * (1.0 + jitter * rng.standard_normal(duration))
+    np.clip(noisy, 0.0, cap, out=noisy)
+    return RateTrace(samples=tuple(float(sample) for sample in noisy))

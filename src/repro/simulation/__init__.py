@@ -1,0 +1,52 @@
+"""Flow-level datacenter simulator (the paper's evaluation substrate).
+
+The evaluation of Section VI runs tenant jobs — each a set of tasks on VMs
+plus a ring of equal-length flows between them — on the shared datacenter
+network, changing every source's data-generation rate each second.  This
+subpackage is that simulator:
+
+- :mod:`repro.simulation.jobs` — job/flow models;
+- :mod:`repro.simulation.workload` — the Section VI-A workload generator and
+  the abstraction adapters (mean-VC, percentile-VC, SVC);
+- :mod:`repro.simulation.maxmin` — demand-bounded max-min fair bandwidth
+  sharing on directed tree links;
+- :mod:`repro.simulation.engine` — the time-stepped data plane;
+- :mod:`repro.simulation.scenario` — the batched-jobs and dynamically-
+  arriving-jobs drivers (Sections VI-B1 and VI-B2);
+- :mod:`repro.simulation.metrics` — result records and summary statistics.
+"""
+
+from repro.simulation.jobs import ActiveJob, JobSpec
+from repro.simulation.workload import (
+    ABSTRACTION_MODELS,
+    WorkloadConfig,
+    generate_jobs,
+    make_request,
+)
+from repro.simulation.maxmin import max_min_fair_rates
+from repro.simulation.engine import DataPlane
+from repro.simulation.scenario import (
+    BatchResult,
+    OnlineResult,
+    run_batch,
+    run_online,
+)
+from repro.simulation.metrics import JobRecord, empirical_cdf, summarize_runtimes
+
+__all__ = [
+    "ActiveJob",
+    "JobSpec",
+    "ABSTRACTION_MODELS",
+    "WorkloadConfig",
+    "generate_jobs",
+    "make_request",
+    "max_min_fair_rates",
+    "DataPlane",
+    "BatchResult",
+    "OnlineResult",
+    "run_batch",
+    "run_online",
+    "JobRecord",
+    "empirical_cdf",
+    "summarize_runtimes",
+]

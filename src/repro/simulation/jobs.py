@@ -1,0 +1,122 @@
+"""Job and flow models for the evaluation workload.
+
+"Each job is modeled as a set of tasks to be run on individual VMs and a set
+of flows of uniform length (L) between tasks.  Each task is a source and a
+destination for one flow.  The completion time of a job is max(T_c, T_n)
+where T_c is the job's compute time and T_n is the time for the last flow to
+finish." (Section VI-A.)
+
+The unique simple pattern in which every task is exactly one source and one
+destination is a ring permutation: task ``i`` sends one flow of ``L`` Mbit to
+task ``(i + 1) mod N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.abstractions.requests import DeterministicVC
+from repro.manager.network_manager import Tenancy
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A tenant job before placement.
+
+    ``mean_rate``/``std_rate`` parameterize the per-second data-generation
+    rate ``Normal(mu_d, sigma_d^2)`` of each source task; ``flow_volume`` is
+    the uniform flow length ``L`` in Mbit; ``compute_time`` is ``T_c`` in
+    seconds.  ``vm_rates`` optionally carries per-VM ``(mu, sigma)`` pairs for
+    heterogeneous jobs (``mean_rate``/``std_rate`` then hold their averages).
+    """
+
+    job_id: int
+    n_vms: int
+    compute_time: int
+    mean_rate: float
+    std_rate: float
+    flow_volume: float
+    submit_time: float = 0.0
+    vm_rates: Optional[Tuple[Tuple[float, float], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_vms < 1:
+            raise ValueError(f"a job needs at least one VM, got {self.n_vms}")
+        if self.compute_time < 0:
+            raise ValueError(f"compute time must be >= 0, got {self.compute_time}")
+        if self.mean_rate < 0 or self.std_rate < 0:
+            raise ValueError("rate parameters must be >= 0")
+        if self.flow_volume < 0:
+            raise ValueError(f"flow volume must be >= 0, got {self.flow_volume}")
+        if self.vm_rates is not None and len(self.vm_rates) != self.n_vms:
+            raise ValueError("vm_rates must have one (mu, sigma) pair per VM")
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        return self.vm_rates is not None
+
+    def rate_of_vm(self, vm_index: int) -> Tuple[float, float]:
+        """``(mu_d, sigma_d)`` of one source task's data-generation rate."""
+        if self.vm_rates is not None:
+            return self.vm_rates[vm_index]
+        return (self.mean_rate, self.std_rate)
+
+    def ring_flows(self) -> List[Tuple[int, int]]:
+        """The (source VM, destination VM) pairs of the ring pattern."""
+        if self.n_vms < 2:
+            return []
+        return [(i, (i + 1) % self.n_vms) for i in range(self.n_vms)]
+
+
+@dataclass
+class ActiveJob:
+    """A placed, running job tracked by the data plane."""
+
+    spec: JobSpec
+    tenancy: Tenancy
+    start_time: int
+    #: Per-flow remaining volume in Mbit (ring order).
+    remaining: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: Per-flow (source machine, destination machine).
+    flow_machines: List[Tuple[int, int]] = field(default_factory=list)
+    #: Per-flow (mu_d, sigma_d) of the source's data-generation rate.
+    flow_rates: List[Tuple[float, float]] = field(default_factory=list)
+    #: Per-flow rate cap enforced by the hypervisor (inf when uncapped).
+    flow_caps: List[float] = field(default_factory=list)
+    network_end: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if len(self.remaining) == 0:
+            flows = self.spec.ring_flows()
+            machines = self.tenancy.vm_machines
+            self.remaining = np.full(len(flows), self.spec.flow_volume, dtype=float)
+            self.flow_machines = [(machines[src], machines[dst]) for src, dst in flows]
+            self.flow_rates = [self.spec.rate_of_vm(src) for src, _dst in flows]
+            cap = self._vm_cap()
+            self.flow_caps = [cap] * len(flows)
+            if len(flows) == 0:
+                self.network_end = self.start_time
+
+    def _vm_cap(self) -> float:
+        """Rate cap per source VM: the reserved bandwidth for deterministic VC."""
+        if isinstance(self.tenancy.request, DeterministicVC):
+            return self.tenancy.request.bandwidth
+        return float("inf")
+
+    @property
+    def compute_end(self) -> int:
+        """Time at which ``T_c`` elapses."""
+        return self.start_time + self.spec.compute_time
+
+    @property
+    def network_done(self) -> bool:
+        return self.network_end is not None
+
+    def completion_time(self) -> Optional[int]:
+        """``max(T_c, T_n)`` as an absolute time, if the network phase ended."""
+        if self.network_end is None:
+            return None
+        return max(self.compute_end, self.network_end)

@@ -1,0 +1,153 @@
+"""Demand-bounded max-min fair bandwidth sharing.
+
+Given per-flow demands and the set of (directed) links each flow crosses,
+compute the classic water-filling allocation: rates are raised together until
+a link saturates; flows bottlenecked there freeze at the fair share, flows
+whose demand is below every fair share freeze at their demand, and the
+process repeats on the residual network.
+
+This is the fluid model under which the simulator advances flows each second.
+Deterministic-VC flows arrive here already capped at their reservation, so
+their aggregate can never congest a link (the reservations fit by admission);
+SVC flows are uncapped and *can* congest — that is exactly the epsilon-risk
+the probabilistic guarantee quantifies.
+
+The implementation is fully vectorized: flow-to-link incidence is a flat
+CSR-like pair of arrays, per-link member counts come from ``np.bincount``,
+and per-flow minimum shares from ``np.minimum.reduceat``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+_TOLERANCE = 1e-9
+_MAX_ROUNDS = 10_000
+
+
+def max_min_fair_rates(
+    demands: np.ndarray,
+    link_of_entry: np.ndarray,
+    flow_ptr: np.ndarray,
+    capacities: np.ndarray,
+) -> np.ndarray:
+    """Water-filling rates for ``F`` flows over ``L`` capacity-bounded links.
+
+    Parameters
+    ----------
+    demands:
+        Length-``F`` nonnegative demand of each flow (Mbps this second).
+    link_of_entry:
+        Flat concatenation of each flow's link indices (CSR data).
+    flow_ptr:
+        Length ``F + 1`` offsets into ``link_of_entry`` (CSR indptr).  A flow
+        with an empty segment crosses no links and gets its full demand.
+    capacities:
+        Length-``L`` per-link capacity.
+
+    Returns
+    -------
+    Length-``F`` rates with ``0 <= rate <= demand``, saturating no link
+    beyond its capacity (up to float tolerance), and max-min fair: a flow's
+    rate is below its demand only if it crosses a saturated link on which no
+    other flow receives more.
+    """
+    num_flows = len(demands)
+    rates = np.zeros(num_flows)
+    if num_flows == 0:
+        return rates
+
+    demands = np.asarray(demands, dtype=float)
+    link_of_entry = np.asarray(link_of_entry)
+    flow_ptr = np.asarray(flow_ptr)
+    if len(flow_ptr) != num_flows + 1:
+        raise ValueError("flow_ptr must have one offset per flow plus a terminator")
+
+    entry_counts = np.diff(flow_ptr)
+    flow_of_entry = np.repeat(np.arange(num_flows), entry_counts)
+    # reduceat segment offsets for flows that actually cross links: each has
+    # at least one entry, so consecutive offsets are strictly increasing and
+    # the reduceat segments are exactly the flows' entry ranges.
+    has_links = entry_counts > 0
+    linked_flow_ids = np.flatnonzero(has_links)
+    linked_offsets = flow_ptr[:-1][has_links]
+
+    residual = np.asarray(capacities, dtype=float).copy()
+    unfrozen = demands > _TOLERANCE
+    # Linkless flows (and zero-demand flows) are settled immediately.
+    linkless = entry_counts == 0
+    rates[linkless] = demands[linkless]
+    unfrozen &= ~linkless
+
+    num_links = len(residual)
+    for _ in range(_MAX_ROUNDS):
+        if not unfrozen.any():
+            break
+        active_entries = unfrozen[flow_of_entry]
+        counts = np.bincount(
+            link_of_entry, weights=active_entries.astype(float), minlength=num_links
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share = np.where(counts > 0.0, residual / counts, np.inf)
+        share = np.maximum(share, 0.0)
+
+        entry_share = share[link_of_entry]
+        # Per-flow minimum share across its links (inf for frozen entries and
+        # for flows with no entries at all).
+        entry_share = np.where(active_entries, entry_share, np.inf)
+        per_flow_share = np.full(num_flows, np.inf)
+        if linked_flow_ids.size:
+            per_flow_share[linked_flow_ids] = np.minimum.reduceat(
+                entry_share, linked_offsets
+            )
+        per_flow_share = np.where(unfrozen, per_flow_share, np.inf)
+
+        fill_level = min(
+            float(per_flow_share[unfrozen].min()), float(demands[unfrozen].min())
+        )
+        # Freeze demand-satisfied flows at their demand and bottlenecked
+        # flows at their limiting share; at least one flow always freezes.
+        newly = unfrozen & (
+            (demands <= fill_level + _TOLERANCE)
+            | (per_flow_share <= fill_level + _TOLERANCE)
+        )
+        if not newly.any():  # numerical stall guard
+            newly = unfrozen & (per_flow_share <= per_flow_share[unfrozen].min() + _TOLERANCE)
+        new_rates = np.minimum(demands, per_flow_share)
+        rates[newly] = new_rates[newly]
+
+        newly_entries = newly[flow_of_entry]
+        if newly_entries.any():
+            consumed = np.bincount(
+                link_of_entry[newly_entries],
+                weights=rates[flow_of_entry[newly_entries]],
+                minlength=num_links,
+            )
+            residual = np.maximum(residual - consumed, 0.0)
+        unfrozen &= ~newly
+    else:
+        raise RuntimeError("max-min fair computation failed to converge")
+
+    return rates
+
+
+def build_incidence(
+    flow_paths,
+    num_links: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack per-flow link-index lists into the CSR pair used above.
+
+    ``flow_paths`` is an iterable of sequences of link indices (may be
+    empty).  Returns ``(link_of_entry, flow_ptr)``.
+    """
+    flat = []
+    ptr = [0]
+    for path in flow_paths:
+        flat.extend(path)
+        ptr.append(len(flat))
+    link_of_entry = np.asarray(flat, dtype=np.int64)
+    if link_of_entry.size and (link_of_entry.min() < 0 or link_of_entry.max() >= num_links):
+        raise ValueError("flow path contains an out-of-range link index")
+    return link_of_entry, np.asarray(ptr, dtype=np.int64)

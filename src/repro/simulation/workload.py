@@ -1,0 +1,194 @@
+"""Workload generation (Section VI-A) and abstraction adapters.
+
+Job sizes are exponentially distributed around a mean of 49 (as in Oktopus);
+compute times are uniform on [200, 500] s; each job's mean data-generation
+rate ``mu_d`` is drawn from {100, ..., 500} Mbps and its standard deviation is
+``sigma_d = rho * mu_d`` with the deviation coefficient ``rho`` drawn from
+(0, 1) unless fixed (the Fig. 6 sweep).  Flow length is per-job calibrated as
+``L = mu_d * U[200, 500] s`` so the mean network transfer time is comparable
+to the compute time (see DESIGN.md, substitutions).
+
+The abstraction adapters derive the tenant request from the demand
+distribution exactly as the paper's "Alternate abstractions" paragraph:
+*mean-VC* reserves the mean, *percentile-VC* the 95th percentile, and *SVC*
+passes the distribution itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.abstractions.requests import (
+    DeterministicVC,
+    HeterogeneousSVC,
+    HomogeneousSVC,
+    VirtualClusterRequest,
+)
+from repro.simulation.jobs import JobSpec
+from repro.stochastic.normal import Normal, truncated_moments
+
+ABSTRACTION_MODELS = ("mean-vc", "percentile-vc", "svc")
+"""The three abstractions compared in Figs. 5-8."""
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the Section VI-A workload generator.
+
+    ``deviation`` fixes the per-job deviation coefficient ``rho``; None draws
+    it uniformly from (0, 1) per job (the paper's default).  ``heterogeneous``
+    draws an independent ``(mu, sigma)`` per VM (Section V workloads).
+    """
+
+    num_jobs: int = 500
+    mean_job_size: float = 49.0
+    min_job_size: int = 2
+    max_job_size: int = 200
+    compute_time_range: Tuple[int, int] = (200, 500)
+    rate_choices: Sequence[float] = (100.0, 200.0, 300.0, 400.0, 500.0)
+    deviation: Optional[float] = None
+    network_time_range: Tuple[int, int] = (200, 500)
+    heterogeneous: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_jobs < 1:
+            raise ValueError(f"num_jobs must be >= 1, got {self.num_jobs}")
+        if not 1 <= self.min_job_size <= self.max_job_size:
+            raise ValueError(
+                f"need 1 <= min_job_size <= max_job_size, got "
+                f"[{self.min_job_size}, {self.max_job_size}]"
+            )
+        if self.deviation is not None and not 0.0 <= self.deviation <= 1.0:
+            raise ValueError(f"deviation coefficient must be in [0, 1], got {self.deviation}")
+        lo, hi = self.compute_time_range
+        if not 0 <= lo <= hi:
+            raise ValueError(f"bad compute time range {self.compute_time_range}")
+        lo, hi = self.network_time_range
+        if not 0 <= lo <= hi:
+            raise ValueError(f"bad network time range {self.network_time_range}")
+
+    @property
+    def mean_compute_time(self) -> float:
+        lo, hi = self.compute_time_range
+        return (lo + hi) / 2.0
+
+
+def generate_jobs(config: WorkloadConfig, rng: np.random.Generator) -> List[JobSpec]:
+    """Draw ``config.num_jobs`` independent job specifications."""
+    specs: List[JobSpec] = []
+    for job_id in range(config.num_jobs):
+        n_vms = int(round(rng.exponential(config.mean_job_size)))
+        n_vms = int(np.clip(n_vms, config.min_job_size, config.max_job_size))
+        compute_time = int(rng.integers(*config.compute_time_range, endpoint=True))
+        rho = config.deviation if config.deviation is not None else float(rng.uniform(0.0, 1.0))
+        network_time = float(rng.integers(*config.network_time_range, endpoint=True))
+
+        vm_rates: Optional[Tuple[Tuple[float, float], ...]] = None
+        if config.heterogeneous:
+            mus = rng.choice(config.rate_choices, size=n_vms)
+            vm_rates = tuple((float(mu), float(rho * mu)) for mu in mus)
+            mean_rate = float(np.mean([mu for mu, _ in vm_rates]))
+            std_rate = float(np.mean([sd for _, sd in vm_rates]))
+        else:
+            mean_rate = float(rng.choice(config.rate_choices))
+            std_rate = rho * mean_rate
+        specs.append(
+            JobSpec(
+                job_id=job_id,
+                n_vms=n_vms,
+                compute_time=compute_time,
+                mean_rate=mean_rate,
+                std_rate=std_rate,
+                flow_volume=mean_rate * network_time,
+                vm_rates=vm_rates,
+            )
+        )
+    return specs
+
+
+def assign_poisson_arrivals(
+    specs: Sequence[JobSpec],
+    load: float,
+    total_slots: int,
+    mean_job_size: float,
+    mean_compute_time: float,
+    rng: np.random.Generator,
+) -> List[JobSpec]:
+    """Stamp Poisson arrival times for a target datacenter load.
+
+    "The job arrival follows a Poisson process with rate lambda, then the
+    load on a datacenter with M total VMs is rho = lambda * N * T_c / M"
+    (Section VI-B2) — solved for lambda given the desired load.
+    Arrival times are floored to whole seconds (the simulator's step).
+    """
+    if not 0.0 < load:
+        raise ValueError(f"load must be positive, got {load}")
+    lam = load * total_slots / (mean_job_size * mean_compute_time)
+    gaps = rng.exponential(1.0 / lam, size=len(specs))
+    arrival = 0.0
+    stamped: List[JobSpec] = []
+    for spec, gap in zip(specs, gaps):
+        arrival += gap
+        stamped.append(replace(spec, submit_time=float(int(arrival))))
+    return stamped
+
+
+def _profiled_demand(mean: float, std: float, rate_cap: Optional[float]) -> Normal:
+    """The demand distribution a tenant derives from its usage profile.
+
+    A VM's observable bandwidth usage is NIC-limited, so the profile the
+    tenant fits lives in ``[0, rate_cap]``; we moment-match the raw
+    generation-rate normal truncated to that interval (no-op when
+    ``rate_cap`` is None).  Without this, any job with
+    ``mu + 1.645 sigma > nic`` would be categorically unsatisfiable for both
+    SVC and percentile-VC, which contradicts the paper's near-zero rejection
+    at low load (see DESIGN.md, substitutions).
+    """
+    demand = Normal(mean, std)
+    if rate_cap is None or demand.is_deterministic:
+        return demand
+    return truncated_moments(demand, 0.0, rate_cap)
+
+
+def make_request(
+    spec: JobSpec,
+    model: str,
+    percentile: float = 95.0,
+    rate_cap: Optional[float] = None,
+) -> VirtualClusterRequest:
+    """Derive the tenant request a job submits under a given abstraction.
+
+    ``rate_cap`` is the per-VM NIC rate (machine uplink capacity); the
+    request statistics are derived from the NIC-truncated profile so that,
+    e.g., percentile-VC never requests more bandwidth than a NIC can carry.
+    """
+    if model not in ABSTRACTION_MODELS:
+        raise ValueError(f"unknown abstraction model {model!r}; choose from {ABSTRACTION_MODELS}")
+    if spec.is_heterogeneous:
+        return _make_heterogeneous_request(spec, model, percentile, rate_cap)
+    demand = _profiled_demand(spec.mean_rate, spec.std_rate, rate_cap)
+    if model == "mean-vc":
+        return DeterministicVC(n_vms=spec.n_vms, bandwidth=demand.mean)
+    if model == "percentile-vc":
+        return DeterministicVC(n_vms=spec.n_vms, bandwidth=demand.percentile(percentile))
+    return HomogeneousSVC(n_vms=spec.n_vms, mean=demand.mean, std=demand.std)
+
+
+def _make_heterogeneous_request(
+    spec: JobSpec, model: str, percentile: float, rate_cap: Optional[float]
+) -> VirtualClusterRequest:
+    """Heterogeneous variants: SVC keeps per-VM distributions; the VC
+    baselines collapse them to one conservative constant (max over VMs of the
+    respective statistic), the natural hose-model embedding."""
+    assert spec.vm_rates is not None
+    demands = tuple(_profiled_demand(mu, sd, rate_cap) for mu, sd in spec.vm_rates)
+    if model == "svc":
+        return HeterogeneousSVC(n_vms=spec.n_vms, demands=demands)
+    if model == "mean-vc":
+        bandwidth = max(demand.mean for demand in demands)
+    else:
+        bandwidth = max(demand.percentile(percentile) for demand in demands)
+    return DeterministicVC(n_vms=spec.n_vms, bandwidth=bandwidth)

@@ -1,0 +1,63 @@
+"""Probability substrate for the SVC reproduction.
+
+This subpackage implements the stochastic machinery of the paper:
+
+- :mod:`repro.stochastic.normal` — a small, explicit normal-distribution
+  toolkit (pdf, cdf, quantile, arithmetic on independent normals).
+- :mod:`repro.stochastic.minimum` — Lemma 1 of the paper: the exact mean and
+  variance of the minimum of two independent normal random variables.
+- :mod:`repro.stochastic.aggregate` — the central-limit-theorem aggregation of
+  per-request link demands, the admission condition (Eq. 4), the effective
+  bandwidth of a stochastic demand (Eq. 5), and the bandwidth occupancy ratio
+  (Eq. 6).
+"""
+
+from repro.stochastic.normal import (
+    Normal,
+    ZERO,
+    normal_cdf,
+    normal_pdf,
+    normal_quantile,
+    sum_iid,
+    sum_normals,
+    truncated_moments,
+    truncated_quantile,
+)
+from repro.stochastic.distributions import (
+    EmpiricalDemand,
+    LogNormalDemand,
+    UniformDemand,
+)
+from repro.stochastic.minimum import min_of_normals
+from repro.stochastic.aggregate import (
+    DemandAggregate,
+    admission_margin,
+    effective_bandwidth_total,
+    is_admissible,
+    occupancy_ratio,
+    outage_probability,
+    risk_quantile,
+)
+
+__all__ = [
+    "Normal",
+    "ZERO",
+    "normal_cdf",
+    "normal_pdf",
+    "normal_quantile",
+    "sum_iid",
+    "sum_normals",
+    "truncated_moments",
+    "truncated_quantile",
+    "EmpiricalDemand",
+    "LogNormalDemand",
+    "UniformDemand",
+    "min_of_normals",
+    "DemandAggregate",
+    "admission_margin",
+    "effective_bandwidth_total",
+    "is_admissible",
+    "occupancy_ratio",
+    "outage_probability",
+    "risk_quantile",
+]

@@ -1,0 +1,128 @@
+"""Alternative demand-distribution families (the paper's stated extension).
+
+"For simplicity, we assume normal distribution for the bandwidth demand in
+this paper, but SVC can straightforwardly use other types of probability
+distributions."  (Section VII.)
+
+The straightforward route is exactly what the admission machinery invites:
+every quantity it consumes — per-link split demands (Lemma 1), the CLT
+aggregate, the effective bandwidth — depends only on the *first two moments*
+of the per-VM demand.  So any family with finite mean and variance enters the
+framework by moment matching: fit the family to the profile, convert to the
+matched :class:`~repro.stochastic.normal.Normal`, and hand that to the SVC
+request.  This module provides the families the measurement literature uses
+for datacenter traffic (log-normal heavy tails, bounded uniform, raw
+empirical) with exact moment conversion and faithful sampling for the data
+plane.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.stochastic.normal import Normal
+
+
+@dataclass(frozen=True)
+class LogNormalDemand:
+    """``exp(Normal(mu_log, sigma_log^2))`` — heavy-tailed bandwidth demand.
+
+    The common model for flow-size/rate distributions in datacenter
+    measurement studies; always nonnegative, so no clipping artifacts.
+    """
+
+    mu_log: float
+    sigma_log: float
+
+    def __post_init__(self) -> None:
+        if self.sigma_log < 0.0:
+            raise ValueError(f"sigma_log must be >= 0, got {self.sigma_log}")
+
+    @property
+    def mean(self) -> float:
+        return math.exp(self.mu_log + 0.5 * self.sigma_log ** 2)
+
+    @property
+    def variance(self) -> float:
+        factor = math.exp(self.sigma_log ** 2) - 1.0
+        return factor * math.exp(2.0 * self.mu_log + self.sigma_log ** 2)
+
+    def to_normal(self) -> Normal:
+        """The moment-matched normal the SVC machinery consumes."""
+        return Normal.from_variance(self.mean, self.variance)
+
+    def sample(self, rng: np.random.Generator, size=None):
+        return rng.lognormal(self.mu_log, self.sigma_log, size=size)
+
+    @classmethod
+    def from_moments(cls, mean: float, std: float) -> "LogNormalDemand":
+        """The log-normal with the given (positive) mean and std."""
+        if mean <= 0.0:
+            raise ValueError(f"log-normal mean must be > 0, got {mean}")
+        if std < 0.0:
+            raise ValueError(f"std must be >= 0, got {std}")
+        sigma_sq = math.log(1.0 + (std / mean) ** 2)
+        mu_log = math.log(mean) - 0.5 * sigma_sq
+        return cls(mu_log=mu_log, sigma_log=math.sqrt(sigma_sq))
+
+
+@dataclass(frozen=True)
+class UniformDemand:
+    """``Uniform(low, high)`` — bounded, maximally uncertain inside a range."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low <= self.high:
+            raise ValueError(f"need 0 <= low <= high, got [{self.low}, {self.high}]")
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def variance(self) -> float:
+        width = self.high - self.low
+        return width * width / 12.0
+
+    def to_normal(self) -> Normal:
+        return Normal.from_variance(self.mean, self.variance)
+
+    def sample(self, rng: np.random.Generator, size=None):
+        return rng.uniform(self.low, self.high, size=size)
+
+
+@dataclass(frozen=True)
+class EmpiricalDemand:
+    """Resampling from measured rates — no parametric assumption at all."""
+
+    samples: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.samples) < 2:
+            raise ValueError("need at least two samples")
+        if any(sample < 0.0 for sample in self.samples):
+            raise ValueError("rates cannot be negative")
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    @property
+    def variance(self) -> float:
+        return float(np.var(self.samples, ddof=1))
+
+    def to_normal(self) -> Normal:
+        return Normal.from_variance(self.mean, self.variance)
+
+    def sample(self, rng: np.random.Generator, size=None):
+        return rng.choice(np.asarray(self.samples), size=size, replace=True)
+
+    @classmethod
+    def from_sequence(cls, values: Sequence[float]) -> "EmpiricalDemand":
+        return cls(samples=tuple(float(value) for value in values))

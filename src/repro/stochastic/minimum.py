@@ -1,0 +1,74 @@
+"""Lemma 1: moments of the minimum of two independent normals.
+
+A physical link ``L`` of the datacenter tree splits the ``N`` VMs of a virtual
+cluster into two groups with aggregate demands ``X1`` and ``X2``.  The traffic
+the request can push across ``L`` is bounded by what one side can send *and*
+the other side can receive, so the request's bandwidth demand on ``L`` is
+``min(X1, X2)`` (Section IV-A).  Lemma 1 of the paper (after Nadarajah & Kotz,
+"Exact distribution of the max/min of two Gaussian random variables") gives
+the exact mean and variance of that minimum:
+
+    theta = sqrt(sigma1^2 + sigma2^2)
+    alpha = (mu2 - mu1) / theta
+    E[X]    = mu1 * Phi(alpha) + mu2 * Phi(-alpha) - theta * phi(alpha)
+    Var[X]  = (sigma1^2 + mu1^2) * Phi(alpha) + (sigma2^2 + mu2^2) * Phi(-alpha)
+              - (mu1 + mu2) * theta * phi(alpha) - E[X]^2
+
+The result is *not* normal, but the paper (and we) only propagate its first
+two moments into the CLT aggregation of Eq. (4).
+"""
+
+from __future__ import annotations
+
+from repro.stochastic.normal import Normal, normal_cdf, normal_pdf
+
+
+def min_of_normals(first: Normal, second: Normal) -> Normal:
+    """Mean/std of ``min(X1, X2)`` for independent normals, as a :class:`Normal`.
+
+    The returned :class:`Normal` carries the exact first two moments of the
+    minimum; treating it as normally distributed downstream is precisely the
+    paper's moment-matching approximation.
+
+    Degenerate inputs are handled exactly:
+
+    - both deterministic: the minimum is the smaller constant;
+    - one deterministic at ``c``: the formulas remain valid with
+      ``theta = sigma`` of the stochastic side.
+
+    The fully degenerate *and equal* case (``theta == 0``) short-circuits to
+    the common constant.
+    """
+    sigma1_sq = first.variance
+    sigma2_sq = second.variance
+    theta_sq = sigma1_sq + sigma2_sq
+    if theta_sq == 0.0:
+        return Normal.deterministic(min(first.mean, second.mean))
+
+    theta = theta_sq ** 0.5
+    alpha = (second.mean - first.mean) / theta
+    cdf_alpha = normal_cdf(alpha)
+    cdf_neg_alpha = 1.0 - cdf_alpha
+    pdf_alpha = normal_pdf(alpha)
+
+    mean = first.mean * cdf_alpha + second.mean * cdf_neg_alpha - theta * pdf_alpha
+    second_moment = (
+        (sigma1_sq + first.mean * first.mean) * cdf_alpha
+        + (sigma2_sq + second.mean * second.mean) * cdf_neg_alpha
+        - (first.mean + second.mean) * theta * pdf_alpha
+    )
+    # Var >= 0 mathematically; the subtraction can cancel catastrophically
+    # when |mu| >> sigma, so clamp instead of trusting the round-off.
+    variance = max(second_moment - mean * mean, 0.0)
+    return Normal.from_variance(mean, variance)
+
+
+def max_of_normals(first: Normal, second: Normal) -> Normal:
+    """Moments of ``max(X1, X2)`` via ``max(a, b) = -min(-a, -b)``.
+
+    Not used by the admission path (the paper only needs the min), but
+    provided for completeness of the substrate and exercised by the test
+    suite as a consistency check: ``E[min] + E[max] = mu1 + mu2``.
+    """
+    negated = min_of_normals(Normal(-first.mean, first.std), Normal(-second.mean, second.std))
+    return Normal(-negated.mean, negated.std)

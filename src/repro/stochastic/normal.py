@@ -1,0 +1,210 @@
+"""Normal-distribution toolkit.
+
+The SVC model (Section III-A of the paper) characterizes every VM's bandwidth
+demand as a normal random variable ``B ~ Normal(mu, sigma^2)``.  This module
+provides an explicit, immutable :class:`Normal` value type plus the handful of
+standard-normal helpers (``phi``, ``Phi``, ``Phi^{-1}``) used throughout the
+admission machinery.
+
+All computations are closed-form; :mod:`scipy.special` supplies the erf-based
+primitives so no sampling is involved anywhere in the control plane.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from scipy.special import erf, erfinv
+
+_SQRT2 = math.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+
+def normal_pdf(x: float) -> float:
+    """Standard normal probability density ``phi(x)``."""
+    return _INV_SQRT_2PI * math.exp(-0.5 * x * x)
+
+
+def normal_cdf(x: float) -> float:
+    """Standard normal cumulative distribution ``Phi(x)``."""
+    return 0.5 * (1.0 + float(erf(x / _SQRT2)))
+
+
+def normal_quantile(p: float) -> float:
+    """Standard normal quantile ``Phi^{-1}(p)`` for ``p in (0, 1)``.
+
+    This is the constant ``c = Phi^{-1}(1 - epsilon)`` of Eq. (5): the number of
+    aggregate standard deviations of headroom the admission test demands.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile requires p in (0, 1), got {p}")
+    return _SQRT2 * float(erfinv(2.0 * p - 1.0))
+
+
+@dataclass(frozen=True)
+class Normal:
+    """An immutable normal random variable ``Normal(mean, std^2)``.
+
+    Degenerate (deterministic) values are represented with ``std == 0``; this
+    is how the deterministic virtual cluster model of Oktopus embeds into the
+    SVC framework (Section III-A: "The SVC model is reduced to [the]
+    traditional deterministic virtual cluster model ... if sigma_i = 0").
+    """
+
+    mean: float
+    std: float
+
+    def __post_init__(self) -> None:
+        if self.std < 0.0:
+            raise ValueError(f"standard deviation must be >= 0, got {self.std}")
+        if not math.isfinite(self.mean) or not math.isfinite(self.std):
+            raise ValueError(f"normal parameters must be finite, got {self}")
+
+    @property
+    def variance(self) -> float:
+        """``sigma^2``."""
+        return self.std * self.std
+
+    @property
+    def is_deterministic(self) -> bool:
+        """True when the variable is a point mass (``sigma == 0``)."""
+        return self.std == 0.0
+
+    @classmethod
+    def from_variance(cls, mean: float, variance: float) -> "Normal":
+        """Build from ``(mu, sigma^2)`` instead of ``(mu, sigma)``."""
+        if variance < 0.0:
+            # Clamp tiny negative round-off; reject genuinely negative input.
+            if variance < -1e-9:
+                raise ValueError(f"variance must be >= 0, got {variance}")
+            variance = 0.0
+        return cls(mean, math.sqrt(variance))
+
+    @classmethod
+    def deterministic(cls, value: float) -> "Normal":
+        """A point mass at ``value`` (deterministic bandwidth demand)."""
+        return cls(value, 0.0)
+
+    def __add__(self, other: "Normal") -> "Normal":
+        """Sum of *independent* normals: means and variances add."""
+        if not isinstance(other, Normal):
+            return NotImplemented
+        return Normal.from_variance(self.mean + other.mean, self.variance + other.variance)
+
+    def scale(self, factor: float) -> "Normal":
+        """``factor * X`` for a scalar ``factor >= 0``."""
+        if factor < 0.0:
+            raise ValueError(f"scale factor must be >= 0, got {factor}")
+        return Normal(self.mean * factor, self.std * factor)
+
+    def cdf(self, x: float) -> float:
+        """``Pr(X <= x)``."""
+        if self.is_deterministic:
+            return 1.0 if x >= self.mean else 0.0
+        return normal_cdf((x - self.mean) / self.std)
+
+    def sf(self, x: float) -> float:
+        """Survival function ``Pr(X > x)``."""
+        return 1.0 - self.cdf(x)
+
+    def quantile(self, p: float) -> float:
+        """``Phi^{-1}`` mapped through the location/scale of this variable."""
+        if self.is_deterministic:
+            if not 0.0 < p < 1.0:
+                raise ValueError(f"quantile requires p in (0, 1), got {p}")
+            return self.mean
+        return self.mean + self.std * normal_quantile(p)
+
+    def percentile(self, pct: float) -> float:
+        """Percentile expressed on the 0..100 scale (e.g. ``percentile(95)``).
+
+        The paper's *percentile-VC* baseline reserves the 95th percentile of
+        the demand distribution; the heterogeneous heuristic sorts VMs by the
+        same statistic (Section V-B).
+        """
+        return self.quantile(pct / 100.0)
+
+    def sample(self, rng, size=None):
+        """Draw samples with a :class:`numpy.random.Generator`.
+
+        Only the data plane (the flow simulator) samples; the control plane
+        works entirely with closed-form moments.
+        """
+        return rng.normal(self.mean, self.std, size=size)
+
+
+ZERO = Normal(0.0, 0.0)
+"""The demand of an empty VM group — used for ``m in {0, N}`` link splits."""
+
+
+def truncated_moments(demand: Normal, lower: float, upper: float) -> Normal:
+    """Moment-matched normal of ``X | lower <= X <= upper``.
+
+    Used to derive tenant abstractions from a *NIC-limited* rate profile: a
+    VM's observable bandwidth usage lives in ``[0, nic]``, so the distribution
+    a tenant fits from its profile is the raw generation rate conditioned on
+    that interval.  (See DESIGN.md, substitutions.)
+    """
+    if lower >= upper:
+        raise ValueError(f"need lower < upper, got [{lower}, {upper}]")
+    if demand.is_deterministic:
+        return Normal.deterministic(min(max(demand.mean, lower), upper))
+    alpha = (lower - demand.mean) / demand.std
+    beta = (upper - demand.mean) / demand.std
+    z = normal_cdf(beta) - normal_cdf(alpha)
+    if z <= 1e-12:
+        # Essentially no mass inside: collapse to the nearer bound.
+        return Normal.deterministic(lower if alpha > 0 else upper)
+    pdf_alpha, pdf_beta = normal_pdf(alpha), normal_pdf(beta)
+    ratio = (pdf_alpha - pdf_beta) / z
+    mean = demand.mean + demand.std * ratio
+    variance = demand.variance * (
+        1.0 + (alpha * pdf_alpha - beta * pdf_beta) / z - ratio * ratio
+    )
+    return Normal.from_variance(mean, max(variance, 0.0))
+
+
+def truncated_quantile(demand: Normal, p: float, lower: float, upper: float) -> float:
+    """Quantile of ``X | lower <= X <= upper`` (always within the bounds)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile requires p in (0, 1), got {p}")
+    if lower >= upper:
+        raise ValueError(f"need lower < upper, got [{lower}, {upper}]")
+    if demand.is_deterministic:
+        return min(max(demand.mean, lower), upper)
+    cdf_lower = demand.cdf(lower)
+    cdf_upper = demand.cdf(upper)
+    z = cdf_upper - cdf_lower
+    if z <= 1e-12:
+        return lower if demand.mean < lower else upper
+    return demand.quantile(cdf_lower + p * z)
+
+
+def sum_iid(demand: Normal, count: int) -> Normal:
+    """Aggregate of ``count`` i.i.d. copies of ``demand``.
+
+    This is ``B(m) ~ Normal(m*mu, m*sigma^2)`` of Section IV-A: the aggregate
+    bandwidth demand of ``m`` VMs of a homogeneous SVC request.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if count == 0:
+        return ZERO
+    return Normal.from_variance(demand.mean * count, demand.variance * count)
+
+
+def sum_normals(demands: Iterable[Normal]) -> Normal:
+    """Sum of independent (not necessarily identical) normals.
+
+    Used for the heterogeneous SVC model (Section V-A), where a link splits
+    the VM set into two groups whose aggregate demands are the sums of the
+    member distributions.
+    """
+    mean = 0.0
+    variance = 0.0
+    for demand in demands:
+        mean += demand.mean
+        variance += demand.variance
+    return Normal.from_variance(mean, variance)

@@ -1,0 +1,37 @@
+"""Physical datacenter topology substrate.
+
+The paper evaluates on tree-like (multi-rooted tree collapsed to a single
+tree, "no path diversity") datacenter topologies: machines grouped into racks
+under Top-of-Rack switches, ToRs under aggregation switches, aggregation
+switches under a core switch (Section VI-A).
+
+- :mod:`repro.topology.nodes` — node and link value types.
+- :mod:`repro.topology.tree` — the :class:`Tree` container with level-order
+  traversal, subtree queries, and path/LCA computation for the flow simulator.
+- :mod:`repro.topology.builder` — parametric builders, including the paper's
+  1,000-machine three-level configuration with oversubscription.
+"""
+
+from repro.topology.nodes import Link, Node, NodeKind
+from repro.topology.tree import Tree
+from repro.topology.builder import (
+    DatacenterSpec,
+    PAPER_SPEC,
+    SMALL_SPEC,
+    TINY_SPEC,
+    build_datacenter,
+    build_two_machine_example,
+)
+
+__all__ = [
+    "Link",
+    "Node",
+    "NodeKind",
+    "Tree",
+    "DatacenterSpec",
+    "PAPER_SPEC",
+    "SMALL_SPEC",
+    "TINY_SPEC",
+    "build_datacenter",
+    "build_two_machine_example",
+]

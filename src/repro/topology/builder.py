@@ -1,0 +1,113 @@
+"""Parametric datacenter builders.
+
+The paper's evaluation topology (Section VI-A): a three-level tree with 1,000
+machines — racks of 20 machines x 4 VM slots with 1 Gbps machine links, 10
+ToRs per aggregation switch, 5 aggregation switches under one core switch.
+Upper-level link capacities follow from the oversubscription factor: at
+oversubscription 2, ToR uplinks are 10 Gbps (20 Gbps of downstream capacity
+halved) and aggregation uplinks are 50 Gbps (100 Gbps halved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.tree import Tree
+
+GBPS = 1000.0
+"""Mbps per Gbps — all bandwidth in this library is in Mbps."""
+
+
+@dataclass(frozen=True)
+class DatacenterSpec:
+    """Shape and capacity parameters of a three-level tree datacenter."""
+
+    machines_per_rack: int = 20
+    slots_per_machine: int = 4
+    racks_per_pod: int = 10
+    pods: int = 5
+    machine_link_mbps: float = GBPS
+    oversubscription: float = 2.0
+
+    def __post_init__(self) -> None:
+        if min(self.machines_per_rack, self.slots_per_machine, self.racks_per_pod, self.pods) < 1:
+            raise ValueError(f"all shape parameters must be >= 1: {self}")
+        if self.machine_link_mbps <= 0.0:
+            raise ValueError(f"machine link capacity must be > 0, got {self.machine_link_mbps}")
+        if self.oversubscription < 1.0:
+            raise ValueError(
+                f"oversubscription must be >= 1 (1 = full bisection), got {self.oversubscription}"
+            )
+
+    @property
+    def num_machines(self) -> int:
+        return self.machines_per_rack * self.racks_per_pod * self.pods
+
+    @property
+    def total_slots(self) -> int:
+        return self.num_machines * self.slots_per_machine
+
+    @property
+    def tor_uplink_mbps(self) -> float:
+        """ToR -> aggregation link capacity under the oversubscription factor."""
+        return self.machines_per_rack * self.machine_link_mbps / self.oversubscription
+
+    @property
+    def agg_uplink_mbps(self) -> float:
+        """Aggregation -> core link capacity under the oversubscription factor."""
+        return self.racks_per_pod * self.tor_uplink_mbps / self.oversubscription
+
+    def with_oversubscription(self, factor: float) -> "DatacenterSpec":
+        """Copy of this spec with a different oversubscription factor (Fig. 5 sweep)."""
+        return DatacenterSpec(
+            machines_per_rack=self.machines_per_rack,
+            slots_per_machine=self.slots_per_machine,
+            racks_per_pod=self.racks_per_pod,
+            pods=self.pods,
+            machine_link_mbps=self.machine_link_mbps,
+            oversubscription=factor,
+        )
+
+
+PAPER_SPEC = DatacenterSpec()
+"""The paper's 1,000-machine, 4,000-slot topology at oversubscription 2."""
+
+SMALL_SPEC = DatacenterSpec(machines_per_rack=10, racks_per_pod=4, pods=3)
+"""120 machines / 480 slots — default for examples and fast experiments."""
+
+TINY_SPEC = DatacenterSpec(machines_per_rack=4, racks_per_pod=2, pods=2)
+"""16 machines / 64 slots — unit-test scale."""
+
+
+def build_datacenter(spec: DatacenterSpec = PAPER_SPEC) -> Tree:
+    """Materialize a :class:`DatacenterSpec` into a frozen :class:`Tree`."""
+    tree = Tree()
+    core = tree.add_switch("core", level=3)
+    for pod in range(spec.pods):
+        agg = tree.add_switch(f"agg{pod}", level=2)
+        tree.attach(agg, core, spec.agg_uplink_mbps)
+        for rack in range(spec.racks_per_pod):
+            tor = tree.add_switch(f"tor{pod}.{rack}", level=1)
+            tree.attach(tor, agg, spec.tor_uplink_mbps)
+            for machine in range(spec.machines_per_rack):
+                node = tree.add_machine(
+                    f"m{pod}.{rack}.{machine}", slot_capacity=spec.slots_per_machine
+                )
+                tree.attach(node, tor, spec.machine_link_mbps)
+    return tree.freeze()
+
+
+def build_two_machine_example(
+    slots_per_machine: int = 5, link_capacity: float = 50.0
+) -> Tree:
+    """The worked example of Fig. 3: one switch, two machines, 5 slots each.
+
+    Link capacity defaults to 50 (the figure's units) so that the
+    ``<N=6, B=10>`` request reproduces the 2+4 vs 3+3 occupancy contrast.
+    """
+    tree = Tree()
+    switch = tree.add_switch("switch", level=1)
+    for name in ("A", "B"):
+        machine = tree.add_machine(name, slot_capacity=slots_per_machine)
+        tree.attach(machine, switch, link_capacity)
+    return tree.freeze()

@@ -1,0 +1,76 @@
+"""Node and link value types for the datacenter tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+
+class NodeKind(Enum):
+    """What a tree vertex physically is."""
+
+    MACHINE = "machine"
+    SWITCH = "switch"
+
+
+@dataclass
+class Node:
+    """A vertex of the datacenter tree.
+
+    Machines sit at level 0 and own VM slots; switches sit at levels >= 1.
+    ``parent is None`` only for the root (core switch).  The uplink of a
+    non-root node is the link toward its parent and shares the node's id
+    (see :class:`Link`).
+    """
+
+    node_id: int
+    kind: NodeKind
+    level: int
+    name: str
+    parent: Optional[int] = None
+    children: List[int] = field(default_factory=list)
+    slot_capacity: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is NodeKind.MACHINE:
+            if self.level != 0:
+                raise ValueError(f"machine {self.name} must be at level 0, got {self.level}")
+            if self.slot_capacity <= 0:
+                raise ValueError(f"machine {self.name} must have slots, got {self.slot_capacity}")
+        else:
+            if self.level <= 0:
+                raise ValueError(f"switch {self.name} must be at level >= 1, got {self.level}")
+            if self.slot_capacity != 0:
+                raise ValueError(f"switch {self.name} cannot own VM slots")
+
+    @property
+    def is_machine(self) -> bool:
+        return self.kind is NodeKind.MACHINE
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+
+@dataclass(frozen=True)
+class Link:
+    """A physical link — the *uplink* of node ``child`` toward its parent.
+
+    Links are identified by the id of their lower endpoint, which is unique
+    in a tree.  ``capacity`` is the full-duplex per-direction capacity in
+    Mbps.  Admission bookkeeping treats the link symmetrically (the paper's
+    per-link demand ``min(B(m), B(N-m))`` bounds the aggregate in either
+    direction); the flow simulator enforces ``capacity`` per direction.
+    """
+
+    link_id: int
+    child: int
+    parent: int
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0.0:
+            raise ValueError(f"link capacity must be > 0, got {self.capacity}")
+        if self.link_id != self.child:
+            raise ValueError("links are keyed by their lower endpoint id")

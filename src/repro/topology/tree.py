@@ -1,0 +1,276 @@
+"""The datacenter tree container.
+
+:class:`Tree` is a static (immutable after :meth:`freeze`) rooted tree with
+machines at the leaves.  It provides the traversals the allocation algorithms
+need (bottom-up level order, machines under a subtree) and the path queries
+the flow simulator needs (uplink chains, LCA-based machine-to-machine paths).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.topology.nodes import Link, Node, NodeKind
+
+
+class Tree:
+    """A rooted datacenter tree with capacity-annotated links.
+
+    Nodes are created through :meth:`add_machine` / :meth:`add_switch` and
+    wired with :meth:`attach`; :meth:`freeze` validates the topology and
+    precomputes traversal indices.  All query methods require a frozen tree.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, Node] = {}
+        self._links: Dict[int, Link] = {}
+        self._root_id: Optional[int] = None
+        self._frozen = False
+        # Precomputed on freeze:
+        self._levels: List[List[int]] = []
+        self._machines: List[int] = []
+        self._machines_under: Dict[int, Tuple[int, ...]] = {}
+        self._uplink_chain: Dict[int, Tuple[int, ...]] = {}
+        self._slots_under: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise RuntimeError("tree is frozen; construction is finished")
+
+    def _next_id(self) -> int:
+        return len(self._nodes)
+
+    def add_machine(self, name: str, slot_capacity: int) -> int:
+        """Add a level-0 machine with ``slot_capacity`` empty VM slots."""
+        self._check_mutable()
+        node_id = self._next_id()
+        self._nodes[node_id] = Node(
+            node_id=node_id,
+            kind=NodeKind.MACHINE,
+            level=0,
+            name=name,
+            slot_capacity=slot_capacity,
+        )
+        return node_id
+
+    def add_switch(self, name: str, level: int) -> int:
+        """Add a switch at ``level >= 1``."""
+        self._check_mutable()
+        node_id = self._next_id()
+        self._nodes[node_id] = Node(
+            node_id=node_id,
+            kind=NodeKind.SWITCH,
+            level=level,
+            name=name,
+        )
+        return node_id
+
+    def attach(self, child_id: int, parent_id: int, capacity: float) -> Link:
+        """Wire ``child`` under ``parent`` with an uplink of ``capacity`` Mbps."""
+        self._check_mutable()
+        child = self._nodes[child_id]
+        parent = self._nodes[parent_id]
+        if child.parent is not None:
+            raise ValueError(f"node {child.name} already has a parent")
+        if parent.level <= child.level:
+            raise ValueError(
+                f"parent {parent.name} (level {parent.level}) must be above "
+                f"child {child.name} (level {child.level})"
+            )
+        link = Link(link_id=child_id, child=child_id, parent=parent_id, capacity=capacity)
+        child.parent = parent_id
+        parent.children.append(child_id)
+        self._links[child_id] = link
+        return link
+
+    def freeze(self) -> "Tree":
+        """Validate and index the topology; returns ``self`` for chaining."""
+        if self._frozen:
+            return self
+        roots = [n for n in self._nodes.values() if n.parent is None]
+        if len(roots) != 1:
+            raise ValueError(f"tree must have exactly one root, found {len(roots)}")
+        self._root_id = roots[0].node_id
+
+        height = max(n.level for n in self._nodes.values())
+        self._levels = [[] for _ in range(height + 1)]
+        for node in self._nodes.values():
+            self._levels[node.level].append(node.node_id)
+        for level_nodes in self._levels:
+            level_nodes.sort()
+        self._machines = list(self._levels[0])
+
+        # Reachability check + machines/slots under each subtree (post-order).
+        self._machines_under = {}
+        self._slots_under = {}
+        visited = self._index_subtree(self._root_id)
+        if visited != len(self._nodes):
+            raise ValueError("tree contains nodes not reachable from the root")
+
+        # Uplink chains (machine -> root) for path queries.
+        for machine_id in self._machines:
+            chain: List[int] = []
+            current: Optional[int] = machine_id
+            while current is not None and current != self._root_id:
+                chain.append(current)  # link id == lower endpoint id
+                current = self._nodes[current].parent
+            self._uplink_chain[machine_id] = tuple(chain)
+
+        self._frozen = True
+        return self
+
+    def _index_subtree(self, node_id: int) -> int:
+        """Post-order indexing; returns the number of nodes in the subtree."""
+        node = self._nodes[node_id]
+        count = 1
+        if node.is_machine:
+            self._machines_under[node_id] = (node_id,)
+            self._slots_under[node_id] = node.slot_capacity
+            return count
+        machines: List[int] = []
+        slots = 0
+        for child_id in node.children:
+            count += self._index_subtree(child_id)
+            machines.extend(self._machines_under[child_id])
+            slots += self._slots_under[child_id]
+        self._machines_under[node_id] = tuple(machines)
+        self._slots_under[node_id] = slots
+        return count
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _check_frozen(self) -> None:
+        if not self._frozen:
+            raise RuntimeError("tree must be frozen before querying")
+
+    @property
+    def root_id(self) -> int:
+        self._check_frozen()
+        assert self._root_id is not None
+        return self._root_id
+
+    @property
+    def height(self) -> int:
+        """Level of the root (machines are level 0)."""
+        self._check_frozen()
+        return len(self._levels) - 1
+
+    def node(self, node_id: int) -> Node:
+        return self._nodes[node_id]
+
+    def link(self, link_id: int) -> Link:
+        """The uplink of node ``link_id``; raises KeyError for the root."""
+        return self._links[link_id]
+
+    def uplink(self, node_id: int) -> Optional[Link]:
+        """The uplink of a node, or None for the root."""
+        return self._links.get(node_id)
+
+    @property
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    @property
+    def links(self) -> Iterator[Link]:
+        return iter(self._links.values())
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    @property
+    def machine_ids(self) -> Sequence[int]:
+        self._check_frozen()
+        return self._machines
+
+    @property
+    def total_slots(self) -> int:
+        """Total VM slots in the datacenter (``M`` in the load formula)."""
+        self._check_frozen()
+        return self._slots_under[self.root_id]
+
+    @property
+    def min_machine_uplink_capacity(self) -> float:
+        """The smallest machine NIC rate — per-VM demands can never exceed it."""
+        self._check_frozen()
+        return min(self._links[machine_id].capacity for machine_id in self._machines)
+
+    def nodes_at_level(self, level: int) -> Sequence[int]:
+        self._check_frozen()
+        return self._levels[level]
+
+    def bottom_up_levels(self) -> Iterator[Tuple[int, Sequence[int]]]:
+        """Yield ``(level, node_ids)`` from the machines up to the root.
+
+        This is the traversal order of Algorithm 1 ("traverses the topology
+        tree starting at the leaves").
+        """
+        self._check_frozen()
+        for level, node_ids in enumerate(self._levels):
+            yield level, node_ids
+
+    def children(self, node_id: int) -> Sequence[int]:
+        return self._nodes[node_id].children
+
+    def machines_under(self, node_id: int) -> Sequence[int]:
+        """Machine ids in the subtree rooted at ``node_id``."""
+        self._check_frozen()
+        return self._machines_under[node_id]
+
+    def slots_under(self, node_id: int) -> int:
+        """Total slot capacity in the subtree rooted at ``node_id``."""
+        self._check_frozen()
+        return self._slots_under[node_id]
+
+    def links_under(self, node_id: int) -> Iterator[Link]:
+        """All links strictly inside the subtree rooted at ``node_id``."""
+        self._check_frozen()
+        stack = list(self._nodes[node_id].children)
+        while stack:
+            child = stack.pop()
+            yield self._links[child]
+            stack.extend(self._nodes[child].children)
+
+    def uplink_chain(self, machine_id: int) -> Tuple[int, ...]:
+        """Link ids from a machine up to (excluding) the root."""
+        self._check_frozen()
+        return self._uplink_chain[machine_id]
+
+    def path_links(self, machine_a: int, machine_b: int) -> Tuple[int, ...]:
+        """Link ids on the unique path between two machines.
+
+        Empty when both endpoints are the same machine (intra-machine traffic
+        uses no network links).  Computed by trimming the common suffix of the
+        two uplink chains (the shared ancestors above the LCA).
+        """
+        self._check_frozen()
+        if machine_a == machine_b:
+            return ()
+        chain_a = self._uplink_chain[machine_a]
+        chain_b = self._uplink_chain[machine_b]
+        idx_a, idx_b = len(chain_a), len(chain_b)
+        while idx_a > 0 and idx_b > 0 and chain_a[idx_a - 1] == chain_b[idx_b - 1]:
+            idx_a -= 1
+            idx_b -= 1
+        return chain_a[:idx_a] + chain_b[:idx_b]
+
+    def describe(self) -> str:
+        """Human-readable one-line summary of the topology."""
+        self._check_frozen()
+        per_level = ", ".join(
+            f"L{level}:{len(node_ids)}" for level, node_ids in enumerate(self._levels)
+        )
+        return (
+            f"Tree(height={self.height}, nodes={self.num_nodes}, links={self.num_links}, "
+            f"machines={len(self._machines)}, slots={self.total_slots}, [{per_level}])"
+        )

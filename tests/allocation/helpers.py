@@ -1,0 +1,138 @@
+"""Shared verification helpers for the allocator test modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.abstractions import VirtualClusterRequest
+from repro.allocation.base import Allocation
+from repro.allocation.demand_model import homogeneous_split_moments
+from repro.network import NetworkState
+from repro.topology.tree import Tree
+
+
+def assert_allocation_valid(state: NetworkState, allocation: Allocation) -> None:
+    """Check the two validity constraints of Section IV-B on a *candidate*.
+
+    (1) Every machine has enough empty slots; (2) every link keeps
+    ``O_L < 1`` after adding the allocation's demand.  The allocation must
+    not be committed yet.
+    """
+    for machine_id, count in allocation.machine_counts.items():
+        free = state.free_slots(machine_id)
+        assert count <= free, f"machine {machine_id}: {count} VMs > {free} free slots"
+    for link_id, demand in allocation.link_demands.items():
+        link_state = state.links[link_id]
+        if allocation.deterministic:
+            occ = link_state.occupancy_with(state.risk_c, extra_deterministic=demand.mean)
+        else:
+            occ = link_state.occupancy_with(
+                state.risk_c, extra_mean=demand.mean, extra_var=demand.variance
+            )
+        assert occ < 1.0, f"link {link_id} would reach occupancy {occ:.4f}"
+
+
+def assert_link_demands_consistent(
+    tree: Tree, allocation: Allocation
+) -> None:
+    """The recorded per-link demands must match the committed placement.
+
+    For homogeneous requests, recompute each crossed link's split size from
+    ``machine_counts`` and compare against the Lemma-1 moments.
+    """
+    request = allocation.request
+    if not request.is_homogeneous:
+        return
+    mu, var = homogeneous_split_moments(request)
+    n = request.n_vms
+    below: Dict[int, int] = {}
+    for machine_id, count in allocation.machine_counts.items():
+        node_id = machine_id
+        while node_id != allocation.host_node:
+            below[node_id] = below.get(node_id, 0) + count
+            node_id = tree.node(node_id).parent
+    expected_links = {node for node, count in below.items() if 0 < count < n}
+    assert expected_links == set(allocation.link_demands)
+    for node_id in expected_links:
+        demand = allocation.link_demands[node_id]
+        count = below[node_id]
+        assert abs(demand.mean - mu[count]) < 1e-6
+        assert abs(demand.variance - var[count]) < 1e-6
+
+
+def brute_force_best_split(
+    state: NetworkState,
+    request: VirtualClusterRequest,
+    host: Optional[int] = None,
+) -> Optional[float]:
+    """Optimal min-max occupancy over machine-count placements.
+
+    Exhaustive reference for small trees: enumerates every composition of
+    ``N`` over the machines (bounded by free slots), evaluates the maximum
+    post-allocation occupancy, and returns the minimum over valid placements
+    (None when no placement is valid).  With ``host`` given, placements are
+    restricted to machines under that subtree and the objective to its links
+    — the exact domain of ``Opt(T_host, N)`` in Algorithm 1.
+
+    Only feasible for a handful of machines; used to certify the DP.
+    """
+    tree = state.tree
+    if host is None:
+        host = tree.root_id
+    machines = list(tree.machines_under(host))
+    links = [link.link_id for link in tree.links_under(host)]
+    mu, var = homogeneous_split_moments(request)
+    n = request.n_vms
+    limits = [min(state.free_slots(m), n) for m in machines]
+    best: Optional[float] = None
+    for counts in _compositions(n, limits):
+        placement = {m: c for m, c in zip(machines, counts) if c > 0}
+        occ = _max_occupancy_of_placement(
+            state, placement, mu, var, n, request.is_deterministic, host, links
+        )
+        if occ is None:
+            continue
+        if best is None or occ < best:
+            best = occ
+    return best
+
+
+def _compositions(total: int, limits) -> Iterable[Tuple[int, ...]]:
+    if not limits:
+        if total == 0:
+            yield ()
+        return
+    head, rest = limits[0], limits[1:]
+    for take in range(min(head, total) + 1):
+        for tail in _compositions(total - take, rest):
+            yield (take,) + tail
+
+
+def _max_occupancy_of_placement(
+    state: NetworkState, placement, mu, var, n, deterministic, host, links
+) -> Optional[float]:
+    """Max post-allocation occupancy over the host's links; None if any >= 1."""
+    tree = state.tree
+    below: Dict[int, int] = {}
+    for machine_id, count in placement.items():
+        node_id = machine_id
+        while node_id != host:
+            below[node_id] = below.get(node_id, 0) + count
+            node_id = tree.node(node_id).parent
+    worst = 0.0
+    for link_id in links:
+        count = below.get(link_id, 0)
+        link_state = state.links[link_id]
+        extra_mean = float(mu[count]) if 0 < count < n else 0.0
+        extra_var = float(var[count]) if 0 < count < n else 0.0
+        if deterministic:
+            occ = link_state.occupancy_with(state.risk_c, extra_deterministic=extra_mean)
+        else:
+            occ = link_state.occupancy_with(
+                state.risk_c, extra_mean=extra_mean, extra_var=extra_var
+            )
+        if occ >= 1.0:
+            return None
+        if occ > worst:
+            worst = occ
+    return worst

@@ -1,0 +1,95 @@
+"""Allocation record validation and placement expansion."""
+
+import pytest
+
+from repro.abstractions import HeterogeneousSVC, HomogeneousSVC
+from repro.allocation.base import Allocation, expand_vm_placement
+from repro.stochastic import Normal
+
+
+def homogeneous_allocation(counts, n=None):
+    n = n if n is not None else sum(counts.values())
+    return Allocation(
+        request=HomogeneousSVC(n_vms=n, mean=10.0, std=1.0),
+        request_id=1,
+        host_node=99,
+        machine_counts=counts,
+        link_demands={},
+    )
+
+
+class TestAllocationValidation:
+    def test_counts_must_cover_request(self):
+        with pytest.raises(ValueError):
+            homogeneous_allocation({1: 2}, n=5)
+
+    def test_counts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Allocation(
+                request=HomogeneousSVC(n_vms=2, mean=1.0, std=0.0),
+                request_id=1,
+                host_node=0,
+                machine_counts={1: 2, 2: 0},
+                link_demands={},
+            )
+
+    def test_vm_identities_must_match_counts(self):
+        request = HeterogeneousSVC.uniform(3, mean=1.0, std=0.0)
+        with pytest.raises(ValueError):
+            Allocation(
+                request=request,
+                request_id=1,
+                host_node=0,
+                machine_counts={1: 2, 2: 1},
+                machine_vms={1: (0,), 2: (1, 2)},  # count mismatch on machine 1
+                link_demands={},
+            )
+
+    def test_deterministic_flag_follows_request(self):
+        from repro.abstractions import DeterministicVC
+
+        alloc = Allocation(
+            request=DeterministicVC(n_vms=1, bandwidth=5.0),
+            request_id=1,
+            host_node=0,
+            machine_counts={3: 1},
+            link_demands={},
+        )
+        assert alloc.deterministic
+        assert not homogeneous_allocation({3: 1}).deterministic
+
+    def test_num_machines(self):
+        assert homogeneous_allocation({1: 2, 2: 3}).num_machines == 2
+
+
+class TestExpandVmPlacement:
+    def test_homogeneous_expansion_orders_by_machine(self):
+        alloc = homogeneous_allocation({5: 2, 3: 1})
+        placement = expand_vm_placement(alloc)
+        assert placement == [3, 5, 5]
+
+    def test_heterogeneous_expansion_honors_identity(self):
+        request = HeterogeneousSVC.uniform(3, mean=1.0, std=0.0)
+        alloc = Allocation(
+            request=request,
+            request_id=1,
+            host_node=0,
+            machine_counts={7: 1, 8: 2},
+            machine_vms={7: (1,), 8: (0, 2)},
+            link_demands={},
+        )
+        placement = expand_vm_placement(alloc)
+        assert placement == [8, 7, 8]
+
+    def test_incomplete_identity_detected(self):
+        request = HeterogeneousSVC.uniform(2, mean=1.0, std=0.0)
+        alloc = Allocation(
+            request=request,
+            request_id=1,
+            host_node=0,
+            machine_counts={7: 1, 8: 1},
+            machine_vms={7: (0,), 8: (0,)},  # VM 1 never placed
+            link_demands={},
+        )
+        with pytest.raises(ValueError):
+            expand_vm_placement(alloc)

@@ -1,0 +1,106 @@
+"""Cross-algorithm consistency checks on randomized small instances."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.abstractions import HeterogeneousSVC, HomogeneousSVC
+from repro.allocation import (
+    SVCHeterogeneousAllocator,
+    SVCHeterogeneousExactAllocator,
+    SVCHomogeneousAllocator,
+)
+from repro.network import NetworkState
+from repro.stochastic import Normal
+from tests.allocation.helpers import brute_force_best_split
+from tests.conftest import build_star_tree
+
+slow_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def small_het_requests(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    demands = tuple(
+        Normal(
+            draw(st.floats(min_value=10.0, max_value=400.0)),
+            draw(st.floats(min_value=0.0, max_value=120.0)),
+        )
+        for _ in range(n)
+    )
+    return HeterogeneousSVC(n_vms=n, demands=demands)
+
+
+@st.composite
+def star_states(draw):
+    machines = draw(st.integers(min_value=2, max_value=3))
+    slots = draw(st.integers(min_value=2, max_value=4))
+    capacity = draw(st.floats(min_value=300.0, max_value=2000.0))
+    tree = build_star_tree(slots=(slots,) * machines, capacities=(capacity,) * machines)
+    return NetworkState(tree, epsilon=0.05)
+
+
+class TestExactVsHeuristic:
+    @given(state=star_states(), request=small_het_requests())
+    @slow_settings
+    def test_heuristic_never_beats_exact(self, state, request):
+        exact = SVCHeterogeneousExactAllocator().allocate(state, request, 1)
+        heuristic = SVCHeterogeneousAllocator().allocate(state, request, 2)
+        if heuristic is not None:
+            # Anything the substring space can do, the subset space can too.
+            assert exact is not None
+            if state.tree.node(heuristic.host_node).level >= state.tree.node(
+                exact.host_node
+            ).level:
+                assert exact.max_occupancy <= heuristic.max_occupancy + 1e-9
+
+    @given(state=star_states(), request=small_het_requests())
+    @slow_settings
+    def test_exact_feasibility_dominates(self, state, request):
+        exact = SVCHeterogeneousExactAllocator().allocate(state, request, 1)
+        heuristic = SVCHeterogeneousAllocator().allocate(state, request, 2)
+        if exact is None:
+            assert heuristic is None
+
+
+class TestHomogeneousEmbedding:
+    @given(
+        n=st.integers(min_value=2, max_value=8),
+        mean=st.floats(min_value=10.0, max_value=300.0),
+        rel_std=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @slow_settings
+    def test_uniform_het_equals_homogeneous_objective(self, n, mean, rel_std):
+        # A heterogeneous request with identical demands is semantically the
+        # homogeneous request; the exact DP must reach the homogeneous DP's
+        # optimum (both search all placements on a star).
+        tree = build_star_tree(slots=(4, 4, 4), capacities=(1500.0,) * 3)
+        state = NetworkState(tree, epsilon=0.05)
+        het = HeterogeneousSVC.uniform(n, mean=mean, std=rel_std * mean)
+        homo = HomogeneousSVC(n_vms=n, mean=mean, std=rel_std * mean)
+        exact = SVCHeterogeneousExactAllocator().allocate(state, het, 1)
+        dp = SVCHomogeneousAllocator().allocate(state, homo, 2)
+        assert (exact is None) == (dp is None)
+        if exact is not None:
+            if state.tree.node(exact.host_node).level == state.tree.node(dp.host_node).level:
+                assert exact.max_occupancy == pytest.approx(dp.max_occupancy, abs=1e-9)
+
+    @given(
+        n=st.integers(min_value=2, max_value=7),
+        mean=st.floats(min_value=5.0, max_value=40.0),
+        rel_std=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @slow_settings
+    def test_dp_equals_brute_force_randomized(self, n, mean, rel_std):
+        tree = build_star_tree(slots=(3, 3, 3), capacities=(100.0, 150.0, 200.0))
+        state = NetworkState(tree, epsilon=0.05)
+        request = HomogeneousSVC(n_vms=n, mean=mean, std=rel_std * mean)
+        allocation = SVCHomogeneousAllocator().allocate(state, request, 1)
+        if allocation is None or not state.tree.node(allocation.host_node).is_root:
+            return  # single-machine hosts trivially optimal; root case is the test
+        best = brute_force_best_split(state, request, host=tree.root_id)
+        assert best is not None
+        assert allocation.max_occupancy == pytest.approx(best, abs=1e-9)

@@ -1,0 +1,151 @@
+"""Demand-model tables vs. the scalar Lemma-1 ground truth."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.abstractions import DeterministicVC, HeterogeneousSVC, HomogeneousSVC
+from repro.allocation.demand_model import (
+    SegmentDemandTable,
+    homogeneous_split_moments,
+    link_demand_homogeneous,
+    subset_split_demand,
+)
+from repro.stochastic import Normal
+from repro.stochastic.minimum import min_of_normals
+from repro.stochastic.normal import sum_iid
+
+
+class TestHomogeneousSplitMoments:
+    def test_vectorized_matches_scalar(self):
+        request = HomogeneousSVC(n_vms=12, mean=150.0, std=60.0)
+        mu, var = homogeneous_split_moments(request)
+        for m in range(13):
+            scalar = link_demand_homogeneous(request, m)
+            assert mu[m] == pytest.approx(scalar.mean, abs=1e-9)
+            assert var[m] == pytest.approx(scalar.variance, rel=1e-9, abs=1e-9)
+
+    def test_boundary_splits_zero(self):
+        request = HomogeneousSVC(n_vms=7, mean=100.0, std=40.0)
+        mu, var = homogeneous_split_moments(request)
+        assert mu[0] == mu[7] == 0.0
+        assert var[0] == var[7] == 0.0
+
+    def test_symmetry_in_split(self):
+        request = HomogeneousSVC(n_vms=10, mean=100.0, std=40.0)
+        mu, var = homogeneous_split_moments(request)
+        for m in range(11):
+            assert mu[m] == pytest.approx(mu[10 - m])
+            assert var[m] == pytest.approx(var[10 - m])
+
+    def test_deterministic_request_classic_formula(self):
+        request = DeterministicVC(n_vms=6, bandwidth=10.0)
+        mu, var = homogeneous_split_moments(request)
+        assert list(mu) == [10.0 * min(m, 6 - m) for m in range(7)]
+        assert not var.any()
+
+    def test_scalar_matches_direct_lemma1(self):
+        request = HomogeneousSVC(n_vms=9, mean=100.0, std=40.0)
+        demand = request.vm_demand
+        for m in (1, 4, 8):
+            expected = min_of_normals(sum_iid(demand, m), sum_iid(demand, 9 - m))
+            actual = link_demand_homogeneous(request, m)
+            assert actual.mean == pytest.approx(expected.mean)
+            assert actual.variance == pytest.approx(expected.variance)
+
+    def test_scalar_rejects_out_of_range(self):
+        request = HomogeneousSVC(n_vms=5, mean=10.0, std=1.0)
+        with pytest.raises(ValueError):
+            link_demand_homogeneous(request, 6)
+
+    def test_mean_nonnegative_everywhere(self):
+        # Even with sigma >> mu the clamp keeps demands physical.
+        request = HomogeneousSVC(n_vms=20, mean=10.0, std=100.0)
+        mu, _ = homogeneous_split_moments(request)
+        assert (mu >= 0.0).all()
+
+    def test_rejects_heterogeneous(self):
+        request = HeterogeneousSVC.uniform(3, mean=10.0, std=1.0)
+        with pytest.raises(TypeError):
+            homogeneous_split_moments(request)
+
+
+class TestSubsetSplitDemand:
+    def test_empty_and_full_are_zero(self, heterogeneous_request):
+        assert subset_split_demand(heterogeneous_request, []).mean == 0.0
+        assert subset_split_demand(heterogeneous_request, range(6)).mean == 0.0
+
+    def test_matches_manual_lemma1(self, heterogeneous_request):
+        subset = [0, 2]
+        inside = heterogeneous_request.demands[0] + heterogeneous_request.demands[2]
+        outside = (
+            heterogeneous_request.demands[1]
+            + heterogeneous_request.demands[3]
+            + heterogeneous_request.demands[4]
+            + heterogeneous_request.demands[5]
+        )
+        expected = min_of_normals(inside, outside)
+        actual = subset_split_demand(heterogeneous_request, subset)
+        assert actual.mean == pytest.approx(expected.mean)
+        assert actual.variance == pytest.approx(expected.variance)
+
+    def test_complement_symmetry(self, heterogeneous_request):
+        subset = [1, 3, 5]
+        complement = [0, 2, 4]
+        a = subset_split_demand(heterogeneous_request, subset)
+        b = subset_split_demand(heterogeneous_request, complement)
+        assert a.mean == pytest.approx(b.mean)
+        assert a.variance == pytest.approx(b.variance)
+
+    def test_rejects_out_of_range(self, heterogeneous_request):
+        with pytest.raises(ValueError):
+            subset_split_demand(heterogeneous_request, [99])
+
+
+class TestSegmentDemandTable:
+    def test_segments_match_subset_ground_truth(self, heterogeneous_request):
+        table = SegmentDemandTable(heterogeneous_request)
+        n = heterogeneous_request.n_vms
+        for start, end in itertools.combinations(range(n + 1), 2):
+            subset = table.segment_vms(start, end)
+            expected = subset_split_demand(heterogeneous_request, subset)
+            actual = table.segment_demand(start, end)
+            assert actual.mean == pytest.approx(expected.mean, abs=1e-6)
+            assert actual.variance == pytest.approx(expected.variance, rel=1e-6, abs=1e-6)
+
+    def test_empty_and_full_segments_zero(self, heterogeneous_request):
+        table = SegmentDemandTable(heterogeneous_request)
+        n = heterogeneous_request.n_vms
+        for s in range(n + 1):
+            assert table.segment_demand(s, s).mean == 0.0
+        assert table.segment_demand(0, n).mean == 0.0
+
+    def test_order_is_percentile_sorted(self, heterogeneous_request):
+        table = SegmentDemandTable(heterogeneous_request)
+        assert table.order == heterogeneous_request.sorted_order()
+
+    def test_segment_vms_slices_sorted_order(self, heterogeneous_request):
+        table = SegmentDemandTable(heterogeneous_request)
+        assert table.segment_vms(1, 4) == table.order[1:4]
+
+    def test_invalid_segment_rejected(self, heterogeneous_request):
+        table = SegmentDemandTable(heterogeneous_request)
+        with pytest.raises(ValueError):
+            table.segment_demand(4, 2)
+
+    def test_demand_mean_matrix_nonnegative(self, heterogeneous_request):
+        table = SegmentDemandTable(heterogeneous_request)
+        assert (table.demand_mean >= 0.0).all()
+        assert (table.demand_var >= 0.0).all()
+
+    def test_uniform_het_matches_homogeneous_splits(self):
+        n = 8
+        het = HeterogeneousSVC.uniform(n, mean=100.0, std=40.0)
+        homo = HomogeneousSVC(n_vms=n, mean=100.0, std=40.0)
+        table = SegmentDemandTable(het)
+        mu, var = homogeneous_split_moments(homo)
+        for size in range(n + 1):
+            seg = table.segment_demand(0, size)
+            assert seg.mean == pytest.approx(mu[size], abs=1e-6)
+            assert seg.variance == pytest.approx(var[size], abs=1e-6)

@@ -1,0 +1,59 @@
+"""Dispatching allocator: routing, defaults, error paths."""
+
+import pytest
+
+from repro.abstractions import DeterministicVC, HeterogeneousSVC, HomogeneousSVC
+from repro.allocation import (
+    DispatchingAllocator,
+    FirstFitAllocator,
+    OktopusAllocator,
+    SVCHomogeneousAllocator,
+    baseline_allocator,
+    default_allocator,
+)
+from repro.network import NetworkState
+
+
+class TestDispatch:
+    def test_routes_by_support(self, tiny_tree):
+        dispatch = default_allocator()
+        state = NetworkState(tiny_tree)
+        homo = dispatch.allocate(state, HomogeneousSVC(n_vms=4, mean=50.0, std=5.0), 1)
+        het = dispatch.allocate(state, HeterogeneousSVC.uniform(4, mean=50.0, std=5.0), 2)
+        det = dispatch.allocate(state, DeterministicVC(n_vms=4, bandwidth=50.0), 3)
+        assert homo is not None and het is not None and det is not None
+        assert het.machine_vms is not None
+        assert homo.machine_vms is None
+
+    def test_supports_union(self):
+        dispatch = default_allocator()
+        assert dispatch.supports(HomogeneousSVC(n_vms=1, mean=1.0, std=0.0))
+        assert dispatch.supports(HeterogeneousSVC.uniform(1, mean=1.0, std=0.0))
+        assert dispatch.supports(DeterministicVC(n_vms=1, bandwidth=1.0))
+
+    def test_first_match_wins(self, tiny_tree):
+        # Oktopus registered first grabs deterministic requests even though
+        # the homogeneous DP also supports them.
+        dispatch = DispatchingAllocator([OktopusAllocator(), SVCHomogeneousAllocator()])
+        state = NetworkState(tiny_tree)
+        allocation = dispatch.allocate(state, DeterministicVC(n_vms=4, bandwidth=10.0), 1)
+        assert allocation is not None
+
+    def test_unsupported_raises(self, tiny_tree):
+        dispatch = DispatchingAllocator([OktopusAllocator()])
+        state = NetworkState(tiny_tree)
+        with pytest.raises(TypeError):
+            dispatch.allocate(state, HomogeneousSVC(n_vms=1, mean=1.0, std=0.0), 1)
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(ValueError):
+            DispatchingAllocator([])
+
+    def test_baseline_uses_first_fit_for_heterogeneous(self, tiny_tree):
+        dispatch = baseline_allocator()
+        state = NetworkState(tiny_tree)
+        request = HeterogeneousSVC.uniform(8, mean=50.0, std=5.0)
+        allocation = dispatch.allocate(state, request, 1)
+        # FF signature on light demands: machines packed full in tree order.
+        ff = FirstFitAllocator().allocate(NetworkState(tiny_tree), request, 1)
+        assert allocation.machine_counts == ff.machine_counts

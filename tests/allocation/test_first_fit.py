@@ -1,0 +1,91 @@
+"""Plain first-fit baseline: validity, greediness, comparisons."""
+
+import pytest
+
+from repro.abstractions import HeterogeneousSVC, HomogeneousSVC
+from repro.allocation import FirstFitAllocator, SVCHeterogeneousAllocator
+from repro.network import NetworkState
+from repro.stochastic import Normal
+from tests.conftest import build_star_tree
+
+
+class TestFirstFit:
+    def test_valid_and_complete(self, tiny_tree, heterogeneous_request):
+        state = NetworkState(tiny_tree)
+        allocation = FirstFitAllocator().allocate(state, heterogeneous_request, 1)
+        assert allocation is not None
+        placed = sorted(vm for vms in allocation.machine_vms.values() for vm in vms)
+        assert placed == list(range(heterogeneous_request.n_vms))
+
+    def test_commit_release_roundtrip(self, tiny_tree, heterogeneous_request):
+        state = NetworkState(tiny_tree)
+        allocation = FirstFitAllocator().allocate(state, heterogeneous_request, 1)
+        state.commit(allocation)
+        assert state.max_occupancy() < 1.0
+        state.release(allocation)
+        assert state.is_pristine()
+
+    def test_packs_first_machines(self, tiny_tree):
+        # Light demands: FF should fill machines in tree order.
+        state = NetworkState(tiny_tree)
+        request = HeterogeneousSVC.uniform(8, mean=50.0, std=5.0)
+        allocation = FirstFitAllocator().allocate(state, request, 1)
+        used = sorted(allocation.machine_counts)
+        first_machines = sorted(tiny_tree.machine_ids)[: len(used)]
+        assert used == first_machines
+        assert all(count == 4 for count in allocation.machine_counts.values())
+
+    def test_sorted_sequence_is_respected(self, tiny_tree, heterogeneous_request):
+        state = NetworkState(tiny_tree)
+        allocation = FirstFitAllocator().allocate(state, heterogeneous_request, 1)
+        order = heterogeneous_request.sorted_order()
+        position = {vm: idx for idx, vm in enumerate(order)}
+        # Machines in tree order hold increasing, contiguous sorted positions.
+        cursor = 0
+        for machine_id in sorted(allocation.machine_vms):
+            indices = sorted(position[vm] for vm in allocation.machine_vms[machine_id])
+            assert indices[0] == cursor
+            assert indices == list(range(cursor, cursor + len(indices)))
+            cursor += len(indices)
+
+    def test_never_better_than_heuristic_objective(self, tiny_tree):
+        # The heuristic optimizes the same substring space FF draws from.
+        request = HeterogeneousSVC(
+            n_vms=8, demands=tuple(Normal(100.0 + 40.0 * k, 30.0) for k in range(8))
+        )
+        ff = FirstFitAllocator().allocate(NetworkState(tiny_tree), request, 1)
+        heuristic = SVCHeterogeneousAllocator().allocate(NetworkState(tiny_tree), request, 1)
+        assert ff is not None and heuristic is not None
+        assert heuristic.max_occupancy <= ff.max_occupancy + 1e-9
+
+    def test_infeasible_returns_none(self):
+        tree = build_star_tree(slots=(1, 1), capacities=(100.0, 100.0))
+        state = NetworkState(tree, epsilon=0.05)
+        request = HeterogeneousSVC.uniform(3, mean=10.0, std=1.0)
+        assert FirstFitAllocator().allocate(state, request, 1) is None
+
+    def test_bandwidth_infeasible_returns_none(self):
+        tree = build_star_tree(slots=(4, 4), capacities=(100.0, 100.0))
+        state = NetworkState(tree, epsilon=0.05)
+        request = HeterogeneousSVC.uniform(8, mean=90.0, std=20.0)
+        assert FirstFitAllocator().allocate(state, request, 1) is None
+
+    def test_rejects_homogeneous_type(self, tiny_tree):
+        state = NetworkState(tiny_tree)
+        with pytest.raises(TypeError):
+            FirstFitAllocator().allocate(state, HomogeneousSVC(n_vms=2, mean=1.0, std=0.0), 1)
+
+    def test_skips_full_machines(self, tiny_tree):
+        state = NetworkState(tiny_tree)
+        first_machine = tiny_tree.machine_ids[0]
+        state._occupy(first_machine, 4)  # fill machine 0 out of band
+        request = HeterogeneousSVC.uniform(4, mean=50.0, std=5.0)
+        allocation = FirstFitAllocator().allocate(state, request, 1)
+        assert first_machine not in allocation.machine_counts
+
+    def test_host_is_lca_of_used_machines(self, tiny_tree, heterogeneous_request):
+        state = NetworkState(tiny_tree)
+        allocation = FirstFitAllocator().allocate(state, heterogeneous_request, 1)
+        machines = set(allocation.machine_counts)
+        host_machines = set(tiny_tree.machines_under(allocation.host_node))
+        assert machines <= host_machines

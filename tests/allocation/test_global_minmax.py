@@ -1,0 +1,65 @@
+"""GlobalMinMaxAllocator (locality ablation) behaviour."""
+
+import pytest
+
+from repro.abstractions import DeterministicVC, HomogeneousSVC
+from repro.allocation import GlobalMinMaxAllocator, SVCHomogeneousAllocator
+from repro.network import NetworkState
+from tests.allocation.helpers import assert_allocation_valid, brute_force_best_split
+from tests.conftest import build_star_tree
+
+
+class TestGlobalMinMax:
+    def test_hosts_at_root(self, tiny_tree):
+        state = NetworkState(tiny_tree)
+        allocation = GlobalMinMaxAllocator().allocate(
+            state, HomogeneousSVC(n_vms=4, mean=100.0, std=30.0), 1
+        )
+        assert allocation.host_node == tiny_tree.root_id
+
+    def test_valid_allocation(self, tiny_tree, homogeneous_request):
+        state = NetworkState(tiny_tree)
+        allocation = GlobalMinMaxAllocator().allocate(state, homogeneous_request, 1)
+        assert allocation is not None
+        assert_allocation_valid(state, allocation)
+
+    def test_matches_global_brute_force(self):
+        tree = build_star_tree(slots=(5, 5, 5), capacities=(30.0, 50.0, 200.0))
+        state = NetworkState(tree, epsilon=0.05)
+        request = DeterministicVC(n_vms=6, bandwidth=10.0)
+        allocation = GlobalMinMaxAllocator().allocate(state, request, 1)
+        best = brute_force_best_split(state, request, host=tree.root_id)
+        assert allocation.max_occupancy == pytest.approx(best, abs=1e-9)
+
+    def test_objective_never_above_localized(self, tiny_tree):
+        # Dropping the locality constraint can only improve (or tie) the
+        # immediate min-max objective — that is exactly the trade-off.
+        for mean in (100.0, 250.0):
+            request = HomogeneousSVC(n_vms=10, mean=mean, std=mean / 3)
+            localized = SVCHomogeneousAllocator().allocate(
+                NetworkState(tiny_tree), request, 1
+            )
+            global_alloc = GlobalMinMaxAllocator().allocate(
+                NetworkState(tiny_tree), request, 1
+            )
+            assert global_alloc.max_occupancy <= localized.max_occupancy + 1e-9
+
+    def test_same_feasibility_as_localized(self, tiny_tree):
+        for n_vms, mean in ((70, 10.0), (8, 900.0), (16, 300.0)):
+            request = HomogeneousSVC(n_vms=n_vms, mean=mean, std=mean / 2)
+            localized = SVCHomogeneousAllocator().allocate(
+                NetworkState(tiny_tree), request, 1
+            )
+            global_alloc = GlobalMinMaxAllocator().allocate(
+                NetworkState(tiny_tree), request, 1
+            )
+            assert (localized is None) == (global_alloc is None)
+
+    def test_spreads_more_than_localized(self, tiny_tree):
+        # A job the localized DP squeezes into one rack gets spread wider by
+        # the global variant whenever that flattens occupancy.
+        request = HomogeneousSVC(n_vms=12, mean=300.0, std=100.0)
+        localized = SVCHomogeneousAllocator().allocate(NetworkState(tiny_tree), request, 1)
+        global_alloc = GlobalMinMaxAllocator().allocate(NetworkState(tiny_tree), request, 1)
+        level = tiny_tree.node(localized.host_node).level
+        assert level <= tiny_tree.node(global_alloc.host_node).level

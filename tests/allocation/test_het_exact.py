@@ -1,0 +1,137 @@
+"""Exact heterogeneous DP: validity, optimality, guard rails."""
+
+import itertools
+
+import pytest
+
+from repro.abstractions import HeterogeneousSVC, HomogeneousSVC
+from repro.allocation import SVCHeterogeneousExactAllocator
+from repro.allocation.demand_model import subset_split_demand
+from repro.allocation.svc_het_exact import MAX_EXACT_VMS, _mask_split_demands
+from repro.network import NetworkState
+from repro.stochastic import Normal
+from tests.conftest import build_star_tree
+
+
+def brute_force_het(state, request):
+    """Reference: enumerate all VM-to-machine assignments on a star tree."""
+    tree = state.tree
+    machines = list(tree.machine_ids)
+    n = request.n_vms
+    best = None
+    for assignment in itertools.product(range(len(machines)), repeat=n):
+        counts = {}
+        for vm, slot in enumerate(assignment):
+            counts.setdefault(machines[slot], []).append(vm)
+        if any(len(vms) > state.free_slots(m) for m, vms in counts.items()):
+            continue
+        worst = 0.0
+        feasible = True
+        for machine_id, vms in counts.items():
+            demand = subset_split_demand(request, vms)
+            occ = state.links[machine_id].occupancy_with(
+                state.risk_c, extra_mean=demand.mean, extra_var=demand.variance
+            )
+            if occ >= 1.0:
+                feasible = False
+                break
+            worst = max(worst, occ)
+        if feasible and (best is None or worst < best):
+            best = worst
+    return best
+
+
+class TestMaskDemands:
+    def test_matches_subset_ground_truth(self, heterogeneous_request):
+        mu, var = _mask_split_demands(heterogeneous_request)
+        n = heterogeneous_request.n_vms
+        for mask in range(1 << n):
+            subset = [bit for bit in range(n) if mask & (1 << bit)]
+            expected = subset_split_demand(heterogeneous_request, subset)
+            assert mu[mask] == pytest.approx(expected.mean, abs=1e-6)
+            assert var[mask] == pytest.approx(expected.variance, rel=1e-6, abs=1e-6)
+
+    def test_empty_and_full_masks_zero(self, heterogeneous_request):
+        mu, var = _mask_split_demands(heterogeneous_request)
+        full = (1 << heterogeneous_request.n_vms) - 1
+        assert mu[0] == var[0] == 0.0
+        assert mu[full] == var[full] == 0.0
+
+
+class TestExactAllocator:
+    def test_valid_allocation(self, tiny_tree, heterogeneous_request):
+        state = NetworkState(tiny_tree)
+        allocation = SVCHeterogeneousExactAllocator().allocate(
+            state, heterogeneous_request, 1
+        )
+        assert allocation is not None
+        assert sum(allocation.machine_counts.values()) == heterogeneous_request.n_vms
+        placed = sorted(
+            vm for vms in allocation.machine_vms.values() for vm in vms
+        )
+        assert placed == list(range(heterogeneous_request.n_vms))
+
+    def test_commit_release_roundtrip(self, tiny_tree, heterogeneous_request):
+        state = NetworkState(tiny_tree)
+        allocation = SVCHeterogeneousExactAllocator().allocate(
+            state, heterogeneous_request, 1
+        )
+        state.commit(allocation)
+        assert state.max_occupancy() < 1.0
+        state.release(allocation)
+        assert state.is_pristine()
+
+    def test_optimal_on_star(self):
+        tree = build_star_tree(slots=(2, 2, 2), capacities=(800.0, 800.0, 800.0))
+        state = NetworkState(tree, epsilon=0.05)
+        request = HeterogeneousSVC(
+            n_vms=5,
+            demands=(
+                Normal(100.0, 30.0),
+                Normal(200.0, 60.0),
+                Normal(300.0, 90.0),
+                Normal(150.0, 10.0),
+                Normal(250.0, 40.0),
+            ),
+        )
+        allocation = SVCHeterogeneousExactAllocator().allocate(state, request, 1)
+        best = brute_force_het(state, request)
+        assert allocation is not None and best is not None
+        assert allocation.max_occupancy == pytest.approx(best, abs=1e-9)
+
+    def test_optimal_with_existing_load(self):
+        tree = build_star_tree(slots=(3, 3), capacities=(500.0, 500.0))
+        state = NetworkState(tree, epsilon=0.05)
+        state.links[tree.machine_ids[0]].add_stochastic(99, Normal(150.0, 40.0))
+        request = HeterogeneousSVC(
+            n_vms=3,
+            demands=(Normal(100.0, 20.0), Normal(120.0, 30.0), Normal(80.0, 10.0)),
+        )
+        allocation = SVCHeterogeneousExactAllocator().allocate(state, request, 1)
+        best = brute_force_het(state, request)
+        assert allocation.max_occupancy == pytest.approx(best, abs=1e-9)
+
+    def test_rejects_oversized_n(self, tiny_tree):
+        state = NetworkState(tiny_tree)
+        big = HeterogeneousSVC.uniform(MAX_EXACT_VMS + 1, mean=10.0, std=1.0)
+        with pytest.raises(ValueError):
+            SVCHeterogeneousExactAllocator().allocate(state, big, 1)
+
+    def test_rejects_homogeneous_type(self, tiny_tree):
+        state = NetworkState(tiny_tree)
+        with pytest.raises(TypeError):
+            SVCHeterogeneousExactAllocator().allocate(
+                state, HomogeneousSVC(n_vms=2, mean=1.0, std=0.0), 1
+            )
+
+    def test_infeasible_returns_none(self):
+        tree = build_star_tree(slots=(1, 1), capacities=(100.0, 100.0))
+        state = NetworkState(tree, epsilon=0.05)
+        request = HeterogeneousSVC.uniform(2, mean=200.0, std=50.0)
+        assert SVCHeterogeneousExactAllocator().allocate(state, request, 1) is None
+
+    def test_constructor_guards(self):
+        with pytest.raises(ValueError):
+            SVCHeterogeneousExactAllocator(max_vms=0)
+        with pytest.raises(ValueError):
+            SVCHeterogeneousExactAllocator(max_vms=MAX_EXACT_VMS + 5)

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abstractions import DeterministicVC, HeterogeneousSVC, HomogeneousSVC
+from repro.network import NetworkState
+from repro.stochastic import Normal
+from repro.topology import (
+    TINY_SPEC,
+    Tree,
+    build_datacenter,
+    build_two_machine_example,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_tree() -> Tree:
+    """16 machines / 64 slots, three levels — shared read-only topology."""
+    return build_datacenter(TINY_SPEC)
+
+
+@pytest.fixture()
+def two_machine_tree() -> Tree:
+    """The Fig. 3 worked-example topology (2 machines x 5 slots, C=50)."""
+    return build_two_machine_example()
+
+
+@pytest.fixture()
+def tiny_state(tiny_tree: Tree) -> NetworkState:
+    """A fresh network state over the tiny datacenter, epsilon = 0.05."""
+    return NetworkState(tiny_tree, epsilon=0.05)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def homogeneous_request() -> HomogeneousSVC:
+    return HomogeneousSVC(n_vms=8, mean=200.0, std=80.0)
+
+
+@pytest.fixture()
+def deterministic_request() -> DeterministicVC:
+    return DeterministicVC(n_vms=8, bandwidth=200.0)
+
+
+@pytest.fixture()
+def heterogeneous_request() -> HeterogeneousSVC:
+    demands = tuple(Normal(100.0 + 60.0 * i, 20.0 + 5.0 * i) for i in range(6))
+    return HeterogeneousSVC(n_vms=6, demands=demands)
+
+
+def build_star_tree(slots=(4, 4), capacities=(100.0, 100.0)) -> Tree:
+    """A one-switch tree with configurable machines — handy for hand analysis."""
+    tree = Tree()
+    switch = tree.add_switch("sw", level=1)
+    for index, (slot, cap) in enumerate(zip(slots, capacities)):
+        machine = tree.add_machine(f"m{index}", slot_capacity=slot)
+        tree.attach(machine, switch, cap)
+    return tree.freeze()

@@ -1,0 +1,46 @@
+"""Ablation experiments: epsilon knob and locality bias."""
+
+import pytest
+
+from repro.experiments import ablation_epsilon, ablation_locality
+
+pytestmark = pytest.mark.slow
+
+
+class TestEpsilonAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_epsilon.run(scale="tiny", seed=0, epsilons=(0.02, 0.1, 0.4))
+
+    def test_one_row_per_epsilon(self, result):
+        assert len(result.tables[0].rows) == 3
+
+    def test_rejection_monotone_in_epsilon(self, result):
+        # Looser risk -> smaller effective reservations -> fewer rejections.
+        rejections = [row[1] for row in result.tables[0].rows]
+        assert all(a >= b - 1e-9 for a, b in zip(rejections, rejections[1:]))
+
+    def test_raw_results_keyed_by_epsilon(self, result):
+        assert set(result.raw) == {0.02, 0.1, 0.4}
+
+
+class TestLocalityAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_locality.run(scale="tiny", seed=0, loads=(0.6,))
+
+    def test_two_rows(self, result):
+        labels = [row[0] for row in result.tables[0].rows]
+        assert labels == ["localized (Alg. 1)", "global min-max"]
+
+    def test_global_occupancy_not_higher(self, result):
+        # The global variant optimizes exactly this quantity.
+        table = result.tables[0]
+        localized = table.rows[0][3]
+        global_ = table.rows[1][3]
+        assert global_ <= localized + 1e-9
+
+    def test_metrics_in_range(self, result):
+        for row in result.tables[0].rows:
+            assert 0.0 <= row[2] <= 100.0
+            assert 0.0 <= row[3] < 1.0

@@ -1,0 +1,54 @@
+"""ASCII CDF rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ascii_plot import render_cdf
+
+
+class TestRenderCdf:
+    def test_contains_legend_and_axes(self):
+        text = render_cdf({"A": [1.0, 2.0, 3.0]}, width=20, height=6)
+        assert "o A" in text
+        assert "1.00 |" in text
+        assert "0.00 |" in text
+        assert "+" + "-" * 20 in text
+
+    def test_two_series_two_markers(self):
+        text = render_cdf({"A": [1.0, 2.0], "B": [2.0, 3.0]}, width=20, height=6)
+        assert "o A" in text and "x B" in text
+        assert "o" in text.splitlines()[1] or any(
+            "o" in line for line in text.splitlines()
+        )
+
+    def test_left_shifted_series_rises_earlier(self):
+        # A's CDF reaches 1.0 while B's is still 0: in the top half of the
+        # grid, A's marker must appear strictly left of B's.
+        text = render_cdf(
+            {"A": list(np.linspace(0, 1, 50)), "B": list(np.linspace(10, 11, 50))},
+            width=40,
+            height=8,
+        )
+        top_rows = text.splitlines()[:4]
+        first_a = min((row.find("o") for row in top_rows if "o" in row), default=999)
+        first_b = min((row.find("x") for row in top_rows if "x" in row), default=-1)
+        assert first_a < first_b
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            render_cdf({})
+
+    def test_rejects_too_many_series(self):
+        series = {f"s{i}": [1.0] for i in range(7)}
+        with pytest.raises(ValueError):
+            render_cdf(series)
+
+    def test_constant_series_renders(self):
+        text = render_cdf({"A": [5.0, 5.0, 5.0]}, width=10, height=4)
+        assert "o" in text
+
+    def test_dimensions(self):
+        text = render_cdf({"A": [1.0, 2.0]}, width=30, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 10 + 3  # grid + axis + span + legend
+        assert all(len(line) <= 6 + 30 + 40 for line in lines)

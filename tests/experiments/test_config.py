@@ -1,0 +1,35 @@
+"""Experiment scales and lookup."""
+
+import pytest
+
+from repro.experiments.config import PAPER_SCALE, SCALES, scale_by_name
+from repro.topology.builder import PAPER_SPEC
+
+
+class TestScales:
+    def test_registry_names(self):
+        assert set(SCALES) == {"tiny", "small", "paper"}
+
+    def test_lookup(self):
+        assert scale_by_name("paper") is PAPER_SCALE
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            scale_by_name("huge")
+
+    def test_paper_scale_is_the_paper(self):
+        assert PAPER_SCALE.spec is PAPER_SPEC
+        assert PAPER_SCALE.num_jobs == 500
+        assert PAPER_SCALE.mean_job_size == 49.0
+
+    def test_workload_factory_overrides(self):
+        config = SCALES["tiny"].workload(deviation=0.4)
+        assert config.deviation == 0.4
+        assert config.num_jobs == SCALES["tiny"].num_jobs
+
+    def test_scales_ordered_by_size(self):
+        assert (
+            SCALES["tiny"].spec.total_slots
+            < SCALES["small"].spec.total_slots
+            < SCALES["paper"].spec.total_slots
+        )

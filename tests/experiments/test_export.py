@@ -1,0 +1,67 @@
+"""CSV / Markdown export of experiment results."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import export_csv, export_markdown, table_to_markdown
+from repro.experiments.tables import ExperimentResult, Table
+
+
+@pytest.fixture()
+def result():
+    table = Table(title="Fig. X — demo (units)", headers=["model", "value"])
+    table.add_row("svc", 1.25)
+    table.add_row("tivc", 2.5)
+    return ExperimentResult(experiment="figX", tables=[table])
+
+
+class TestCsvExport:
+    def test_writes_one_file_per_table(self, result, tmp_path):
+        paths = export_csv(result, tmp_path)
+        assert len(paths) == 1
+        assert paths[0].name.startswith("figX__fig-x-demo")
+        assert paths[0].suffix == ".csv"
+
+    def test_roundtrip_content(self, result, tmp_path):
+        (path,) = export_csv(result, tmp_path)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["model", "value"]
+        assert rows[1] == ["svc", "1.25"]
+        assert rows[2] == ["tivc", "2.5"]
+
+    def test_creates_directory(self, result, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        export_csv(result, target)
+        assert target.is_dir()
+
+    def test_multiple_tables(self, tmp_path):
+        tables = [
+            Table(title="One", headers=["a"]),
+            Table(title="Two", headers=["b"]),
+        ]
+        result = ExperimentResult(experiment="multi", tables=tables)
+        paths = export_csv(result, tmp_path)
+        assert len(paths) == 2
+        assert len({p.name for p in paths}) == 2
+
+
+class TestMarkdownExport:
+    def test_table_markdown_shape(self, result):
+        text = table_to_markdown(result.tables[0])
+        lines = text.splitlines()
+        assert lines[0].startswith("### Fig. X")
+        assert lines[2] == "| model | value |"
+        assert lines[3] == "|---|---|"
+        assert "| svc | 1.25 |" in lines
+
+    def test_report_contains_all_experiments(self, result, tmp_path):
+        other = ExperimentResult(
+            experiment="figY",
+            tables=[Table(title="Other", headers=["x"])],
+        )
+        path = export_markdown([result, other], tmp_path / "report.md")
+        text = path.read_text()
+        assert "## figX" in text and "## figY" in text
+        assert "### Other" in text

@@ -1,0 +1,185 @@
+"""Tiny-scale smoke + shape tests for every experiment module.
+
+Each figure runner must produce a well-formed table; where the tiny scale is
+statistically meaningful we also assert the paper's orderings.  (The full
+shape validation lives in EXPERIMENTS.md at small/paper scale.)
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    fig5_batch_oversub,
+    fig6_runtime_vs_deviation,
+    fig7_rejection_vs_load,
+    fig8_concurrency,
+    fig9_occupancy_cdf,
+    fig10_svc_vs_tivc_rejection,
+    het_vs_first_fit,
+)
+from repro.experiments.runner import EXPERIMENTS
+
+
+pytestmark = pytest.mark.slow
+
+
+def numeric(cells):
+    return [value for value in cells if isinstance(value, float)]
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_batch_oversub.run(scale="tiny", seed=0, oversubscriptions=(1.0, 2.0))
+
+    def test_rows_and_columns(self, result):
+        table = result.tables[0]
+        assert [row[0] for row in table.rows] == [
+            "mean-VC", "percentile-VC", "SVC(eps=0.05)", "SVC(eps=0.02)",
+        ]
+        assert len(table.headers) == 3
+
+    def test_all_values_positive(self, result):
+        for row in result.tables[0].rows:
+            assert all(value > 0 for value in numeric(row[1:]))
+
+    def test_batches_complete_and_bounded(self, result):
+        # The mean-VC < SVC < percentile-VC makespan ordering requires
+        # contention and is validated at small/paper scale (EXPERIMENTS.md);
+        # the tiny run asserts structural facts: every scheduled job
+        # completes and the makespan is at least the longest single job.
+        for (label, _factor), res in result.raw.items():
+            assert all(rec.completed for rec in res.records), label
+            longest = max(rec.running_time for rec in res.records)
+            assert res.makespan >= longest
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_runtime_vs_deviation.run(scale="tiny", seed=0, deviations=(0.2, 0.8))
+
+    def test_shape(self, result):
+        table = result.tables[0]
+        assert len(table.rows) == 4
+        for row in table.rows:
+            assert all(value > 0 for value in numeric(row[1:]))
+
+    def test_mean_vc_grows_with_deviation(self, result):
+        row = numeric(result.tables[0].row_by_label("mean-VC")[1:])
+        assert row[-1] >= row[0]
+
+    def test_svc_flatter_than_mean_vc(self, result):
+        table = result.tables[0]
+        mean_growth = numeric(table.row_by_label("mean-VC")[1:])
+        svc_growth = numeric(table.row_by_label("SVC(eps=0.05)")[1:])
+        assert (svc_growth[-1] - svc_growth[0]) <= (mean_growth[-1] - mean_growth[0]) + 1e-9
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7_rejection_vs_load.run(scale="tiny", seed=0, loads=(0.2, 0.8))
+
+    def test_percentages(self, result):
+        for row in result.tables[0].rows:
+            assert all(0.0 <= value <= 100.0 for value in numeric(row[1:]))
+
+    def test_mean_vc_rejects_least(self, result):
+        table = result.tables[0]
+        mean_row = numeric(table.row_by_label("mean-VC")[1:])
+        for label in ("percentile-VC", "SVC(eps=0.05)", "SVC(eps=0.02)"):
+            other = numeric(table.row_by_label(label)[1:])
+            assert all(m <= o + 1e-9 for m, o in zip(mean_row, other))
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8_concurrency.run(scale="tiny", seed=0)
+
+    def test_two_tables(self, result):
+        assert len(result.tables) == 2
+
+    def test_series_rows(self, result):
+        series = result.tables[0]
+        assert len(series.rows) == 2
+        assert series.headers[-1] == "avg"
+
+    def test_gain_metric_present(self, result):
+        ratio = result.tables[1]
+        labels = [row[0] for row in ratio.rows]
+        assert "SVC gain (%)" in labels
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9_occupancy_cdf.run(scale="tiny", seed=0, loads=(0.6,))
+
+    def test_rows_per_algorithm_and_load(self, result):
+        table = result.tables[0]
+        assert [row[0] for row in table.rows] == ["SVC", "TIVC"]
+
+    def test_percentile_columns_monotone(self, result):
+        for row in result.tables[0].rows:
+            values = numeric(row[2:])
+            assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_svc_not_worse_at_median(self, result):
+        table = result.tables[0]
+        median_idx = list(table.headers).index("p50")
+        svc = table.row_by_label("SVC")[median_idx]
+        tivc = table.row_by_label("TIVC")[median_idx]
+        assert svc <= tivc + 1e-9
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10_svc_vs_tivc_rejection.run(scale="tiny", seed=0, loads=(0.4, 0.8))
+
+    def test_shape(self, result):
+        table = result.tables[0]
+        assert [row[0] for row in table.rows] == ["SVC", "TIVC"]
+        for row in table.rows:
+            assert all(0.0 <= value <= 100.0 for value in numeric(row[1:]))
+
+    def test_rates_close(self, result):
+        # "SVC and TIVC have almost the same rejection rates."
+        table = result.tables[0]
+        svc = numeric(table.row_by_label("SVC")[1:])
+        tivc = numeric(table.row_by_label("TIVC")[1:])
+        for s, t in zip(svc, tivc):
+            assert abs(s - t) <= 25.0  # tiny scale is noisy; same ballpark
+
+
+class TestHetVsFirstFit:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return het_vs_first_fit.run(scale="tiny", seed=0, loads=(0.6,))
+
+    def test_two_tables(self, result):
+        assert len(result.tables) == 2
+
+    def test_occupancy_rows(self, result):
+        table = result.tables[0]
+        assert [row[0] for row in table.rows] == ["SVC-het", "first-fit"]
+
+    def test_rejection_rows(self, result):
+        table = result.tables[1]
+        assert [row[0] for row in table.rows] == ["SVC-het", "first-fit"]
+
+
+class TestRunnerRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "het",
+            "ablation-epsilon", "ablation-locality", "validate-outage",
+        }
+
+    def test_format_renders(self):
+        result = fig10_svc_vs_tivc_rejection.run(scale="tiny", seed=1, loads=(0.4,))
+        text = result.format()
+        assert "Fig. 10" in text

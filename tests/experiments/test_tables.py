@@ -1,0 +1,48 @@
+"""Result-table rendering and access."""
+
+import pytest
+
+from repro.experiments.tables import ExperimentResult, Table
+
+
+class TestTable:
+    def test_add_row_checks_arity(self):
+        table = Table(title="t", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_format_contains_everything(self):
+        table = Table(title="Demo", headers=["model", "x"])
+        table.add_row("svc", 1.5)
+        text = table.format()
+        assert "Demo" in text
+        assert "model" in text
+        assert "svc" in text
+        assert "1.5" in text
+
+    def test_float_rendering(self):
+        assert Table._render(0.5) == "0.5"
+        assert Table._render(123456.0) == "1.23e+05"
+        assert Table._render(float("nan")) == "-"
+        assert Table._render("text") == "text"
+        assert Table._render(0.0) == "0"
+
+    def test_column_access(self):
+        table = Table(title="t", headers=["model", "x"])
+        table.add_row("a", 1)
+        table.add_row("b", 2)
+        assert table.column("x") == [1, 2]
+
+    def test_row_by_label(self):
+        table = Table(title="t", headers=["model", "x"])
+        table.add_row("a", 1)
+        assert table.row_by_label("a") == ["a", 1]
+        with pytest.raises(KeyError):
+            table.row_by_label("missing")
+
+    def test_experiment_result_format_joins_tables(self):
+        t1 = Table(title="One", headers=["a"])
+        t2 = Table(title="Two", headers=["b"])
+        result = ExperimentResult(experiment="x", tables=[t1, t2])
+        text = result.format()
+        assert "One" in text and "Two" in text

@@ -1,0 +1,31 @@
+"""The outage-validation experiment (certifies Eq. 1 empirically)."""
+
+import pytest
+
+from repro.experiments import validation_outage
+
+pytestmark = pytest.mark.slow
+
+
+class TestValidationOutage:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return validation_outage.run(scale="tiny", seed=0, epsilons=(0.05, 0.2), load=0.8)
+
+    def test_one_row_per_epsilon(self, result):
+        assert len(result.tables[0].rows) == 2
+
+    def test_bound_respected_at_tiny_scale(self, result):
+        # The guarantee is conservative; at tiny scale outages are rare.
+        for row in result.tables[0].rows:
+            empirical = row[3]
+            epsilon = float(row[0])
+            assert empirical <= epsilon + 0.05  # generous slack for small samples
+
+    def test_loaded_seconds_positive(self, result):
+        for row in result.tables[0].rows:
+            assert row[2] > 0
+
+    def test_verdict_column(self, result):
+        for row in result.tables[0].rows:
+            assert row[4] in ("yes", "NO")

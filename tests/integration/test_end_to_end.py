@@ -1,0 +1,132 @@
+"""End-to-end integration: framework + simulator under mixed workloads."""
+
+import numpy as np
+import pytest
+
+from repro.abstractions import DeterministicVC, HeterogeneousSVC, HomogeneousSVC
+from repro.manager import NetworkManager
+from repro.stochastic import Normal
+from repro.simulation import DataPlane, run_batch, run_online
+from repro.simulation.jobs import ActiveJob, JobSpec
+from repro.simulation.workload import (
+    WorkloadConfig,
+    assign_poisson_arrivals,
+    generate_jobs,
+)
+from repro.topology import TINY_SPEC, build_datacenter
+
+pytestmark = pytest.mark.slow
+
+
+class TestMixedTenantDatacenter:
+    def test_long_mixed_session_preserves_invariants(self, tiny_tree):
+        """Admit/run/release a stream of mixed requests; invariants hold
+        throughout and the datacenter drains back to pristine."""
+        manager = NetworkManager(tiny_tree, epsilon=0.05)
+        plane = DataPlane(tiny_tree, np.random.default_rng(0))
+        rng = np.random.default_rng(42)
+        active = []
+        for step in range(400):
+            # Occasionally admit a new tenant of a random kind.
+            if rng.uniform() < 0.3:
+                kind = rng.integers(3)
+                n = int(rng.integers(2, 8))
+                if kind == 0:
+                    request = DeterministicVC(n_vms=n, bandwidth=float(rng.uniform(10, 300)))
+                elif kind == 1:
+                    request = HomogeneousSVC(
+                        n_vms=n, mean=float(rng.uniform(10, 300)), std=float(rng.uniform(0, 100))
+                    )
+                else:
+                    request = HeterogeneousSVC(
+                        n_vms=n,
+                        demands=tuple(
+                            Normal(float(rng.uniform(10, 300)), float(rng.uniform(0, 80)))
+                            for _ in range(n)
+                        ),
+                    )
+                tenancy = manager.request(request)
+                if tenancy is not None:
+                    spec = JobSpec(
+                        job_id=1000 + step, n_vms=n, compute_time=int(rng.integers(5, 30)),
+                        mean_rate=100.0, std_rate=30.0, flow_volume=float(rng.uniform(100, 2000)),
+                    )
+                    job = ActiveJob(spec=spec, tenancy=tenancy, start_time=step)
+                    plane.start_job(job)
+                    active.append(job)
+            # Advance the data plane and retire completed jobs.
+            plane.step(step)
+            still_active = []
+            for job in active:
+                done = job.network_done and job.compute_end <= step
+                if done:
+                    plane.remove_job(job.spec.job_id)
+                    manager.release(job.tenancy)
+                else:
+                    still_active.append(job)
+            active = still_active
+            # Invariant: the probabilistic guarantee holds on every link.
+            assert manager.max_occupancy() < 1.0
+            assert manager.state.total_free_slots >= 0
+        for job in active:
+            plane.remove_job(job.spec.job_id)
+            manager.release(job.tenancy)
+        assert manager.state.is_pristine()
+
+
+class TestScenarioConsistency:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return build_datacenter(TINY_SPEC)
+
+    def test_batch_conservation_of_jobs(self, tree):
+        specs = generate_jobs(
+            WorkloadConfig(num_jobs=12, mean_job_size=5.0, max_job_size=16),
+            np.random.default_rng(5),
+        )
+        for model in ("mean-vc", "percentile-vc", "svc"):
+            result = run_batch(tree, specs, model=model, rng=np.random.default_rng(6))
+            assert len(result.records) + len(result.unschedulable) == 12
+
+    def test_online_determinism_across_models_inputs(self, tree):
+        specs = generate_jobs(
+            WorkloadConfig(num_jobs=12, mean_job_size=5.0, max_job_size=16),
+            np.random.default_rng(7),
+        )
+        specs = assign_poisson_arrivals(
+            specs, 0.5, tree.total_slots, 5.0, 350.0, np.random.default_rng(8)
+        )
+        first = run_online(tree, specs, model="svc", rng=np.random.default_rng(9))
+        second = run_online(tree, specs, model="svc", rng=np.random.default_rng(9))
+        assert first.num_rejected == second.num_rejected
+        assert first.occupancy_samples == second.occupancy_samples
+
+    def test_epsilon_tightening_monotone_in_rejections(self, tree):
+        # More risk headroom (smaller epsilon) can only reserve more.
+        specs = generate_jobs(
+            WorkloadConfig(num_jobs=25, mean_job_size=6.0, max_job_size=20),
+            np.random.default_rng(10),
+        )
+        specs = assign_poisson_arrivals(
+            specs, 0.8, tree.total_slots, 6.0, 350.0, np.random.default_rng(11)
+        )
+        loose = run_online(tree, specs, model="svc", epsilon=0.2, rng=np.random.default_rng(12))
+        tight = run_online(tree, specs, model="svc", epsilon=0.01, rng=np.random.default_rng(12))
+        assert loose.num_rejected <= tight.num_rejected
+
+    def test_batch_vs_online_runtime_same_ballpark(self, tree):
+        # The same jobs run in both drivers: realized runtimes are bounded by
+        # compute + transfer behaviour, not by the driver.
+        specs = generate_jobs(
+            WorkloadConfig(num_jobs=10, mean_job_size=5.0, max_job_size=16),
+            np.random.default_rng(13),
+        )
+        batch = run_batch(tree, specs, model="svc", rng=np.random.default_rng(14))
+        stamped = assign_poisson_arrivals(
+            specs, 0.3, tree.total_slots, 5.0, 350.0, np.random.default_rng(15)
+        )
+        online = run_online(tree, stamped, model="svc", rng=np.random.default_rng(14))
+        assert batch.average_running_time > 0
+        if not np.isnan(online.average_running_time):
+            ratio = online.average_running_time / batch.average_running_time
+            assert 0.3 < ratio < 3.0

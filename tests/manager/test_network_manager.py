@@ -1,0 +1,135 @@
+"""Network manager: admission lifecycle, counters, mixed tenancy."""
+
+import pytest
+
+from repro.abstractions import DeterministicVC, HeterogeneousSVC, HomogeneousSVC
+from repro.allocation import AdaptedTIVCAllocator
+from repro.manager import NetworkManager
+
+
+class TestAdmission:
+    def test_admit_and_release(self, tiny_tree, homogeneous_request):
+        manager = NetworkManager(tiny_tree)
+        tenancy = manager.request(homogeneous_request)
+        assert tenancy is not None
+        assert manager.active_tenancies == 1
+        assert manager.admitted_count == 1
+        manager.release(tenancy)
+        assert manager.active_tenancies == 0
+        assert manager.state.is_pristine()
+
+    def test_vm_machines_view(self, tiny_tree, homogeneous_request):
+        manager = NetworkManager(tiny_tree)
+        tenancy = manager.request(homogeneous_request)
+        assert len(tenancy.vm_machines) == homogeneous_request.n_vms
+        counts = {}
+        for machine in tenancy.vm_machines:
+            counts[machine] = counts.get(machine, 0) + 1
+        assert counts == tenancy.allocation.machine_counts
+
+    def test_rejection_counted(self, tiny_tree):
+        manager = NetworkManager(tiny_tree)
+        impossible = HomogeneousSVC(n_vms=tiny_tree.total_slots + 1, mean=1.0, std=0.0)
+        assert manager.request(impossible) is None
+        assert manager.rejected_count == 1
+        assert manager.rejection_rate() == 1.0
+
+    def test_rejection_rate_mixed(self, tiny_tree):
+        manager = NetworkManager(tiny_tree)
+        assert manager.request(HomogeneousSVC(n_vms=2, mean=10.0, std=1.0)) is not None
+        assert manager.request(HomogeneousSVC(n_vms=999, mean=10.0, std=1.0)) is None
+        assert manager.rejection_rate() == pytest.approx(0.5)
+
+    def test_release_unknown_raises(self, tiny_tree, homogeneous_request):
+        manager = NetworkManager(tiny_tree)
+        tenancy = manager.request(homogeneous_request)
+        manager.release(tenancy)
+        with pytest.raises(KeyError):
+            manager.release(tenancy)
+
+    def test_request_ids_unique(self, tiny_tree):
+        manager = NetworkManager(tiny_tree)
+        a = manager.request(HomogeneousSVC(n_vms=2, mean=10.0, std=1.0))
+        b = manager.request(HomogeneousSVC(n_vms=2, mean=10.0, std=1.0))
+        assert a.request_id != b.request_id
+
+    def test_tenancy_lookup(self, tiny_tree, homogeneous_request):
+        manager = NetworkManager(tiny_tree)
+        tenancy = manager.request(homogeneous_request)
+        assert manager.tenancy(tenancy.request_id) is tenancy
+
+    def test_custom_epsilon(self, tiny_tree):
+        manager = NetworkManager(tiny_tree, epsilon=0.02)
+        assert manager.epsilon == 0.02
+        assert manager.state.risk_c == pytest.approx(2.0537, abs=1e-3)
+
+    def test_custom_allocator(self, tiny_tree, homogeneous_request):
+        manager = NetworkManager(tiny_tree, allocator=AdaptedTIVCAllocator())
+        assert manager.request(homogeneous_request) is not None
+
+
+class TestMixedTenancy:
+    def test_deterministic_and_stochastic_coexist(self, tiny_tree):
+        # Section III-A: "The deterministic and stochastic bandwidth
+        # requirements can co-exist in the datacenters."
+        manager = NetworkManager(tiny_tree)
+        det = manager.request(DeterministicVC(n_vms=8, bandwidth=150.0))
+        svc = manager.request(HomogeneousSVC(n_vms=8, mean=150.0, std=60.0))
+        het = manager.request(
+            HeterogeneousSVC.uniform(4, mean=100.0, std=30.0)
+        )
+        assert det is not None and svc is not None and het is not None
+        assert manager.active_tenancies == 3
+        # Deterministic reservations shrink the stochastic share somewhere.
+        assert any(
+            state.deterministic_total > 0.0 for state in manager.state.links.values()
+        )
+        assert any(
+            state.num_stochastic_demands > 0 for state in manager.state.links.values()
+        )
+        for tenancy in (det, svc, het):
+            manager.release(tenancy)
+        assert manager.state.is_pristine()
+
+    def test_deterministic_reservation_reduces_admission(self, tiny_tree):
+        # Fill with VC reservations; identical SVC requests then see less
+        # sharing bandwidth than on an empty network.
+        fresh = NetworkManager(tiny_tree)
+        empty_count = 0
+        while fresh.request(HomogeneousSVC(n_vms=4, mean=400.0, std=100.0)):
+            empty_count += 1
+            assert empty_count < 64
+        loaded = NetworkManager(tiny_tree)
+        for _ in range(8):
+            loaded.request(DeterministicVC(n_vms=4, bandwidth=400.0))
+        loaded_count = 0
+        while loaded.request(HomogeneousSVC(n_vms=4, mean=400.0, std=100.0)):
+            loaded_count += 1
+            assert loaded_count < 64
+        assert loaded_count < empty_count
+
+    def test_max_occupancy_reflects_load(self, tiny_tree):
+        manager = NetworkManager(tiny_tree)
+        assert manager.max_occupancy() == 0.0
+        manager.request(HomogeneousSVC(n_vms=10, mean=200.0, std=50.0))
+        assert 0.0 < manager.max_occupancy() < 1.0
+
+
+class TestRateLimiterIntegration:
+    def test_deterministic_vm_capped(self, tiny_tree):
+        manager = NetworkManager(tiny_tree)
+        tenancy = manager.request(DeterministicVC(n_vms=4, bandwidth=123.0))
+        for vm in range(4):
+            assert manager.rate_limiters.cap(tenancy.request_id, vm) == 123.0
+
+    def test_stochastic_vm_uncapped(self, tiny_tree, homogeneous_request):
+        manager = NetworkManager(tiny_tree)
+        tenancy = manager.request(homogeneous_request)
+        assert manager.rate_limiters.cap(tenancy.request_id, 0) == float("inf")
+
+    def test_caps_removed_on_release(self, tiny_tree):
+        manager = NetworkManager(tiny_tree)
+        tenancy = manager.request(DeterministicVC(n_vms=4, bandwidth=123.0))
+        manager.release(tenancy)
+        assert len(manager.rate_limiters) == 0
+        assert manager.rate_limiters.cap(tenancy.request_id, 0) == float("inf")

@@ -1,0 +1,125 @@
+"""NetworkState: slots, commit/release lifecycle, datacenter-wide views."""
+
+import pytest
+
+from repro.abstractions import HomogeneousSVC
+from repro.allocation.base import Allocation
+from repro.network import NetworkState
+from repro.stochastic.normal import Normal
+from tests.conftest import build_star_tree
+
+
+def make_allocation(tree, request, counts, demands, request_id=1):
+    host = tree.root_id
+    return Allocation(
+        request=request,
+        request_id=request_id,
+        host_node=host,
+        machine_counts=counts,
+        link_demands=demands,
+    )
+
+
+@pytest.fixture()
+def star_state():
+    tree = build_star_tree(slots=(4, 4), capacities=(1000.0, 1000.0))
+    return tree, NetworkState(tree, epsilon=0.05)
+
+
+class TestSlots:
+    def test_initial_slots(self, star_state):
+        tree, state = star_state
+        assert state.total_slots == 8
+        assert state.total_free_slots == 8
+        assert state.used_slots == 0
+        for machine in tree.machine_ids:
+            assert state.free_slots(machine) == 4
+
+    def test_commit_occupies(self, star_state):
+        tree, state = star_state
+        m0, m1 = tree.machine_ids
+        request = HomogeneousSVC(n_vms=5, mean=10.0, std=1.0)
+        alloc = make_allocation(
+            tree, request, {m0: 2, m1: 3}, {m0: Normal(20.0, 2.0), m1: Normal(20.0, 2.0)}
+        )
+        state.commit(alloc)
+        assert state.free_slots(m0) == 2
+        assert state.free_slots(m1) == 1
+        assert state.used_slots == 5
+
+    def test_overcommit_rejected(self, star_state):
+        tree, state = star_state
+        m0, m1 = tree.machine_ids
+        request = HomogeneousSVC(n_vms=6, mean=10.0, std=1.0)
+        alloc = make_allocation(tree, request, {m0: 5, m1: 1}, {})
+        with pytest.raises(ValueError):
+            state.commit(alloc)
+
+    def test_release_restores(self, star_state):
+        tree, state = star_state
+        m0, m1 = tree.machine_ids
+        request = HomogeneousSVC(n_vms=4, mean=10.0, std=1.0)
+        alloc = make_allocation(
+            tree, request, {m0: 2, m1: 2}, {m0: Normal(20.0, 2.0), m1: Normal(20.0, 2.0)}
+        )
+        state.commit(alloc)
+        state.release(alloc)
+        assert state.is_pristine()
+
+    def test_double_release_detected(self, star_state):
+        tree, state = star_state
+        m0, m1 = tree.machine_ids
+        request = HomogeneousSVC(n_vms=4, mean=10.0, std=1.0)
+        alloc = make_allocation(tree, request, {m0: 2, m1: 2}, {})
+        state.commit(alloc)
+        state.release(alloc)
+        with pytest.raises(ValueError):
+            state.release(alloc)
+
+
+class TestLinkCommit:
+    def test_stochastic_commit_records_demands(self, star_state):
+        tree, state = star_state
+        m0, m1 = tree.machine_ids
+        request = HomogeneousSVC(n_vms=4, mean=100.0, std=30.0)
+        demand = Normal(200.0, 42.0)
+        alloc = make_allocation(tree, request, {m0: 2, m1: 2}, {m0: demand, m1: demand})
+        state.commit(alloc)
+        assert state.links[m0].stochastic_demand_of(1) == demand
+        assert state.links[m0].deterministic_total == 0.0
+
+    def test_deterministic_commit_goes_to_reserved(self, star_state):
+        from repro.abstractions import DeterministicVC
+
+        tree, state = star_state
+        m0, m1 = tree.machine_ids
+        request = DeterministicVC(n_vms=4, bandwidth=100.0)
+        alloc = make_allocation(
+            tree, request, {m0: 2, m1: 2},
+            {m0: Normal.deterministic(200.0), m1: Normal.deterministic(200.0)},
+        )
+        state.commit(alloc)
+        assert state.links[m0].deterministic_total == 200.0
+        assert state.links[m0].num_stochastic_demands == 0
+
+    def test_max_occupancy_over_links(self, star_state):
+        tree, state = star_state
+        m0, m1 = tree.machine_ids
+        request = HomogeneousSVC(n_vms=4, mean=100.0, std=0.0)
+        alloc = make_allocation(
+            tree, request, {m0: 1, m1: 3},
+            {m0: Normal.deterministic(100.0), m1: Normal.deterministic(100.0)},
+        )
+        state.commit(alloc)
+        assert state.max_occupancy() == pytest.approx(0.1)
+
+    def test_occupancies_iterates_all_links(self, star_state):
+        tree, state = star_state
+        pairs = dict(state.occupancies())
+        assert set(pairs) == {link.link_id for link in tree.links}
+        assert all(value == 0.0 for value in pairs.values())
+
+    def test_risk_constant_matches_epsilon(self, star_state):
+        _tree, state = star_state
+        assert state.risk_c == pytest.approx(1.6449, abs=1e-4)
+        assert state.epsilon == 0.05

@@ -1,0 +1,92 @@
+"""Per-level utilization snapshots."""
+
+import pytest
+
+from repro.abstractions import DeterministicVC, HomogeneousSVC
+from repro.manager import NetworkManager
+from repro.network import NetworkState, format_utilization, utilization_by_level
+
+
+class TestUtilizationByLevel:
+    def test_levels_present(self, tiny_tree):
+        state = NetworkState(tiny_tree)
+        rows = utilization_by_level(state)
+        assert [row.level for row in rows] == [0, 1, 2]
+
+    def test_idle_network_is_zero(self, tiny_tree):
+        state = NetworkState(tiny_tree)
+        for row in utilization_by_level(state):
+            assert row.mean_occupancy == 0.0
+            assert row.max_occupancy == 0.0
+            assert row.mean_deterministic_share == 0.0
+
+    def test_link_counts(self, tiny_tree):
+        rows = utilization_by_level(NetworkState(tiny_tree))
+        by_level = {row.level: row.num_links for row in rows}
+        assert by_level[0] == len(tiny_tree.machine_ids)
+        assert by_level[1] == len(tiny_tree.nodes_at_level(1))
+        assert by_level[2] == len(tiny_tree.nodes_at_level(2))
+
+    def test_labels(self, tiny_tree):
+        rows = utilization_by_level(NetworkState(tiny_tree))
+        assert [row.label for row in rows] == ["machine", "ToR", "aggregation"]
+
+    def test_loaded_network_shows_pressure(self, tiny_tree):
+        manager = NetworkManager(tiny_tree)
+        tenancy = manager.request(HomogeneousSVC(n_vms=10, mean=300.0, std=100.0))
+        rows = {row.level: row for row in utilization_by_level(manager.state)}
+        assert rows[0].max_occupancy > 0.0
+        manager.release(tenancy)
+
+    def test_deterministic_share_tracked(self, tiny_tree):
+        manager = NetworkManager(tiny_tree)
+        manager.request(DeterministicVC(n_vms=8, bandwidth=200.0))
+        rows = {row.level: row for row in utilization_by_level(manager.state)}
+        assert rows[0].mean_deterministic_share > 0.0
+
+    def test_mean_bounded_by_max(self, tiny_tree):
+        manager = NetworkManager(tiny_tree)
+        manager.request(HomogeneousSVC(n_vms=12, mean=250.0, std=80.0))
+        for row in utilization_by_level(manager.state):
+            assert row.mean_occupancy <= row.max_occupancy + 1e-12
+
+
+class TestFormatUtilization:
+    def test_renders_all_levels(self, tiny_tree):
+        text = format_utilization(NetworkState(tiny_tree))
+        assert "machine" in text
+        assert "ToR" in text
+        assert "aggregation" in text
+        assert len(text.splitlines()) == 4  # header + 3 levels
+
+
+class TestLevelSamplingInScenario:
+    def test_online_level_samples(self, tiny_tree):
+        import numpy as np
+
+        from repro.experiments.common import online_workload
+        from repro.experiments.config import TINY_SCALE
+        from repro.simulation import run_online
+
+        specs = online_workload(TINY_SCALE, 0, load=0.5, total_slots=tiny_tree.total_slots)
+        result = run_online(
+            tiny_tree, specs, model="svc", rng=np.random.default_rng(0), track_levels=True
+        )
+        assert len(result.level_occupancy_samples) == result.num_arrivals
+        _t, sample = result.level_occupancy_samples[-1]
+        assert set(sample) == {0, 1, 2}
+        assert result.mean_level_occupancy(0) >= 0.0
+
+    def test_disabled_by_default(self, tiny_tree):
+        import math
+
+        import numpy as np
+
+        from repro.experiments.common import online_workload
+        from repro.experiments.config import TINY_SCALE
+        from repro.simulation import run_online
+
+        specs = online_workload(TINY_SCALE, 0, load=0.5, total_slots=tiny_tree.total_slots)
+        result = run_online(tiny_tree, specs, model="svc", rng=np.random.default_rng(0))
+        assert result.level_occupancy_samples == []
+        assert math.isnan(result.mean_level_occupancy(2))

@@ -1,0 +1,101 @@
+"""Request derivation from profiling traces."""
+
+import numpy as np
+import pytest
+
+from repro.abstractions import DeterministicVC, HeterogeneousSVC, HomogeneousSVC
+from repro.manager import NetworkManager
+from repro.profiling import (
+    RateTrace,
+    derive_deterministic_vc,
+    derive_heterogeneous_svc,
+    derive_homogeneous_svc,
+    fit_demand,
+    synthetic_normal_trace,
+    synthetic_phased_trace,
+)
+
+
+@pytest.fixture()
+def traces(rng):
+    return [synthetic_normal_trace(200.0, 60.0, rng, duration=2_000) for _ in range(5)]
+
+
+class TestFitDemand:
+    def test_moment_fit(self):
+        trace = RateTrace(samples=(10.0, 20.0, 30.0))
+        demand = fit_demand(trace)
+        assert demand.mean == pytest.approx(20.0)
+        assert demand.std == pytest.approx(10.0)
+
+    def test_recovers_generator_parameters(self, rng):
+        trace = synthetic_normal_trace(300.0, 40.0, rng, duration=100_000)
+        demand = fit_demand(trace)
+        assert demand.mean == pytest.approx(300.0, rel=0.01)
+        assert demand.std == pytest.approx(40.0, rel=0.05)
+
+
+class TestDeriveRequests:
+    def test_homogeneous_pools_samples(self, traces):
+        request = derive_homogeneous_svc(traces)
+        assert isinstance(request, HomogeneousSVC)
+        assert request.n_vms == 5
+        assert request.mean == pytest.approx(200.0, rel=0.05)
+        assert request.std == pytest.approx(60.0, rel=0.1)
+
+    def test_heterogeneous_per_vm_fits(self, rng):
+        traces = [
+            synthetic_normal_trace(100.0, 10.0, rng, duration=5_000),
+            synthetic_normal_trace(400.0, 80.0, rng, duration=5_000),
+        ]
+        request = derive_heterogeneous_svc(traces)
+        assert isinstance(request, HeterogeneousSVC)
+        assert request.demands[0].mean == pytest.approx(100.0, rel=0.05)
+        assert request.demands[1].mean == pytest.approx(400.0, rel=0.05)
+
+    def test_deterministic_percentile(self, traces):
+        request = derive_deterministic_vc(traces, percentile=95.0)
+        assert isinstance(request, DeterministicVC)
+        # 95th percentile of Normal(200, 60): about 200 + 1.645*60.
+        assert request.bandwidth == pytest.approx(200.0 + 1.645 * 60.0, rel=0.05)
+
+    def test_empty_trace_list_rejected(self):
+        with pytest.raises(ValueError):
+            derive_homogeneous_svc([])
+        with pytest.raises(ValueError):
+            derive_heterogeneous_svc([])
+        with pytest.raises(ValueError):
+            derive_deterministic_vc([])
+
+    def test_pooling_weights_by_length(self):
+        short = RateTrace(samples=(0.0, 0.0))
+        long = RateTrace(samples=(100.0,) * 8)
+        request = derive_homogeneous_svc([short, long])
+        assert request.mean == pytest.approx(80.0)
+
+
+class TestEndToEndProfiledTenant:
+    def test_profiled_request_is_admittable(self, tiny_tree, rng):
+        # Profile a phased MapReduce-like app, derive an SVC request, admit it.
+        traces = [
+            synthetic_phased_trace(20.0, 500.0, rng, duration=1_000, cap=1000.0)
+            for _ in range(6)
+        ]
+        request = derive_homogeneous_svc(traces)
+        manager = NetworkManager(tiny_tree)
+        tenancy = manager.request(request)
+        assert tenancy is not None
+        manager.release(tenancy)
+
+    def test_svc_cheaper_than_percentile_reservation(self, rng):
+        # The economic argument of the paper: for volatile workloads the SVC
+        # effective bandwidth sits well below a 95th-percentile reservation.
+        traces = [
+            synthetic_phased_trace(20.0, 500.0, rng, duration=5_000) for _ in range(8)
+        ]
+        svc = derive_homogeneous_svc(traces)
+        pctl = derive_deterministic_vc(traces, percentile=95.0)
+        n = svc.n_vms
+        svc_effective = n * svc.mean + 1.645 * (n ** 0.5) * svc.std
+        pctl_reserved = n * pctl.bandwidth
+        assert svc_effective < pctl_reserved

@@ -1,0 +1,72 @@
+"""Rate traces and synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.profiling import (
+    RateTrace,
+    synthetic_constant_trace,
+    synthetic_normal_trace,
+    synthetic_phased_trace,
+)
+
+
+class TestRateTrace:
+    def test_moments(self):
+        trace = RateTrace(samples=(10.0, 20.0, 30.0))
+        assert trace.mean == pytest.approx(20.0)
+        assert trace.std == pytest.approx(10.0)
+        assert len(trace) == 3
+
+    def test_percentile(self):
+        trace = RateTrace(samples=tuple(float(x) for x in range(101)))
+        assert trace.percentile(95) == pytest.approx(95.0)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            RateTrace(samples=(1.0,))
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            RateTrace(samples=(1.0, -2.0))
+
+
+class TestSyntheticGenerators:
+    def test_constant_trace(self):
+        trace = synthetic_constant_trace(150.0, duration=10)
+        assert trace.mean == 150.0
+        assert trace.std == 0.0
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            synthetic_constant_trace(-1.0)
+
+    def test_normal_trace_moments(self, rng):
+        trace = synthetic_normal_trace(300.0, 50.0, rng, duration=50_000)
+        assert trace.mean == pytest.approx(300.0, rel=0.02)
+        assert trace.std == pytest.approx(50.0, rel=0.05)
+
+    def test_normal_trace_respects_cap(self, rng):
+        trace = synthetic_normal_trace(900.0, 400.0, rng, duration=5_000, cap=1000.0)
+        assert max(trace.samples) <= 1000.0
+        assert min(trace.samples) >= 0.0
+
+    def test_phased_trace_bimodal(self, rng):
+        trace = synthetic_phased_trace(
+            50.0, 800.0, rng, duration=50_000, high_fraction=0.3, jitter=0.0
+        )
+        values = set(np.round(trace.samples, 6))
+        assert values == {50.0, 800.0}
+        high_share = np.mean(np.asarray(trace.samples) > 400.0)
+        assert high_share == pytest.approx(0.3, abs=0.02)
+
+    def test_phased_trace_volatility_exceeds_normal(self, rng):
+        # The motivating property: phased workloads have a coefficient of
+        # variation far above a comparable-mean noisy workload.
+        phased = synthetic_phased_trace(50.0, 800.0, rng, duration=20_000)
+        steady = synthetic_normal_trace(phased.mean, 30.0, rng, duration=20_000)
+        assert phased.std / phased.mean > 3 * (steady.std / steady.mean)
+
+    def test_phased_fraction_validated(self, rng):
+        with pytest.raises(ValueError):
+            synthetic_phased_trace(1.0, 2.0, rng, high_fraction=1.5)

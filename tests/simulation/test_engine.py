@@ -1,0 +1,160 @@
+"""Data-plane engine: directed paths, stepping, flow completion."""
+
+import numpy as np
+import pytest
+
+from repro.abstractions import DeterministicVC, HomogeneousSVC
+from repro.manager import NetworkManager
+from repro.simulation.engine import DataPlane, directed_path
+from repro.simulation.jobs import ActiveJob, JobSpec
+
+
+def start_job(plane, manager, spec, request, start=0):
+    tenancy = manager.request(request)
+    assert tenancy is not None
+    job = ActiveJob(spec=spec, tenancy=tenancy, start_time=start)
+    plane.start_job(job)
+    return job
+
+
+def spec_with(**overrides):
+    params = dict(
+        job_id=overrides.pop("job_id", 1),
+        n_vms=4,
+        compute_time=10,
+        mean_rate=100.0,
+        std_rate=0.0,
+        flow_volume=1000.0,
+    )
+    params.update(overrides)
+    return JobSpec(**params)
+
+
+class TestDirectedPath:
+    def test_same_machine_empty(self, tiny_tree):
+        machine = tiny_tree.machine_ids[0]
+        assert directed_path(tiny_tree, machine, machine) == []
+
+    def test_same_rack_one_up_one_down(self, tiny_tree):
+        a, b = tiny_tree.machine_ids[0], tiny_tree.machine_ids[1]
+        path = directed_path(tiny_tree, a, b)
+        assert path == [2 * a, 2 * b + 1]
+
+    def test_direction_encoding_disjoint(self, tiny_tree):
+        a, b = tiny_tree.machine_ids[0], tiny_tree.machine_ids[-1]
+        forward = set(directed_path(tiny_tree, a, b))
+        backward = set(directed_path(tiny_tree, b, a))
+        # Same links, opposite directions: no shared directed entries.
+        assert forward.isdisjoint(backward)
+        assert {idx // 2 for idx in forward} == {idx // 2 for idx in backward}
+
+    def test_cross_pod_path_length(self, tiny_tree):
+        # machine -> ToR -> agg up, then agg -> ToR -> machine down: 6 hops.
+        a, b = tiny_tree.machine_ids[0], tiny_tree.machine_ids[-1]
+        assert len(directed_path(tiny_tree, a, b)) == 6
+
+
+class TestStepping:
+    def test_deterministic_progress(self, tiny_tree, rng):
+        # sigma = 0 and generous capacity: each flow moves mean_rate per step.
+        plane = DataPlane(tiny_tree, rng)
+        manager = NetworkManager(tiny_tree)
+        spec = spec_with(flow_volume=250.0, mean_rate=100.0)
+        job = start_job(plane, manager, spec, HomogeneousSVC(n_vms=4, mean=100.0, std=0.0))
+        finished = plane.step(0)
+        assert finished == []
+        plane.step(1)
+        finished = plane.step(2)
+        assert finished == [spec.job_id]
+        assert job.network_end == 3
+        assert np.all(job.remaining <= 1e-9)
+
+    def test_rate_limited_job_is_slower(self, tiny_tree, rng):
+        # A deterministic-VC job capped at 50 needs twice the steps of an
+        # uncapped SVC job with the same demand.
+        plane = DataPlane(tiny_tree, rng)
+        manager = NetworkManager(tiny_tree)
+        capped_spec = spec_with(job_id=1, flow_volume=100.0, mean_rate=100.0)
+        start_job(plane, manager, capped_spec, DeterministicVC(n_vms=4, bandwidth=50.0))
+        done_at = None
+        for step in range(5):
+            if plane.step(step):
+                done_at = step + 1
+                break
+        assert done_at == 2  # 100 volume at 50/s
+
+    def test_active_job_count(self, tiny_tree, rng):
+        plane = DataPlane(tiny_tree, rng)
+        manager = NetworkManager(tiny_tree)
+        start_job(plane, manager, spec_with(job_id=1), HomogeneousSVC(n_vms=4, mean=1.0, std=0.0))
+        start_job(plane, manager, spec_with(job_id=2), HomogeneousSVC(n_vms=4, mean=1.0, std=0.0))
+        assert plane.active_jobs == 2
+        plane.remove_job(1)
+        assert plane.active_jobs == 1
+
+    def test_duplicate_job_rejected(self, tiny_tree, rng):
+        plane = DataPlane(tiny_tree, rng)
+        manager = NetworkManager(tiny_tree)
+        job = start_job(plane, manager, spec_with(), HomogeneousSVC(n_vms=4, mean=1.0, std=0.0))
+        with pytest.raises(ValueError):
+            plane.start_job(job)
+
+    def test_progress_preserved_across_job_events(self, tiny_tree, rng):
+        # Adding a second job mid-flight must not reset the first one.
+        plane = DataPlane(tiny_tree, rng)
+        manager = NetworkManager(tiny_tree)
+        spec1 = spec_with(job_id=1, flow_volume=1000.0, mean_rate=100.0)
+        job1 = start_job(plane, manager, spec1, HomogeneousSVC(n_vms=4, mean=100.0, std=0.0))
+        plane.step(0)
+        spec2 = spec_with(job_id=2, flow_volume=1000.0, mean_rate=10.0)
+        start_job(plane, manager, spec2, HomogeneousSVC(n_vms=4, mean=10.0, std=0.0))
+        plane.step(1)
+        assert np.allclose(plane.remaining_volume(1), 1000.0 - 2 * 100.0)
+
+    def test_congestion_shares_capacity(self, rng):
+        # Two SVC jobs, each a 2-VM ring crossing the same 100-capacity
+        # machine links; demands of 100 each direction fit exactly, but
+        # four flows over one link of 100 capacity each way do not: the
+        # per-flow rate collapses to the fair share.
+        from tests.conftest import build_star_tree
+        from repro.manager import NetworkManager
+
+        tree = build_star_tree(slots=(2, 2), capacities=(100.0, 100.0))
+        plane = DataPlane(tree, rng)
+        manager = NetworkManager(tree, epsilon=0.4)
+        jobs = []
+        for job_id in (1, 2):
+            spec = JobSpec(
+                job_id=job_id, n_vms=2, compute_time=5, mean_rate=100.0,
+                std_rate=0.0, flow_volume=1000.0,
+            )
+            request = HomogeneousSVC(n_vms=2, mean=30.0, std=5.0)
+            tenancy = manager.request(request)
+            assert tenancy is not None
+            job = ActiveJob(spec=spec, tenancy=tenancy, start_time=0)
+            plane.start_job(job)
+            jobs.append(job)
+        plane.step(0)
+        # Whether the two jobs were co-located or split, no link direction
+        # may carry more than its 100-capacity: total progress per step is
+        # bounded accordingly.
+        moved = sum(float(np.sum(1000.0 - job.remaining)) for job in jobs)
+        assert moved <= 400.0 + 1e-6
+        if any(len({m for m, _ in job.flow_machines}) > 1 for job in jobs):
+            assert moved < 400.0 - 1e-6  # congestion actually bit
+
+    def test_empty_plane_steps(self, tiny_tree, rng):
+        plane = DataPlane(tiny_tree, rng)
+        assert plane.step(0) == []
+
+    def test_stochastic_demands_move_volume(self, tiny_tree):
+        rng = np.random.default_rng(7)
+        plane = DataPlane(tiny_tree, rng)
+        manager = NetworkManager(tiny_tree)
+        spec = spec_with(std_rate=50.0, flow_volume=1e9)
+        job = start_job(plane, manager, spec, HomogeneousSVC(n_vms=4, mean=100.0, std=50.0))
+        for step in range(20):
+            plane.step(step)
+        moved = float(np.sum(1e9 - plane.remaining_volume(spec.job_id)))
+        # 4 flows x 20 steps x ~100 mean; demand noise and clipping allow slack.
+        assert 4_000.0 < moved < 12_000.0

@@ -1,0 +1,114 @@
+"""Job specifications and active-job bookkeeping."""
+
+import pytest
+
+from repro.abstractions import DeterministicVC, HomogeneousSVC
+from repro.manager import NetworkManager
+from repro.simulation.jobs import ActiveJob, JobSpec
+
+
+def make_spec(**overrides):
+    params = dict(
+        job_id=1,
+        n_vms=4,
+        compute_time=300,
+        mean_rate=200.0,
+        std_rate=50.0,
+        flow_volume=10_000.0,
+    )
+    params.update(overrides)
+    return JobSpec(**params)
+
+
+class TestJobSpec:
+    def test_ring_flows_cover_every_task(self):
+        spec = make_spec(n_vms=5)
+        flows = spec.ring_flows()
+        assert len(flows) == 5
+        sources = [src for src, _ in flows]
+        destinations = [dst for _, dst in flows]
+        assert sorted(sources) == list(range(5))
+        assert sorted(destinations) == list(range(5))
+
+    def test_no_self_flows_for_multi_vm(self):
+        spec = make_spec(n_vms=3)
+        assert all(src != dst for src, dst in spec.ring_flows())
+
+    def test_single_vm_job_has_no_flows(self):
+        assert make_spec(n_vms=1).ring_flows() == []
+
+    def test_rate_of_vm_homogeneous(self):
+        spec = make_spec()
+        assert spec.rate_of_vm(2) == (200.0, 50.0)
+
+    def test_rate_of_vm_heterogeneous(self):
+        rates = ((100.0, 10.0), (200.0, 20.0), (300.0, 30.0), (400.0, 40.0))
+        spec = make_spec(vm_rates=rates)
+        assert spec.is_heterogeneous
+        assert spec.rate_of_vm(2) == (300.0, 30.0)
+
+    def test_vm_rates_length_checked(self):
+        with pytest.raises(ValueError):
+            make_spec(vm_rates=((1.0, 0.1),))
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("n_vms", 0), ("compute_time", -1), ("mean_rate", -1.0), ("flow_volume", -1.0)],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            make_spec(**{field: value})
+
+
+class TestActiveJob:
+    def _place(self, tiny_tree, spec, request):
+        manager = NetworkManager(tiny_tree)
+        tenancy = manager.request(request)
+        assert tenancy is not None
+        return ActiveJob(spec=spec, tenancy=tenancy, start_time=10)
+
+    def test_flow_state_initialized(self, tiny_tree):
+        spec = make_spec(n_vms=6)
+        job = self._place(tiny_tree, spec, HomogeneousSVC(n_vms=6, mean=200.0, std=50.0))
+        assert len(job.remaining) == 6
+        assert (job.remaining == spec.flow_volume).all()
+        assert len(job.flow_machines) == 6
+        assert job.network_end is None
+
+    def test_compute_end(self, tiny_tree):
+        spec = make_spec(compute_time=250)
+        job = self._place(tiny_tree, spec, HomogeneousSVC(n_vms=4, mean=200.0, std=50.0))
+        assert job.compute_end == 260
+
+    def test_svc_flows_uncapped(self, tiny_tree):
+        job = self._place(tiny_tree, make_spec(), HomogeneousSVC(n_vms=4, mean=200.0, std=50.0))
+        assert all(cap == float("inf") for cap in job.flow_caps)
+
+    def test_deterministic_flows_capped_at_reservation(self, tiny_tree):
+        job = self._place(tiny_tree, make_spec(), DeterministicVC(n_vms=4, bandwidth=150.0))
+        assert all(cap == 150.0 for cap in job.flow_caps)
+
+    def test_single_vm_job_network_done_immediately(self, tiny_tree):
+        spec = make_spec(n_vms=1)
+        job = self._place(tiny_tree, spec, HomogeneousSVC(n_vms=1, mean=200.0, std=50.0))
+        assert job.network_done
+        assert job.completion_time() == job.compute_end
+
+    def test_completion_time_none_while_running(self, tiny_tree):
+        job = self._place(tiny_tree, make_spec(), HomogeneousSVC(n_vms=4, mean=200.0, std=50.0))
+        assert job.completion_time() is None
+
+    def test_completion_is_max_of_phases(self, tiny_tree):
+        job = self._place(tiny_tree, make_spec(compute_time=100), HomogeneousSVC(n_vms=4, mean=200.0, std=50.0))
+        job.network_end = 500
+        assert job.completion_time() == 500
+        job.network_end = 50
+        assert job.completion_time() == job.compute_end
+
+    def test_flow_machines_follow_placement(self, tiny_tree):
+        spec = make_spec(n_vms=4)
+        job = self._place(tiny_tree, spec, HomogeneousSVC(n_vms=4, mean=200.0, std=50.0))
+        placement = job.tenancy.vm_machines
+        for (src, dst), (src_m, dst_m) in zip(spec.ring_flows(), job.flow_machines):
+            assert src_m == placement[src]
+            assert dst_m == placement[dst]

@@ -1,0 +1,153 @@
+"""Max-min fair sharing: hand-checkable cases plus fairness properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.maxmin import build_incidence, max_min_fair_rates
+
+
+def rates_for(demands, paths, capacities):
+    link_of_entry, flow_ptr = build_incidence(paths, len(capacities))
+    return max_min_fair_rates(
+        np.asarray(demands, dtype=float), link_of_entry, flow_ptr,
+        np.asarray(capacities, dtype=float),
+    )
+
+
+class TestHandCases:
+    def test_no_flows(self):
+        assert len(rates_for([], [], [10.0])) == 0
+
+    def test_single_flow_demand_limited(self):
+        rates = rates_for([5.0], [[0]], [10.0])
+        assert rates[0] == pytest.approx(5.0)
+
+    def test_single_flow_capacity_limited(self):
+        rates = rates_for([50.0], [[0]], [10.0])
+        assert rates[0] == pytest.approx(10.0)
+
+    def test_equal_split_on_shared_link(self):
+        rates = rates_for([50.0, 50.0], [[0], [0]], [10.0])
+        assert rates[0] == pytest.approx(5.0)
+        assert rates[1] == pytest.approx(5.0)
+
+    def test_small_demand_releases_share(self):
+        # Flow 0 wants only 2; flow 1 takes the rest of the 10-unit link.
+        rates = rates_for([2.0, 50.0], [[0], [0]], [10.0])
+        assert rates[0] == pytest.approx(2.0)
+        assert rates[1] == pytest.approx(8.0)
+
+    def test_classic_three_flow_two_link(self):
+        # Textbook example: flows A (link 0), B (link 1), C (links 0+1),
+        # both capacities 1: C gets 0.5 at its bottleneck, A and B fill up.
+        rates = rates_for([10.0, 10.0, 10.0], [[0], [1], [0, 1]], [1.0, 1.0])
+        assert rates[2] == pytest.approx(0.5)
+        assert rates[0] == pytest.approx(0.5)
+        assert rates[1] == pytest.approx(0.5)
+
+    def test_asymmetric_bottlenecks(self):
+        # C crosses a thin link 0 (cap 1) and a fat link 1 (cap 10) shared
+        # with B: C is bottlenecked at 0.5 by link 0, B gets 10 - 0.5.
+        rates = rates_for([10.0, 20.0, 10.0], [[0], [1], [0, 1]], [1.0, 10.0])
+        assert rates[0] == pytest.approx(0.5)
+        assert rates[2] == pytest.approx(0.5)
+        assert rates[1] == pytest.approx(9.5)
+
+    def test_linkless_flow_gets_demand(self):
+        rates = rates_for([7.0, 5.0], [[], [0]], [10.0])
+        assert rates[0] == pytest.approx(7.0)
+        assert rates[1] == pytest.approx(5.0)
+
+    def test_zero_demand_flow(self):
+        rates = rates_for([0.0, 5.0], [[0], [0]], [10.0])
+        assert rates[0] == 0.0
+        assert rates[1] == pytest.approx(5.0)
+
+    def test_unequal_demands_waterfill(self):
+        # Demands 1, 3, 10 on a 9-unit link: 1 + 3 + 5 (fair residual).
+        rates = rates_for([1.0, 3.0, 10.0], [[0], [0], [0]], [9.0])
+        assert rates[0] == pytest.approx(1.0)
+        assert rates[1] == pytest.approx(3.0)
+        assert rates[2] == pytest.approx(5.0)
+
+    def test_incidence_bounds_checked(self):
+        with pytest.raises(ValueError):
+            build_incidence([[5]], num_links=2)
+
+    def test_bad_ptr_rejected(self):
+        with pytest.raises(ValueError):
+            max_min_fair_rates(
+                np.ones(2), np.zeros(1, dtype=int), np.zeros(1, dtype=int), np.ones(1)
+            )
+
+
+@st.composite
+def random_networks(draw):
+    num_links = draw(st.integers(min_value=1, max_value=6))
+    num_flows = draw(st.integers(min_value=1, max_value=12))
+    capacities = [
+        draw(st.floats(min_value=0.5, max_value=100.0)) for _ in range(num_links)
+    ]
+    demands = [draw(st.floats(min_value=0.0, max_value=50.0)) for _ in range(num_flows)]
+    paths = [
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_links - 1),
+                unique=True,
+                max_size=num_links,
+            )
+        )
+        for _ in range(num_flows)
+    ]
+    return demands, paths, capacities
+
+
+class TestFairnessProperties:
+    @given(network=random_networks())
+    @settings(max_examples=150, deadline=None)
+    def test_rates_bounded_by_demand(self, network):
+        demands, paths, capacities = network
+        rates = rates_for(demands, paths, capacities)
+        assert (rates <= np.asarray(demands) + 1e-6).all()
+        assert (rates >= -1e-9).all()
+
+    @given(network=random_networks())
+    @settings(max_examples=150, deadline=None)
+    def test_capacities_respected(self, network):
+        demands, paths, capacities = network
+        rates = rates_for(demands, paths, capacities)
+        usage = np.zeros(len(capacities))
+        for flow, path in enumerate(paths):
+            for link in path:
+                usage[link] += rates[flow]
+        assert (usage <= np.asarray(capacities) + 1e-6).all()
+
+    @given(network=random_networks())
+    @settings(max_examples=150, deadline=None)
+    def test_no_starved_flow_without_saturated_link(self, network):
+        # Max-min property: a flow below its demand must cross a link whose
+        # capacity is (nearly) exhausted and on which it is among the top
+        # receivers.
+        demands, paths, capacities = network
+        rates = rates_for(demands, paths, capacities)
+        usage = np.zeros(len(capacities))
+        for flow, path in enumerate(paths):
+            for link in path:
+                usage[link] += rates[flow]
+        for flow, path in enumerate(paths):
+            if rates[flow] < demands[flow] - 1e-6:
+                assert path, "a linkless flow can never be throttled"
+                bottlenecked = False
+                for link in path:
+                    if usage[link] >= capacities[link] - 1e-6:
+                        top = max(
+                            rates[other]
+                            for other, other_path in enumerate(paths)
+                            if link in other_path
+                        )
+                        if rates[flow] >= top - 1e-6:
+                            bottlenecked = True
+                            break
+                assert bottlenecked, f"flow {flow} throttled without a bottleneck"

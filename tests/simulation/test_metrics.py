@@ -1,0 +1,90 @@
+"""Metric records and summary statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulation.metrics import (
+    JobRecord,
+    cdf_at,
+    empirical_cdf,
+    summarize_runtimes,
+)
+
+
+def record(job_id=1, submit=0.0, start=10, completion=110, compute=50):
+    return JobRecord(
+        job_id=job_id,
+        n_vms=4,
+        submit_time=submit,
+        start_time=start,
+        completion_time=completion,
+        compute_time=compute,
+    )
+
+
+class TestJobRecord:
+    def test_completed_record(self):
+        rec = record()
+        assert not rec.rejected
+        assert rec.completed
+        assert rec.waiting_time == 10.0
+        assert rec.running_time == 100.0
+
+    def test_rejected_record(self):
+        rec = JobRecord(1, 4, 5.0, None, None, 50)
+        assert rec.rejected
+        assert not rec.completed
+        assert rec.waiting_time is None
+        assert rec.running_time is None
+
+    def test_running_record(self):
+        rec = JobRecord(1, 4, 5.0, 7, None, 50)
+        assert not rec.rejected
+        assert not rec.completed
+        assert rec.waiting_time == 2.0
+        assert rec.running_time is None
+
+
+class TestSummaries:
+    def test_summarize_runtimes(self):
+        records = [record(start=0, completion=100), record(start=50, completion=250)]
+        runtime, wait = summarize_runtimes(records)
+        assert runtime == pytest.approx(150.0)
+        assert wait == pytest.approx(25.0)
+
+    def test_summarize_skips_incomplete(self):
+        records = [record(), JobRecord(2, 4, 0.0, None, None, 50)]
+        runtime, _ = summarize_runtimes(records)
+        assert runtime == pytest.approx(100.0)
+
+    def test_summarize_empty_is_nan(self):
+        runtime, wait = summarize_runtimes([])
+        assert math.isnan(runtime) and math.isnan(wait)
+
+
+class TestCdf:
+    def test_empirical_cdf_shape(self):
+        xs, ps = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(ps) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empirical_cdf_empty(self):
+        xs, ps = empirical_cdf([])
+        assert len(xs) == 0 and len(ps) == 0
+
+    def test_cdf_at(self):
+        values = [0.1, 0.5, 0.9, 0.95]
+        assert cdf_at(values, 0.5) == pytest.approx(0.5)
+        assert cdf_at(values, 1.0) == 1.0
+        assert cdf_at(values, 0.0) == 0.0
+
+    def test_cdf_at_empty_is_nan(self):
+        assert math.isnan(cdf_at([], 0.5))
+
+    def test_cdf_monotone(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 1, 100)
+        points = [cdf_at(values, t) for t in np.linspace(0, 1, 11)]
+        assert all(a <= b for a, b in zip(points, points[1:]))

@@ -1,0 +1,82 @@
+"""Outage instrumentation of the data plane (validation of Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.abstractions import HomogeneousSVC
+from repro.manager import NetworkManager
+from repro.simulation.engine import DataPlane
+from repro.simulation.jobs import ActiveJob, JobSpec
+from tests.conftest import build_star_tree
+
+
+def run_plane(tree, request, spec, steps, rng, epsilon=0.4):
+    plane = DataPlane(tree, rng, track_outages=True)
+    manager = NetworkManager(tree, epsilon=epsilon)
+    tenancy = manager.request(request)
+    assert tenancy is not None
+    plane.start_job(ActiveJob(spec=spec, tenancy=tenancy, start_time=0))
+    for step in range(steps):
+        plane.step(step)
+    return plane
+
+
+class TestOutageTracking:
+    def test_no_outages_for_light_demand(self, rng):
+        tree = build_star_tree(slots=(2, 2), capacities=(1000.0, 1000.0))
+        spec = JobSpec(
+            job_id=1, n_vms=4, compute_time=50, mean_rate=50.0,
+            std_rate=0.0, flow_volume=1e9,
+        )
+        plane = run_plane(tree, HomogeneousSVC(n_vms=4, mean=50.0, std=0.0), spec, 30, rng)
+        outage, loaded = plane.outage_statistics()
+        assert outage == 0
+        assert loaded > 0
+
+    def test_outages_detected_when_demand_exceeds_capacity(self, rng):
+        # Demand mean far above a thin link: every loaded second is an outage.
+        tree = build_star_tree(slots=(2, 2), capacities=(100.0, 100.0))
+        spec = JobSpec(
+            job_id=1, n_vms=4, compute_time=50, mean_rate=400.0,
+            std_rate=0.0, flow_volume=1e9,
+        )
+        plane = run_plane(
+            tree, HomogeneousSVC(n_vms=4, mean=10.0, std=1.0), spec, 20, rng, epsilon=0.4
+        )
+        outage, loaded = plane.outage_statistics()
+        assert loaded > 0
+        assert outage > 0
+        # With two 400-demand flows per direction on 100-capacity links,
+        # every loaded link-second on a crossing link is an outage.
+        assert outage >= loaded // 2
+
+    def test_tracking_disabled_by_default(self, tiny_tree, rng):
+        plane = DataPlane(tiny_tree, rng)
+        manager = NetworkManager(tiny_tree)
+        spec = JobSpec(
+            job_id=1, n_vms=8, compute_time=10, mean_rate=500.0,
+            std_rate=100.0, flow_volume=1e9,
+        )
+        tenancy = manager.request(HomogeneousSVC(n_vms=8, mean=200.0, std=50.0))
+        plane.start_job(ActiveJob(spec=spec, tenancy=tenancy, start_time=0))
+        for step in range(5):
+            plane.step(step)
+        assert plane.outage_statistics() == (0, 0)
+
+    def test_outage_rate_bounded_by_loaded(self, tiny_tree):
+        rng = np.random.default_rng(3)
+        plane = DataPlane(tiny_tree, rng, track_outages=True)
+        manager = NetworkManager(tiny_tree, epsilon=0.2)
+        for job_id in range(4):
+            tenancy = manager.request(HomogeneousSVC(n_vms=6, mean=300.0, std=200.0))
+            if tenancy is None:
+                continue
+            spec = JobSpec(
+                job_id=job_id, n_vms=6, compute_time=50, mean_rate=300.0,
+                std_rate=200.0, flow_volume=1e9,
+            )
+            plane.start_job(ActiveJob(spec=spec, tenancy=tenancy, start_time=0))
+        for step in range(50):
+            plane.step(step)
+        outage, loaded = plane.outage_statistics()
+        assert 0 <= outage <= loaded

@@ -1,0 +1,150 @@
+"""Batch and online scenario drivers."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import AdaptedTIVCAllocator
+from repro.simulation.jobs import JobSpec
+from repro.simulation.scenario import (
+    allocator_for_model,
+    run_batch,
+    run_online,
+)
+from repro.simulation.workload import (
+    WorkloadConfig,
+    assign_poisson_arrivals,
+    generate_jobs,
+)
+from repro.topology import TINY_SPEC, build_datacenter
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_datacenter(TINY_SPEC)
+
+
+@pytest.fixture(scope="module")
+def batch_specs():
+    config = WorkloadConfig(num_jobs=10, mean_job_size=5.0, max_job_size=16)
+    return generate_jobs(config, np.random.default_rng(11))
+
+
+@pytest.fixture(scope="module")
+def online_specs(tree):
+    config = WorkloadConfig(num_jobs=15, mean_job_size=5.0, max_job_size=16)
+    specs = generate_jobs(config, np.random.default_rng(12))
+    return assign_poisson_arrivals(
+        specs, 0.5, tree.total_slots, 5.0, 350.0, np.random.default_rng(13)
+    )
+
+
+class TestAllocatorForModel:
+    def test_vc_models_use_oktopus(self):
+        assert allocator_for_model("mean-vc").name == "oktopus"
+        assert allocator_for_model("percentile-vc").name == "oktopus"
+
+    def test_svc_uses_dispatch(self):
+        assert allocator_for_model("svc").name == "dispatch"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            allocator_for_model("bogus")
+
+
+class TestRunBatch:
+    @pytest.mark.parametrize("model", ["mean-vc", "percentile-vc", "svc"])
+    def test_all_jobs_complete(self, tree, batch_specs, model):
+        result = run_batch(tree, batch_specs, model=model, rng=np.random.default_rng(1))
+        assert len(result.records) + len(result.unschedulable) == len(batch_specs)
+        assert all(rec.completed for rec in result.records)
+        assert result.makespan > 0
+
+    def test_makespan_is_last_completion(self, tree, batch_specs):
+        result = run_batch(tree, batch_specs, model="svc", rng=np.random.default_rng(1))
+        assert result.makespan == max(rec.completion_time for rec in result.records)
+
+    def test_running_time_at_least_compute(self, tree, batch_specs):
+        result = run_batch(tree, batch_specs, model="svc", rng=np.random.default_rng(1))
+        for rec in result.records:
+            assert rec.running_time >= rec.compute_time
+
+    def test_fifo_start_order(self, tree, batch_specs):
+        # Strict FIFO: start times are non-decreasing in job order.
+        result = run_batch(tree, batch_specs, model="svc", rng=np.random.default_rng(1))
+        records = sorted(result.records, key=lambda rec: rec.job_id)
+        starts = [rec.start_time for rec in records]
+        assert starts == sorted(starts)
+
+    def test_custom_allocator_accepted(self, tree, batch_specs):
+        result = run_batch(
+            tree,
+            batch_specs,
+            model="svc",
+            allocator=AdaptedTIVCAllocator(),
+            rng=np.random.default_rng(1),
+        )
+        assert all(rec.completed for rec in result.records)
+
+    def test_unschedulable_job_skipped(self, tree):
+        impossible = JobSpec(
+            job_id=0, n_vms=tree.total_slots + 1, compute_time=200,
+            mean_rate=100.0, std_rate=0.0, flow_volume=100.0,
+        )
+        fits = JobSpec(
+            job_id=1, n_vms=2, compute_time=200,
+            mean_rate=100.0, std_rate=0.0, flow_volume=100.0,
+        )
+        result = run_batch(tree, [impossible, fits], model="svc", rng=np.random.default_rng(1))
+        assert result.unschedulable == [0]
+        assert len(result.records) == 1
+
+    def test_deterministic_given_seeds(self, tree, batch_specs):
+        a = run_batch(tree, batch_specs, model="svc", rng=np.random.default_rng(9))
+        b = run_batch(tree, batch_specs, model="svc", rng=np.random.default_rng(9))
+        assert a.makespan == b.makespan
+        assert [rec.completion_time for rec in a.records] == [
+            rec.completion_time for rec in b.records
+        ]
+
+
+class TestRunOnline:
+    def test_arrivals_accounted(self, tree, online_specs):
+        result = run_online(tree, online_specs, model="svc", rng=np.random.default_rng(2))
+        assert result.num_arrivals == len(online_specs)
+        assert len(result.records) == len(online_specs)
+        assert 0.0 <= result.rejection_rate <= 1.0
+
+    def test_samples_per_arrival(self, tree, online_specs):
+        result = run_online(tree, online_specs, model="svc", rng=np.random.default_rng(2))
+        assert len(result.concurrency_samples) == len(online_specs)
+        assert len(result.occupancy_samples) == len(online_specs)
+
+    def test_occupancy_samples_below_one(self, tree, online_specs):
+        result = run_online(tree, online_specs, model="svc", rng=np.random.default_rng(2))
+        assert all(0.0 <= occ < 1.0 for _t, occ in result.occupancy_samples)
+
+    def test_drain_completes_admitted(self, tree, online_specs):
+        result = run_online(
+            tree, online_specs, model="svc", drain=True, rng=np.random.default_rng(2)
+        )
+        for rec in result.records:
+            assert rec.rejected or rec.completed
+
+    def test_rejected_records_have_no_start(self, tree, online_specs):
+        result = run_online(tree, online_specs, model="percentile-vc", rng=np.random.default_rng(2))
+        for rec in result.records:
+            if rec.rejected:
+                assert rec.start_time is None and rec.completion_time is None
+
+    def test_start_not_before_submit(self, tree, online_specs):
+        result = run_online(tree, online_specs, model="svc", rng=np.random.default_rng(2))
+        for rec in result.records:
+            if rec.start_time is not None:
+                assert rec.start_time >= rec.submit_time
+
+    def test_mean_vc_rejects_no_more_than_percentile(self, tree, online_specs):
+        mean_res = run_online(tree, online_specs, model="mean-vc", rng=np.random.default_rng(2))
+        pctl_res = run_online(
+            tree, online_specs, model="percentile-vc", rng=np.random.default_rng(2)
+        )
+        assert mean_res.num_rejected <= pctl_res.num_rejected

@@ -1,0 +1,111 @@
+"""Scenario driver edge cases and configuration paths."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.jobs import JobSpec
+from repro.simulation.scenario import _resolve_rate_cap, run_batch, run_online
+from repro.topology import TINY_SPEC, build_datacenter
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_datacenter(TINY_SPEC)
+
+
+def tiny_spec(job_id, n_vms=2, submit=0.0, compute=5, rate=50.0, volume=100.0):
+    return JobSpec(
+        job_id=job_id, n_vms=n_vms, compute_time=compute, mean_rate=rate,
+        std_rate=0.0, flow_volume=volume, submit_time=submit,
+    )
+
+
+class TestRateCapResolution:
+    def test_nic_default(self, tree):
+        assert _resolve_rate_cap(tree, "nic") == tree.min_machine_uplink_capacity
+
+    def test_none_disables(self, tree):
+        assert _resolve_rate_cap(tree, None) is None
+
+    def test_explicit_number(self, tree):
+        assert _resolve_rate_cap(tree, 512.0) == 512.0
+
+    def test_rate_cap_none_runs(self, tree):
+        specs = [tiny_spec(0)]
+        result = run_batch(tree, specs, model="svc", rate_cap=None, rng=np.random.default_rng(0))
+        assert result.records[0].completed
+
+
+class TestBatchEdges:
+    def test_empty_batch(self, tree):
+        result = run_batch(tree, [], model="svc", rng=np.random.default_rng(0))
+        assert result.records == []
+        assert result.makespan == 0
+
+    def test_single_compute_only_job(self, tree):
+        spec = tiny_spec(0, n_vms=1, compute=7)
+        result = run_batch(tree, [spec], model="svc", rng=np.random.default_rng(0))
+        record = result.records[0]
+        assert record.completion_time == 7
+        assert record.running_time == 7
+
+    def test_zero_compute_time_job(self, tree):
+        spec = tiny_spec(0, n_vms=2, compute=0, volume=100.0, rate=100.0)
+        result = run_batch(tree, [spec], model="svc", rng=np.random.default_rng(0))
+        record = result.records[0]
+        # Completion bounded by the network phase (1 s at rate 100).
+        assert record.completion_time == 1
+
+    def test_max_time_guard(self, tree):
+        # A job that can never finish (zero demand, positive volume) trips
+        # the runaway guard instead of hanging.
+        spec = tiny_spec(0, n_vms=2, rate=0.0, volume=100.0)
+        with pytest.raises(RuntimeError):
+            run_batch(tree, [spec], model="svc", max_time=50, rng=np.random.default_rng(0))
+
+    def test_head_of_line_blocking(self, tree):
+        # A huge head job blocks a small one even though the small one fits.
+        big = tiny_spec(0, n_vms=48, compute=20, rate=10.0, volume=10.0)
+        filler = tiny_spec(1, n_vms=40, compute=30, rate=10.0, volume=10.0)
+        small = tiny_spec(2, n_vms=2, compute=5, rate=10.0, volume=10.0)
+        result = run_batch(
+            tree, [filler, big, small], model="svc", rng=np.random.default_rng(0)
+        )
+        records = {rec.job_id: rec for rec in result.records}
+        # The small job cannot start before the big one did.
+        assert records[2].start_time >= records[0].start_time
+
+
+class TestOnlineEdges:
+    def test_no_drain_stops_at_horizon(self, tree):
+        specs = [tiny_spec(0, submit=0.0, compute=500, volume=1e6, rate=10.0)]
+        result = run_online(
+            tree, specs, model="svc", drain=False, rng=np.random.default_rng(0)
+        )
+        # Job admitted but not completed: record absent of completion.
+        assert result.num_rejected == 0
+        assert not result.records[0].completed
+
+    def test_idle_gap_fast_forward(self, tree):
+        # Two arrivals 10,000 s apart: the driver must not crawl through the
+        # idle gap second by second (max_time would trip if it did).
+        specs = [
+            tiny_spec(0, submit=0.0, compute=5, volume=10.0),
+            tiny_spec(1, submit=10_000.0, compute=5, volume=10.0),
+        ]
+        result = run_online(
+            tree, specs, model="svc", max_time=11_000, rng=np.random.default_rng(0)
+        )
+        assert all(rec.completed for rec in result.records)
+
+    def test_simultaneous_arrivals(self, tree):
+        specs = [tiny_spec(i, submit=3.0) for i in range(4)]
+        result = run_online(tree, specs, model="svc", rng=np.random.default_rng(0))
+        assert result.num_arrivals == 4
+        assert all(rec.start_time == 3 for rec in result.records)
+
+    def test_all_rejected_workload(self, tree):
+        specs = [tiny_spec(i, n_vms=tree.total_slots + 1) for i in range(3)]
+        result = run_online(tree, specs, model="svc", rng=np.random.default_rng(0))
+        assert result.rejection_rate == 1.0
+        assert all(rec.rejected for rec in result.records)

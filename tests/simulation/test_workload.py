@@ -1,0 +1,192 @@
+"""Workload generator and abstraction adapters (Section VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.abstractions import DeterministicVC, HeterogeneousSVC, HomogeneousSVC
+from repro.simulation.workload import (
+    ABSTRACTION_MODELS,
+    WorkloadConfig,
+    assign_poisson_arrivals,
+    generate_jobs,
+    make_request,
+)
+from repro.stochastic.normal import Normal, truncated_moments
+
+
+class TestWorkloadConfig:
+    def test_defaults_follow_paper(self):
+        config = WorkloadConfig()
+        assert config.num_jobs == 500
+        assert config.mean_job_size == 49.0
+        assert config.compute_time_range == (200, 500)
+        assert config.rate_choices == (100.0, 200.0, 300.0, 400.0, 500.0)
+        assert config.deviation is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_jobs": 0},
+            {"min_job_size": 0},
+            {"min_job_size": 10, "max_job_size": 5},
+            {"deviation": 1.5},
+            {"compute_time_range": (300, 200)},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**kwargs)
+
+    def test_mean_compute_time(self):
+        assert WorkloadConfig().mean_compute_time == 350.0
+
+
+class TestGenerateJobs:
+    def test_count_and_ids(self, rng):
+        specs = generate_jobs(WorkloadConfig(num_jobs=50), rng)
+        assert len(specs) == 50
+        assert [spec.job_id for spec in specs] == list(range(50))
+
+    def test_sizes_within_bounds(self, rng):
+        config = WorkloadConfig(num_jobs=300, min_job_size=2, max_job_size=100)
+        specs = generate_jobs(config, rng)
+        assert all(2 <= spec.n_vms <= 100 for spec in specs)
+
+    def test_sizes_roughly_exponential(self):
+        config = WorkloadConfig(num_jobs=4000, mean_job_size=49.0, max_job_size=10_000)
+        specs = generate_jobs(config, np.random.default_rng(0))
+        mean_size = np.mean([spec.n_vms for spec in specs])
+        assert mean_size == pytest.approx(49.0, rel=0.1)
+
+    def test_compute_times_in_range(self, rng):
+        specs = generate_jobs(WorkloadConfig(num_jobs=200), rng)
+        assert all(200 <= spec.compute_time <= 500 for spec in specs)
+
+    def test_rates_from_choices(self, rng):
+        specs = generate_jobs(WorkloadConfig(num_jobs=200), rng)
+        assert all(spec.mean_rate in {100, 200, 300, 400, 500} for spec in specs)
+
+    def test_fixed_deviation(self, rng):
+        specs = generate_jobs(WorkloadConfig(num_jobs=100, deviation=0.3), rng)
+        for spec in specs:
+            assert spec.std_rate == pytest.approx(0.3 * spec.mean_rate)
+
+    def test_random_deviation_below_mean(self, rng):
+        specs = generate_jobs(WorkloadConfig(num_jobs=200), rng)
+        assert all(spec.std_rate <= spec.mean_rate for spec in specs)
+
+    def test_flow_volume_scales_with_rate(self, rng):
+        specs = generate_jobs(WorkloadConfig(num_jobs=200), rng)
+        for spec in specs:
+            ratio = spec.flow_volume / spec.mean_rate
+            assert 200 <= ratio <= 500
+
+    def test_heterogeneous_vm_rates(self, rng):
+        specs = generate_jobs(WorkloadConfig(num_jobs=50, heterogeneous=True), rng)
+        for spec in specs:
+            assert spec.vm_rates is not None
+            assert len(spec.vm_rates) == spec.n_vms
+            assert all(mu in {100, 200, 300, 400, 500} for mu, _sd in spec.vm_rates)
+
+    def test_deterministic_given_seed(self):
+        a = generate_jobs(WorkloadConfig(num_jobs=20), np.random.default_rng(3))
+        b = generate_jobs(WorkloadConfig(num_jobs=20), np.random.default_rng(3))
+        assert a == b
+
+
+class TestPoissonArrivals:
+    def test_arrival_times_nondecreasing(self, rng):
+        specs = generate_jobs(WorkloadConfig(num_jobs=100), np.random.default_rng(0))
+        stamped = assign_poisson_arrivals(specs, 0.6, 480, 12.0, 350.0, rng)
+        times = [spec.submit_time for spec in stamped]
+        assert times == sorted(times)
+
+    def test_rate_matches_load_formula(self):
+        # lambda = load * M / (N * Tc); mean inter-arrival = 1 / lambda.
+        specs = generate_jobs(
+            WorkloadConfig(num_jobs=3000, mean_job_size=12.0), np.random.default_rng(0)
+        )
+        stamped = assign_poisson_arrivals(
+            specs, 0.6, 480, 12.0, 350.0, np.random.default_rng(1)
+        )
+        lam = 0.6 * 480 / (12.0 * 350.0)
+        horizon = stamped[-1].submit_time
+        assert len(stamped) / horizon == pytest.approx(lam, rel=0.1)
+
+    def test_rejects_nonpositive_load(self, rng):
+        with pytest.raises(ValueError):
+            assign_poisson_arrivals([], 0.0, 480, 12.0, 350.0, rng)
+
+    def test_original_specs_untouched(self, rng):
+        specs = generate_jobs(WorkloadConfig(num_jobs=10), np.random.default_rng(0))
+        assign_poisson_arrivals(specs, 0.5, 480, 12.0, 350.0, rng)
+        assert all(spec.submit_time == 0.0 for spec in specs)
+
+
+class TestMakeRequest:
+    def spec(self, **overrides):
+        from repro.simulation.jobs import JobSpec
+
+        params = dict(
+            job_id=0, n_vms=10, compute_time=300, mean_rate=300.0,
+            std_rate=150.0, flow_volume=1e5,
+        )
+        params.update(overrides)
+        return JobSpec(**params)
+
+    def test_models_enumerated(self):
+        assert set(ABSTRACTION_MODELS) == {"mean-vc", "percentile-vc", "svc"}
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(self.spec(), "oktopus")
+
+    def test_mean_vc_without_cap(self):
+        request = make_request(self.spec(), "mean-vc")
+        assert isinstance(request, DeterministicVC)
+        assert request.bandwidth == pytest.approx(300.0)
+
+    def test_percentile_vc_without_cap(self):
+        request = make_request(self.spec(), "percentile-vc")
+        assert request.bandwidth == pytest.approx(300.0 + 1.6449 * 150.0, abs=0.1)
+
+    def test_svc_without_cap(self):
+        request = make_request(self.spec(), "svc")
+        assert isinstance(request, HomogeneousSVC)
+        assert request.mean == 300.0
+        assert request.std == 150.0
+
+    def test_rate_cap_truncates_profile(self):
+        spec = self.spec(mean_rate=500.0, std_rate=450.0)
+        request = make_request(spec, "svc", rate_cap=1000.0)
+        expected = truncated_moments(Normal(500.0, 450.0), 0.0, 1000.0)
+        assert request.mean == pytest.approx(expected.mean)
+        assert request.std == pytest.approx(expected.std)
+
+    def test_percentile_vc_never_exceeds_cap(self):
+        spec = self.spec(mean_rate=500.0, std_rate=450.0)
+        request = make_request(spec, "percentile-vc", rate_cap=1000.0)
+        assert request.bandwidth <= 1000.0
+
+    def test_cap_noop_for_narrow_profile(self):
+        spec = self.spec(mean_rate=100.0, std_rate=5.0)
+        capped = make_request(spec, "svc", rate_cap=1000.0)
+        assert capped.mean == pytest.approx(100.0, abs=1e-6)
+        assert capped.std == pytest.approx(5.0, rel=1e-3)
+
+    def test_heterogeneous_svc_request(self):
+        spec = self.spec(
+            n_vms=3, vm_rates=((100.0, 10.0), (200.0, 20.0), (300.0, 30.0))
+        )
+        request = make_request(spec, "svc")
+        assert isinstance(request, HeterogeneousSVC)
+        assert request.demands[2] == Normal(300.0, 30.0)
+
+    def test_heterogeneous_vc_uses_max(self):
+        spec = self.spec(
+            n_vms=3, vm_rates=((100.0, 10.0), (200.0, 20.0), (300.0, 30.0))
+        )
+        mean_vc = make_request(spec, "mean-vc")
+        pctl_vc = make_request(spec, "percentile-vc")
+        assert mean_vc.bandwidth == pytest.approx(300.0)
+        assert pctl_vc.bandwidth == pytest.approx(300.0 + 1.6449 * 30.0, abs=0.1)

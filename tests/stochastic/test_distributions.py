@@ -1,0 +1,121 @@
+"""Alternative demand families and their moment matching."""
+
+import numpy as np
+import pytest
+
+from repro.abstractions import HomogeneousSVC
+from repro.manager import NetworkManager
+from repro.stochastic import EmpiricalDemand, LogNormalDemand, UniformDemand
+
+
+class TestLogNormalDemand:
+    def test_moments_closed_form(self):
+        demand = LogNormalDemand(mu_log=5.0, sigma_log=0.5)
+        # E = exp(mu + sigma^2/2), Var = (exp(sigma^2)-1) exp(2mu+sigma^2).
+        assert demand.mean == pytest.approx(np.exp(5.125))
+        assert demand.variance == pytest.approx(
+            (np.exp(0.25) - 1.0) * np.exp(10.25)
+        )
+
+    def test_moments_match_sampling(self, rng):
+        demand = LogNormalDemand.from_moments(300.0, 150.0)
+        draws = demand.sample(rng, size=500_000)
+        assert np.mean(draws) == pytest.approx(300.0, rel=0.02)
+        assert np.std(draws) == pytest.approx(150.0, rel=0.03)
+
+    def test_from_moments_roundtrip(self):
+        demand = LogNormalDemand.from_moments(250.0, 100.0)
+        assert demand.mean == pytest.approx(250.0)
+        assert demand.variance == pytest.approx(100.0 ** 2)
+
+    def test_to_normal_preserves_moments(self):
+        demand = LogNormalDemand.from_moments(250.0, 100.0)
+        matched = demand.to_normal()
+        assert matched.mean == pytest.approx(250.0)
+        assert matched.std == pytest.approx(100.0)
+
+    def test_from_moments_validation(self):
+        with pytest.raises(ValueError):
+            LogNormalDemand.from_moments(0.0, 10.0)
+        with pytest.raises(ValueError):
+            LogNormalDemand.from_moments(10.0, -1.0)
+
+    def test_samples_nonnegative(self, rng):
+        demand = LogNormalDemand.from_moments(50.0, 200.0)  # very heavy tail
+        assert (demand.sample(rng, size=10_000) >= 0.0).all()
+
+
+class TestUniformDemand:
+    def test_moments(self):
+        demand = UniformDemand(low=100.0, high=400.0)
+        assert demand.mean == 250.0
+        assert demand.variance == pytest.approx(300.0 ** 2 / 12.0)
+
+    def test_sampling_range(self, rng):
+        demand = UniformDemand(low=10.0, high=20.0)
+        draws = demand.sample(rng, size=10_000)
+        assert draws.min() >= 10.0 and draws.max() <= 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformDemand(low=-1.0, high=5.0)
+        with pytest.raises(ValueError):
+            UniformDemand(low=5.0, high=4.0)
+
+
+class TestEmpiricalDemand:
+    def test_moments_are_sample_moments(self):
+        demand = EmpiricalDemand.from_sequence([10.0, 20.0, 30.0])
+        assert demand.mean == pytest.approx(20.0)
+        assert demand.variance == pytest.approx(100.0)
+
+    def test_resampling_stays_in_support(self, rng):
+        demand = EmpiricalDemand.from_sequence([1.0, 2.0, 3.0])
+        draws = demand.sample(rng, size=1000)
+        assert set(np.unique(draws)) <= {1.0, 2.0, 3.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalDemand.from_sequence([1.0])
+        with pytest.raises(ValueError):
+            EmpiricalDemand.from_sequence([1.0, -1.0])
+
+
+class TestMomentMatchedAdmission:
+    def test_lognormal_tenant_end_to_end(self, tiny_tree):
+        # The extension path the paper's conclusion promises: fit a heavy-
+        # tailed family, moment match, and run through the SVC machinery.
+        demand = LogNormalDemand.from_moments(200.0, 120.0)
+        matched = demand.to_normal()
+        request = HomogeneousSVC(n_vms=8, mean=matched.mean, std=matched.std)
+        manager = NetworkManager(tiny_tree)
+        tenancy = manager.request(request)
+        assert tenancy is not None
+        assert manager.max_occupancy() < 1.0
+        manager.release(tenancy)
+
+
+class TestFitFamilies:
+    def test_lognormal_fit_recovers_parameters(self, rng):
+        from repro.profiling import RateTrace
+        from repro.profiling.derive import fit_demand
+
+        truth = LogNormalDemand.from_moments(300.0, 150.0)
+        trace = RateTrace(samples=tuple(truth.sample(rng, size=50_000)))
+        fitted = fit_demand(trace, family="lognormal")
+        assert fitted.mean == pytest.approx(300.0, rel=0.03)
+        assert fitted.std == pytest.approx(150.0, rel=0.05)
+
+    def test_empirical_family_matches_normal_moments(self, rng):
+        from repro.profiling import RateTrace
+        from repro.profiling.derive import fit_demand
+
+        trace = RateTrace(samples=(10.0, 30.0, 20.0, 40.0))
+        assert fit_demand(trace, family="empirical") == fit_demand(trace, family="normal")
+
+    def test_unknown_family_rejected(self):
+        from repro.profiling import RateTrace
+        from repro.profiling.derive import fit_demand
+
+        with pytest.raises(ValueError):
+            fit_demand(RateTrace(samples=(1.0, 2.0)), family="cauchy")

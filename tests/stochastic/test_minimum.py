@@ -1,0 +1,105 @@
+"""Lemma 1 (min of two normals) — closed form vs. Monte Carlo and identities."""
+
+import numpy as np
+import pytest
+
+from repro.stochastic.minimum import max_of_normals, min_of_normals
+from repro.stochastic.normal import Normal
+
+
+def _monte_carlo_min(first: Normal, second: Normal, rng, n=400_000):
+    a = rng.normal(first.mean, first.std, size=n)
+    b = rng.normal(second.mean, second.std, size=n)
+    m = np.minimum(a, b)
+    return float(np.mean(m)), float(np.var(m))
+
+
+class TestMinOfNormalsAgainstMonteCarlo:
+    @pytest.mark.parametrize(
+        "first,second",
+        [
+            (Normal(0.0, 1.0), Normal(0.0, 1.0)),
+            (Normal(10.0, 2.0), Normal(12.0, 3.0)),
+            (Normal(100.0, 30.0), Normal(500.0, 10.0)),
+            (Normal(-5.0, 4.0), Normal(5.0, 4.0)),
+            (Normal(200.0, 50.0), Normal(200.0, 5.0)),
+        ],
+    )
+    def test_moments_match_sampling(self, first, second, rng):
+        result = min_of_normals(first, second)
+        mc_mean, mc_var = _monte_carlo_min(first, second, rng)
+        scale = max(first.std, second.std)
+        assert result.mean == pytest.approx(mc_mean, abs=0.02 * scale)
+        assert result.variance == pytest.approx(mc_var, rel=0.05)
+
+
+class TestMinOfNormalsProperties:
+    def test_symmetric_in_arguments(self):
+        a, b = Normal(3.0, 1.0), Normal(5.0, 2.0)
+        forward = min_of_normals(a, b)
+        backward = min_of_normals(b, a)
+        assert forward.mean == pytest.approx(backward.mean)
+        assert forward.std == pytest.approx(backward.std)
+
+    def test_identical_standard_normals_known_value(self):
+        # E[min(X, Y)] = -1/sqrt(pi) and Var = 1 - 1/pi for iid N(0, 1).
+        result = min_of_normals(Normal(0.0, 1.0), Normal(0.0, 1.0))
+        assert result.mean == pytest.approx(-1.0 / np.sqrt(np.pi), abs=1e-12)
+        assert result.variance == pytest.approx(1.0 - 1.0 / np.pi, abs=1e-12)
+
+    def test_mean_below_both_input_means(self):
+        result = min_of_normals(Normal(10.0, 2.0), Normal(11.0, 2.0))
+        assert result.mean < 10.0
+
+    def test_dominant_separation_recovers_smaller_input(self):
+        small = Normal(10.0, 1.0)
+        large = Normal(1000.0, 1.0)
+        result = min_of_normals(small, large)
+        assert result.mean == pytest.approx(small.mean, abs=1e-6)
+        assert result.std == pytest.approx(small.std, abs=1e-6)
+
+    def test_both_deterministic(self):
+        result = min_of_normals(Normal.deterministic(4.0), Normal.deterministic(9.0))
+        assert result.mean == 4.0
+        assert result.std == 0.0
+
+    def test_one_deterministic_far_above(self):
+        stochastic = Normal(10.0, 2.0)
+        result = min_of_normals(stochastic, Normal.deterministic(100.0))
+        assert result.mean == pytest.approx(10.0, abs=1e-9)
+        assert result.std == pytest.approx(2.0, abs=1e-9)
+
+    def test_one_deterministic_interacting(self, rng):
+        stochastic = Normal(10.0, 3.0)
+        constant = Normal.deterministic(10.0)
+        result = min_of_normals(stochastic, constant)
+        mc_mean, mc_var = _monte_carlo_min(stochastic, constant, rng)
+        assert result.mean == pytest.approx(mc_mean, abs=0.05)
+        assert result.variance == pytest.approx(mc_var, rel=0.05)
+
+    def test_variance_never_negative(self):
+        # Near-degenerate pair that stresses the second-moment subtraction.
+        result = min_of_normals(Normal(1e6, 1e-3), Normal(1e6, 1e-3))
+        assert result.variance >= 0.0
+
+
+class TestMaxOfNormals:
+    def test_min_max_sum_identity(self):
+        # E[min] + E[max] = mu1 + mu2 for any pair.
+        a, b = Normal(7.0, 2.0), Normal(9.0, 5.0)
+        low = min_of_normals(a, b)
+        high = max_of_normals(a, b)
+        assert low.mean + high.mean == pytest.approx(a.mean + b.mean)
+
+    def test_max_at_least_both_means(self):
+        high = max_of_normals(Normal(3.0, 1.0), Normal(4.0, 1.0))
+        assert high.mean > 4.0
+
+    def test_max_matches_monte_carlo(self, rng):
+        a, b = Normal(10.0, 4.0), Normal(12.0, 1.0)
+        high = max_of_normals(a, b)
+        draws = np.maximum(
+            rng.normal(a.mean, a.std, 400_000), rng.normal(b.mean, b.std, 400_000)
+        )
+        assert high.mean == pytest.approx(float(np.mean(draws)), abs=0.05)
+        assert high.variance == pytest.approx(float(np.var(draws)), rel=0.05)

@@ -1,0 +1,158 @@
+"""Unit tests for the normal-distribution toolkit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stochastic.normal import (
+    Normal,
+    ZERO,
+    normal_cdf,
+    normal_pdf,
+    normal_quantile,
+    sum_iid,
+    sum_normals,
+)
+
+
+class TestStandardNormalHelpers:
+    def test_pdf_at_zero_is_inverse_sqrt_2pi(self):
+        assert normal_pdf(0.0) == pytest.approx(1.0 / math.sqrt(2.0 * math.pi))
+
+    def test_pdf_is_symmetric(self):
+        assert normal_pdf(1.7) == pytest.approx(normal_pdf(-1.7))
+
+    def test_pdf_decays(self):
+        assert normal_pdf(5.0) < normal_pdf(1.0) < normal_pdf(0.0)
+
+    def test_cdf_at_zero_is_half(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+
+    def test_cdf_symmetry(self):
+        assert normal_cdf(1.3) + normal_cdf(-1.3) == pytest.approx(1.0)
+
+    def test_cdf_monotone(self):
+        xs = np.linspace(-4, 4, 33)
+        values = [normal_cdf(x) for x in xs]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_quantile_inverts_cdf(self):
+        for p in (0.01, 0.1, 0.5, 0.9, 0.95, 0.99):
+            assert normal_cdf(normal_quantile(p)) == pytest.approx(p, abs=1e-10)
+
+    def test_quantile_known_values(self):
+        # The c = Phi^{-1}(1 - eps) constants the paper's evaluation uses.
+        assert normal_quantile(0.95) == pytest.approx(1.6449, abs=1e-4)
+        assert normal_quantile(0.98) == pytest.approx(2.0537, abs=1e-4)
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.1, 1.5])
+    def test_quantile_rejects_out_of_range(self, p):
+        with pytest.raises(ValueError):
+            normal_quantile(p)
+
+
+class TestNormalValueType:
+    def test_variance_is_std_squared(self):
+        assert Normal(3.0, 2.0).variance == pytest.approx(4.0)
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            Normal(0.0, -1.0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            Normal(math.nan, 1.0)
+        with pytest.raises(ValueError):
+            Normal(0.0, math.inf)
+
+    def test_from_variance(self):
+        assert Normal.from_variance(1.0, 9.0).std == pytest.approx(3.0)
+
+    def test_from_variance_clamps_round_off(self):
+        assert Normal.from_variance(1.0, -1e-12).std == 0.0
+
+    def test_from_variance_rejects_truly_negative(self):
+        with pytest.raises(ValueError):
+            Normal.from_variance(1.0, -0.5)
+
+    def test_deterministic_constructor(self):
+        demand = Normal.deterministic(42.0)
+        assert demand.is_deterministic
+        assert demand.mean == 42.0
+
+    def test_addition_adds_means_and_variances(self):
+        total = Normal(1.0, 3.0) + Normal(2.0, 4.0)
+        assert total.mean == pytest.approx(3.0)
+        assert total.variance == pytest.approx(25.0)
+
+    def test_scale(self):
+        scaled = Normal(2.0, 3.0).scale(2.0)
+        assert scaled.mean == pytest.approx(4.0)
+        assert scaled.std == pytest.approx(6.0)
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Normal(1.0, 1.0).scale(-1.0)
+
+    def test_cdf_matches_standardization(self):
+        demand = Normal(10.0, 2.0)
+        assert demand.cdf(12.0) == pytest.approx(normal_cdf(1.0))
+
+    def test_sf_complements_cdf(self):
+        demand = Normal(10.0, 2.0)
+        assert demand.cdf(11.0) + demand.sf(11.0) == pytest.approx(1.0)
+
+    def test_deterministic_cdf_is_step(self):
+        demand = Normal.deterministic(5.0)
+        assert demand.cdf(4.999) == 0.0
+        assert demand.cdf(5.0) == 1.0
+
+    def test_quantile_location_scale(self):
+        demand = Normal(10.0, 2.0)
+        assert demand.quantile(0.95) == pytest.approx(10.0 + 2.0 * normal_quantile(0.95))
+
+    def test_percentile_is_quantile_times_100(self):
+        demand = Normal(10.0, 2.0)
+        assert demand.percentile(95.0) == pytest.approx(demand.quantile(0.95))
+
+    def test_deterministic_quantile_is_the_constant(self):
+        assert Normal.deterministic(7.0).quantile(0.99) == 7.0
+
+    def test_sample_moments(self, rng):
+        demand = Normal(100.0, 15.0)
+        draws = demand.sample(rng, size=200_000)
+        assert np.mean(draws) == pytest.approx(100.0, abs=0.2)
+        assert np.std(draws) == pytest.approx(15.0, abs=0.2)
+
+    def test_equality_and_hash(self):
+        assert Normal(1.0, 2.0) == Normal(1.0, 2.0)
+        assert hash(Normal(1.0, 2.0)) == hash(Normal(1.0, 2.0))
+
+
+class TestAggregation:
+    def test_sum_iid_scales_mean_and_variance(self):
+        total = sum_iid(Normal(10.0, 3.0), 4)
+        assert total.mean == pytest.approx(40.0)
+        assert total.variance == pytest.approx(36.0)
+
+    def test_sum_iid_zero_count_is_zero(self):
+        assert sum_iid(Normal(10.0, 3.0), 0) == ZERO
+
+    def test_sum_iid_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            sum_iid(Normal(1.0, 1.0), -1)
+
+    def test_sum_normals_empty_is_zero(self):
+        assert sum_normals([]) == ZERO
+
+    def test_sum_normals_matches_pairwise_addition(self):
+        demands = [Normal(1.0, 1.0), Normal(2.0, 2.0), Normal(3.0, 0.5)]
+        total = sum_normals(demands)
+        pairwise = demands[0] + demands[1] + demands[2]
+        assert total.mean == pytest.approx(pairwise.mean)
+        assert total.variance == pytest.approx(pairwise.variance)
+
+    def test_zero_constant(self):
+        assert ZERO.mean == 0.0
+        assert ZERO.is_deterministic

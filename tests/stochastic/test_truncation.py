@@ -1,0 +1,107 @@
+"""Truncated-normal moment matching used to derive NIC-limited profiles."""
+
+import numpy as np
+import pytest
+
+from repro.stochastic.normal import Normal, truncated_moments, truncated_quantile
+
+
+def _mc_truncated(demand: Normal, lower: float, upper: float, rng, n=600_000):
+    draws = rng.normal(demand.mean, demand.std, size=n)
+    kept = draws[(draws >= lower) & (draws <= upper)]
+    return float(np.mean(kept)), float(np.std(kept)), kept
+
+
+class TestTruncatedMoments:
+    @pytest.mark.parametrize(
+        "demand,lower,upper",
+        [
+            (Normal(500.0, 450.0), 0.0, 1000.0),
+            (Normal(100.0, 30.0), 0.0, 1000.0),
+            (Normal(0.0, 1.0), -1.0, 2.0),
+            (Normal(900.0, 300.0), 0.0, 1000.0),
+        ],
+    )
+    def test_matches_monte_carlo(self, demand, lower, upper, rng):
+        result = truncated_moments(demand, lower, upper)
+        mc_mean, mc_std, _ = _mc_truncated(demand, lower, upper, rng)
+        assert result.mean == pytest.approx(mc_mean, abs=0.01 * max(demand.std, 1.0))
+        assert result.std == pytest.approx(mc_std, rel=0.02)
+
+    def test_wide_bounds_are_identity(self):
+        demand = Normal(100.0, 10.0)
+        result = truncated_moments(demand, -1e9, 1e9)
+        assert result.mean == pytest.approx(100.0, abs=1e-6)
+        assert result.std == pytest.approx(10.0, rel=1e-6)
+
+    def test_truncation_reduces_variance(self):
+        demand = Normal(500.0, 450.0)
+        result = truncated_moments(demand, 0.0, 1000.0)
+        assert result.std < demand.std
+
+    def test_symmetric_truncation_keeps_mean(self):
+        demand = Normal(500.0, 200.0)
+        result = truncated_moments(demand, 0.0, 1000.0)
+        assert result.mean == pytest.approx(500.0, abs=1e-9)
+
+    def test_one_sided_pull(self):
+        # Cutting the lower tail pulls the mean up.
+        demand = Normal(100.0, 80.0)
+        result = truncated_moments(demand, 0.0, 1e9)
+        assert result.mean > 100.0
+
+    def test_mass_below_interval_collapses_to_lower(self):
+        result = truncated_moments(Normal(-1000.0, 1.0), 0.0, 10.0)
+        assert result.mean == pytest.approx(0.0, abs=1e-6)
+
+    def test_deterministic_clamped(self):
+        assert truncated_moments(Normal.deterministic(50.0), 0.0, 10.0).mean == 10.0
+        assert truncated_moments(Normal.deterministic(5.0), 0.0, 10.0).mean == 5.0
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            truncated_moments(Normal(0.0, 1.0), 5.0, 5.0)
+
+    def test_nic_feasibility_motivation(self):
+        # The workload pathology the truncation fixes: mu=500, rho=0.9 has a
+        # raw 95th percentile above a 1 Gbps NIC, the truncated one below it.
+        raw = Normal(500.0, 450.0)
+        profiled = truncated_moments(raw, 0.0, 1000.0)
+        c = 1.6449
+        assert raw.mean + c * raw.std > 1000.0
+        assert profiled.mean + c * profiled.std < 1000.0
+
+
+class TestTruncatedQuantile:
+    def test_within_bounds(self):
+        demand = Normal(500.0, 450.0)
+        for p in (0.05, 0.5, 0.95, 0.99):
+            q = truncated_quantile(demand, p, 0.0, 1000.0)
+            assert 0.0 <= q <= 1000.0
+
+    def test_matches_monte_carlo(self, rng):
+        demand = Normal(500.0, 450.0)
+        _mean, _std, kept = _mc_truncated(demand, 0.0, 1000.0, rng)
+        q95 = truncated_quantile(demand, 0.95, 0.0, 1000.0)
+        assert q95 == pytest.approx(float(np.percentile(kept, 95)), abs=3.0)
+
+    def test_wide_bounds_recover_plain_quantile(self):
+        demand = Normal(10.0, 2.0)
+        assert truncated_quantile(demand, 0.9, -1e9, 1e9) == pytest.approx(
+            demand.quantile(0.9), abs=1e-6
+        )
+
+    def test_monotone_in_p(self):
+        demand = Normal(500.0, 300.0)
+        qs = [truncated_quantile(demand, p, 0.0, 1000.0) for p in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert all(a < b for a, b in zip(qs, qs[1:]))
+
+    def test_deterministic_clamped(self):
+        assert truncated_quantile(Normal.deterministic(50.0), 0.5, 0.0, 10.0) == 10.0
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            truncated_quantile(Normal(0.0, 1.0), 0.0, 0.0, 1.0)
+
+    def test_no_mass_interval_falls_to_bound(self):
+        assert truncated_quantile(Normal(-1000.0, 1.0), 0.5, 0.0, 1.0) == 0.0

@@ -1,0 +1,44 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig9", "--scale", "tiny", "--seed", "3"])
+        assert args.experiment == "fig9"
+        assert args.scale == "tiny"
+        assert args.seed == 3
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.scale == "small"
+        assert args.seed == 0
+
+    def test_all_is_a_choice(self):
+        assert build_parser().parse_args(["all"]).experiment == "all"
+
+    def test_ablations_are_choices(self):
+        parser = build_parser()
+        assert parser.parse_args(["ablation-epsilon"]).experiment == "ablation-epsilon"
+        assert parser.parse_args(["validate-outage"]).experiment == "validate-outage"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--scale", "galactic"])
+
+
+@pytest.mark.slow
+class TestMain:
+    def test_runs_one_experiment(self, capsys):
+        exit_code = main(["fig10", "--scale", "tiny"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Fig. 10" in captured.out

@@ -1,0 +1,101 @@
+"""Datacenter builder: paper topology dimensions and oversubscription math."""
+
+import pytest
+
+from repro.topology.builder import (
+    DatacenterSpec,
+    GBPS,
+    PAPER_SPEC,
+    SMALL_SPEC,
+    TINY_SPEC,
+    build_datacenter,
+    build_two_machine_example,
+)
+
+
+class TestDatacenterSpec:
+    def test_paper_dimensions(self):
+        # Section VI-A: 20 machines/rack x 4 slots, 10 racks/agg, 5 aggs.
+        assert PAPER_SPEC.num_machines == 1000
+        assert PAPER_SPEC.total_slots == 4000
+
+    def test_paper_link_capacities_at_oversub_2(self):
+        # "the link bandwidth between a ToR switch and an aggregation switch
+        # is 10Gbps and ... aggregation and the core switch is 50Gbps."
+        assert PAPER_SPEC.oversubscription == 2.0
+        assert PAPER_SPEC.tor_uplink_mbps == pytest.approx(10 * GBPS)
+        assert PAPER_SPEC.agg_uplink_mbps == pytest.approx(50 * GBPS)
+
+    def test_full_bisection_at_oversub_1(self):
+        spec = PAPER_SPEC.with_oversubscription(1.0)
+        assert spec.tor_uplink_mbps == pytest.approx(20 * GBPS)
+        assert spec.agg_uplink_mbps == pytest.approx(200 * GBPS)
+
+    def test_with_oversubscription_preserves_shape(self):
+        spec = SMALL_SPEC.with_oversubscription(3.0)
+        assert spec.num_machines == SMALL_SPEC.num_machines
+        assert spec.oversubscription == 3.0
+
+    def test_rejects_oversubscription_below_one(self):
+        with pytest.raises(ValueError):
+            DatacenterSpec(oversubscription=0.5)
+
+    def test_rejects_zero_shape(self):
+        with pytest.raises(ValueError):
+            DatacenterSpec(pods=0)
+
+    def test_rejects_nonpositive_link(self):
+        with pytest.raises(ValueError):
+            DatacenterSpec(machine_link_mbps=0.0)
+
+
+class TestBuildDatacenter:
+    @pytest.mark.parametrize("spec", [TINY_SPEC, SMALL_SPEC])
+    def test_counts_match_spec(self, spec):
+        tree = build_datacenter(spec)
+        assert len(tree.machine_ids) == spec.num_machines
+        assert tree.total_slots == spec.total_slots
+        assert tree.height == 3
+
+    def test_level_populations(self):
+        tree = build_datacenter(TINY_SPEC)
+        assert len(tree.nodes_at_level(0)) == TINY_SPEC.num_machines
+        assert len(tree.nodes_at_level(1)) == TINY_SPEC.racks_per_pod * TINY_SPEC.pods
+        assert len(tree.nodes_at_level(2)) == TINY_SPEC.pods
+        assert len(tree.nodes_at_level(3)) == 1
+
+    def test_link_capacities(self):
+        tree = build_datacenter(TINY_SPEC)
+        capacities = sorted({link.capacity for link in tree.links})
+        assert capacities == sorted(
+            {
+                TINY_SPEC.machine_link_mbps,
+                TINY_SPEC.tor_uplink_mbps,
+                TINY_SPEC.agg_uplink_mbps,
+            }
+        )
+
+    def test_every_machine_reaches_root(self):
+        tree = build_datacenter(TINY_SPEC)
+        for machine_id in tree.machine_ids:
+            chain = tree.uplink_chain(machine_id)
+            assert len(chain) == 3  # machine, ToR, agg
+            assert tree.node(tree.link(chain[-1]).parent).is_root
+
+    def test_paper_scale_builds(self):
+        tree = build_datacenter(PAPER_SPEC)
+        assert tree.num_nodes == 1000 + 50 + 5 + 1
+        assert tree.num_links == 1055
+
+
+class TestTwoMachineExample:
+    def test_fig3_shape(self):
+        tree = build_two_machine_example()
+        assert len(tree.machine_ids) == 2
+        assert tree.total_slots == 10
+        assert all(link.capacity == 50.0 for link in tree.links)
+
+    def test_custom_parameters(self):
+        tree = build_two_machine_example(slots_per_machine=3, link_capacity=10.0)
+        assert tree.total_slots == 6
+        assert tree.min_machine_uplink_capacity == 10.0

@@ -1,0 +1,53 @@
+"""Node and link value-type validation."""
+
+import pytest
+
+from repro.topology.nodes import Link, Node, NodeKind
+
+
+class TestNode:
+    def test_machine_at_level_zero(self):
+        node = Node(node_id=0, kind=NodeKind.MACHINE, level=0, name="m", slot_capacity=4)
+        assert node.is_machine
+        assert not node.is_root or node.parent is None
+
+    def test_machine_rejects_nonzero_level(self):
+        with pytest.raises(ValueError):
+            Node(node_id=0, kind=NodeKind.MACHINE, level=1, name="m", slot_capacity=4)
+
+    def test_machine_requires_slots(self):
+        with pytest.raises(ValueError):
+            Node(node_id=0, kind=NodeKind.MACHINE, level=0, name="m", slot_capacity=0)
+
+    def test_switch_rejects_level_zero(self):
+        with pytest.raises(ValueError):
+            Node(node_id=0, kind=NodeKind.SWITCH, level=0, name="s")
+
+    def test_switch_rejects_slots(self):
+        with pytest.raises(ValueError):
+            Node(node_id=0, kind=NodeKind.SWITCH, level=1, name="s", slot_capacity=2)
+
+    def test_root_detection(self):
+        node = Node(node_id=0, kind=NodeKind.SWITCH, level=3, name="core")
+        assert node.is_root
+        node.parent = 7
+        assert not node.is_root
+
+
+class TestLink:
+    def test_valid_link(self):
+        link = Link(link_id=3, child=3, parent=9, capacity=1000.0)
+        assert link.capacity == 1000.0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Link(link_id=3, child=3, parent=9, capacity=0.0)
+
+    def test_rejects_mismatched_id(self):
+        with pytest.raises(ValueError):
+            Link(link_id=4, child=3, parent=9, capacity=10.0)
+
+    def test_frozen(self):
+        link = Link(link_id=3, child=3, parent=9, capacity=10.0)
+        with pytest.raises(AttributeError):
+            link.capacity = 20.0

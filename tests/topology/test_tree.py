@@ -1,0 +1,141 @@
+"""Tree construction, traversal, and path queries."""
+
+import pytest
+
+from repro.topology.tree import Tree
+from tests.conftest import build_star_tree
+
+
+def build_manual_two_rack() -> Tree:
+    """Two racks of two machines under one core — hand-checkable paths."""
+    tree = Tree()
+    core = tree.add_switch("core", level=2)
+    tor_a = tree.add_switch("torA", level=1)
+    tor_b = tree.add_switch("torB", level=1)
+    tree.attach(tor_a, core, 400.0)
+    tree.attach(tor_b, core, 400.0)
+    machines = {}
+    for name, tor in (("a0", tor_a), ("a1", tor_a), ("b0", tor_b), ("b1", tor_b)):
+        machine = tree.add_machine(name, slot_capacity=2)
+        tree.attach(machine, tor, 100.0)
+        machines[name] = machine
+    tree.freeze()
+    return tree, tor_a, tor_b, machines
+
+
+class TestConstruction:
+    def test_single_root_required(self):
+        tree = Tree()
+        tree.add_switch("s1", level=1)
+        tree.add_switch("s2", level=1)
+        with pytest.raises(ValueError):
+            tree.freeze()
+
+    def test_attach_rejects_second_parent(self):
+        tree = Tree()
+        s1 = tree.add_switch("s1", level=1)
+        s2 = tree.add_switch("s2", level=2)
+        m = tree.add_machine("m", slot_capacity=1)
+        tree.attach(m, s1, 10.0)
+        with pytest.raises(ValueError):
+            tree.attach(m, s2, 10.0)
+
+    def test_attach_rejects_inverted_levels(self):
+        tree = Tree()
+        low = tree.add_switch("low", level=1)
+        high = tree.add_switch("high", level=2)
+        with pytest.raises(ValueError):
+            tree.attach(high, low, 10.0)
+
+    def test_frozen_tree_rejects_mutation(self):
+        tree = build_star_tree()
+        with pytest.raises(RuntimeError):
+            tree.add_machine("late", slot_capacity=1)
+
+    def test_queries_require_freeze(self):
+        tree = Tree()
+        tree.add_switch("s", level=1)
+        with pytest.raises(RuntimeError):
+            _ = tree.root_id
+
+    def test_freeze_idempotent(self):
+        tree = build_star_tree()
+        assert tree.freeze() is tree
+
+
+class TestQueries:
+    def test_star_shape(self):
+        tree = build_star_tree(slots=(4, 4, 4), capacities=(100.0,) * 3)
+        assert tree.height == 1
+        assert tree.num_links == 3
+        assert tree.total_slots == 12
+        assert len(tree.machine_ids) == 3
+
+    def test_two_rack_counts(self):
+        tree, tor_a, tor_b, machines = build_manual_two_rack()
+        assert tree.height == 2
+        assert tree.num_nodes == 7
+        assert tree.num_links == 6
+        assert tree.slots_under(tor_a) == 4
+        assert tree.slots_under(tree.root_id) == 8
+        assert set(tree.machines_under(tor_b)) == {machines["b0"], machines["b1"]}
+
+    def test_bottom_up_levels_order(self):
+        tree, *_ = build_manual_two_rack()
+        levels = [level for level, _nodes in tree.bottom_up_levels()]
+        assert levels == [0, 1, 2]
+
+    def test_uplink_chain(self):
+        tree, tor_a, _tor_b, machines = build_manual_two_rack()
+        chain = tree.uplink_chain(machines["a0"])
+        assert chain == (machines["a0"], tor_a)
+
+    def test_links_under_subtree(self):
+        tree, tor_a, _tor_b, machines = build_manual_two_rack()
+        links = {link.link_id for link in tree.links_under(tor_a)}
+        assert links == {machines["a0"], machines["a1"]}
+
+    def test_links_under_root_is_all(self):
+        tree, *_ = build_manual_two_rack()
+        assert len(list(tree.links_under(tree.root_id))) == tree.num_links
+
+    def test_uplink_of_root_is_none(self):
+        tree, *_ = build_manual_two_rack()
+        assert tree.uplink(tree.root_id) is None
+
+    def test_min_machine_uplink_capacity(self):
+        tree = build_star_tree(slots=(1, 1), capacities=(100.0, 50.0))
+        assert tree.min_machine_uplink_capacity == 50.0
+
+    def test_describe_mentions_counts(self):
+        tree, *_ = build_manual_two_rack()
+        text = tree.describe()
+        assert "machines=4" in text and "slots=8" in text
+
+
+class TestPaths:
+    def test_same_machine_is_empty(self):
+        tree, _a, _b, machines = build_manual_two_rack()
+        assert tree.path_links(machines["a0"], machines["a0"]) == ()
+
+    def test_same_rack_path(self):
+        tree, tor_a, _b, machines = build_manual_two_rack()
+        path = tree.path_links(machines["a0"], machines["a1"])
+        assert set(path) == {machines["a0"], machines["a1"]}
+
+    def test_cross_rack_path(self):
+        tree, tor_a, tor_b, machines = build_manual_two_rack()
+        path = tree.path_links(machines["a0"], machines["b1"])
+        assert set(path) == {machines["a0"], tor_a, tor_b, machines["b1"]}
+
+    def test_path_symmetry(self):
+        tree, _a, _b, machines = build_manual_two_rack()
+        fwd = tree.path_links(machines["a0"], machines["b0"])
+        bwd = tree.path_links(machines["b0"], machines["a0"])
+        assert set(fwd) == set(bwd)
+
+    def test_paths_never_contain_root_uplink(self):
+        tree, *_rest, machines = build_manual_two_rack()
+        for a in machines.values():
+            for b in machines.values():
+                assert tree.root_id not in tree.path_links(a, b)
