@@ -1,0 +1,81 @@
+"""Throughput benchmarks of the admission service layer.
+
+What sustained admission rate does the service front-end add on top of the
+bare allocator?  Three tiers isolate the overheads: the naked manager
+(allocator + commit only), the threaded service without durability (lock +
+queue + ticket machinery), and the journaled service (plus one WAL append
+per decision).
+"""
+
+import itertools
+
+from repro.abstractions import DeterministicVC, HomogeneousSVC
+from repro.manager import NetworkManager
+from repro.service import AdmissionService, DurabilityStore
+
+OPS_PER_ROUND = 50
+
+
+def _requests():
+    for index in itertools.count():
+        if index % 2:
+            yield HomogeneousSVC(n_vms=2 + index % 3, mean=80.0, std=30.0)
+        else:
+            yield DeterministicVC(n_vms=2, bandwidth=60.0)
+
+
+def _admit_release_round(submit, release):
+    """Admit OPS_PER_ROUND mixed requests, releasing to stay in steady state."""
+    source = _requests()
+    active = []
+    admitted = 0
+    for _ in range(OPS_PER_ROUND):
+        request_id = submit(next(source))
+        if request_id is not None:
+            admitted += 1
+            active.append(request_id)
+        if len(active) > 8:
+            release(active.pop(0))
+    for request_id in active:
+        release(request_id)
+    return admitted
+
+
+class TestAdmissionThroughput:
+    def test_bare_manager_baseline(self, benchmark, tiny_tree):
+        manager = NetworkManager(tiny_tree)
+
+        def submit(request):
+            tenancy = manager.request(request)
+            return None if tenancy is None else tenancy.request_id
+
+        def release(request_id):
+            manager.release(manager.tenancy(request_id))
+
+        admitted = benchmark(lambda: _admit_release_round(submit, release))
+        assert admitted > 0
+
+    def test_service_no_journal(self, benchmark, tiny_tree):
+        with AdmissionService(NetworkManager(tiny_tree), workers=2) as service:
+
+            def submit(request):
+                return service.submit(request, wait=True).request_id
+
+            admitted = benchmark(
+                lambda: _admit_release_round(submit, service.release)
+            )
+        assert admitted > 0
+
+    def test_service_with_journal(self, benchmark, tiny_tree, tmp_path):
+        store = DurabilityStore(tmp_path / "journal", snapshot_every=500)
+        manager = NetworkManager(tiny_tree)
+        with AdmissionService(manager, store=store, workers=2) as service:
+
+            def submit(request):
+                return service.submit(request, wait=True).request_id
+
+            admitted = benchmark(
+                lambda: _admit_release_round(submit, service.release)
+            )
+        store.close()
+        assert admitted > 0

@@ -59,3 +59,27 @@ def default_allocator() -> DispatchingAllocator:
 def baseline_allocator() -> DispatchingAllocator:
     """The comparison stack: adapted TIVC + plain first fit (Section VI-B3)."""
     return DispatchingAllocator([AdaptedTIVCAllocator(), FirstFitAllocator()])
+
+
+def first_fit_allocator() -> DispatchingAllocator:
+    """Locality-greedy first fit only, for all request types."""
+    return DispatchingAllocator([FirstFitAllocator()])
+
+
+ALLOCATOR_FACTORIES = {
+    "default": default_allocator,
+    "baseline": baseline_allocator,
+    "first-fit": first_fit_allocator,
+}
+"""Named allocator stacks selectable from the CLI (``--allocator``)."""
+
+
+def allocator_by_name(name: str) -> DispatchingAllocator:
+    """Build one of the named allocator stacks, with a helpful error."""
+    try:
+        factory = ALLOCATOR_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown allocator {name!r}; choose from {sorted(ALLOCATOR_FACTORIES)}"
+        ) from None
+    return factory()

@@ -1,19 +1,24 @@
-"""Command-line entry point: ``svc-repro <experiment> [--scale ...]``.
+"""Command-line entry point: experiments and the admission daemon.
 
 Examples::
 
     svc-repro fig5 --scale small
     svc-repro fig9 --scale tiny --seed 3
-    svc-repro all --scale paper        # the full 1,000-machine reproduction
+    svc-repro fig7 --epsilon 0.02               # vary the SLA risk factor
+    svc-repro het --allocator baseline          # vary the allocation stack
+    svc-repro all --scale paper                 # the full 1,000-machine reproduction
+    svc-repro serve --port 0 --journal-dir /var/lib/svc  # admission daemon
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
-from typing import List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.allocation.dispatch import ALLOCATOR_FACTORIES, allocator_by_name
 from repro.experiments.config import SCALES
 from repro.experiments.runner import EXPERIMENTS, run_all
 
@@ -23,13 +28,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="svc-repro",
         description=(
             "Reproduce the evaluation of 'Bandwidth Guarantee under Demand "
-            "Uncertainty in Multi-tenant Clouds' (ICDCS 2014)."
+            "Uncertainty in Multi-tenant Clouds' (ICDCS 2014), or run the "
+            "admission-control daemon ('svc-repro serve --help')."
         ),
     )
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
-        help="which figure to reproduce (or 'all')",
+        help="which figure to reproduce (or 'all'; see also the 'serve' subcommand)",
     )
     parser.add_argument(
         "--scale",
@@ -38,6 +44,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="datacenter/workload scale (default: small; 'paper' = 1,000 machines)",
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed (default: 0)")
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="override the SLA risk factor for experiments that take one",
+    )
+    parser.add_argument(
+        "--allocator",
+        choices=sorted(ALLOCATOR_FACTORIES),
+        default=None,
+        help="override the allocation stack for experiments that take one",
+    )
     parser.add_argument(
         "--csv-dir",
         default=None,
@@ -51,13 +69,68 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def experiment_overrides(
+    runner: Callable[..., Any],
+    epsilon: Optional[float] = None,
+    allocator: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Keyword overrides a given experiment runner actually accepts.
+
+    The experiment modules expose heterogeneous signatures (``epsilon``,
+    ``epsilons``, sometimes an ``allocator``); the flags are forwarded to
+    whichever parameter exists so every experiment stays overridable
+    without per-experiment plumbing.  Unsupported overrides are reported
+    on stderr rather than silently dropped.
+    """
+    parameters = inspect.signature(runner).parameters
+    overrides: Dict[str, Any] = {}
+    if epsilon is not None:
+        if "epsilon" in parameters:
+            overrides["epsilon"] = epsilon
+        elif "epsilons" in parameters:
+            overrides["epsilons"] = (epsilon,)
+        else:
+            print(
+                f"[cli] note: {getattr(runner, '__module__', runner)} takes no "
+                "epsilon override; ignoring --epsilon",
+                file=sys.stderr,
+            )
+    if allocator is not None:
+        if "allocator" in parameters:
+            overrides["allocator"] = allocator_by_name(allocator)
+        elif "allocator_factory" in parameters:
+            overrides["allocator_factory"] = ALLOCATOR_FACTORIES[allocator]
+        else:
+            print(
+                f"[cli] note: {getattr(runner, '__module__', runner)} takes no "
+                "allocator override; ignoring --allocator",
+                file=sys.stderr,
+            )
+    return overrides
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        from repro.service.server import serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     started = time.time()
     if args.experiment == "all":
-        results = run_all(scale=args.scale, seed=args.seed)
+        results = run_all(
+            scale=args.scale,
+            seed=args.seed,
+            epsilon=args.epsilon,
+            allocator=args.allocator,
+        )
     else:
-        results = [EXPERIMENTS[args.experiment](scale=args.scale, seed=args.seed)]
+        runner = EXPERIMENTS[args.experiment]
+        overrides = experiment_overrides(
+            runner, epsilon=args.epsilon, allocator=args.allocator
+        )
+        results = [runner(scale=args.scale, seed=args.seed, **overrides)]
     for result in results:
         print(result.format())
         print()

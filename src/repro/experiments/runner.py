@@ -32,6 +32,22 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_all(scale="small", seed: int = 0) -> List[ExperimentResult]:
-    """Run every experiment and return the results in figure order."""
-    return [runner(scale=scale, seed=seed) for runner in EXPERIMENTS.values()]
+def run_all(
+    scale="small",
+    seed: int = 0,
+    epsilon=None,
+    allocator=None,
+) -> List[ExperimentResult]:
+    """Run every experiment and return the results in figure order.
+
+    ``epsilon``/``allocator`` (the CLI override flags) are forwarded to each
+    runner that accepts them; runners without the matching parameter run at
+    their defaults.
+    """
+    from repro.cli import experiment_overrides
+
+    results = []
+    for runner in EXPERIMENTS.values():
+        overrides = experiment_overrides(runner, epsilon=epsilon, allocator=allocator)
+        results.append(runner(scale=scale, seed=seed, **overrides))
+    return results

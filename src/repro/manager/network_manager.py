@@ -14,9 +14,8 @@ enforcement plane.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.abstractions.requests import VirtualClusterRequest
 from repro.allocation.base import Allocation, Allocator, expand_vm_placement
@@ -66,7 +65,7 @@ class NetworkManager:
         self.state = NetworkState(tree, epsilon=epsilon)
         self.allocator = allocator if allocator is not None else default_allocator()
         self.rate_limiters = RateLimiterRegistry()
-        self._ids = itertools.count(1)
+        self._next_id = 1
         self._tenancies: Dict[int, Tenancy] = {}
         self.admitted_count = 0
         self.rejected_count = 0
@@ -80,6 +79,19 @@ class NetworkManager:
         """Number of tenants currently holding resources (job concurrency)."""
         return len(self._tenancies)
 
+    @property
+    def next_request_id(self) -> int:
+        """The id the next admitted-or-rejected request will receive."""
+        return self._next_id
+
+    @next_request_id.setter
+    def next_request_id(self, value: int) -> None:
+        if value < self._next_id:
+            raise ValueError(
+                f"request ids must not move backwards ({value} < {self._next_id})"
+            )
+        self._next_id = value
+
     def request(self, request: VirtualClusterRequest) -> Optional[Tenancy]:
         """Admit (place + commit) a tenant request, or reject with None.
 
@@ -87,7 +99,8 @@ class NetworkManager:
         guarantee — in the online scenario of Section VI-B2 such requests are
         dropped; in the batch scenario they wait in the FIFO queue.
         """
-        request_id = next(self._ids)
+        request_id = self._next_id
+        self._next_id += 1
         allocation = self.allocator.allocate(self.state, request, request_id)
         if allocation is None:
             self.rejected_count += 1
@@ -101,16 +114,53 @@ class NetworkManager:
         self.admitted_count += 1
         return tenancy
 
+    def adopt(self, allocation: Allocation) -> Tenancy:
+        """Install an already-placed allocation, bypassing the allocator.
+
+        Crash recovery replays journaled allocations through this method so
+        the reconstructed link state is byte-identical to what ``commit``
+        produced before the crash, independent of allocator evolution.
+        Admission counters are *not* touched — the recovery layer restores
+        them from its own records.
+        """
+        if allocation.request_id in self._tenancies:
+            raise ValueError(f"request {allocation.request_id} is already active")
+        self.state.commit(allocation)
+        tenancy = Tenancy(
+            allocation=allocation, vm_machines=expand_vm_placement(allocation)
+        )
+        self._tenancies[allocation.request_id] = tenancy
+        self.rate_limiters.register(tenancy)
+        if allocation.request_id >= self._next_id:
+            self._next_id = allocation.request_id + 1
+        return tenancy
+
     def release(self, tenancy: Tenancy) -> None:
-        """Return a departing tenant's slots and bandwidth to the pool."""
-        stored = self._tenancies.pop(tenancy.request_id, None)
+        """Return a departing tenant's slots and bandwidth to the pool.
+
+        Atomic: the network state is released *before* the tenancy entry and
+        rate limiters are dropped, so a failed ``state.release`` (which is
+        itself all-or-nothing) leaves the tenancy fully intact instead of
+        stranding link state behind a half-removed tenant.
+        """
+        stored = self._tenancies.get(tenancy.request_id)
         if stored is None:
             raise KeyError(f"tenancy {tenancy.request_id} is not active")
-        self.rate_limiters.unregister(tenancy)
-        self.state.release(tenancy.allocation)
+        self.state.release(stored.allocation)
+        del self._tenancies[tenancy.request_id]
+        self.rate_limiters.unregister(stored)
 
     def tenancy(self, request_id: int) -> Tenancy:
         return self._tenancies[request_id]
+
+    def get_tenancy(self, request_id: int) -> Optional[Tenancy]:
+        """The active tenancy with this id, or None."""
+        return self._tenancies.get(request_id)
+
+    def tenancies(self) -> Iterator[Tenancy]:
+        """Iterate over active tenancies in admission (request-id) order."""
+        for request_id in sorted(self._tenancies):
+            yield self._tenancies[request_id]
 
     def max_occupancy(self) -> float:
         """``max_L O_L`` over the datacenter (the Fig. 9 statistic)."""

@@ -74,6 +74,14 @@ class LinkState:
         """The recorded deterministic reservation of one request (0 if none)."""
         return self._det_by_request.get(request_id, 0.0)
 
+    def deterministic_entries(self) -> Iterator[Tuple[int, float]]:
+        """``(request_id, reserved_mbps)`` for every resident reservation."""
+        return iter(self._det_by_request.items())
+
+    def stochastic_entries(self) -> Iterator[Tuple[int, Normal]]:
+        """``(request_id, demand)`` for every resident stochastic demand."""
+        return iter(self._stoch_by_request.items())
+
     # ------------------------------------------------------------------
     # Occupancy (Eq. 6) — with optional hypothetical extra demand
     # ------------------------------------------------------------------
@@ -227,7 +235,19 @@ class NetworkState:
                 state.add_stochastic(allocation.request_id, demand)
 
     def release(self, allocation) -> None:
-        """Undo :meth:`commit` when the tenant departs."""
+        """Undo :meth:`commit` when the tenant departs.
+
+        Validate-then-mutate: every slot return is checked against machine
+        capacity before anything is touched, so a release either applies in
+        full or raises without side effects (``remove_request`` is an
+        idempotent no-op for absent requests and cannot fail afterwards).
+        """
+        for machine_id, count in allocation.machine_counts.items():
+            capacity = self.tree.node(machine_id).slot_capacity
+            if self._free_slots[machine_id] + count > capacity:
+                raise ValueError(
+                    f"machine {machine_id} would exceed its {capacity} slots on release"
+                )
         for machine_id, count in allocation.machine_counts.items():
             self._vacate(machine_id, count)
         for link_id in allocation.link_demands:

@@ -1,0 +1,68 @@
+"""Online admission-control service layer.
+
+Turns the in-memory :class:`~repro.manager.network_manager.NetworkManager`
+into a runnable daemon: a thread-safe front-end with a worker pool
+(:mod:`.concurrency`), the paper's online/batch request queue with
+priorities and deadlines (:mod:`.queue`), an append-only write-ahead
+journal with periodic snapshots and crash recovery (:mod:`.journal`,
+:mod:`.recovery`), a stdlib TCP line-JSON server (:mod:`.server`) and a
+matching client (:mod:`.client`).  ``svc-repro serve`` is the CLI entry.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.codec import (
+    CodecError,
+    allocation_from_dict,
+    allocation_to_dict,
+    network_state_to_dict,
+    request_from_dict,
+    request_to_dict,
+)
+from repro.service.concurrency import (
+    OUTCOME_ADMITTED,
+    OUTCOME_EXPIRED,
+    OUTCOME_QUEUED,
+    OUTCOME_REJECTED,
+    AdmissionService,
+    Ticket,
+)
+from repro.service.journal import DurabilityStore, Journal
+from repro.service.queue import MODE_BATCH, MODE_ONLINE, QueuedRequest, RequestQueue
+from repro.service.recovery import (
+    RecoveryError,
+    RecoveryReport,
+    oracle_replay,
+    recover_manager,
+    snapshot_payload,
+)
+from repro.service.server import AdmissionTCPServer, serve_main
+
+__all__ = [
+    "AdmissionService",
+    "AdmissionTCPServer",
+    "CodecError",
+    "DurabilityStore",
+    "Journal",
+    "MODE_BATCH",
+    "MODE_ONLINE",
+    "OUTCOME_ADMITTED",
+    "OUTCOME_EXPIRED",
+    "OUTCOME_QUEUED",
+    "OUTCOME_REJECTED",
+    "QueuedRequest",
+    "RecoveryError",
+    "RecoveryReport",
+    "RequestQueue",
+    "ServiceClient",
+    "ServiceError",
+    "Ticket",
+    "allocation_from_dict",
+    "allocation_to_dict",
+    "network_state_to_dict",
+    "oracle_replay",
+    "recover_manager",
+    "request_from_dict",
+    "request_to_dict",
+    "serve_main",
+    "snapshot_payload",
+]

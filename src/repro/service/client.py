@@ -1,0 +1,114 @@
+"""Blocking line-JSON client for the admission service.
+
+Thin, dependency-free wrapper over one TCP connection.  Each call writes a
+single JSON line and reads a single JSON response line; instances are not
+thread-safe (use one client per thread — the server is happy to hold many
+connections).
+
+    with ServiceClient(port=port) as client:
+        reply = client.submit(HomogeneousSVC(n_vms=8, mean=200.0, std=80.0))
+        if reply["outcome"] == "admitted":
+            client.release(reply["request_id"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional, Union
+
+from repro.abstractions.requests import VirtualClusterRequest
+from repro.service.codec import request_to_dict
+from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false``."""
+
+
+class ServiceClient:
+    """One connection to a running admission daemon."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Issue one raw operation and return the decoded response.
+
+        Raises :class:`ServiceError` on an ``ok: false`` response and
+        :class:`ConnectionError` when the server hangs up mid-call.
+        """
+        payload = {"op": op, **fields}
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError(f"server closed the connection during {op!r}")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", f"{op} failed"))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.call("ping").get("pong"))
+
+    def submit(
+        self,
+        request: Union[VirtualClusterRequest, Dict[str, Any]],
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+        wait: bool = True,
+        wait_timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit a request; returns the ticket/outcome payload."""
+        if isinstance(request, VirtualClusterRequest):
+            request = request_to_dict(request)
+        fields: Dict[str, Any] = {"request": request, "priority": priority, "wait": wait}
+        if timeout_s is not None:
+            fields["timeout_s"] = timeout_s
+        if wait_timeout is not None:
+            fields["wait_timeout"] = wait_timeout
+        return self.call("submit", **fields)
+
+    def status(self, ticket: int) -> Dict[str, Any]:
+        return self.call("status", ticket=ticket)
+
+    def release(self, request_id: int) -> Dict[str, Any]:
+        return self.call("release", request_id=request_id)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call("stats")["stats"]
+
+    def snapshot(self) -> str:
+        return self.call("snapshot")["snapshot"]
+
+    def shutdown(self) -> None:
+        self.call("shutdown")

@@ -1,0 +1,445 @@
+"""Thread-safe admission front-end: worker pool, tickets, statistics.
+
+:class:`AdmissionService` is the serving layer around a single
+:class:`~repro.manager.network_manager.NetworkManager`.  One condition
+variable guards the manager, the queue and the journal together, so the
+journal's record order is exactly the order state mutations were applied —
+the invariant crash recovery relies on.  Worker threads drain the queue,
+run the allocator under the lock (admission control is inherently serial:
+each decision depends on the link state the previous one produced), and
+resolve the submitting client's :class:`Ticket`.
+
+Durability ordering: state is mutated first, then the event is journaled,
+both under the lock, and the ticket is resolved only after the journal
+append returns.  A crash can lose at most the final un-acknowledged
+operation; everything a client saw acknowledged is recoverable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.abstractions.requests import VirtualClusterRequest
+from repro.manager.network_manager import NetworkManager, Tenancy
+from repro.network.snapshot import utilization_by_level
+from repro.service.codec import request_from_dict, request_to_dict
+from repro.service.journal import DurabilityStore
+from repro.service.queue import (
+    MODE_BATCH,
+    MODE_ONLINE,
+    MODES,
+    QueuedRequest,
+    RequestQueue,
+)
+from repro.service.recovery import snapshot_payload
+
+OUTCOME_ADMITTED = "admitted"
+OUTCOME_REJECTED = "rejected"
+OUTCOME_EXPIRED = "expired"
+OUTCOME_QUEUED = "queued"
+OUTCOME_SHUTDOWN = "shutdown"
+OUTCOME_ERROR = "error"
+
+#: How long an idle worker sleeps before re-checking deadlines (seconds).
+_IDLE_SWEEP_INTERVAL = 0.05
+
+
+class LatencyWindow:
+    """Bounded reservoir of recent latency samples for percentile stats."""
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._samples: deque = deque(maxlen=maxlen)
+        self._count = 0
+        self._total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self._count += 1
+        self._total += seconds
+
+    def summary(self, percentiles=(50, 90, 99)) -> Dict[str, float]:
+        """Percentiles (over the window) and lifetime mean, in milliseconds."""
+        result: Dict[str, float] = {"count": self._count}
+        result["mean_ms"] = 1000.0 * self._total / self._count if self._count else 0.0
+        ordered = sorted(self._samples)
+        for pct in percentiles:
+            if not ordered:
+                result[f"p{pct}_ms"] = 0.0
+                continue
+            rank = min(len(ordered) - 1, max(0, round(pct / 100.0 * (len(ordered) - 1))))
+            result[f"p{pct}_ms"] = 1000.0 * ordered[rank]
+        return result
+
+
+@dataclass
+class ServiceCounters:
+    """Lifetime event counters of one service instance (not persisted)."""
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    expired: int = 0
+    released: int = 0
+    retries: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class Ticket:
+    """A client's handle on one submitted request."""
+
+    ticket_id: int
+    submitted_at: float
+    priority: int = 0
+    deadline: Optional[float] = None
+    outcome: Optional[str] = None
+    request_id: Optional[int] = None
+    detail: Optional[str] = None
+    latency: Optional[float] = None
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def resolve(
+        self,
+        outcome: str,
+        request_id: Optional[int] = None,
+        detail: Optional[str] = None,
+        latency: Optional[float] = None,
+    ) -> None:
+        self.outcome = outcome
+        self.request_id = request_id
+        self.detail = detail
+        self.latency = latency
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the request is decided; False on timeout."""
+        return self._done.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def describe(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "ticket": self.ticket_id,
+            "outcome": self.outcome if self.done else OUTCOME_QUEUED,
+        }
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        if self.detail:
+            payload["detail"] = self.detail
+        if self.latency is not None:
+            payload["latency_ms"] = 1000.0 * self.latency
+        return payload
+
+
+class AdmissionService:
+    """Durable, concurrent admission control over one ``NetworkManager``.
+
+    Parameters
+    ----------
+    manager:
+        The (single-threaded) manager to serve; may already hold state,
+        e.g. when constructed by :func:`repro.service.recovery.recover_manager`.
+    store:
+        Optional :class:`DurabilityStore`; without it the service runs
+        in-memory only (useful for benchmarks and simulations).
+    mode:
+        ``"online"`` drops rejected requests immediately; ``"batch"``
+        parks them for retry on departures (Section VI-B semantics).
+    workers:
+        Worker threads draining the queue.  Admission decisions serialize
+        on the manager lock regardless; extra workers overlap protocol
+        handling, journaling and ticket resolution with allocator runs.
+    """
+
+    def __init__(
+        self,
+        manager: NetworkManager,
+        store: Optional[DurabilityStore] = None,
+        mode: str = MODE_ONLINE,
+        workers: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+        latency_window: int = 4096,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown service mode {mode!r}; choose from {MODES}")
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.manager = manager
+        self.store = store
+        self.mode = mode
+        self.workers = workers
+        self.clock = clock
+        self.counters = ServiceCounters()
+        self.latencies = LatencyWindow(maxlen=latency_window)
+        self._cond = threading.Condition()
+        self._queue = RequestQueue(mode)
+        self._tickets: Dict[int, Ticket] = {}
+        self._next_ticket = 1
+        self._threads: List[threading.Thread] = []
+        self._running = False
+        self._started_at = self.clock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "AdmissionService":
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"admission-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop workers and resolve every still-queued ticket as shutdown."""
+        with self._cond:
+            if not self._running:
+                return
+            self._running = False
+            abandoned = self._queue.drain()
+            self._cond.notify_all()
+        for entry in abandoned:
+            self._resolve(entry, OUTCOME_SHUTDOWN, detail="service stopped")
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()
+
+    def __enter__(self) -> "AdmissionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        request: Union[VirtualClusterRequest, Dict[str, Any]],
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+        wait: bool = True,
+        wait_timeout: Optional[float] = None,
+    ) -> Ticket:
+        """Enqueue a tenant request; optionally block for the decision.
+
+        ``timeout_s`` is the request's *deadline* relative to now: in batch
+        mode a parked request expires once it passes; in online mode it
+        only matters if the request expires before a worker first reaches
+        it.  ``wait_timeout`` bounds how long *this call* blocks — the
+        request itself stays queued when the wait times out.
+        """
+        if isinstance(request, dict):
+            request = request_from_dict(request)
+        now = self.clock()
+        deadline = now + timeout_s if timeout_s is not None else None
+        with self._cond:
+            if not self._running:
+                raise RuntimeError("service is not running")
+            ticket = Ticket(
+                ticket_id=self._next_ticket,
+                submitted_at=now,
+                priority=priority,
+                deadline=deadline,
+            )
+            self._next_ticket += 1
+            self._tickets[ticket.ticket_id] = ticket
+            self.counters.submitted += 1
+            entry = QueuedRequest(
+                ticket_id=ticket.ticket_id,
+                request=request,
+                priority=priority,
+                deadline=deadline,
+                enqueued_at=now,
+            )
+            self._queue.push(entry)
+            self._cond.notify()
+        if wait:
+            ticket.wait(wait_timeout)
+        return ticket
+
+    def release(self, request_id: int) -> bool:
+        """Release an admitted tenancy; False when the id is not active.
+
+        In batch mode a successful release requeues every parked request —
+        the departure may have freed exactly the capacity they were
+        waiting for.
+        """
+        with self._cond:
+            tenancy = self.manager.get_tenancy(request_id)
+            if tenancy is None:
+                return False
+            self.manager.release(tenancy)
+            if self.store is not None:
+                self.store.log_release(request_id)
+            self.counters.released += 1
+            retried = 0
+            if self.mode == MODE_BATCH:
+                retried = self._queue.requeue_parked()
+                self.counters.retries += retried
+            self._maybe_snapshot()
+            if retried:
+                self._cond.notify_all()
+        return True
+
+    def status(self, ticket_id: int) -> Optional[Dict[str, Any]]:
+        with self._cond:
+            ticket = self._tickets.get(ticket_id)
+        return ticket.describe() if ticket is not None else None
+
+    def active_request_ids(self) -> List[int]:
+        with self._cond:
+            return [tenancy.request_id for tenancy in self.manager.tenancies()]
+
+    def stats(self) -> Dict[str, Any]:
+        """The metrics payload of the ``stats`` endpoint."""
+        with self._cond:
+            manager = self.manager
+            levels = [
+                {
+                    "level": row.level,
+                    "label": row.label,
+                    "links": row.num_links,
+                    "mean_occupancy": row.mean_occupancy,
+                    "max_occupancy": row.max_occupancy,
+                    "mean_deterministic_share": row.mean_deterministic_share,
+                }
+                for row in utilization_by_level(manager.state)
+            ]
+            return {
+                "mode": self.mode,
+                "workers": self.workers,
+                "uptime_s": self.clock() - self._started_at,
+                "counters": self.counters.as_dict(),
+                "admitted_total": manager.admitted_count,
+                "rejected_total": manager.rejected_count,
+                "rejection_rate": manager.rejection_rate(),
+                "active_tenancies": manager.active_tenancies,
+                "queue": {
+                    "ready": self._queue.ready_count,
+                    "parked": self._queue.parked_count,
+                },
+                "admission_latency": self.latencies.summary(),
+                "occupancy": {
+                    "max": manager.max_occupancy(),
+                    "by_level": levels,
+                },
+                "slots": {
+                    "total": manager.state.total_slots,
+                    "used": manager.state.used_slots,
+                    "free": manager.state.total_free_slots,
+                },
+                "durability": self._durability_info(),
+            }
+
+    def _durability_info(self) -> Dict[str, Any]:
+        if self.store is None:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "directory": str(self.store.directory),
+            "journal_seq": self.store.journal.next_seq - 1,
+            "snapshot_every": self.store.snapshot_every,
+        }
+
+    def take_snapshot(self) -> Optional[str]:
+        """Force a snapshot now (returns its path, or None without a store)."""
+        with self._cond:
+            if self.store is None:
+                return None
+            return str(self.store.write_snapshot(snapshot_payload(self.manager)))
+
+    # ------------------------------------------------------------------
+    # Worker internals
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            entry = None
+            expired: List[QueuedRequest] = []
+            decision = None
+            with self._cond:
+                while self._running:
+                    now = self.clock()
+                    entry, drained = self._queue.pop_ready(now)
+                    expired = drained + self._queue.expire(now)
+                    if expired:
+                        self.counters.expired += len(expired)
+                    if entry is not None or expired:
+                        break
+                    self._cond.wait(timeout=_IDLE_SWEEP_INTERVAL)
+                if not self._running and entry is None and not expired:
+                    return
+                if entry is not None:
+                    try:
+                        decision = self._attempt(entry, now)
+                    except Exception as exc:  # journal I/O etc. — fail the
+                        # request, keep the worker alive for the next one
+                        self.counters.errors += 1
+                        decision = (OUTCOME_ERROR, None, f"{type(exc).__name__}: {exc}")
+            # Tickets are resolved outside the lock: Event.set wakes the
+            # submitting thread, which may immediately call back into the
+            # service (status/release) and would contend on the lock.
+            for dead in expired:
+                self._resolve(dead, OUTCOME_EXPIRED, detail="deadline passed")
+            if entry is not None and decision is not None:
+                outcome, request_id, detail = decision
+                self._resolve(entry, outcome, request_id=request_id, detail=detail)
+
+    def _attempt(self, entry: QueuedRequest, now: float):
+        """Try one admission under the lock; None means parked for retry."""
+        entry.attempts += 1
+        manager = self.manager
+        probe_id = manager.next_request_id
+        try:
+            tenancy: Optional[Tenancy] = manager.request(entry.request)
+        except Exception as exc:  # allocator bug — fail the request, not the worker
+            self.counters.errors += 1
+            return (OUTCOME_ERROR, None, f"{type(exc).__name__}: {exc}")
+        if tenancy is not None:
+            if self.store is not None:
+                self.store.log_admit(tenancy.allocation)
+            self.counters.admitted += 1
+            self.latencies.observe(self.clock() - entry.enqueued_at)
+            self._maybe_snapshot()
+            return (OUTCOME_ADMITTED, tenancy.request_id, None)
+        if self.mode == MODE_BATCH and not entry.expired(self.clock()):
+            self._queue.park(entry)
+            return None
+        if self.store is not None:
+            self.store.log_reject(request_to_dict(entry.request), request_id=probe_id)
+        self.counters.rejected += 1
+        self.latencies.observe(self.clock() - entry.enqueued_at)
+        self._maybe_snapshot()
+        return (OUTCOME_REJECTED, None, "no valid placement")
+
+    def _maybe_snapshot(self) -> None:
+        if self.store is not None and self.store.should_snapshot():
+            self.store.write_snapshot(snapshot_payload(self.manager))
+
+    def _resolve(self, entry: QueuedRequest, outcome: str, request_id=None, detail=None):
+        with self._cond:
+            ticket = self._tickets.get(entry.ticket_id)
+        if ticket is not None:
+            latency = self.clock() - entry.enqueued_at
+            ticket.resolve(outcome, request_id=request_id, detail=detail, latency=latency)

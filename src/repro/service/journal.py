@@ -1,0 +1,332 @@
+"""Write-ahead journal and snapshot store for the admission service.
+
+Layout of a durability directory::
+
+    <dir>/wal.jsonl             append-only journal, one JSON record per line
+    <dir>/snapshot-<seq>.json   periodic full-state snapshots
+
+Journal records carry a monotonically increasing ``seq`` and one of three
+operations: ``admit`` (with the full serialized allocation, so replay
+re-commits exactly what the live manager committed), ``release`` (by request
+id) and ``reject`` (counter only — rejections never touch link state).
+
+Durability model: each record is written as a single ``write`` of one line
+and flushed; with ``fsync=True`` it is also fsynced before the append call
+returns.  A crash can therefore leave at most one torn line at the tail of
+the file.  :meth:`Journal.replay` detects that (undecodable JSON or a
+non-monotonic ``seq``) and stops at the last intact prefix — the recovery
+semantics are "restore the longest consistent prefix of acknowledged
+operations".
+
+Snapshots bound replay time: recovery loads the newest decodable snapshot
+and replays only journal records with ``seq`` greater than the snapshot's.
+The journal is never truncated here (compaction is an operator concern);
+replay from seq 0 must always reproduce the same state, which is what the
+oracle-replay tests exercise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.service.codec import allocation_to_dict
+
+WAL_NAME = "wal.jsonl"
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d+)\.json$")
+
+OP_ADMIT = "admit"
+OP_RELEASE = "release"
+OP_REJECT = "reject"
+
+
+@dataclass
+class ReplaySummary:
+    """What :meth:`Journal.replay` actually read."""
+
+    records: int = 0
+    last_seq: int = 0
+    torn_tail: bool = False
+
+
+class Journal:
+    """Append-only JSONL write-ahead log with crash-tolerant replay."""
+
+    def __init__(self, path: Path, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._next_seq = self._recover_tail()
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def _recover_tail(self) -> int:
+        """Truncate any torn tail so appends extend the intact prefix.
+
+        Without this, records appended after a crash would sit beyond the
+        torn line and be invisible to every future replay.
+        """
+        if not self.path.exists():
+            return 1
+        summary = ReplaySummary()
+        for _record in self.iter_records(self.path, summary=summary):
+            pass
+        if summary.torn_tail:
+            valid_bytes = self._intact_prefix_bytes(summary.records)
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+        return summary.last_seq + 1
+
+    def _intact_prefix_bytes(self, record_count: int) -> int:
+        """Byte length of the first ``record_count`` lines of the WAL."""
+        offset = 0
+        with open(self.path, "rb") as handle:
+            for _ in range(record_count):
+                line = handle.readline()
+                if not line:
+                    break
+                offset += len(line)
+        return offset
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next appended record will receive."""
+        return self._next_seq
+
+    def append(self, op: str, **fields: Any) -> int:
+        """Durably append one record; returns its sequence number."""
+        seq = self._next_seq
+        record = {"seq": seq, "op": op, **fields}
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self._next_seq = seq + 1
+        return seq
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def iter_records(
+        path: Path, after_seq: int = 0, summary: Optional[ReplaySummary] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield intact records with ``seq > after_seq`` in order.
+
+        Stops at the first torn or out-of-order line — everything after a
+        corrupt record is untrusted because order can no longer be proven.
+        """
+        path = Path(path)
+        if not path.exists():
+            return
+        expected: Optional[int] = None
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                try:
+                    record = json.loads(line)
+                    seq = int(record["seq"])
+                    op = record["op"]
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    if summary is not None:
+                        summary.torn_tail = True
+                    return
+                if not isinstance(op, str) or (expected is not None and seq != expected):
+                    if summary is not None:
+                        summary.torn_tail = True
+                    return
+                expected = seq + 1
+                if summary is not None:
+                    summary.records += 1
+                    summary.last_seq = seq
+                if seq > after_seq:
+                    yield record
+
+    @classmethod
+    def replay(cls, path: Path, after_seq: int = 0) -> List[Dict[str, Any]]:
+        """All intact records after ``after_seq`` as a list."""
+        return list(cls.iter_records(path, after_seq=after_seq))
+
+
+class DurabilityStore:
+    """The service's persistence facade: one journal + rolling snapshots.
+
+    ``snapshot_every`` takes a full snapshot after that many journal records
+    (admits/releases/rejects combined); ``None`` disables automatic
+    snapshots (they can still be taken explicitly).
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        fsync: bool = False,
+        snapshot_every: Optional[int] = None,
+        keep_snapshots: int = 4,
+    ) -> None:
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
+        if keep_snapshots < 1:
+            raise ValueError(f"keep_snapshots must be >= 1, got {keep_snapshots}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.snapshot_every = snapshot_every
+        self.keep_snapshots = keep_snapshots
+        self.journal = Journal(self.directory / WAL_NAME, fsync=fsync)
+        self._records_since_snapshot = 0
+
+    @property
+    def wal_path(self) -> Path:
+        return self.journal.path
+
+    # ------------------------------------------------------------------
+    # Service configuration (epsilon, mode, topology spec, ...)
+    # ------------------------------------------------------------------
+
+    def write_config(self, config: Dict[str, Any]) -> Path:
+        """Atomically persist the service configuration next to the WAL."""
+        path = self.directory / "config.json"
+        fd, tmp_name = tempfile.mkstemp(prefix=".config-", suffix=".tmp", dir=self.directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(config, handle, indent=2)
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        return path
+
+    def read_config(self) -> Optional[Dict[str, Any]]:
+        path = self.directory / "config.json"
+        if not path.exists():
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    # ------------------------------------------------------------------
+    # Event logging
+    # ------------------------------------------------------------------
+
+    def log_admit(self, allocation) -> int:
+        return self._log(OP_ADMIT, allocation=allocation_to_dict(allocation))
+
+    def log_release(self, request_id: int) -> int:
+        return self._log(OP_RELEASE, request_id=request_id)
+
+    def log_reject(
+        self, request_payload: Dict[str, Any], request_id: Optional[int] = None
+    ) -> int:
+        fields: Dict[str, Any] = {"request": request_payload}
+        if request_id is not None:
+            fields["request_id"] = request_id
+        return self._log(OP_REJECT, **fields)
+
+    def _log(self, op: str, **fields: Any) -> int:
+        seq = self.journal.append(op, **fields)
+        self._records_since_snapshot += 1
+        return seq
+
+    def should_snapshot(self) -> bool:
+        return (
+            self.snapshot_every is not None
+            and self._records_since_snapshot >= self.snapshot_every
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def write_snapshot(self, payload: Dict[str, Any], seq: Optional[int] = None) -> Path:
+        """Atomically persist a snapshot covering the journal up to ``seq``.
+
+        Written to a temp file in the same directory and renamed into place,
+        so readers only ever see complete snapshots.  ``seq`` defaults to
+        the last appended journal record.
+        """
+        if seq is None:
+            seq = self.journal.next_seq - 1
+        path = self.directory / f"snapshot-{seq}.json"
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".snapshot-", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump({"seq": seq, "state": payload}, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        self._records_since_snapshot = 0
+        self._prune_snapshots()
+        return path
+
+    def _prune_snapshots(self) -> None:
+        """Drop all but the newest ``keep_snapshots`` snapshot files."""
+        for _seq, path in self.snapshot_paths()[self.keep_snapshots:]:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # a reader may hold it open; retry at the next snapshot
+
+    def snapshot_paths(self) -> List[Tuple[int, Path]]:
+        """All snapshots as ``(seq, path)``, newest first."""
+        found = []
+        for entry in self.directory.iterdir():
+            match = _SNAPSHOT_RE.match(entry.name)
+            if match:
+                found.append((int(match.group(1)), entry))
+        found.sort(reverse=True)
+        return found
+
+    def latest_snapshot(
+        self, max_seq: Optional[int] = None
+    ) -> Optional[Tuple[int, Dict[str, Any]]]:
+        """Newest decodable snapshot as ``(seq, state_payload)``, if any.
+
+        Corrupt snapshot files are skipped (older ones are tried next) —
+        the journal alone is always sufficient to recover.  ``max_seq``
+        rejects snapshots claiming to cover journal records that do not
+        exist (a snapshot that outlived a lost WAL tail cannot be trusted:
+        recovery promises exactly the journal's consistent prefix).
+        """
+        for seq, path in self.snapshot_paths():
+            if max_seq is not None and seq > max_seq:
+                continue
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                if payload.get("seq") != seq:
+                    continue
+                return seq, payload["state"]
+            except (json.JSONDecodeError, KeyError, OSError):
+                continue
+        return None
+
+    def replay_after(self, seq: int) -> Iterator[Dict[str, Any]]:
+        """Journal records not yet covered by the given snapshot seq."""
+        return Journal.iter_records(self.wal_path, after_seq=seq)
+
+    def close(self) -> None:
+        self.journal.close()
+
+    def __enter__(self) -> "DurabilityStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,182 @@
+"""Crash recovery: snapshot + journal replay -> reconstructed manager.
+
+Recovery restores the longest consistent prefix of acknowledged operations:
+
+1. load the newest decodable snapshot (a full list of active allocations
+   plus admission counters) and re-commit every allocation through
+   :meth:`NetworkManager.adopt`;
+2. replay journal records with ``seq`` greater than the snapshot's —
+   ``admit`` re-commits the journaled allocation verbatim, ``release``
+   tears the tenancy down, ``reject`` only restores counters and the id
+   cursor.
+
+Because both paths re-apply the *exact* allocation the live manager
+committed (not a re-run of the allocator), the reconstructed
+:class:`NetworkState` is field-for-field identical to the pre-crash state
+covered by the journal.  :func:`oracle_replay` is the single-threaded
+referee used by tests: a from-scratch replay of the *entire* journal using
+only ``NetworkState.commit``/``release``, against which both the live
+service and the snapshot-accelerated recovery must agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.allocation.base import Allocation, Allocator
+from repro.manager.network_manager import NetworkManager
+from repro.network.link_state import NetworkState
+from repro.service.codec import allocation_from_dict, allocation_to_dict
+from repro.service.journal import (
+    OP_ADMIT,
+    OP_REJECT,
+    OP_RELEASE,
+    DurabilityStore,
+    Journal,
+    ReplaySummary,
+)
+from repro.topology.tree import Tree
+
+
+class RecoveryError(RuntimeError):
+    """The journal and snapshot disagree with each other or with the tree."""
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery did, for logging and assertions."""
+
+    snapshot_seq: int = 0
+    replayed_records: int = 0
+    last_seq: int = 0
+    admits_replayed: int = 0
+    releases_replayed: int = 0
+    rejects_replayed: int = 0
+
+    @property
+    def used_snapshot(self) -> bool:
+        return self.snapshot_seq > 0
+
+
+def snapshot_payload(manager: NetworkManager) -> Dict:
+    """The JSON snapshot body for the manager's current state."""
+    return {
+        "epsilon": manager.epsilon,
+        "admitted_count": manager.admitted_count,
+        "rejected_count": manager.rejected_count,
+        "next_request_id": manager.next_request_id,
+        "allocations": [
+            allocation_to_dict(tenancy.allocation) for tenancy in manager.tenancies()
+        ],
+    }
+
+
+def recover_manager(
+    store: DurabilityStore,
+    tree: Tree,
+    epsilon: float = 0.05,
+    allocator: Optional[Allocator] = None,
+) -> Tuple[NetworkManager, RecoveryReport]:
+    """Rebuild a :class:`NetworkManager` from a durability directory.
+
+    ``epsilon``/``allocator`` configure the fresh manager; a snapshot's
+    recorded epsilon wins over the argument (the risk factor is part of the
+    persisted state, not of the restart command line).
+    """
+    report = RecoveryReport()
+    journal_last_seq: Optional[int] = None
+    if store.wal_path.exists():
+        tail = ReplaySummary()
+        for _record in Journal.iter_records(store.wal_path, summary=tail):
+            pass
+        journal_last_seq = tail.last_seq
+    snapshot = store.latest_snapshot(max_seq=journal_last_seq)
+    if snapshot is not None:
+        seq, payload = snapshot
+        report.snapshot_seq = seq
+        report.last_seq = seq
+        manager = NetworkManager(
+            tree, epsilon=float(payload.get("epsilon", epsilon)), allocator=allocator
+        )
+        try:
+            for entry in payload["allocations"]:
+                manager.adopt(allocation_from_dict(entry))
+            manager.admitted_count = int(payload["admitted_count"])
+            manager.rejected_count = int(payload["rejected_count"])
+            next_id = int(payload["next_request_id"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RecoveryError(f"snapshot-{seq} is malformed: {exc}") from exc
+        if next_id > manager.next_request_id:
+            manager.next_request_id = next_id
+    else:
+        manager = NetworkManager(tree, epsilon=epsilon, allocator=allocator)
+
+    for record in store.replay_after(report.snapshot_seq):
+        report.replayed_records += 1
+        report.last_seq = record["seq"]
+        op = record["op"]
+        if op == OP_ADMIT:
+            allocation = allocation_from_dict(record["allocation"])
+            try:
+                manager.adopt(allocation)
+            except ValueError as exc:
+                raise RecoveryError(
+                    f"journal seq {record['seq']}: cannot re-admit request "
+                    f"{allocation.request_id}: {exc}"
+                ) from exc
+            manager.admitted_count += 1
+            report.admits_replayed += 1
+        elif op == OP_RELEASE:
+            request_id = int(record["request_id"])
+            tenancy = manager.get_tenancy(request_id)
+            if tenancy is None:
+                raise RecoveryError(
+                    f"journal seq {record['seq']}: release of unknown request {request_id}"
+                )
+            manager.release(tenancy)
+            report.releases_replayed += 1
+        elif op == OP_REJECT:
+            manager.rejected_count += 1
+            request_id = record.get("request_id")
+            if request_id is not None and int(request_id) >= manager.next_request_id:
+                manager.next_request_id = int(request_id) + 1
+            report.rejects_replayed += 1
+        # Unknown ops are skipped: old journals must stay replayable by
+        # newer code, and extra record types must not poison recovery.
+    return manager, report
+
+
+def oracle_replay(
+    wal_path: Path, tree: Tree, epsilon: float = 0.05
+) -> Tuple[NetworkState, Dict[int, Allocation]]:
+    """Single-threaded from-scratch replay of the whole journal.
+
+    Ignores snapshots entirely and drives a bare :class:`NetworkState`
+    through commit/release — the ground truth the recovered manager (and
+    the pre-crash live state) must match field-for-field.  Returns the
+    final state and the allocations still active at the end of the log.
+    """
+    state = NetworkState(tree, epsilon=epsilon)
+    active: Dict[int, Allocation] = {}
+    for record in Journal.iter_records(wal_path):
+        op = record["op"]
+        if op == OP_ADMIT:
+            allocation = allocation_from_dict(record["allocation"])
+            if allocation.request_id in active:
+                raise RecoveryError(
+                    f"journal seq {record['seq']}: duplicate admit of "
+                    f"request {allocation.request_id}"
+                )
+            state.commit(allocation)
+            active[allocation.request_id] = allocation
+        elif op == OP_RELEASE:
+            request_id = int(record["request_id"])
+            allocation = active.pop(request_id, None)
+            if allocation is None:
+                raise RecoveryError(
+                    f"journal seq {record['seq']}: release of unknown request {request_id}"
+                )
+            state.release(allocation)
+    return state, active

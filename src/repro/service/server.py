@@ -1,0 +1,300 @@
+"""Line-delimited JSON TCP server for the admission service.
+
+Protocol: one JSON object per line in each direction, UTF-8, ``\\n``
+terminated.  Every response carries ``"ok"``; failures add ``"error"``.
+
+Operations::
+
+    {"op": "ping"}
+    {"op": "submit", "request": {...}, "priority": 0,
+     "timeout_s": 5.0, "wait": true, "wait_timeout": 10.0}
+    {"op": "status", "ticket": 7}
+    {"op": "release", "request_id": 3}
+    {"op": "stats"}
+    {"op": "snapshot"}
+    {"op": "shutdown"}
+
+Request payloads are the :mod:`repro.service.codec` request encoding, e.g.
+``{"kind": "homogeneous", "n_vms": 8, "mean": 200.0, "std": 80.0}``.
+
+Everything is stdlib (:mod:`socketserver`); ``svc-repro serve`` wires this
+behind the CLI and prints a single machine-readable ready line so scripts
+and tests can discover the bound port::
+
+    {"event": "ready", "host": "127.0.0.1", "port": 40123, "pid": 1234, ...}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socketserver
+import sys
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.allocation.dispatch import ALLOCATOR_FACTORIES, allocator_by_name
+from repro.experiments.config import SCALES
+from repro.manager.network_manager import NetworkManager
+from repro.service.codec import CodecError
+from repro.service.concurrency import AdmissionService
+from repro.service.journal import DurabilityStore
+from repro.service.queue import MODE_ONLINE, MODES
+from repro.service.recovery import recover_manager, snapshot_payload
+from repro.topology.builder import build_datacenter
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7421
+
+
+class AdmissionRequestHandler(socketserver.StreamRequestHandler):
+    """One connection: a stream of newline-delimited JSON commands."""
+
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                response = self._dispatch(json.loads(line))
+            except json.JSONDecodeError as exc:
+                response = {"ok": False, "error": f"malformed JSON: {exc.msg}"}
+            except CodecError as exc:
+                response = {"ok": False, "error": str(exc)}
+            except Exception as exc:  # never kill the connection on one bad op
+                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+            self.wfile.flush()
+            if response.get("bye"):
+                break
+
+    def _dispatch(self, command: Dict[str, Any]) -> Dict[str, Any]:
+        service: AdmissionService = self.server.service  # type: ignore[attr-defined]
+        op = command.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "submit":
+            ticket = service.submit(
+                command["request"],
+                priority=int(command.get("priority", 0)),
+                timeout_s=command.get("timeout_s"),
+                wait=bool(command.get("wait", True)),
+                wait_timeout=command.get("wait_timeout"),
+            )
+            return {"ok": True, **ticket.describe()}
+        if op == "status":
+            status = service.status(int(command["ticket"]))
+            if status is None:
+                return {"ok": False, "error": f"unknown ticket {command['ticket']}"}
+            return {"ok": True, **status}
+        if op == "release":
+            released = service.release(int(command["request_id"]))
+            if not released:
+                return {
+                    "ok": False,
+                    "error": f"request {command['request_id']} is not active",
+                }
+            return {"ok": True, "released": int(command["request_id"])}
+        if op == "stats":
+            return {"ok": True, "stats": service.stats()}
+        if op == "snapshot":
+            path = service.take_snapshot()
+            if path is None:
+                return {"ok": False, "error": "durability is not enabled"}
+            return {"ok": True, "snapshot": path}
+        if op == "shutdown":
+            self.server.request_shutdown()  # type: ignore[attr-defined]
+            return {"ok": True, "bye": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+class AdmissionTCPServer(socketserver.ThreadingTCPServer):
+    """Threading TCP server bound to one :class:`AdmissionService`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, service: AdmissionService) -> None:
+        super().__init__(address, AdmissionRequestHandler)
+        self.service = service
+
+    def request_shutdown(self) -> None:
+        # shutdown() blocks until serve_forever returns, so it must not be
+        # called from a handler thread directly.
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+# ----------------------------------------------------------------------
+# ``svc-repro serve``
+# ----------------------------------------------------------------------
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="svc-repro serve",
+        description="Run the admission-control daemon over a simulated datacenter.",
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST, help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"TCP port; 0 picks an ephemeral port (default: {DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="datacenter topology to manage (default: small)",
+    )
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.05,
+        help="SLA risk factor of Eq. (1) (default: 0.05)",
+    )
+    parser.add_argument(
+        "--allocator",
+        choices=sorted(ALLOCATOR_FACTORIES),
+        default="default",
+        help="allocation stack (default: the paper's system)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=MODES,
+        default=MODE_ONLINE,
+        help="online = drop rejected requests; batch = park and retry on departures",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="admission worker threads (default: 4)"
+    )
+    parser.add_argument(
+        "--journal-dir",
+        default=None,
+        help="durability directory (WAL + snapshots); omit for in-memory only",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=256,
+        help="journal records between automatic snapshots (default: 256)",
+    )
+    parser.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync the journal on every append (durable against power loss)",
+    )
+    parser.add_argument(
+        "--no-recover",
+        action="store_true",
+        help="ignore any existing journal instead of recovering from it",
+    )
+    return parser
+
+
+def _build_service(args: argparse.Namespace) -> AdmissionService:
+    store: Optional[DurabilityStore] = None
+    epsilon = args.epsilon
+    scale_name = args.scale
+    recovered = None
+    if args.journal_dir is not None:
+        store = DurabilityStore(
+            Path(args.journal_dir),
+            fsync=args.fsync,
+            snapshot_every=args.snapshot_every,
+        )
+        config = store.read_config()
+        if config is not None and not args.no_recover:
+            # The journal is only replayable over the topology it was
+            # recorded against: persisted config wins over the flags.
+            if config.get("scale", scale_name) != scale_name:
+                print(
+                    f"[serve] journal was recorded at scale "
+                    f"{config['scale']!r}; overriding --scale {scale_name!r}",
+                    file=sys.stderr,
+                )
+            scale_name = config.get("scale", scale_name)
+            if float(config.get("epsilon", epsilon)) != epsilon:
+                print(
+                    f"[serve] journal was recorded with epsilon "
+                    f"{config['epsilon']}; overriding --epsilon {epsilon}",
+                    file=sys.stderr,
+                )
+            epsilon = float(config.get("epsilon", epsilon))
+        store.write_config(
+            {"scale": scale_name, "epsilon": epsilon, "mode": args.mode}
+        )
+    tree = build_datacenter(SCALES[scale_name].spec)
+    allocator = allocator_by_name(args.allocator)
+    if store is not None and not args.no_recover:
+        manager, report = recover_manager(store, tree, epsilon=epsilon, allocator=allocator)
+        recovered = report
+        if report.replayed_records or report.used_snapshot:
+            print(
+                f"[serve] recovered: snapshot seq {report.snapshot_seq}, "
+                f"{report.replayed_records} journal records replayed "
+                f"({report.admits_replayed} admits, {report.releases_replayed} "
+                f"releases), {manager.active_tenancies} active tenancies",
+                file=sys.stderr,
+            )
+            # Checkpoint the recovered state so the next crash replays only
+            # the delta, then keep journaling after the recovered prefix.
+            store.write_snapshot(snapshot_payload(manager))
+    else:
+        manager = NetworkManager(tree, epsilon=epsilon, allocator=allocator)
+    service = AdmissionService(
+        manager, store=store, mode=args.mode, workers=args.workers
+    )
+    service.recovery_report = recovered  # type: ignore[attr-defined]
+    service.effective_scale = scale_name  # type: ignore[attr-defined]
+    return service
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``svc-repro serve``."""
+    args = build_serve_parser().parse_args(argv)
+    service = _build_service(args)
+    server = AdmissionTCPServer((args.host, args.port), service)
+    host, port = server.server_address[:2]
+    service.start()
+
+    def _terminate(_signum, _frame) -> None:
+        server.request_shutdown()
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+        signal.signal(signal.SIGINT, _terminate)
+    except ValueError:
+        pass  # not the main thread (in-process tests drive the server directly)
+
+    ready = {
+        "event": "ready",
+        "host": host,
+        "port": port,
+        "pid": os.getpid(),
+        "scale": getattr(service, "effective_scale", args.scale),
+        "mode": args.mode,
+        "epsilon": service.manager.epsilon,
+        "journal_dir": args.journal_dir,
+    }
+    report = getattr(service, "recovery_report", None)
+    if report is not None:
+        ready["recovered_records"] = report.replayed_records
+        ready["active_tenancies"] = service.manager.active_tenancies
+    print(json.dumps(ready), flush=True)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.stop()
+        if service.store is not None:
+            # A clean shutdown checkpoints, so restart needs no replay.
+            service.store.write_snapshot(snapshot_payload(service.manager))
+            service.store.close()
+        print("[serve] stopped", file=sys.stderr)
+    return 0

@@ -1,7 +1,5 @@
 """Property-based allocation tests: invariants over random workloads."""
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.abstractions import HeterogeneousSVC, HomogeneousSVC
 from repro.allocation.base import Allocation, expand_vm_placement
-from repro.stochastic import Normal
 
 
 def homogeneous_allocation(counts, n=None):

@@ -1,6 +1,5 @@
 """Cross-algorithm consistency checks on randomized small instances."""
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

@@ -2,7 +2,6 @@
 
 import itertools
 
-import numpy as np
 import pytest
 
 from repro.abstractions import DeterministicVC, HeterogeneousSVC, HomogeneousSVC
@@ -12,7 +11,6 @@ from repro.allocation.demand_model import (
     link_demand_homogeneous,
     subset_split_demand,
 )
-from repro.stochastic import Normal
 from repro.stochastic.minimum import min_of_normals
 from repro.stochastic.normal import sum_iid
 

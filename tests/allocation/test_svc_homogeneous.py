@@ -1,13 +1,11 @@
 """Algorithm 1 (homogeneous SVC DP): correctness, optimality, invariants."""
 
-import math
-
 import pytest
 
 from repro.abstractions import DeterministicVC, HeterogeneousSVC, HomogeneousSVC
 from repro.allocation import SVCHomogeneousAllocator
 from repro.network import NetworkState
-from repro.topology import build_datacenter, build_two_machine_example, TINY_SPEC
+from repro.topology import build_two_machine_example
 from tests.allocation.helpers import (
     assert_allocation_valid,
     assert_link_demands_consistent,

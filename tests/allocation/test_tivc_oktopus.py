@@ -9,7 +9,6 @@ from repro.allocation import (
     SVCHomogeneousAllocator,
 )
 from repro.network import NetworkState
-from repro.topology import build_datacenter, TINY_SPEC
 from tests.allocation.helpers import (
     assert_allocation_valid,
     assert_link_demands_consistent,

@@ -5,8 +5,6 @@ statistically meaningful we also assert the paper's orderings.  (The full
 shape validation lives in EXPERIMENTS.md at small/paper scale.)
 """
 
-import math
-
 import pytest
 
 from repro.experiments import (

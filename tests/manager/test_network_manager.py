@@ -5,6 +5,8 @@ import pytest
 from repro.abstractions import DeterministicVC, HeterogeneousSVC, HomogeneousSVC
 from repro.allocation import AdaptedTIVCAllocator
 from repro.manager import NetworkManager
+from repro.manager.network_manager import Tenancy
+from repro.service.codec import network_state_to_dict
 
 
 class TestAdmission:
@@ -113,6 +115,88 @@ class TestMixedTenancy:
         assert manager.max_occupancy() == 0.0
         manager.request(HomogeneousSVC(n_vms=10, mean=200.0, std=50.0))
         assert 0.0 < manager.max_occupancy() < 1.0
+
+
+class TestAtomicRelease:
+    def test_invalid_release_leaves_state_untouched(self, tiny_tree):
+        # NetworkState.release validates every slot count before mutating
+        # anything, so a bogus release must not strand partial link state.
+        manager = NetworkManager(tiny_tree)
+        # 8 VMs span two machines, so the keeper loads at least one link.
+        keeper = manager.request(HomogeneousSVC(n_vms=8, mean=100.0, std=30.0))
+        victim = manager.request(HomogeneousSVC(n_vms=4, mean=100.0, std=30.0))
+        manager.state.release(victim.allocation)
+        before = network_state_to_dict(manager.state)
+        with pytest.raises(ValueError):
+            manager.state.release(victim.allocation)  # double free: overflow
+        assert network_state_to_dict(manager.state) == before
+        assert manager.state.occupancy_of(
+            next(iter(keeper.allocation.link_demands))
+        ) > 0.0
+
+    def test_release_of_stale_handle_uses_stored_allocation(self, tiny_tree):
+        # A caller-held Tenancy object is only a key; the manager releases
+        # the allocation it stored at admit time.
+        manager = NetworkManager(tiny_tree)
+        tenancy = manager.request(HomogeneousSVC(n_vms=3, mean=80.0, std=20.0))
+        stale = Tenancy(allocation=tenancy.allocation)
+        manager.release(stale)
+        assert manager.active_tenancies == 0
+        assert manager.state.is_pristine()
+
+    def test_failed_release_keeps_tenancy_active(self, tiny_tree):
+        manager = NetworkManager(tiny_tree)
+        tenancy = manager.request(HomogeneousSVC(n_vms=3, mean=80.0, std=20.0))
+        manager.state.release(tenancy.allocation)  # corrupt behind its back
+        with pytest.raises(ValueError):
+            manager.release(tenancy)
+        # The tenancy entry and its rate limiters survived the failure.
+        assert manager.get_tenancy(tenancy.request_id) is tenancy
+        assert manager.active_tenancies == 1
+
+
+class TestAdopt:
+    def test_adopt_recommits_and_bumps_id_cursor(self, tiny_tree):
+        source = NetworkManager(tiny_tree)
+        tenancy = source.request(HomogeneousSVC(n_vms=4, mean=120.0, std=40.0))
+        fresh = NetworkManager(tiny_tree)
+        adopted = fresh.adopt(tenancy.allocation)
+        assert adopted.request_id == tenancy.request_id
+        assert fresh.next_request_id == tenancy.request_id + 1
+        assert network_state_to_dict(fresh.state) == network_state_to_dict(source.state)
+        assert adopted.vm_machines == tenancy.vm_machines
+
+    def test_adopt_does_not_touch_counters(self, tiny_tree):
+        source = NetworkManager(tiny_tree)
+        tenancy = source.request(HomogeneousSVC(n_vms=4, mean=120.0, std=40.0))
+        fresh = NetworkManager(tiny_tree)
+        fresh.adopt(tenancy.allocation)
+        assert fresh.admitted_count == 0
+        assert fresh.rejected_count == 0
+
+    def test_adopt_duplicate_rejected(self, tiny_tree):
+        source = NetworkManager(tiny_tree)
+        tenancy = source.request(HomogeneousSVC(n_vms=4, mean=120.0, std=40.0))
+        fresh = NetworkManager(tiny_tree)
+        fresh.adopt(tenancy.allocation)
+        with pytest.raises(ValueError, match="already active"):
+            fresh.adopt(tenancy.allocation)
+
+    def test_adopted_tenancy_releases_cleanly(self, tiny_tree):
+        source = NetworkManager(tiny_tree)
+        tenancy = source.request(DeterministicVC(n_vms=4, bandwidth=100.0))
+        fresh = NetworkManager(tiny_tree)
+        adopted = fresh.adopt(tenancy.allocation)
+        assert fresh.rate_limiters.cap(adopted.request_id, 0) == 100.0
+        fresh.release(adopted)
+        assert fresh.state.is_pristine()
+        assert len(fresh.rate_limiters) == 0
+
+    def test_id_cursor_never_moves_backwards(self, tiny_tree):
+        manager = NetworkManager(tiny_tree)
+        manager.next_request_id = 10
+        with pytest.raises(ValueError, match="backwards"):
+            manager.next_request_id = 5
 
 
 class TestRateLimiterIntegration:

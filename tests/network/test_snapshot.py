@@ -1,7 +1,5 @@
 """Per-level utilization snapshots."""
 
-import pytest
-
 from repro.abstractions import DeterministicVC, HomogeneousSVC
 from repro.manager import NetworkManager
 from repro.network import NetworkState, format_utilization, utilization_by_level

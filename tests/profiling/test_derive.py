@@ -1,6 +1,5 @@
 """Request derivation from profiling traces."""
 
-import numpy as np
 import pytest
 
 from repro.abstractions import DeterministicVC, HeterogeneousSVC, HomogeneousSVC

@@ -1,0 +1,21 @@
+"""Shared fixtures for the service-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.journal import DurabilityStore
+
+
+@pytest.fixture()
+def store(tmp_path) -> DurabilityStore:
+    """A fresh durability directory with frequent snapshots."""
+    with DurabilityStore(tmp_path / "journal", snapshot_every=5) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def plain_store(tmp_path) -> DurabilityStore:
+    """A durability directory that never snapshots automatically."""
+    with DurabilityStore(tmp_path / "journal") as handle:
+        yield handle

@@ -1,7 +1,6 @@
 """Outage instrumentation of the data plane (validation of Eq. 1)."""
 
 import numpy as np
-import pytest
 
 from repro.abstractions import HomogeneousSVC
 from repro.manager import NetworkManager

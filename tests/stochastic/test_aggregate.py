@@ -1,7 +1,5 @@
 """Admission condition (Eq. 4), effective bandwidth (Eq. 5), occupancy (Eq. 6)."""
 
-import math
-
 import numpy as np
 import pytest
 

@@ -1,7 +1,5 @@
 """Numerical edge cases across the probability substrate."""
 
-import math
-
 import pytest
 
 from repro.stochastic import (

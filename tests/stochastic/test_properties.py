@@ -1,7 +1,5 @@
 """Property-based tests (hypothesis) for the probability substrate."""
 
-import math
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, experiment_overrides, main
 
 
 class TestParser:
@@ -33,6 +33,85 @@ class TestParser:
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig5", "--scale", "galactic"])
+
+
+class TestOverrideFlags:
+    def test_epsilon_and_allocator_parse(self):
+        args = build_parser().parse_args(
+            ["fig7", "--epsilon", "0.02", "--allocator", "baseline"]
+        )
+        assert args.epsilon == 0.02
+        assert args.allocator == "baseline"
+
+    def test_overrides_default_to_none(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.epsilon is None
+        assert args.allocator is None
+
+    def test_unknown_allocator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--allocator", "magic"])
+
+    def test_epsilon_forwarded_to_matching_parameter(self):
+        def runner(scale, seed, epsilon=0.05):
+            pass
+
+        assert experiment_overrides(runner, epsilon=0.02) == {"epsilon": 0.02}
+
+    def test_epsilon_forwarded_as_singleton_sweep(self):
+        def runner(scale, seed, epsilons=(0.01, 0.05)):
+            pass
+
+        assert experiment_overrides(runner, epsilon=0.02) == {"epsilons": (0.02,)}
+
+    def test_allocator_resolved_by_name(self):
+        def runner(scale, seed, allocator=None):
+            pass
+
+        overrides = experiment_overrides(runner, allocator="baseline")
+        assert set(overrides) == {"allocator"}
+        assert overrides["allocator"] is not None
+
+    def test_unsupported_override_is_reported_not_raised(self, capsys):
+        def runner(scale, seed):
+            pass
+
+        assert experiment_overrides(runner, epsilon=0.02, allocator="baseline") == {}
+        err = capsys.readouterr().err
+        assert "--epsilon" in err and "--allocator" in err
+
+
+class TestServeRouting:
+    def test_serve_is_dispatched_before_experiment_parsing(self, monkeypatch):
+        import repro.service.server as server
+
+        seen = {}
+
+        def fake_serve_main(argv):
+            seen["argv"] = argv
+            return 0
+
+        monkeypatch.setattr(server, "serve_main", fake_serve_main)
+        assert main(["serve", "--port", "0", "--scale", "tiny"]) == 0
+        assert seen["argv"] == ["--port", "0", "--scale", "tiny"]
+
+    def test_serve_parser_defaults(self):
+        from repro.service.server import build_serve_parser
+
+        args = build_serve_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7421
+        assert args.scale == "small"
+        assert args.allocator == "default"
+        assert args.mode == "online"
+        assert args.workers == 4
+        assert args.epsilon == 0.05
+
+    def test_serve_parser_rejects_unknown_mode(self):
+        from repro.service.server import build_serve_parser
+
+        with pytest.raises(SystemExit):
+            build_serve_parser().parse_args(["--mode", "psychic"])
 
 
 @pytest.mark.slow
