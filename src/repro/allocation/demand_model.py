@@ -63,19 +63,17 @@ def _vec_min_moments(
     return mean, variance
 
 
-def homogeneous_split_moments(
+#: Bounded memo of :func:`homogeneous_split_moments` results.  Workload
+#: generators draw request shapes from a small discrete set, so the same
+#: ``(kind, N, mu, sigma)`` recurs across thousands of admissions; the cached
+#: arrays are frozen (read-only) so shared results cannot be corrupted.
+_SPLIT_MOMENTS_CACHE: "dict" = {}
+_SPLIT_MOMENTS_CACHE_MAX = 512
+
+
+def _compute_homogeneous_split_moments(
     request: VirtualClusterRequest,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Demand moments on a link for every split size of a homogeneous request.
-
-    Returns arrays ``(mu, var)`` of length ``N + 1`` where entry ``m`` holds
-    the mean and variance of ``min(B(m), B(N - m))`` — the request's demand on
-    a link that has ``m`` of its VMs below (Section IV-A).  Entries 0 and
-    ``N`` are exactly zero.
-
-    Accepts :class:`HomogeneousSVC` and :class:`DeterministicVC` (for which
-    the result is the classic ``B * min(m, N - m)`` with zero variance).
-    """
     n = request.n_vms
     m = np.arange(n + 1, dtype=float)
     if isinstance(request, DeterministicVC):
@@ -91,6 +89,40 @@ def homogeneous_split_moments(
     var[0] = var[n] = 0.0
     np.maximum(mu, 0.0, out=mu)
     return mu, var
+
+
+def homogeneous_split_moments(
+    request: VirtualClusterRequest,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Demand moments on a link for every split size of a homogeneous request.
+
+    Returns arrays ``(mu, var)`` of length ``N + 1`` where entry ``m`` holds
+    the mean and variance of ``min(B(m), B(N - m))`` — the request's demand on
+    a link that has ``m`` of its VMs below (Section IV-A).  Entries 0 and
+    ``N`` are exactly zero.
+
+    Accepts :class:`HomogeneousSVC` and :class:`DeterministicVC` (for which
+    the result is the classic ``B * min(m, N - m)`` with zero variance).
+
+    Results are memoized per request shape and returned as *read-only* arrays;
+    copy before mutating.
+    """
+    if isinstance(request, DeterministicVC):
+        key = ("det", request.n_vms, request.bandwidth)
+    elif isinstance(request, HomogeneousSVC):
+        key = ("hom", request.n_vms, request.mean, request.std)
+    else:
+        return _compute_homogeneous_split_moments(request)  # raises TypeError
+    cached = _SPLIT_MOMENTS_CACHE.get(key)
+    if cached is None:
+        mu, var = _compute_homogeneous_split_moments(request)
+        mu.flags.writeable = False
+        var.flags.writeable = False
+        if len(_SPLIT_MOMENTS_CACHE) >= _SPLIT_MOMENTS_CACHE_MAX:
+            # Simple wholesale reset: shapes are few, refilling is cheap.
+            _SPLIT_MOMENTS_CACHE.clear()
+        _SPLIT_MOMENTS_CACHE[key] = cached = (mu, var)
+    return cached
 
 
 def link_demand_homogeneous(request: VirtualClusterRequest, m: int) -> Normal:

@@ -8,7 +8,7 @@ each request to the algorithm that handles its type.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.abstractions.requests import VirtualClusterRequest
 from repro.allocation.base import Allocation, Allocator
@@ -22,7 +22,13 @@ from repro.network.link_state import NetworkState
 
 
 class DispatchingAllocator(Allocator):
-    """Routes each request to the first registered allocator that supports it."""
+    """Routes each request to the first registered allocator that supports it.
+
+    Rejections are attributed: when the supporting allocator returns None,
+    :attr:`last_rejected_by` names it and :attr:`rejection_counts` tallies it
+    — the service stats endpoint reports these so operators can tell *which*
+    algorithm is turning tenants away.
+    """
 
     name = "dispatch"
 
@@ -30,6 +36,11 @@ class DispatchingAllocator(Allocator):
         if not allocators:
             raise ValueError("at least one allocator is required")
         self._allocators = tuple(allocators)
+        #: Name of the allocator whose None the last ``allocate`` call
+        #: returned; None after a successful allocation.
+        self.last_rejected_by: Optional[str] = None
+        #: Lifetime rejection tally per allocator name.
+        self.rejection_counts: Dict[str, int] = {}
 
     def supports(self, request: VirtualClusterRequest) -> bool:
         return any(allocator.supports(request) for allocator in self._allocators)
@@ -39,7 +50,15 @@ class DispatchingAllocator(Allocator):
     ) -> Optional[Allocation]:
         for allocator in self._allocators:
             if allocator.supports(request):
-                return allocator.allocate(state, request, request_id)
+                allocation = allocator.allocate(state, request, request_id)
+                if allocation is None:
+                    self.last_rejected_by = allocator.name
+                    self.rejection_counts[allocator.name] = (
+                        self.rejection_counts.get(allocator.name, 0) + 1
+                    )
+                else:
+                    self.last_rejected_by = None
+                return allocation
         raise TypeError(
             f"no registered allocator supports {type(request).__name__} "
             f"(registered: {[a.name for a in self._allocators]})"

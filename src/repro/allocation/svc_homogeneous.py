@@ -19,6 +19,26 @@ Implementation notes: allocable sets are dense ``float`` arrays of length
 allocable").  The per-child combine step is the (min, max) convolution of the
 partial array with the child's array — done with one vectorized pass per
 feasible child count.
+
+Two implementations of the tree DP coexist:
+
+* the **seed** path (``fast=False``) — the original straight-line
+  implementation, kept verbatim as the reference the fast path is proven
+  against (placement-equivalence tests compare the two decision for
+  decision);
+* the **fast** path (``fast=True``, the default) — numerically identical,
+  but (a) caps every split size at the child subtree's *free-slot total*
+  (maintained incrementally by :class:`~repro.network.link_state.NetworkState`)
+  instead of iterating to ``N``, (b) computes the uplink occupancy of all
+  children of a vertex in one broadcast batch, (c) shares one table across
+  all machines with the same free-slot count (and one table across vertices
+  whose children are in bit-identical states), and (d) replaces the
+  per-``e`` Python loop of the combine step with a single index-gather
+  (min, max)-convolution.
+
+Every floating-point operation of the fast path is elementwise-identical to
+the seed path, so the produced host / placement / ``max_occupancy`` decisions
+are bit-for-bit the same — not merely statistically equivalent.
 """
 
 from __future__ import annotations
@@ -86,9 +106,10 @@ class _HomogeneousTreeSearch(Allocator):
     keeps only feasibility and the first-found split (adapted TIVC).
     """
 
-    def __init__(self, optimize: bool, localize: bool = True) -> None:
+    def __init__(self, optimize: bool, localize: bool = True, fast: bool = True) -> None:
         self._optimize = optimize
         self._localize = localize
+        self._fast = fast
 
     def supports(self, request: VirtualClusterRequest) -> bool:
         return isinstance(request, (HomogeneousSVC, DeterministicVC))
@@ -110,11 +131,38 @@ class _HomogeneousTreeSearch(Allocator):
         tables: Dict[int, _VertexTable] = {}
         host: Optional[int] = None
         host_value = np.inf
+        machine_cache: Dict[int, _VertexTable] = {}
+        vertex_cache: Dict[Tuple, _VertexTable] = {}
+        conv = self._convolution_context(n) if self._fast else None
         for _level, node_ids in tree.bottom_up_levels():
+            if self._fast and _level == 0:
+                # Machine level, unrolled: the table is the shared 0/inf step
+                # function per free-slot count, and a machine hosts the whole
+                # request iff its free slots cover N — in which case its
+                # Opt value is 0.0 and (for both the optimizing and the
+                # first-feasible variant) the first such machine in node
+                # order wins, exactly as the generic loop below decides.
+                free_slots = state.free_slots
+                for node_id in node_ids:
+                    free = free_slots(node_id)
+                    tables[node_id] = self._machine_table(
+                        min(free, n), n, machine_cache
+                    )
+                    if host is None and free >= n:
+                        host, host_value = node_id, 0.0
+                if host is not None and self._localize:
+                    break
+                continue
             for node_id in node_ids:
-                table = self._build_vertex(
-                    state, node_id, n, split_mean, split_var, deterministic, tables
-                )
+                if self._fast:
+                    table = self._build_vertex_fast(
+                        state, node_id, n, split_mean, split_var, deterministic,
+                        tables, machine_cache, vertex_cache, conv,
+                    )
+                else:
+                    table = self._build_vertex(
+                        state, node_id, n, split_mean, split_var, deterministic, tables
+                    )
                 tables[node_id] = table
                 value = float(table.values[n])
                 if not np.isfinite(value):
@@ -244,6 +292,166 @@ class _HomogeneousTreeSearch(Allocator):
         return new_values, choice
 
     # ------------------------------------------------------------------
+    # Fast DP construction (numerically identical to the seed path above)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _machine_table(limit: int, n: int, machine_cache: Dict[int, _VertexTable]) -> _VertexTable:
+        """Shared per-free-slot-count machine table (lines 4-7 of Algorithm 1).
+
+        Machines with the same number of free slots have identical DP tables,
+        so one read-only array serves all of them for the current request.
+        """
+        table = machine_cache.get(limit)
+        if table is None:
+            values = np.full(n + 1, np.inf)
+            values[: limit + 1] = 0.0
+            values.flags.writeable = False
+            table = _VertexTable(values=values, choices=[])
+            machine_cache[limit] = table
+        return table
+
+    def _build_vertex_fast(
+        self,
+        state: NetworkState,
+        node_id: int,
+        n: int,
+        split_mean: np.ndarray,
+        split_var: np.ndarray,
+        deterministic: bool,
+        tables: Dict[int, _VertexTable],
+        machine_cache: Dict[int, _VertexTable],
+        vertex_cache: Dict[Tuple, _VertexTable],
+        conv: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    ) -> _VertexTable:
+        """Pruned, batched equivalent of :meth:`_build_vertex`.
+
+        Split sizes are capped at ``min(N, free_slots_under(child))`` — every
+        entry beyond that cap is ``inf`` in the child's table anyway (a
+        subtree cannot absorb more VMs than its free slots), so skipping them
+        changes nothing.  The uplink occupancy of *all* children is computed
+        in one broadcast batch; the elementwise operations match the seed
+        path's exactly, so the resulting floats are bit-identical.
+
+        The vertex DP is a pure function of the children's tables and uplink
+        states, so vertices whose children are in bit-identical states (the
+        common case: most racks of a datacenter look alike) share one table
+        via ``vertex_cache``, keyed by the per-child (table identity, link
+        state, slot cap) signature.
+        """
+        tree = state.tree
+        node = tree.node(node_id)
+        if node.is_machine:
+            return self._machine_table(min(state.free_slots(node_id), n), n, machine_cache)
+
+        children = node.children
+        if not children:
+            partial = np.full(n + 1, np.inf)
+            partial[0] = 0.0
+            return _VertexTable(values=partial, choices=[])
+
+        num = len(children)
+        caps = np.empty(num, dtype=np.int64)
+        det = np.empty(num)
+        mean = np.empty(num)
+        var = np.empty(num)
+        capacity = np.empty(num)
+        links = state.links
+        signature: List[Tuple] = []
+        for i, child_id in enumerate(children):
+            link_state = links[child_id]
+            det[i] = link_state.deterministic_total
+            mean[i] = link_state.mean_total
+            var[i] = link_state.var_total
+            capacity[i] = link_state.capacity
+            caps[i] = cap = min(n, state.free_slots_under(child_id))
+            # Table identity is safe as a key: machine tables are shared per
+            # free-slot count and cached vertex tables are shared per
+            # signature, so equal ids imply bit-identical child tables.
+            signature.append(
+                (id(tables[child_id]), det[i], mean[i], var[i], capacity[i], cap)
+            )
+        key = tuple(signature)
+        cached = vertex_cache.get(key)
+        if cached is not None:
+            return cached
+
+        partial = np.full(n + 1, np.inf)
+        partial[0] = 0.0  # T_v[0] = {v}: no links, nothing placed
+        choices: List[np.ndarray] = []
+        width = int(caps.max())
+        sm = split_mean[: width + 1][None, :]
+        if deterministic:
+            reserved = det[:, None] + sm
+            effective = mean[:, None] + state.risk_c * np.sqrt(np.maximum(var[:, None], 0.0))
+            occ = (reserved + effective) / capacity[:, None]
+        else:
+            sv = split_var[: width + 1][None, :]
+            stoch_mean = mean[:, None] + sm
+            variance = var[:, None] + sv
+            effective = stoch_mean + state.risk_c * np.sqrt(np.maximum(variance, 0.0))
+            occ = (det[:, None] + effective) / capacity[:, None]
+
+        for i, child_id in enumerate(children):
+            cap = int(caps[i])
+            row = occ[i, : cap + 1]
+            child_values = tables[child_id].values
+            child_eff = np.maximum(child_values[: cap + 1], row)
+            child_eff[row >= _FEASIBLE_LIMIT] = np.inf
+            partial, choice = self._combine_fast(partial, child_eff, n, conv)
+            choices.append(choice)
+        table = _VertexTable(values=partial, choices=choices)
+        vertex_cache[key] = table
+        return table
+
+    @staticmethod
+    def _convolution_context(n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-allocate scratch for :meth:`_combine_fast`.
+
+        ``idx_full[e, s] = s - e``; gathering a partial table through its
+        first ``cap + 1`` rows yields the shifted matrix ``partial[s - e]``
+        in one C call.  Negative entries wrap into the permanent ``inf``
+        tail of ``scratch``, encoding the ``s < e`` infeasible corner.
+        """
+        s_index = np.arange(n + 1)
+        idx_full = s_index[None, :] - s_index[:, None]
+        scratch = np.empty(2 * n + 1)
+        scratch[n + 1 :] = np.inf
+        return s_index, idx_full, scratch
+
+    def _combine_fast(
+        self,
+        partial: np.ndarray,
+        child_eff: np.ndarray,
+        n: int,
+        conv: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched (min, max)-convolution — no per-``e`` Python loop.
+
+        Produces exactly what :meth:`_combine` produces.  ``cand[e, s]`` is
+        the candidate value of giving the child ``e`` VMs out of sum ``s``;
+        the seed's ascending-``e`` scalar loop keeps, per ``s``, the *first*
+        ``e`` attaining the minimum (optimize) or the first feasible ``e``
+        (TIVC) — which is precisely ``argmin`` / ``argmax(isfinite)`` along
+        the ``e`` axis, both of which return the first occurrence.  Only
+        ``max``/``min``/compare operations touch the floats, so the values
+        are bit-identical to the seed's.  ``child_eff`` may be shorter than
+        ``n + 1``; missing entries are infeasible.
+        """
+        s_index, idx_full, scratch = conv
+        cap = child_eff.size - 1
+        scratch[: n + 1] = partial
+        cand = scratch[idx_full[: cap + 1]]
+        np.maximum(child_eff[:, None], cand, out=cand)
+        if self._optimize:
+            choice = np.argmin(cand, axis=0)
+        else:
+            choice = np.argmax(np.isfinite(cand), axis=0)
+        new_values = cand[choice, s_index]
+        choice[np.isinf(new_values)] = -1
+        return new_values, choice
+
+    # ------------------------------------------------------------------
     # Backtracking (the Alloc() procedure of Algorithm 1)
     # ------------------------------------------------------------------
 
@@ -301,12 +509,19 @@ class _HomogeneousTreeSearch(Allocator):
 
 
 class SVCHomogeneousAllocator(_HomogeneousTreeSearch):
-    """Algorithm 1: lowest-level subtree + min-max occupancy placement."""
+    """Algorithm 1: lowest-level subtree + min-max occupancy placement.
+
+    ``fast=False`` runs the seed reference implementation (identical
+    decisions, no pruning/batching) — used by the equivalence tests and as
+    the baseline of ``benchmarks/bench_admission_path.py``.
+    """
 
     name = "svc-dp"
 
-    def __init__(self) -> None:
-        super().__init__(optimize=True)
+    def __init__(self, fast: bool = True) -> None:
+        super().__init__(optimize=True, fast=fast)
+        if not fast:
+            self.name = "svc-dp-seed"
 
 
 class GlobalMinMaxAllocator(_HomogeneousTreeSearch):
@@ -330,8 +545,8 @@ class AdaptedTIVCAllocator(_HomogeneousTreeSearch):
 
     name = "tivc"
 
-    def __init__(self) -> None:
-        super().__init__(optimize=False)
+    def __init__(self, fast: bool = True) -> None:
+        super().__init__(optimize=False, fast=fast)
 
 
 class OktopusAllocator(AdaptedTIVCAllocator):

@@ -69,6 +69,11 @@ class NetworkManager:
         self._tenancies: Dict[int, Tenancy] = {}
         self.admitted_count = 0
         self.rejected_count = 0
+        #: Which allocator produced the most recent rejection (None before
+        #: the first one), and the lifetime per-allocator rejection tally —
+        #: surfaced by the admission service's stats endpoint.
+        self.last_rejection_allocator: Optional[str] = None
+        self.rejections_by_allocator: Dict[str, int] = {}
 
     @property
     def epsilon(self) -> float:
@@ -104,6 +109,13 @@ class NetworkManager:
         allocation = self.allocator.allocate(self.state, request, request_id)
         if allocation is None:
             self.rejected_count += 1
+            rejected_by = (
+                getattr(self.allocator, "last_rejected_by", None) or self.allocator.name
+            )
+            self.last_rejection_allocator = rejected_by
+            self.rejections_by_allocator[rejected_by] = (
+                self.rejections_by_allocator.get(rejected_by, 0) + 1
+            )
             return None
         self.state.commit(allocation)
         tenancy = Tenancy(

@@ -132,19 +132,33 @@ class LinkState:
         self.deterministic_total += amount
 
     def remove_request(self, request_id: int) -> None:
-        """Remove a departing request's footprint (idempotent no-op if absent)."""
+        """Remove a departing request's footprint (idempotent no-op if absent).
+
+        When the last stochastic tenant departs, both aggregate moments are
+        zeroed *exactly* — incremental subtraction leaves a tiny float residue
+        (most visibly in ``var_total``) that would make an empty link report
+        nonzero effective bandwidth forever.  The deterministic total gets the
+        same treatment when the last reservation leaves.
+        """
         demand = self._stoch_by_request.pop(request_id, None)
         if demand is not None:
-            self.mean_total -= demand.mean
-            self.var_total -= demand.variance
-            if abs(self.mean_total) < _NEG_CLAMP:
+            if self._stoch_by_request:
+                self.mean_total -= demand.mean
+                self.var_total -= demand.variance
+                if abs(self.mean_total) < _NEG_CLAMP:
+                    self.mean_total = 0.0
+                if self.var_total < 0.0:
+                    self.var_total = 0.0
+            else:
                 self.mean_total = 0.0
-            if self.var_total < 0.0:
                 self.var_total = 0.0
         amount = self._det_by_request.pop(request_id, None)
         if amount is not None:
-            self.deterministic_total -= amount
-            if abs(self.deterministic_total) < _NEG_CLAMP:
+            if self._det_by_request:
+                self.deterministic_total -= amount
+                if abs(self.deterministic_total) < _NEG_CLAMP:
+                    self.deterministic_total = 0.0
+            else:
                 self.deterministic_total = 0.0
 
     @property
@@ -173,6 +187,23 @@ class NetworkState:
             for machine_id in tree.machine_ids
         }
         self._total_free = sum(self._free_slots.values())
+        # Per-internal-node free-slot totals, maintained incrementally by
+        # _occupy/_vacate along the machine's ancestor chain.  The allocators'
+        # fast path uses them to cap DP split sizes at what a subtree can
+        # actually hold and to skip subtrees that cannot host a request.
+        self._free_under: Dict[int, int] = {
+            node.node_id: tree.slots_under(node.node_id)
+            for node in tree.nodes
+            if not node.is_machine
+        }
+        self._ancestors: Dict[int, Tuple[int, ...]] = {}
+        for machine_id in tree.machine_ids:
+            chain = []
+            current = tree.node(machine_id).parent
+            while current is not None:
+                chain.append(current)
+                current = tree.node(current).parent
+            self._ancestors[machine_id] = tuple(chain)
 
     # ------------------------------------------------------------------
     # Slot accounting
@@ -181,6 +212,17 @@ class NetworkState:
     def free_slots(self, machine_id: int) -> int:
         """Empty VM slots on one machine."""
         return self._free_slots[machine_id]
+
+    def free_slots_under(self, node_id: int) -> int:
+        """Empty VM slots in the whole subtree rooted at ``node_id``.
+
+        O(1): machine entries come from the per-machine counters, internal
+        entries from the incrementally maintained subtree totals.
+        """
+        free = self._free_slots.get(node_id)
+        if free is not None:
+            return free
+        return self._free_under[node_id]
 
     @property
     def total_free_slots(self) -> int:
@@ -203,6 +245,8 @@ class NetworkState:
             )
         self._free_slots[machine_id] = available - count
         self._total_free -= count
+        for ancestor in self._ancestors[machine_id]:
+            self._free_under[ancestor] -= count
 
     def _vacate(self, machine_id: int, count: int) -> None:
         capacity = self.tree.node(machine_id).slot_capacity
@@ -213,6 +257,8 @@ class NetworkState:
             )
         self._free_slots[machine_id] = freed
         self._total_free += count
+        for ancestor in self._ancestors[machine_id]:
+            self._free_under[ancestor] += count
 
     # ------------------------------------------------------------------
     # Allocation lifecycle

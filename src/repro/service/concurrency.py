@@ -334,6 +334,7 @@ class AdmissionService:
                 "admitted_total": manager.admitted_count,
                 "rejected_total": manager.rejected_count,
                 "rejection_rate": manager.rejection_rate(),
+                "rejections_by_allocator": dict(manager.rejections_by_allocator),
                 "active_tenancies": manager.active_tenancies,
                 "queue": {
                     "ready": self._queue.ready_count,
@@ -431,7 +432,13 @@ class AdmissionService:
         self.counters.rejected += 1
         self.latencies.observe(self.clock() - entry.enqueued_at)
         self._maybe_snapshot()
-        return (OUTCOME_REJECTED, None, "no valid placement")
+        rejected_by = manager.last_rejection_allocator
+        detail = (
+            f"no valid placement (allocator={rejected_by})"
+            if rejected_by
+            else "no valid placement"
+        )
+        return (OUTCOME_REJECTED, None, detail)
 
     def _maybe_snapshot(self) -> None:
         if self.store is not None and self.store.should_snapshot():

@@ -91,7 +91,17 @@ class DataPlane:
         self._jobs[job_id] = job
 
     def remove_job(self, job_id: int) -> ActiveJob:
-        """Withdraw a completed job's flows."""
+        """Withdraw a completed job's flows.
+
+        Membership is checked *before* the plane is flagged dirty, so a
+        failed remove leaves the incidence (and any in-flight progress)
+        untouched instead of forcing a spurious rebuild.
+        """
+        if job_id not in self._jobs:
+            raise ValueError(
+                f"job {job_id} is not active on this data plane "
+                f"({len(self._jobs)} active jobs)"
+            )
         self._mark_dirty()
         job = self._jobs.pop(job_id)
         return job

@@ -22,10 +22,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.stochastic.normal import Normal, normal_cdf, normal_quantile
 
 _VARIANCE_EPS = 1e-12
+
+
+@lru_cache(maxsize=256)
+def _risk_quantile_cached(epsilon: float) -> float:
+    return normal_quantile(1.0 - epsilon)
 
 
 def risk_quantile(epsilon: float) -> float:
@@ -33,10 +39,14 @@ def risk_quantile(epsilon: float) -> float:
 
     ``epsilon`` is the provider's SLA risk factor (Section III-B); the default
     in the paper's evaluation is 0.05, giving ``c ~= 1.645``.
+
+    The quantile inversion is memoized: admission runs evaluate this once per
+    ``admission_margin`` / effective-bandwidth call with a handful of distinct
+    risk levels, so the cache turns a transcendental inversion into a dict hit.
     """
     if not 0.0 < epsilon < 1.0:
         raise ValueError(f"risk factor epsilon must be in (0, 1), got {epsilon}")
-    return normal_quantile(1.0 - epsilon)
+    return _risk_quantile_cached(epsilon)
 
 
 @dataclass(frozen=True)

@@ -57,3 +57,42 @@ class TestDispatch:
         # FF signature on light demands: machines packed full in tree order.
         ff = FirstFitAllocator().allocate(NetworkState(tiny_tree), request, 1)
         assert allocation.machine_counts == ff.machine_counts
+
+
+class TestRejectionAttribution:
+    def test_rejection_names_the_refusing_allocator(self, tiny_tree):
+        dispatch = default_allocator()
+        state = NetworkState(tiny_tree)
+        assert dispatch.last_rejected_by is None
+        # More VMs than the tiny tree has slots: the DP must refuse.
+        rejected = dispatch.allocate(
+            state, HomogeneousSVC(n_vms=tiny_tree.total_slots + 1, mean=1.0, std=0.0), 1
+        )
+        assert rejected is None
+        assert dispatch.last_rejected_by == "svc-dp"
+        assert dispatch.rejection_counts == {"svc-dp": 1}
+
+    def test_success_resets_attribution(self, tiny_tree):
+        dispatch = default_allocator()
+        state = NetworkState(tiny_tree)
+        dispatch.allocate(
+            state, HomogeneousSVC(n_vms=tiny_tree.total_slots + 1, mean=1.0, std=0.0), 1
+        )
+        assert dispatch.last_rejected_by == "svc-dp"
+        admitted = dispatch.allocate(
+            state, HomogeneousSVC(n_vms=2, mean=10.0, std=1.0), 2
+        )
+        assert admitted is not None
+        assert dispatch.last_rejected_by is None
+        # The lifetime tally is not reset by success.
+        assert dispatch.rejection_counts == {"svc-dp": 1}
+
+    def test_counts_accumulate_per_allocator(self, tiny_tree):
+        dispatch = default_allocator()
+        state = NetworkState(tiny_tree)
+        too_big = tiny_tree.total_slots + 1
+        dispatch.allocate(state, HomogeneousSVC(n_vms=too_big, mean=1.0, std=0.0), 1)
+        dispatch.allocate(state, HomogeneousSVC(n_vms=too_big, mean=1.0, std=0.0), 2)
+        dispatch.allocate(state, HeterogeneousSVC.uniform(too_big, mean=1.0, std=0.0), 3)
+        assert dispatch.rejection_counts == {"svc-dp": 2, "svc-het": 1}
+        assert dispatch.last_rejected_by == "svc-het"

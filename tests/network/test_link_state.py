@@ -78,6 +78,33 @@ class TestAccounting:
         assert link_state.mean_total == pytest.approx(0.0, abs=1e-6)
         assert link_state.var_total == pytest.approx(0.0, abs=1e-6)
 
+    def test_totals_exactly_zero_after_last_tenant_departs(self, link_state):
+        # Regression: subtracting per-tenant variance left float residue in
+        # var_total after the last stochastic tenant departed.  The totals
+        # must be *exactly* zero once no tenant remains — 0.0, not 1e-13.
+        demand = Normal(123.456789, 98.7654321)
+        for cycle in range(1000):
+            link_state.add_stochastic(2 * cycle, demand)
+            link_state.add_deterministic(2 * cycle + 1, 77.7777)
+            link_state.remove_request(2 * cycle)
+            link_state.remove_request(2 * cycle + 1)
+            assert link_state.mean_total == 0.0
+            assert link_state.var_total == 0.0
+            assert link_state.deterministic_total == 0.0
+        assert link_state.is_idle
+
+    def test_totals_zeroed_even_with_overlapping_tenants(self, link_state):
+        # Interleaved arrivals/departures: residue only snaps to zero when the
+        # *last* tenant leaves; partial departures still subtract normally.
+        a, b = Normal(100.1, 31.7), Normal(55.5, 12.3)
+        link_state.add_stochastic(1, a)
+        link_state.add_stochastic(2, b)
+        link_state.remove_request(1)
+        assert link_state.mean_total == pytest.approx(b.mean)
+        link_state.remove_request(2)
+        assert link_state.mean_total == 0.0
+        assert link_state.var_total == 0.0
+
 
 class TestOccupancy:
     def test_empty_link_zero_occupancy(self, link_state):

@@ -44,6 +44,23 @@ class TestSubmitRelease:
         ticket = service.submit(huge_svc(tiny_tree))
         assert ticket.outcome == OUTCOME_REJECTED
 
+    def test_rejection_names_the_allocator(self, tiny_tree, service):
+        # The detail string and the stats payload both attribute rejections
+        # to the algorithm that refused (here Algorithm 1's DP, "svc-dp").
+        ticket = service.submit(huge_svc(tiny_tree))
+        assert ticket.outcome == OUTCOME_REJECTED
+        assert ticket.detail == "no valid placement (allocator=svc-dp)"
+        stats = service.stats()
+        assert stats["rejections_by_allocator"] == {"svc-dp": 1}
+
+    def test_rejection_attribution_tallies_per_allocator(self, tiny_tree, service):
+        service.submit(huge_svc(tiny_tree))
+        service.submit(huge_svc(tiny_tree))
+        service.submit(small_svc())  # success must not disturb the tally
+        stats = service.stats()
+        assert stats["rejections_by_allocator"] == {"svc-dp": 2}
+        assert stats["counters"]["rejected"] == 2
+
     def test_submit_accepts_wire_payloads(self, service):
         ticket = service.submit({"kind": "deterministic", "n_vms": 2, "bandwidth": 50.0})
         assert ticket.outcome == OUTCOME_ADMITTED

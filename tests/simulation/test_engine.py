@@ -99,6 +99,30 @@ class TestStepping:
         with pytest.raises(ValueError):
             plane.start_job(job)
 
+    def test_remove_unknown_job_raises_and_leaves_plane_clean(self, tiny_tree, rng):
+        # Regression: remove_job used to mark the flow matrix dirty *before*
+        # discovering the job id was unknown, so the bare KeyError left the
+        # plane scheduled for a pointless rebuild.  Now it's a descriptive
+        # ValueError and the plane state is untouched.
+        plane = DataPlane(tiny_tree, rng)
+        manager = NetworkManager(tiny_tree)
+        spec = spec_with(job_id=1, flow_volume=1000.0, mean_rate=100.0)
+        start_job(plane, manager, spec, HomogeneousSVC(n_vms=4, mean=100.0, std=0.0))
+        plane.step(0)
+        remaining_before = plane.remaining_volume(1).copy()
+        with pytest.raises(ValueError, match="not active"):
+            plane.remove_job(99)
+        assert plane.active_jobs == 1
+        # The active job keeps progressing normally after the failed remove.
+        plane.step(1)
+        assert np.all(plane.remaining_volume(1) <= remaining_before)
+
+    def test_remove_unknown_job_on_empty_plane(self, tiny_tree, rng):
+        plane = DataPlane(tiny_tree, rng)
+        with pytest.raises(ValueError, match="0 active jobs"):
+            plane.remove_job(1)
+        assert plane.step(0) == []
+
     def test_progress_preserved_across_job_events(self, tiny_tree, rng):
         # Adding a second job mid-flight must not reset the first one.
         plane = DataPlane(tiny_tree, rng)
