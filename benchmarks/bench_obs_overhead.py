@@ -1,0 +1,134 @@
+"""Observability overhead benchmark: instrumented vs uninstrumented admission.
+
+Runs the same ``bench_admission_path`` workload twice per repeat — once with
+the observability layer live (the default) and once with
+``repro.obs.configure(enabled=False)`` swapping in the no-op facades — and
+compares best-of-N requests/sec.  The instrumentation contract of the obs
+subsystem is **<= 5% throughput regression** on the admission fast path;
+``--gate`` turns that contract into a nonzero exit code for CI.
+
+Modes are interleaved (on, off, on, off, ...) so thermal drift and cache
+warm-up bias both sides equally, and each mode's *best* run is compared —
+best-of-N is the standard way to squeeze scheduler noise out of a ratio.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --scale small --num-jobs 60
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --gate   # CI: fail > 5%
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+from bench_admission_path import run_variant
+
+from repro.obs.instruments import configure, global_registry
+
+GATE_PCT = 5.0
+
+
+def run_overhead(
+    scale_name: str = "small",
+    seed: int = 0,
+    load: float = 0.6,
+    num_jobs: int = 60,
+    repeats: int = 3,
+    variant: str = "svc-dp",
+) -> Dict:
+    """Interleaved A/B of the admission path with instruments on vs off."""
+    runs: Dict[str, List[float]] = {"enabled": [], "disabled": []}
+    try:
+        for repeat in range(repeats):
+            for mode, flag in (("enabled", True), ("disabled", False)):
+                configure(enabled=flag)
+                result = run_variant(variant, scale_name, seed, load, num_jobs)
+                runs[mode].append(result["requests_per_sec"])
+                print(
+                    f"[bench_obs_overhead] repeat {repeat + 1}/{repeats} "
+                    f"{mode:8s} {result['requests_per_sec']:10.1f} req/s",
+                    flush=True,
+                )
+    finally:
+        configure(enabled=True)  # never leave the process uninstrumented
+
+    best_on = max(runs["enabled"])
+    best_off = max(runs["disabled"])
+    overhead_pct = 100.0 * (best_off - best_on) / best_off if best_off > 0 else 0.0
+    return {
+        "benchmark": "obs_overhead",
+        "variant": variant,
+        "scale": scale_name,
+        "seed": seed,
+        "load": load,
+        "num_jobs": num_jobs,
+        "repeats": repeats,
+        "requests_per_sec": {
+            "instrumented_best": best_on,
+            "uninstrumented_best": best_off,
+            "instrumented_runs": runs["enabled"],
+            "uninstrumented_runs": runs["disabled"],
+        },
+        "overhead_pct": overhead_pct,
+        "gate_pct": GATE_PCT,
+        "within_gate": overhead_pct <= GATE_PCT,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small", choices=["tiny", "small", "paper"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--load", type=float, default=0.6)
+    parser.add_argument("--num-jobs", type=int, default=60)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--variant", default="svc-dp")
+    parser.add_argument("--output", default="BENCH_obs_overhead.json")
+    parser.add_argument(
+        "--metrics-output",
+        default=None,
+        help="also dump the final registry snapshot as JSON (CI artifact)",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help=f"exit nonzero when overhead exceeds {GATE_PCT}%%",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_overhead(
+        scale_name=args.scale,
+        seed=args.seed,
+        load=args.load,
+        num_jobs=args.num_jobs,
+        repeats=args.repeats,
+        variant=args.variant,
+    )
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[bench_obs_overhead] wrote {args.output}")
+    if args.metrics_output:
+        with open(args.metrics_output, "w") as handle:
+            json.dump(global_registry().snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[bench_obs_overhead] wrote {args.metrics_output}")
+    print(
+        f"[bench_obs_overhead] overhead: {payload['overhead_pct']:.2f}% "
+        f"(gate {GATE_PCT}%, within: {payload['within_gate']})"
+    )
+    if args.gate and not payload["within_gate"]:
+        print(
+            f"[bench_obs_overhead] FAIL: instrumentation costs "
+            f"{payload['overhead_pct']:.2f}% > {GATE_PCT}% throughput",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

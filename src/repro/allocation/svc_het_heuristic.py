@@ -19,6 +19,7 @@ diagonal are invalid and stay ``inf`` throughout.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -27,6 +28,11 @@ from repro.abstractions.requests import HeterogeneousSVC, VirtualClusterRequest
 from repro.allocation.base import Allocation, Allocator
 from repro.allocation.demand_model import SegmentDemandTable
 from repro.network.link_state import LinkState, NetworkState
+from repro.obs.instruments import (
+    REASON_NO_FEASIBLE_SUBTREE,
+    REASON_NO_FREE_SLOTS,
+    admission_instruments,
+)
 from repro.stochastic.normal import Normal
 
 _FEASIBLE_LIMIT = 1.0
@@ -62,8 +68,15 @@ class SVCHeterogeneousAllocator(Allocator):
     ) -> Optional[Allocation]:
         if not isinstance(request, HeterogeneousSVC):
             raise TypeError(f"{self.name} only places heterogeneous SVC requests")
+        obs = admission_instruments()
+        trace = obs.start(self.name)
+        t_start = perf_counter()
         n = request.n_vms
         if n > state.total_free_slots:
+            obs.done(
+                self.name, perf_counter() - t_start, admitted=False,
+                reason=REASON_NO_FREE_SLOTS, trace=trace, n_vms=n,
+            )
             return None
         segments = SegmentDemandTable(request, percentile=self._percentile)
 
@@ -81,6 +94,10 @@ class SVCHeterogeneousAllocator(Allocator):
             if host is not None:
                 break
         if host is None:
+            obs.done(
+                self.name, perf_counter() - t_start, admitted=False,
+                reason=REASON_NO_FEASIBLE_SUBTREE, trace=trace, n_vms=n,
+            )
             return None
 
         node_segments: Dict[int, Tuple[int, int]] = {}
@@ -96,7 +113,7 @@ class SVCHeterogeneousAllocator(Allocator):
             if node_id != host and 0 < end - start < n:
                 link_demands[node_id] = segments.segment_demand(start, end)
         machine_counts = {machine: len(vms) for machine, vms in machine_vms.items()}
-        return Allocation(
+        allocation = Allocation(
             request=request,
             request_id=request_id,
             host_node=host,
@@ -105,6 +122,8 @@ class SVCHeterogeneousAllocator(Allocator):
             link_demands=link_demands,
             max_occupancy=host_value,
         )
+        obs.done(self.name, perf_counter() - t_start, admitted=True, trace=trace, n_vms=n)
+        return allocation
 
     # ------------------------------------------------------------------
     # DP construction

@@ -44,6 +44,7 @@ are bit-for-bit the same — not merely statistically equivalent.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -60,6 +61,16 @@ from repro.allocation.base import (
 )
 from repro.allocation.demand_model import homogeneous_split_moments
 from repro.network.link_state import LinkState, NetworkState
+from repro.obs.instruments import (
+    PHASE_ALLOC,
+    PHASE_BATCH_OCCUPANCY,
+    PHASE_COMBINE,
+    PHASE_PRUNE,
+    PHASE_TABLE_BUILD,
+    REASON_NO_FEASIBLE_SUBTREE,
+    REASON_NO_FREE_SLOTS,
+    admission_instruments,
+)
 from repro.stochastic.normal import Normal
 
 _FEASIBLE_LIMIT = 1.0  # validity is the strict inequality O_L < 1 (Eq. 4)
@@ -119,21 +130,35 @@ class _HomogeneousTreeSearch(Allocator):
     ) -> Optional[Allocation]:
         if not self.supports(request):
             raise TypeError(f"{self.name} cannot place a {type(request).__name__}")
+        # Observability: counters always tick; phase wall-times only
+        # accumulate on sampled traces (``phases`` stays None otherwise, so
+        # the hot path pays one None check per section).
+        obs = admission_instruments()
+        trace = obs.start(self.name)
+        phases: Optional[Dict[str, float]] = trace.phases if trace is not None else None
+        t_start = perf_counter()
         n = request.n_vms
         if n > state.total_free_slots:
+            obs.done(
+                self.name, perf_counter() - t_start, admitted=False,
+                reason=REASON_NO_FREE_SLOTS, trace=trace, n_vms=n,
+            )
             return None
 
         split_mean, split_var = homogeneous_split_moments(request)
         deterministic = request.is_deterministic
         tree = state.tree
-        risk_c = state.risk_c
 
         tables: Dict[int, _VertexTable] = {}
         host: Optional[int] = None
         host_value = np.inf
         machine_cache: Dict[int, _VertexTable] = {}
         vertex_cache: Dict[Tuple, _VertexTable] = {}
+        machine_lookups = 0
+        vertex_lookups = 0
         conv = self._convolution_context(n) if self._fast else None
+        if phases is not None:
+            phases[PHASE_PRUNE] = perf_counter() - t_start
         for _level, node_ids in tree.bottom_up_levels():
             if self._fast and _level == 0:
                 # Machine level, unrolled: the table is the shared 0/inf step
@@ -142,6 +167,7 @@ class _HomogeneousTreeSearch(Allocator):
                 # Opt value is 0.0 and (for both the optimizing and the
                 # first-feasible variant) the first such machine in node
                 # order wins, exactly as the generic loop below decides.
+                t_phase = perf_counter() if phases is not None else 0.0
                 free_slots = state.free_slots
                 for node_id in node_ids:
                     free = free_slots(node_id)
@@ -150,19 +176,31 @@ class _HomogeneousTreeSearch(Allocator):
                     )
                     if host is None and free >= n:
                         host, host_value = node_id, 0.0
+                machine_lookups = len(node_ids)
+                if phases is not None:
+                    phases[PHASE_TABLE_BUILD] = (
+                        phases.get(PHASE_TABLE_BUILD, 0.0) + perf_counter() - t_phase
+                    )
                 if host is not None and self._localize:
                     break
                 continue
             for node_id in node_ids:
                 if self._fast:
+                    vertex_lookups += 1
                     table = self._build_vertex_fast(
                         state, node_id, n, split_mean, split_var, deterministic,
-                        tables, machine_cache, vertex_cache, conv,
+                        tables, machine_cache, vertex_cache, conv, phases,
                     )
                 else:
+                    t_phase = perf_counter() if phases is not None else 0.0
                     table = self._build_vertex(
                         state, node_id, n, split_mean, split_var, deterministic, tables
                     )
+                    if phases is not None:
+                        phases[PHASE_TABLE_BUILD] = (
+                            phases.get(PHASE_TABLE_BUILD, 0.0)
+                            + perf_counter() - t_phase
+                        )
                 tables[node_id] = table
                 value = float(table.values[n])
                 if not np.isfinite(value):
@@ -179,9 +217,19 @@ class _HomogeneousTreeSearch(Allocator):
             # global min-max placement, Opt(T_root, N).
             host = tree.root_id
             host_value = float(tables[tree.root_id].values[n])
+        if self._fast:
+            # Hit/miss bookkeeping is derived once per request: every probe
+            # that did not insert a new table was served by a shared one.
+            obs.cache("machine", machine_lookups, machine_lookups - len(machine_cache))
+            obs.cache("vertex", vertex_lookups, vertex_lookups - len(vertex_cache))
         if host is None:
+            obs.done(
+                self.name, perf_counter() - t_start, admitted=False,
+                reason=REASON_NO_FEASIBLE_SUBTREE, trace=trace, n_vms=n,
+            )
             return None
 
+        t_alloc = perf_counter() if phases is not None else 0.0
         machine_counts: Dict[int, int] = {}
         self._backtrack(tree, tables, host, n, machine_counts)
         link_demands = link_demands_from_counts(
@@ -195,6 +243,9 @@ class _HomogeneousTreeSearch(Allocator):
             link_demands=link_demands,
             max_occupancy=self._subtree_max_occupancy(state, host, link_demands),
         )
+        if phases is not None:
+            phases[PHASE_ALLOC] = perf_counter() - t_alloc
+        obs.done(self.name, perf_counter() - t_start, admitted=True, trace=trace, n_vms=n)
         return allocation
 
     # ------------------------------------------------------------------
@@ -323,6 +374,7 @@ class _HomogeneousTreeSearch(Allocator):
         machine_cache: Dict[int, _VertexTable],
         vertex_cache: Dict[Tuple, _VertexTable],
         conv: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        phases: Optional[Dict[str, float]] = None,
     ) -> _VertexTable:
         """Pruned, batched equivalent of :meth:`_build_vertex`.
 
@@ -350,6 +402,11 @@ class _HomogeneousTreeSearch(Allocator):
             partial[0] = 0.0
             return _VertexTable(values=partial, choices=[])
 
+        # ``phases`` (sampled traces only) splits the work into disjoint
+        # wall-time sections: table_build = per-child metadata + signature +
+        # cache probe, batch_occupancy = the broadcast O_L(N, e) block,
+        # combine = the (min, max)-convolutions.
+        t_phase = perf_counter() if phases is not None else 0.0
         num = len(children)
         caps = np.empty(num, dtype=np.int64)
         det = np.empty(num)
@@ -373,12 +430,17 @@ class _HomogeneousTreeSearch(Allocator):
             )
         key = tuple(signature)
         cached = vertex_cache.get(key)
+        if phases is not None:
+            phases[PHASE_TABLE_BUILD] = (
+                phases.get(PHASE_TABLE_BUILD, 0.0) + perf_counter() - t_phase
+            )
         if cached is not None:
             return cached
 
         partial = np.full(n + 1, np.inf)
         partial[0] = 0.0  # T_v[0] = {v}: no links, nothing placed
         choices: List[np.ndarray] = []
+        t_phase = perf_counter() if phases is not None else 0.0
         width = int(caps.max())
         sm = split_mean[: width + 1][None, :]
         if deterministic:
@@ -391,6 +453,11 @@ class _HomogeneousTreeSearch(Allocator):
             variance = var[:, None] + sv
             effective = stoch_mean + state.risk_c * np.sqrt(np.maximum(variance, 0.0))
             occ = (det[:, None] + effective) / capacity[:, None]
+        if phases is not None:
+            phases[PHASE_BATCH_OCCUPANCY] = (
+                phases.get(PHASE_BATCH_OCCUPANCY, 0.0) + perf_counter() - t_phase
+            )
+            t_phase = perf_counter()
 
         for i, child_id in enumerate(children):
             cap = int(caps[i])
@@ -400,6 +467,10 @@ class _HomogeneousTreeSearch(Allocator):
             child_eff[row >= _FEASIBLE_LIMIT] = np.inf
             partial, choice = self._combine_fast(partial, child_eff, n, conv)
             choices.append(choice)
+        if phases is not None:
+            phases[PHASE_COMBINE] = (
+                phases.get(PHASE_COMBINE, 0.0) + perf_counter() - t_phase
+            )
         table = _VertexTable(values=partial, choices=choices)
         vertex_cache[key] = table
         return table

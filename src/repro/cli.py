@@ -8,12 +8,14 @@ Examples::
     svc-repro het --allocator baseline          # vary the allocation stack
     svc-repro all --scale paper                 # the full 1,000-machine reproduction
     svc-repro serve --port 0 --journal-dir /var/lib/svc  # admission daemon
+    svc-repro top --port 40123                  # live metrics view of a daemon
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import logging
 import sys
 import time
 from typing import Any, Callable, Dict, List, Optional
@@ -21,6 +23,9 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.allocation.dispatch import ALLOCATOR_FACTORIES, allocator_by_name
 from repro.experiments.config import SCALES
 from repro.experiments.runner import EXPERIMENTS, run_all
+from repro.logconfig import LOG_LEVELS, setup_logging
+
+logger = logging.getLogger(__name__)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write all results as one Markdown report to this path",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="stderr log verbosity (default: info)",
+    )
     return parser
 
 
@@ -90,10 +101,9 @@ def experiment_overrides(
         elif "epsilons" in parameters:
             overrides["epsilons"] = (epsilon,)
         else:
-            print(
-                f"[cli] note: {getattr(runner, '__module__', runner)} takes no "
-                "epsilon override; ignoring --epsilon",
-                file=sys.stderr,
+            logger.warning(
+                "%s takes no epsilon override; ignoring --epsilon",
+                getattr(runner, "__module__", runner),
             )
     if allocator is not None:
         if "allocator" in parameters:
@@ -101,10 +111,9 @@ def experiment_overrides(
         elif "allocator_factory" in parameters:
             overrides["allocator_factory"] = ALLOCATOR_FACTORIES[allocator]
         else:
-            print(
-                f"[cli] note: {getattr(runner, '__module__', runner)} takes no "
-                "allocator override; ignoring --allocator",
-                file=sys.stderr,
+            logger.warning(
+                "%s takes no allocator override; ignoring --allocator",
+                getattr(runner, "__module__", runner),
             )
     return overrides
 
@@ -116,7 +125,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.service.server import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "top":
+        from repro.service.top import top_main
+
+        return top_main(argv[1:])
     args = build_parser().parse_args(argv)
+    setup_logging(args.log_level)
     started = time.time()
     if args.experiment == "all":
         results = run_all(
@@ -132,20 +146,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         results = [runner(scale=args.scale, seed=args.seed, **overrides)]
     for result in results:
-        print(result.format())
-        print()
+        # Result tables are the command's product: stdout, not logging.
+        sys.stdout.write(result.format() + "\n\n")
     if args.csv_dir:
         from repro.experiments.export import export_csv
 
         for result in results:
             for path in export_csv(result, args.csv_dir):
-                print(f"[csv] {path}", file=sys.stderr)
+                logger.info("csv written: %s", path)
     if args.markdown:
         from repro.experiments.export import export_markdown
 
         path = export_markdown(results, args.markdown)
-        print(f"[markdown] {path}", file=sys.stderr)
-    print(f"[done in {time.time() - started:.1f}s]", file=sys.stderr)
+        logger.info("markdown written: %s", path)
+    logger.info("done in %.1fs", time.time() - started)
     return 0
 
 

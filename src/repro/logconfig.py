@@ -1,0 +1,29 @@
+"""Shared logging setup for the ``svc-repro`` entry points.
+
+All diagnostics in :mod:`repro` go through module-level loggers; stdout is
+reserved for machine-readable output (result tables, the server's ready
+line), so everything here is routed to stderr.  Library consumers that
+configure logging themselves are left alone — :func:`setup_logging` only
+installs a handler when the root logger has none.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def setup_logging(level: str = "info") -> None:
+    """Route all logging to stderr at the requested level (idempotent)."""
+    if level not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r}; choose from {LOG_LEVELS}")
+    root = logging.getLogger()
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))

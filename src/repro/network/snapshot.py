@@ -23,6 +23,11 @@ class LevelUtilization:
     mean_occupancy: float
     max_occupancy: float
     mean_deterministic_share: float
+    #: Stochastic headroom ``S_L - sum mu_i`` (sharing bandwidth left after
+    #: the resident SVC mean demands) in Mbps — the guarantee-health margin
+    #: the observability gauges track per level.
+    mean_headroom_mbps: float = 0.0
+    min_headroom_mbps: float = 0.0
 
     @property
     def label(self) -> str:
@@ -39,6 +44,7 @@ def utilization_by_level(state: NetworkState) -> List[LevelUtilization]:
     tree = state.tree
     buckets: Dict[int, List[float]] = {}
     det_share: Dict[int, List[float]] = {}
+    headroom: Dict[int, List[float]] = {}
     for link_id, link_state in state.links.items():
         level = tree.node(link_id).level
         occupancy = link_state.occupancy(state.risk_c)
@@ -46,9 +52,13 @@ def utilization_by_level(state: NetworkState) -> List[LevelUtilization]:
         det_share.setdefault(level, []).append(
             link_state.deterministic_total / link_state.capacity
         )
+        headroom.setdefault(level, []).append(
+            link_state.sharing_bandwidth - link_state.mean_total
+        )
     summary = []
     for level in sorted(buckets):
         values = buckets[level]
+        margins = headroom[level]
         summary.append(
             LevelUtilization(
                 level=level,
@@ -56,6 +66,8 @@ def utilization_by_level(state: NetworkState) -> List[LevelUtilization]:
                 mean_occupancy=sum(values) / len(values),
                 max_occupancy=max(values),
                 mean_deterministic_share=sum(det_share[level]) / len(det_share[level]),
+                mean_headroom_mbps=sum(margins) / len(margins),
+                min_headroom_mbps=min(margins),
             )
         )
     return summary

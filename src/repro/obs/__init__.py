@@ -1,0 +1,64 @@
+"""repro.obs — observability: metrics registry, admission tracing, telemetry.
+
+The paper's product is a *probabilistic* guarantee — ``Pr(sum B_i > S_L) <
+epsilon`` (Eq. 1) validated through per-link occupancy ``O_L`` (Eq. 6) —
+and this package makes both observable at runtime:
+
+- :mod:`repro.obs.registry` — dependency-free counters, gauges and
+  fixed-bucket histograms with Prometheus text exposition and JSON
+  snapshots;
+- :mod:`repro.obs.tracing` — a sampled span tracer for the admission path;
+- :mod:`repro.obs.instruments` — the process-global registry plus the
+  pre-wired facades the allocator, the simulation data plane and the
+  admission service write into;
+- :mod:`repro.obs.schema` — the checked-in metric-name contract CI guards.
+
+Instrumentation is on by default and cheap (O(1) counters, sampled spans);
+``configure(enabled=False)`` swaps in no-op facades for overhead A/B runs.
+"""
+
+from repro.obs.instruments import (
+    AdmissionInstruments,
+    OutageMonitor,
+    ServiceInstruments,
+    admission_instruments,
+    bind_network_gauges,
+    configure,
+    enabled,
+    global_registry,
+    outage_monitor,
+    reset_global_registry,
+    service_instruments,
+)
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ShardedHistogram,
+)
+from repro.obs.tracing import Span, SpanTracer, Trace
+
+__all__ = [
+    "AdmissionInstruments",
+    "OutageMonitor",
+    "ServiceInstruments",
+    "admission_instruments",
+    "service_instruments",
+    "bind_network_gauges",
+    "configure",
+    "enabled",
+    "global_registry",
+    "outage_monitor",
+    "reset_global_registry",
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ShardedHistogram",
+    "Span",
+    "SpanTracer",
+    "Trace",
+]

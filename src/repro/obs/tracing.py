@@ -1,0 +1,131 @@
+"""Lightweight span tracing for the admission path.
+
+A *trace* covers one admission request; *spans* are named timed sections
+(or accumulated phase totals — the DP phases repeat per vertex, so they are
+folded into one span per phase name rather than thousands of events).
+
+Tracing is sampled deterministically: every ``sample_every``-th call to
+:meth:`SpanTracer.start` returns a live :class:`Trace`, the rest return
+``None`` at the cost of one integer increment — the hot path stays O(1) and
+lock-free.  Finished traces land in a bounded ring buffer that the service's
+``metrics`` endpoint exposes for inspection.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Trace", "SpanTracer"]
+
+
+class Span:
+    """One timed section inside a trace."""
+
+    __slots__ = ("name", "start_s", "duration_s")
+
+    def __init__(self, name: str, start_s: float, duration_s: float) -> None:
+        self.name = name
+        self.start_s = start_s
+        self.duration_s = duration_s
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start_ms": 1000.0 * self.start_s,
+            "duration_ms": 1000.0 * self.duration_s,
+        }
+
+
+class _SpanContext:
+    """Context manager that records one span on exit."""
+
+    __slots__ = ("_trace", "_name", "_t0")
+
+    def __init__(self, trace: "Trace", name: str) -> None:
+        self._trace = trace
+        self._name = name
+
+    def __enter__(self) -> "_SpanContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        now = time.perf_counter()
+        self._trace.spans.append(
+            Span(self._name, self._t0 - self._trace.started, now - self._t0)
+        )
+
+
+class Trace:
+    """One sampled request: named spans + accumulated phase totals."""
+
+    __slots__ = ("trace_id", "name", "started", "spans", "phases", "meta", "duration_s")
+
+    def __init__(self, trace_id: int, name: str) -> None:
+        self.trace_id = trace_id
+        self.name = name
+        self.started = time.perf_counter()
+        self.spans: List[Span] = []
+        self.phases: Dict[str, float] = {}
+        self.meta: Dict[str, Any] = {}
+        self.duration_s: Optional[float] = None
+
+    def span(self, name: str) -> _SpanContext:
+        return _SpanContext(self, name)
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate repeated work (e.g. per-vertex combine) into one total."""
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    def annotate(self, **meta: Any) -> None:
+        self.meta.update(meta)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "duration_ms": 1000.0 * (self.duration_s or 0.0),
+            "phases_ms": {k: 1000.0 * v for k, v in sorted(self.phases.items())},
+            "spans": [span.as_dict() for span in self.spans],
+            "meta": dict(self.meta),
+        }
+
+
+class SpanTracer:
+    """Sampled trace source plus a ring buffer of finished traces."""
+
+    def __init__(self, sample_every: int = 64, keep: int = 128) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.sample_every = sample_every
+        self._calls = 0
+        self._next_id = 1
+        self._finished: deque = deque(maxlen=keep)
+
+    def start(self, name: str) -> Optional[Trace]:
+        """A live trace for every ``sample_every``-th call, else None."""
+        self._calls += 1
+        if self._calls % self.sample_every != 0:
+            return None
+        trace = Trace(self._next_id, name)
+        self._next_id += 1
+        return trace
+
+    def finish(self, trace: Trace) -> None:
+        trace.duration_s = time.perf_counter() - trace.started
+        self._finished.append(trace)
+
+    @property
+    def sampled_count(self) -> int:
+        return self._next_id - 1
+
+    @property
+    def call_count(self) -> int:
+        return self._calls
+
+    def recent(self, limit: int = 16) -> List[Dict[str, Any]]:
+        """Most recent finished traces, newest last, JSON-serializable."""
+        traces = list(self._finished)[-limit:]
+        return [trace.as_dict() for trace in traces]

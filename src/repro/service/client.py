@@ -107,6 +107,14 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self.call("stats")["stats"]
 
+    def metrics(self) -> Dict[str, Any]:
+        """Registry snapshot + Prometheus exposition of the server process.
+
+        Returns ``{"metrics": <JSON snapshot>, "prometheus": <text>}``.
+        """
+        response = self.call("metrics")
+        return {"metrics": response["metrics"], "prometheus": response["prometheus"]}
+
     def snapshot(self) -> str:
         return self.call("snapshot")["snapshot"]
 

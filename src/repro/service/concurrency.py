@@ -17,15 +17,18 @@ operation; everything a client saw acknowledged is recoverable.
 
 from __future__ import annotations
 
+import logging
+import math
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.abstractions.requests import VirtualClusterRequest
 from repro.manager.network_manager import NetworkManager, Tenancy
 from repro.network.snapshot import utilization_by_level
+from repro.obs.instruments import global_registry, service_instruments
 from repro.service.codec import request_from_dict, request_to_dict
 from repro.service.journal import DurabilityStore
 from repro.service.queue import (
@@ -36,6 +39,8 @@ from repro.service.queue import (
     RequestQueue,
 )
 from repro.service.recovery import snapshot_payload
+
+logger = logging.getLogger(__name__)
 
 OUTCOME_ADMITTED = "admitted"
 OUTCOME_REJECTED = "rejected"
@@ -49,14 +54,27 @@ _IDLE_SWEEP_INTERVAL = 0.05
 
 
 class LatencyWindow:
-    """Bounded reservoir of recent latency samples for percentile stats."""
+    """Bounded reservoir of recent latency samples for percentile stats.
+
+    Percentiles are computed over only the last ``maxlen`` samples while the
+    mean covers the whole lifetime — the ``window``/``window_limit`` fields
+    in :meth:`summary` make that caveat machine-visible.  Every reported
+    number is a finite ``float >= 0.0`` regardless of how few samples exist
+    (empty and one-sample windows degrade to zeros / the single sample, not
+    ``NaN`` or ``None``), so the payload is always JSON-safe.
+    """
 
     def __init__(self, maxlen: int = 4096) -> None:
+        self._maxlen = maxlen
         self._samples: deque = deque(maxlen=maxlen)
         self._count = 0
         self._total = 0.0
 
     def observe(self, seconds: float) -> None:
+        # Non-finite or negative samples (clock anomalies) would poison
+        # every percentile in the window; clamp them to zero instead.
+        if not math.isfinite(seconds) or seconds < 0.0:
+            seconds = 0.0
         self._samples.append(seconds)
         self._count += 1
         self._total += seconds
@@ -64,6 +82,8 @@ class LatencyWindow:
     def summary(self, percentiles=(50, 90, 99)) -> Dict[str, float]:
         """Percentiles (over the window) and lifetime mean, in milliseconds."""
         result: Dict[str, float] = {"count": self._count}
+        result["window"] = len(self._samples)
+        result["window_limit"] = self._maxlen
         result["mean_ms"] = 1000.0 * self._total / self._count if self._count else 0.0
         ordered = sorted(self._samples)
         for pct in percentiles:
@@ -187,6 +207,12 @@ class AdmissionService:
         self._threads: List[threading.Thread] = []
         self._running = False
         self._started_at = self.clock()
+        # Mirror every counter/latency observation onto the process-global
+        # metric registry and expose queue depth, uptime and the network
+        # guarantee-health gauges through it (pull-style: the callbacks run
+        # only when the metrics endpoint renders).
+        self._obs = service_instruments()
+        self._obs.bind_service(self)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -203,6 +229,10 @@ class AdmissionService:
             )
             thread.start()
             self._threads.append(thread)
+        logger.info(
+            "admission service started: mode=%s workers=%d durable=%s",
+            self.mode, self.workers, self.store is not None,
+        )
         return self
 
     def stop(self, timeout: float = 5.0) -> None:
@@ -218,6 +248,9 @@ class AdmissionService:
         for thread in self._threads:
             thread.join(timeout)
         self._threads.clear()
+        logger.info(
+            "admission service stopped: %d queued request(s) abandoned", len(abandoned)
+        )
 
     def __enter__(self) -> "AdmissionService":
         return self.start()
@@ -228,6 +261,25 @@ class AdmissionService:
     @property
     def running(self) -> bool:
         return self._running
+
+    @property
+    def started_at(self) -> float:
+        """Clock reading at construction (uptime reference for gauges)."""
+        return self._started_at
+
+    def queue_depths(self) -> Tuple[int, int]:
+        """Current ``(ready, parked)`` queue depths, read under the lock."""
+        with self._cond:
+            return self._queue.ready_count, self._queue.parked_count
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        """Bump one lifetime counter and its registry mirror together."""
+        setattr(self.counters, event, getattr(self.counters, event) + amount)
+        self._obs.event(event, amount)
+
+    def _observe_latency(self, seconds: float) -> None:
+        self.latencies.observe(seconds)
+        self._obs.observe_latency(seconds)
 
     # ------------------------------------------------------------------
     # Client operations
@@ -264,7 +316,7 @@ class AdmissionService:
             )
             self._next_ticket += 1
             self._tickets[ticket.ticket_id] = ticket
-            self.counters.submitted += 1
+            self._count("submitted")
             entry = QueuedRequest(
                 ticket_id=ticket.ticket_id,
                 request=request,
@@ -274,6 +326,10 @@ class AdmissionService:
             )
             self._queue.push(entry)
             self._cond.notify()
+        logger.debug(
+            "submit ticket=%d kind=%s priority=%d timeout_s=%s",
+            ticket.ticket_id, type(request).__name__, priority, timeout_s,
+        )
         if wait:
             ticket.wait(wait_timeout)
         return ticket
@@ -292,14 +348,15 @@ class AdmissionService:
             self.manager.release(tenancy)
             if self.store is not None:
                 self.store.log_release(request_id)
-            self.counters.released += 1
+            self._count("released")
             retried = 0
             if self.mode == MODE_BATCH:
                 retried = self._queue.requeue_parked()
-                self.counters.retries += retried
+                self._count("retries", retried)
             self._maybe_snapshot()
             if retried:
                 self._cond.notify_all()
+        logger.debug("release request_id=%d retried=%d", request_id, retried)
         return True
 
     def status(self, ticket_id: int) -> Optional[Dict[str, Any]]:
@@ -353,6 +410,21 @@ class AdmissionService:
                 "durability": self._durability_info(),
             }
 
+    def metrics(self) -> Dict[str, Any]:
+        """The payload of the ``metrics`` endpoint.
+
+        Both views render from the process-global registry: ``metrics`` is
+        the JSON snapshot (rides the line-JSON protocol as-is), and
+        ``prometheus`` is the text exposition (version 0.0.4) for scrapers.
+        Rendered *without* the service lock — the pull gauges take it
+        themselves where they need consistency.
+        """
+        registry = global_registry()
+        return {
+            "metrics": registry.snapshot(),
+            "prometheus": registry.render_prometheus(),
+        }
+
     def _durability_info(self) -> Dict[str, Any]:
         if self.store is None:
             return {"enabled": False}
@@ -385,7 +457,7 @@ class AdmissionService:
                     entry, drained = self._queue.pop_ready(now)
                     expired = drained + self._queue.expire(now)
                     if expired:
-                        self.counters.expired += len(expired)
+                        self._count("expired", len(expired))
                     if entry is not None or expired:
                         break
                     self._cond.wait(timeout=_IDLE_SWEEP_INTERVAL)
@@ -396,7 +468,11 @@ class AdmissionService:
                         decision = self._attempt(entry, now)
                     except Exception as exc:  # journal I/O etc. — fail the
                         # request, keep the worker alive for the next one
-                        self.counters.errors += 1
+                        self._count("errors")
+                        logger.warning(
+                            "ticket=%d failed during admission: %s",
+                            entry.ticket_id, exc, exc_info=True,
+                        )
                         decision = (OUTCOME_ERROR, None, f"{type(exc).__name__}: {exc}")
             # Tickets are resolved outside the lock: Event.set wakes the
             # submitting thread, which may immediately call back into the
@@ -415,13 +491,16 @@ class AdmissionService:
         try:
             tenancy: Optional[Tenancy] = manager.request(entry.request)
         except Exception as exc:  # allocator bug — fail the request, not the worker
-            self.counters.errors += 1
+            self._count("errors")
+            logger.warning(
+                "ticket=%d allocator raised: %s", entry.ticket_id, exc, exc_info=True
+            )
             return (OUTCOME_ERROR, None, f"{type(exc).__name__}: {exc}")
         if tenancy is not None:
             if self.store is not None:
                 self.store.log_admit(tenancy.allocation)
-            self.counters.admitted += 1
-            self.latencies.observe(self.clock() - entry.enqueued_at)
+            self._count("admitted")
+            self._observe_latency(self.clock() - entry.enqueued_at)
             self._maybe_snapshot()
             return (OUTCOME_ADMITTED, tenancy.request_id, None)
         if self.mode == MODE_BATCH and not entry.expired(self.clock()):
@@ -429,8 +508,8 @@ class AdmissionService:
             return None
         if self.store is not None:
             self.store.log_reject(request_to_dict(entry.request), request_id=probe_id)
-        self.counters.rejected += 1
-        self.latencies.observe(self.clock() - entry.enqueued_at)
+        self._count("rejected")
+        self._observe_latency(self.clock() - entry.enqueued_at)
         self._maybe_snapshot()
         rejected_by = manager.last_rejection_allocator
         detail = (
@@ -450,3 +529,7 @@ class AdmissionService:
         if ticket is not None:
             latency = self.clock() - entry.enqueued_at
             ticket.resolve(outcome, request_id=request_id, detail=detail, latency=latency)
+            logger.debug(
+                "ticket=%d outcome=%s request_id=%s attempts=%d latency_ms=%.3f",
+                entry.ticket_id, outcome, request_id, entry.attempts, 1000.0 * latency,
+            )

@@ -28,6 +28,7 @@ oracle-replay tests exercise.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import re
 import tempfile
@@ -36,6 +37,8 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.service.codec import allocation_to_dict
+
+logger = logging.getLogger(__name__)
 
 WAL_NAME = "wal.jsonl"
 _SNAPSHOT_RE = re.compile(r"^snapshot-(\d+)\.json$")
@@ -76,6 +79,10 @@ class Journal:
             pass
         if summary.torn_tail:
             valid_bytes = self._intact_prefix_bytes(summary.records)
+            logger.warning(
+                "journal %s has a torn tail; truncating to %d intact record(s) "
+                "(%d bytes)", self.path, summary.records, valid_bytes,
+            )
             with open(self.path, "r+b") as handle:
                 handle.truncate(valid_bytes)
         return summary.last_seq + 1
@@ -237,6 +244,11 @@ class DurabilityStore:
     def _log(self, op: str, **fields: Any) -> int:
         seq = self.journal.append(op, **fields)
         self._records_since_snapshot += 1
+        if logger.isEnabledFor(logging.DEBUG):
+            request_id = fields.get("request_id")
+            if request_id is None and isinstance(fields.get("allocation"), dict):
+                request_id = fields["allocation"].get("request_id")
+            logger.debug("journal seq=%d op=%s request_id=%s", seq, op, request_id)
         return seq
 
     def should_snapshot(self) -> bool:
@@ -274,6 +286,7 @@ class DurabilityStore:
             raise
         self._records_since_snapshot = 0
         self._prune_snapshots()
+        logger.info("snapshot written: %s (covers journal seq <= %d)", path, seq)
         return path
 
     def _prune_snapshots(self) -> None:

@@ -11,6 +11,7 @@ Operations::
     {"op": "status", "ticket": 7}
     {"op": "release", "request_id": 3}
     {"op": "stats"}
+    {"op": "metrics"}
     {"op": "snapshot"}
     {"op": "shutdown"}
 
@@ -27,7 +28,9 @@ and tests can discover the bound port::
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
+import logging
 import os
 import signal
 import socketserver
@@ -38,7 +41,10 @@ from typing import Any, Dict, List, Optional
 
 from repro.allocation.dispatch import ALLOCATOR_FACTORIES, allocator_by_name
 from repro.experiments.config import SCALES
+from repro.logconfig import LOG_LEVELS, setup_logging
 from repro.manager.network_manager import NetworkManager
+from repro.obs.instruments import configure as configure_obs
+from repro.obs.instruments import outage_monitor
 from repro.service.codec import CodecError
 from repro.service.concurrency import AdmissionService
 from repro.service.journal import DurabilityStore
@@ -46,8 +52,14 @@ from repro.service.queue import MODE_ONLINE, MODES
 from repro.service.recovery import recover_manager, snapshot_payload
 from repro.topology.builder import build_datacenter
 
+logger = logging.getLogger(__name__)
+
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7421
+
+#: Process-wide protocol request ids, threaded through the handler logs so
+#: one request can be correlated across server, worker and journal lines.
+_REQUEST_IDS = itertools.count(1)
 
 
 class AdmissionRequestHandler(socketserver.StreamRequestHandler):
@@ -58,14 +70,24 @@ class AdmissionRequestHandler(socketserver.StreamRequestHandler):
             line = raw.strip()
             if not line:
                 continue
+            rid = next(_REQUEST_IDS)
+            op = None
             try:
-                response = self._dispatch(json.loads(line))
+                command = json.loads(line)
+                op = command.get("op")
+                response = self._dispatch(command)
             except json.JSONDecodeError as exc:
                 response = {"ok": False, "error": f"malformed JSON: {exc.msg}"}
             except CodecError as exc:
                 response = {"ok": False, "error": str(exc)}
             except Exception as exc:  # never kill the connection on one bad op
+                logger.warning("rid=%d op=%s raised: %s", rid, op, exc, exc_info=True)
                 response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            logger.debug(
+                "rid=%d peer=%s op=%s ok=%s ticket=%s",
+                rid, self.client_address[0], op,
+                response.get("ok"), response.get("ticket"),
+            )
             self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
             self.wfile.flush()
             if response.get("bye"):
@@ -100,6 +122,8 @@ class AdmissionRequestHandler(socketserver.StreamRequestHandler):
             return {"ok": True, "released": int(command["request_id"])}
         if op == "stats":
             return {"ok": True, "stats": service.stats()}
+        if op == "metrics":
+            return {"ok": True, **service.metrics()}
         if op == "snapshot":
             path = service.take_snapshot()
             if path is None:
@@ -192,6 +216,24 @@ def build_serve_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore any existing journal instead of recovering from it",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="stderr log verbosity (default: info)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="record a full admission trace every N requests (default: 64)",
+    )
+    parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="disable the observability layer (no-op instruments, bare endpoint)",
+    )
     return parser
 
 
@@ -211,17 +253,15 @@ def _build_service(args: argparse.Namespace) -> AdmissionService:
             # The journal is only replayable over the topology it was
             # recorded against: persisted config wins over the flags.
             if config.get("scale", scale_name) != scale_name:
-                print(
-                    f"[serve] journal was recorded at scale "
-                    f"{config['scale']!r}; overriding --scale {scale_name!r}",
-                    file=sys.stderr,
+                logger.warning(
+                    "journal was recorded at scale %r; overriding --scale %r",
+                    config["scale"], scale_name,
                 )
             scale_name = config.get("scale", scale_name)
             if float(config.get("epsilon", epsilon)) != epsilon:
-                print(
-                    f"[serve] journal was recorded with epsilon "
-                    f"{config['epsilon']}; overriding --epsilon {epsilon}",
-                    file=sys.stderr,
+                logger.warning(
+                    "journal was recorded with epsilon %s; overriding --epsilon %s",
+                    config["epsilon"], epsilon,
                 )
             epsilon = float(config.get("epsilon", epsilon))
         store.write_config(
@@ -233,12 +273,12 @@ def _build_service(args: argparse.Namespace) -> AdmissionService:
         manager, report = recover_manager(store, tree, epsilon=epsilon, allocator=allocator)
         recovered = report
         if report.replayed_records or report.used_snapshot:
-            print(
-                f"[serve] recovered: snapshot seq {report.snapshot_seq}, "
-                f"{report.replayed_records} journal records replayed "
-                f"({report.admits_replayed} admits, {report.releases_replayed} "
-                f"releases), {manager.active_tenancies} active tenancies",
-                file=sys.stderr,
+            logger.info(
+                "recovered: snapshot seq %s, %d journal records replayed "
+                "(%d admits, %d releases), %d active tenancies",
+                report.snapshot_seq, report.replayed_records,
+                report.admits_replayed, report.releases_replayed,
+                manager.active_tenancies,
             )
             # Checkpoint the recovered state so the next crash replays only
             # the delta, then keep journaling after the recovered prefix.
@@ -248,6 +288,9 @@ def _build_service(args: argparse.Namespace) -> AdmissionService:
     service = AdmissionService(
         manager, store=store, mode=args.mode, workers=args.workers
     )
+    # Publish the SLA bound so the empirical-outage gauges compare against
+    # the epsilon this daemon actually guarantees (Eq. 1).
+    outage_monitor().set_epsilon(epsilon)
     service.recovery_report = recovered  # type: ignore[attr-defined]
     service.effective_scale = scale_name  # type: ignore[attr-defined]
     return service
@@ -256,6 +299,11 @@ def _build_service(args: argparse.Namespace) -> AdmissionService:
 def serve_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``svc-repro serve``."""
     args = build_serve_parser().parse_args(argv)
+    setup_logging(args.log_level)
+    if args.no_metrics:
+        configure_obs(enabled=False)
+    elif args.trace_sample is not None:
+        configure_obs(sample_every=args.trace_sample)
     service = _build_service(args)
     server = AdmissionTCPServer((args.host, args.port), service)
     host, port = server.server_address[:2]
@@ -284,7 +332,10 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     if report is not None:
         ready["recovered_records"] = report.replayed_records
         ready["active_tenancies"] = service.manager.active_tenancies
-    print(json.dumps(ready), flush=True)
+    # The ready line is machine-readable protocol output, not logging: it
+    # must stay the first (and only) line scripts see on stdout.
+    sys.stdout.write(json.dumps(ready) + "\n")
+    sys.stdout.flush()
     try:
         server.serve_forever(poll_interval=0.1)
     except KeyboardInterrupt:
@@ -296,5 +347,5 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
             # A clean shutdown checkpoints, so restart needs no replay.
             service.store.write_snapshot(snapshot_payload(service.manager))
             service.store.close()
-        print("[serve] stopped", file=sys.stderr)
+        logger.info("server stopped")
     return 0

@@ -21,6 +21,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.obs.instruments import outage_monitor
 from repro.simulation.jobs import ActiveJob
 from repro.simulation.maxmin import build_incidence, max_min_fair_rates
 from repro.topology.tree import Tree
@@ -58,8 +59,12 @@ class DataPlane:
         self._dirty = True
         # Optional outage instrumentation (validation of Eq. 1): per
         # directed link, how many seconds it carried load and in how many of
-        # those the offered demand exceeded capacity.
+        # those the offered demand exceeded capacity.  The same per-step
+        # tallies feed the process-global empirical outage monitor, so the
+        # measured violation rate is comparable against epsilon live on the
+        # metrics endpoint.
         self._track_outages = track_outages
+        self._outage_monitor = outage_monitor() if track_outages else None
         self._loaded_seconds = np.zeros(self._num_directed, dtype=np.int64)
         self._outage_seconds = np.zeros(self._num_directed, dtype=np.int64)
         # Flattened per-flow arrays over all active jobs (rebuilt lazily):
@@ -202,8 +207,12 @@ class DataPlane:
                 minlength=self._num_directed,
             )
             loaded = offered > 1e-9
+            violated = loaded & (offered > self._capacities + 1e-9)
             self._loaded_seconds[loaded] += 1
-            self._outage_seconds[loaded & (offered > self._capacities + 1e-9)] += 1
+            self._outage_seconds[violated] += 1
+            self._outage_monitor.record(
+                int(np.count_nonzero(violated)), int(np.count_nonzero(loaded))
+            )
         rates = max_min_fair_rates(
             demands, self._link_of_entry, self._flow_ptr, self._capacities
         )

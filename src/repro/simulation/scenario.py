@@ -26,6 +26,7 @@ from repro.allocation.base import Allocator
 from repro.allocation.dispatch import default_allocator
 from repro.allocation.svc_homogeneous import OktopusAllocator
 from repro.manager.network_manager import NetworkManager
+from repro.obs.instruments import outage_monitor
 from repro.simulation.engine import DataPlane
 from repro.simulation.jobs import ActiveJob, JobSpec
 from repro.simulation.metrics import JobRecord, summarize_runtimes
@@ -278,6 +279,10 @@ def run_online(
         allocator = allocator_for_model(model)
     manager = NetworkManager(tree, epsilon=epsilon, allocator=allocator)
     plane = DataPlane(tree, rng, track_outages=track_outages)
+    if track_outages:
+        # Publish the bound the empirical monitor is measured against, so
+        # the metrics endpoint can compare rate vs epsilon live (Eq. 1).
+        outage_monitor().set_epsilon(epsilon)
     cap = _resolve_rate_cap(tree, rate_cap)
     arrivals = deque(
         (spec, make_request(spec, model, percentile=percentile, rate_cap=cap))

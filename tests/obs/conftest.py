@@ -1,0 +1,19 @@
+"""Shared fixture: an isolated global registry per test.
+
+The instruments module owns process-global state (registry + cached
+facades); these tests mutate it, so each one runs against a fresh registry
+and restores the default configuration afterwards.
+"""
+
+import pytest
+
+from repro.obs import instruments
+
+
+@pytest.fixture
+def fresh_registry():
+    registry = instruments.reset_global_registry()
+    instruments.configure(enabled=True, sample_every=1)
+    yield registry
+    instruments.reset_global_registry()
+    instruments.configure(enabled=True, sample_every=64)

@@ -1,0 +1,144 @@
+"""Instrument facades: admission counters/traces, outage monitor, gauges."""
+
+import json
+
+from repro.abstractions.requests import HomogeneousSVC
+from repro.manager.network_manager import NetworkManager
+from repro.obs import instruments
+from repro.obs.instruments import (
+    PHASE_COMBINE,
+    PHASE_TABLE_BUILD,
+    REASON_NO_FREE_SLOTS,
+    admission_instruments,
+    bind_network_gauges,
+    outage_monitor,
+)
+from repro.topology.builder import TINY_SPEC, build_datacenter
+
+
+class TestAdmissionInstruments:
+    def test_admit_and_reject_counters(self, fresh_registry):
+        obs = admission_instruments()
+        trace = obs.start("svc-dp")
+        assert trace is not None  # sample_every=1 in the fixture
+        trace.add_phase(PHASE_COMBINE, 0.001)
+        obs.done("svc-dp", 0.002, admitted=True, trace=trace, n_vms=4)
+        obs.start("svc-dp")
+        obs.done("svc-dp", 0.001, admitted=False, reason=REASON_NO_FREE_SLOTS)
+
+        requests = fresh_registry.get(
+            "repro_admission_requests_total", allocator="svc-dp"
+        )
+        admitted = fresh_registry.get(
+            "repro_admission_admitted_total", allocator="svc-dp"
+        )
+        rejected = fresh_registry.get(
+            "repro_admission_rejected_total",
+            allocator="svc-dp",
+            reason=REASON_NO_FREE_SLOTS,
+        )
+        assert requests.value == 2
+        assert admitted.value == 1
+        assert rejected.value == 1
+        phase = fresh_registry.get("repro_admission_phase_seconds", phase=PHASE_COMBINE)
+        assert phase.count == 1
+        assert obs.tracer.recent()[-1]["meta"]["n_vms"] == 4
+
+    def test_cache_accounting(self, fresh_registry):
+        obs = admission_instruments()
+        obs.cache("machine", lookups=10, hits=7)
+        obs.cache("machine", lookups=0, hits=0)  # no-op, not a divide-by-zero
+        lookups = fresh_registry.get(
+            "repro_admission_cache_lookups_total", cache="machine"
+        )
+        hits = fresh_registry.get("repro_admission_cache_hits_total", cache="machine")
+        assert lookups.value == 10
+        assert hits.value == 7
+
+    def test_allocator_end_to_end_records_phases_and_caches(self, fresh_registry):
+        # Drive the real fast-DP allocator: every request is traced
+        # (sample_every=1), so phase histograms and cache counters move.
+        manager = NetworkManager(build_datacenter(TINY_SPEC), epsilon=0.05)
+        assert manager.request(HomogeneousSVC(n_vms=4, mean=100.0, std=30.0))
+        assert (
+            manager.request(HomogeneousSVC(n_vms=10**6, mean=100.0, std=30.0)) is None
+        )
+        hist = fresh_registry.get(
+            "repro_admission_allocate_seconds", allocator="svc-dp"
+        )
+        assert hist.count == 2
+        table_build = fresh_registry.get(
+            "repro_admission_phase_seconds", phase=PHASE_TABLE_BUILD
+        )
+        assert table_build.count >= 1
+        lookups = fresh_registry.get(
+            "repro_admission_cache_lookups_total", cache="machine"
+        )
+        assert lookups.value > 0
+
+    def test_disabled_swaps_in_noop_facade(self, fresh_registry):
+        instruments.configure(enabled=False)
+        obs = admission_instruments()
+        assert obs.start("svc-dp") is None
+        obs.done("svc-dp", 0.001, admitted=True)  # must not touch the registry
+        obs.cache("machine", 5, 5)
+        assert fresh_registry.get(
+            "repro_admission_requests_total", allocator="svc-dp"
+        ) is None
+        monitor = outage_monitor()
+        monitor.record(5, 5)
+        assert monitor.rate() == 0.0
+        assert monitor.within_bound()
+
+
+class TestOutageMonitor:
+    def test_rate_and_bound(self, fresh_registry):
+        monitor = outage_monitor()
+        assert monitor.rate() == 0.0  # no load yet: no NaN, no crash
+        monitor.record(outage_seconds=2, loaded_seconds=10)
+        monitor.record(outage_seconds=0, loaded_seconds=10)
+        assert monitor.rate() == 2 / 20
+        monitor.set_epsilon(0.25)
+        assert monitor.within_bound()
+        assert not monitor.within_bound(epsilon=0.05)
+
+    def test_rate_gauge_pulls_live_value(self, fresh_registry):
+        monitor = outage_monitor()
+        monitor.record(1, 4)
+        gauge = fresh_registry.get("repro_outage_empirical_rate")
+        assert gauge.value == 0.25
+
+
+class TestNetworkGauges:
+    def test_gauges_follow_manager_state(self, fresh_registry):
+        manager = NetworkManager(build_datacenter(TINY_SPEC), epsilon=0.05)
+        bind_network_gauges(fresh_registry, manager)
+        tenancy = manager.request(HomogeneousSVC(n_vms=4, mean=100.0, std=30.0))
+        assert tenancy is not None
+        assert fresh_registry.get("repro_network_tenants").value == 1.0
+        used = fresh_registry.get("repro_network_slots", state="used")
+        assert used.value == 4.0
+        occupancy = fresh_registry.get(
+            "repro_network_link_occupancy", level="machine", stat="max"
+        )
+        assert occupancy is not None and occupancy.value >= 0.0
+        manager.release(tenancy)
+        assert fresh_registry.get("repro_network_tenants").value == 0.0
+        assert fresh_registry.get("repro_network_slots", state="used").value == 0.0
+        # The whole bound registry must stay JSON-clean with live callbacks.
+        json.dumps(fresh_registry.snapshot())
+
+    def test_headroom_gauges_track_mean_demand(self, fresh_registry):
+        manager = NetworkManager(build_datacenter(TINY_SPEC), epsilon=0.05)
+        bind_network_gauges(fresh_registry, manager)
+        before = fresh_registry.get(
+            "repro_network_headroom_mbps", level="machine", stat="min"
+        ).value
+        tenancy = manager.request(HomogeneousSVC(n_vms=3, mean=200.0, std=50.0))
+        assert tenancy is not None
+        after = fresh_registry.get(
+            "repro_network_headroom_mbps", level="machine", stat="min"
+        ).value
+        # A spread tenant puts mean demand on some machine uplink, so the
+        # worst-case headroom can only shrink (or stay equal if co-located).
+        assert after <= before

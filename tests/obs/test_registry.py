@@ -1,0 +1,197 @@
+"""Registry primitives: histograms/percentiles, shard merge, JSON snapshots."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ShardedHistogram,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_and_arithmetic(self):
+        gauge = Gauge()
+        gauge.set(3.0)
+        gauge.inc(2.0)
+        gauge.dec(1.0)
+        assert gauge.value == 4.0
+
+    def test_callback_wins_and_failure_reads_zero(self):
+        gauge = Gauge()
+        gauge.set(7.0)
+        gauge.set_function(lambda: 42.0)
+        assert gauge.value == 42.0
+        gauge.set_function(lambda: 1 / 0)
+        assert gauge.value == 0.0
+
+    def test_non_finite_snapshot_is_sanitized(self):
+        gauge = Gauge()
+        gauge.set_function(lambda: float("nan"))
+        assert gauge.snapshot() == 0.0
+
+
+class TestHistogramPercentiles:
+    def test_known_uniform_distribution_within_bucket_width(self):
+        # Uniform on (0, 1] against 0.1-wide buckets: the interpolation
+        # error of any percentile is bounded by one bucket width.
+        bounds = [round(0.1 * i, 1) for i in range(1, 11)]
+        hist = Histogram(bounds)
+        for k in range(1, 1001):
+            hist.observe(k / 1000.0)
+        for pct in (10, 50, 90, 99):
+            estimate = hist.percentile(pct)
+            assert abs(estimate - pct / 100.0) <= 0.1 + 1e-9, (pct, estimate)
+        assert abs(hist.mean - 0.5005) < 1e-9
+        assert hist.count == 1000
+
+    def test_empty_histogram_reports_zeros(self):
+        hist = Histogram([1.0, 2.0])
+        snap = hist.snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] == 0.0 and snap["p99"] == 0.0
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+        assert math.isfinite(snap["mean"])
+
+    def test_overflow_bucket_reports_observed_max(self):
+        # Every sample saturates past the last bound: interpolation is
+        # meaningless there, so the estimator must return the true max.
+        hist = Histogram([1.0, 2.0])
+        for value in (5.0, 9.0, 7.0):
+            hist.observe(value)
+        assert hist.percentile(50) == 9.0
+        assert hist.percentile(99) == 9.0
+
+    def test_sparse_buckets_interpolate_between_bounds(self):
+        hist = Histogram([0.1, 0.2, 0.5, 1.0])
+        for _ in range(10):
+            hist.observe(0.05)
+        for _ in range(10):
+            hist.observe(0.9)
+        p50 = hist.percentile(50)
+        assert 0.0 <= p50 <= 0.1
+        p90 = hist.percentile(90)
+        assert 0.5 <= p90 <= 1.0
+
+    def test_percentile_bounds_validated(self):
+        hist = Histogram([1.0])
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram([])
+
+    def test_merge_requires_identical_bounds(self):
+        left, right = Histogram([1.0, 2.0]), Histogram([1.0, 3.0])
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_merge_combines_counts_and_extremes(self):
+        left, right = Histogram([1.0, 2.0]), Histogram([1.0, 2.0])
+        left.observe(0.5)
+        right.observe(1.5)
+        right.observe(10.0)
+        left.merge(right)
+        assert left.count == 3
+        assert left._max == 10.0
+        assert left._min == 0.5
+
+
+class TestShardedHistogram:
+    def test_concurrent_writers_merge_losslessly(self):
+        sharded = ShardedHistogram([0.25, 0.5, 0.75, 1.0])
+        per_thread, threads = 1000, 4
+
+        def writer(offset: float) -> None:
+            for k in range(per_thread):
+                sharded.observe((k % 100) / 100.0 + offset)
+
+        workers = [
+            threading.Thread(target=writer, args=(i * 0.001,)) for i in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        merged = sharded.merged()
+        assert merged.count == per_thread * threads
+        assert sharded.count == per_thread * threads
+        assert 0.0 <= sharded.percentile(50) <= 1.0
+
+    def test_snapshot_shape_matches_plain_histogram(self):
+        sharded = ShardedHistogram([1.0])
+        sharded.observe(0.5)
+        assert set(sharded.snapshot()) == set(Histogram([1.0]).snapshot())
+
+
+class TestMetricsRegistry:
+    def test_idempotent_resolution_and_kind_guard(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "help", label="a")
+        assert registry.counter("x_total", label="a") is a
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "counts").inc(3)
+        registry.gauge("g", "gauges", kind="plain").set(1.5)
+        registry.gauge("g", "gauges", kind="fn").set_function(lambda: float("inf"))
+        hist = registry.histogram("h_seconds", "hist", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        sharded = registry.histogram(
+            "hs_seconds", "sharded hist", buckets=(0.1, 1.0), sharded=True
+        )
+        sharded.observe(0.5)
+        payload = json.dumps(registry.snapshot())
+        decoded = json.loads(payload)
+        assert decoded["c_total"]["series"][0]["value"] == 3
+        # The inf-returning function gauge must have been sanitized.
+        by_kind = {
+            entry["labels"]["kind"]: entry["value"]
+            for entry in decoded["g"]["series"]
+        }
+        assert by_kind == {"plain": 1.5, "fn": 0.0}
+
+    def test_prometheus_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "requests", allocator="svc").inc(2)
+        hist = registry.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        text = registry.render_prometheus()
+        assert '# TYPE req_total counter' in text
+        assert 'req_total{allocator="svc"} 2' in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_family_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total")
+        registry.counter("a_total")
+        assert registry.family_names() == ["a_total", "b_total"]

@@ -1,0 +1,58 @@
+"""Metric-name contract: the wired system vs METRICS_SCHEMA.json."""
+
+from pathlib import Path
+
+from repro.obs.schema import (
+    SCHEMA_FILENAME,
+    bootstrap_registry,
+    diff_schema,
+    load_schema,
+    registry_families,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+class TestDiffSchema:
+    def test_identical_is_clean(self):
+        families = {"a_total": "counter", "b_seconds": "histogram"}
+        assert diff_schema(families, dict(families)) == ([], [], [])
+
+    def test_missing_and_unexpected(self):
+        expected = {"a_total": "counter", "gone_total": "counter"}
+        actual = {"a_total": "counter", "new_total": "counter"}
+        missing, unexpected, mismatched = diff_schema(expected, actual)
+        assert missing == ["gone_total"]
+        assert unexpected == ["new_total"]
+        assert mismatched == []
+
+    def test_kind_mismatch(self):
+        missing, unexpected, mismatched = diff_schema(
+            {"a": "counter"}, {"a": "gauge"}
+        )
+        assert missing == [] and unexpected == []
+        assert mismatched == ["a: schema says counter, registry says gauge"]
+
+
+class TestCheckedInSchema:
+    def test_no_drift_against_live_registry(self, fresh_registry):
+        # The tier-1 twin of scripts/check_metrics_schema.py: boot the
+        # miniature fully-wired system and require an exact name/kind match
+        # with the committed contract.
+        schema_path = REPO_ROOT / SCHEMA_FILENAME
+        assert schema_path.exists(), "METRICS_SCHEMA.json missing from repo root"
+        expected = load_schema(schema_path)
+        actual = registry_families(bootstrap_registry())
+        missing, unexpected, mismatched = diff_schema(expected, actual)
+        assert not missing, f"schema families not emitted: {missing}"
+        assert not unexpected, f"unregistered families emitted: {unexpected}"
+        assert not mismatched, f"metric kinds drifted: {mismatched}"
+
+    def test_bootstrap_covers_all_layers(self, fresh_registry):
+        families = registry_families(bootstrap_registry())
+        # One representative family per subsystem: allocator, network,
+        # outage monitor, service.
+        assert families["repro_admission_allocate_seconds"] == "histogram"
+        assert families["repro_network_link_occupancy"] == "gauge"
+        assert families["repro_outage_empirical_rate"] == "gauge"
+        assert families["repro_service_events_total"] == "counter"

@@ -1,0 +1,60 @@
+"""Span tracer: deterministic sampling, phase accumulation, ring buffer."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import SpanTracer
+
+
+class TestSampling:
+    def test_every_nth_call_is_sampled(self):
+        tracer = SpanTracer(sample_every=3)
+        results = [tracer.start("alloc") for _ in range(9)]
+        live = [index for index, trace in enumerate(results) if trace is not None]
+        assert live == [2, 5, 8]
+        assert tracer.call_count == 9
+        assert tracer.sampled_count == 3
+
+    def test_sample_every_one_traces_everything(self):
+        tracer = SpanTracer(sample_every=1)
+        assert all(tracer.start("x") is not None for _ in range(5))
+
+    def test_invalid_sampling_rate(self):
+        with pytest.raises(ValueError):
+            SpanTracer(sample_every=0)
+
+
+class TestTraceLifecycle:
+    def test_phases_accumulate(self):
+        tracer = SpanTracer(sample_every=1)
+        trace = tracer.start("alloc")
+        trace.add_phase("combine", 0.25)
+        trace.add_phase("combine", 0.25)
+        trace.add_phase("prune", 0.1)
+        assert trace.phases == {"combine": 0.5, "prune": 0.1}
+
+    def test_finish_sets_duration_and_lands_in_ring(self):
+        tracer = SpanTracer(sample_every=1, keep=4)
+        trace = tracer.start("alloc")
+        trace.annotate(admitted=True, n_vms=8)
+        with trace.span("backtrack"):
+            pass
+        tracer.finish(trace)
+        assert trace.duration_s is not None and trace.duration_s >= 0.0
+        recent = tracer.recent()
+        assert len(recent) == 1
+        entry = recent[0]
+        assert entry["name"] == "alloc"
+        assert entry["meta"] == {"admitted": True, "n_vms": 8}
+        assert entry["spans"][0]["name"] == "backtrack"
+        json.dumps(recent)  # endpoint payload must survive serialization
+
+    def test_ring_buffer_is_bounded(self):
+        tracer = SpanTracer(sample_every=1, keep=3)
+        for _ in range(10):
+            tracer.finish(tracer.start("alloc"))
+        assert len(tracer.recent(limit=100)) == 3
+        # Newest last: ids keep increasing across the ring.
+        ids = [entry["trace_id"] for entry in tracer.recent(limit=100)]
+        assert ids == sorted(ids)

@@ -72,13 +72,14 @@ class TestOverrideFlags:
         assert set(overrides) == {"allocator"}
         assert overrides["allocator"] is not None
 
-    def test_unsupported_override_is_reported_not_raised(self, capsys):
+    def test_unsupported_override_is_reported_not_raised(self, caplog):
         def runner(scale, seed):
             pass
 
-        assert experiment_overrides(runner, epsilon=0.02, allocator="baseline") == {}
-        err = capsys.readouterr().err
-        assert "--epsilon" in err and "--allocator" in err
+        with caplog.at_level("WARNING", logger="repro.cli"):
+            overrides = experiment_overrides(runner, epsilon=0.02, allocator="baseline")
+        assert overrides == {}
+        assert "--epsilon" in caplog.text and "--allocator" in caplog.text
 
 
 class TestServeRouting:
