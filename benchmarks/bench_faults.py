@@ -1,0 +1,181 @@
+"""Admission latency under injected journal faults vs a clean journal.
+
+How much does the fault-handling machinery cost when faults actually fire?
+Two variants of the same journaled admit/release workload:
+
+* **clean** — no failpoints armed: the baseline price of one WAL append
+  per decision (plus the now always-present failpoint hooks, which is the
+  interesting regression to watch);
+* **faulty** — ``journal.write`` armed with a 1% error probability: every
+  hit rolls an admission back, degrades the service to read-only, and the
+  workload rides the retry/probe/recover cycle like a real client would.
+
+Reported per variant: decided requests/sec plus p50/p99 decision latency.
+The delta is *expected* to be visible (each injected fault costs a
+rollback plus at least one probe interval of shed time); the benchmark
+exists to keep that cost bounded and tracked, not to gate it at zero.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py --operations 300
+    PYTHONPATH=src python benchmarks/bench_faults.py --fault-rate 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.abstractions import DeterministicVC, HomogeneousSVC
+from repro.experiments.config import SCALES
+from repro.faults.failpoints import FAILPOINTS, FP_JOURNAL_WRITE, MODE_ERROR
+from repro.manager import NetworkManager
+from repro.service import AdmissionService, DurabilityStore, ServiceError
+from repro.service.degrade import DegradationLadder
+from repro.topology import build_datacenter
+
+
+def _requests():
+    for index in itertools.count():
+        if index % 2:
+            yield HomogeneousSVC(n_vms=2 + index % 3, mean=80.0, std=30.0)
+        else:
+            yield DeterministicVC(n_vms=2, bandwidth=60.0)
+
+
+def run_variant(
+    fault_rate: float,
+    scale_name: str = "tiny",
+    operations: int = 300,
+    seed: int = 0,
+) -> Dict:
+    """One journaled workload; returns latency/throughput statistics."""
+    tree = build_datacenter(SCALES[scale_name].spec)
+    FAILPOINTS.clear()
+    FAILPOINTS.seed(seed)
+    if fault_rate > 0.0:
+        FAILPOINTS.arm(FP_JOURNAL_WRITE, MODE_ERROR, probability=fault_rate)
+    latencies: List[float] = []
+    decided = shed = faults_seen = 0
+    with tempfile.TemporaryDirectory(prefix="bench-faults-") as tmp:
+        store = DurabilityStore(Path(tmp), snapshot_every=200)
+        service = AdmissionService(
+            NetworkManager(tree),
+            store=store,
+            workers=1,
+            degradation=DegradationLadder(probe_interval=0.005),
+        ).start()
+        source = _requests()
+        active: List[int] = []
+        started = time.perf_counter()
+        try:
+            for _ in range(operations):
+                request = next(source)
+                t0 = time.perf_counter()
+                try:
+                    ticket = service.submit(request, wait=True, wait_timeout=10.0)
+                except ServiceError:
+                    # Shed while degraded: wait out one probe cycle and
+                    # move on — exactly what a backoff-respecting client does.
+                    shed += 1
+                    time.sleep(0.01)
+                    continue
+                latencies.append(time.perf_counter() - t0)
+                decided += 1
+                if ticket.outcome == "admitted":
+                    active.append(ticket.request_id)
+                elif ticket.outcome == "error":
+                    faults_seen += 1
+                if len(active) > 8:
+                    try:
+                        service.release(active.pop(0))
+                    except ServiceError:
+                        shed += 1
+                        time.sleep(0.01)
+            elapsed = time.perf_counter() - started
+        finally:
+            service.stop()
+            store.close()
+            FAILPOINTS.clear()
+    ordered = sorted(latencies)
+
+    def pct(p: float) -> float:
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, round(p * (len(ordered) - 1)))]
+
+    return {
+        "fault_rate": fault_rate,
+        "operations": operations,
+        "decided": decided,
+        "shed": shed,
+        "rolled_back": faults_seen,
+        "requests_per_sec": decided / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": {
+            "p50": 1000.0 * pct(0.50),
+            "p99": 1000.0 * pct(0.99),
+            "mean": 1000.0 * statistics.fmean(latencies) if latencies else 0.0,
+        },
+    }
+
+
+def run_bench(
+    scale_name: str = "tiny",
+    operations: int = 300,
+    fault_rate: float = 0.01,
+    seed: int = 0,
+) -> Dict:
+    clean = run_variant(0.0, scale_name, operations, seed)
+    faulty = run_variant(fault_rate, scale_name, operations, seed)
+    base = clean["requests_per_sec"]
+    return {
+        "benchmark": "faults",
+        "scale": scale_name,
+        "seed": seed,
+        "clean": clean,
+        "faulty": faulty,
+        "throughput_drop_pct": (
+            100.0 * (base - faulty["requests_per_sec"]) / base if base > 0 else 0.0
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    parser.add_argument("--operations", type=int, default=300)
+    parser.add_argument("--fault-rate", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_faults.json")
+    args = parser.parse_args(argv)
+
+    payload = run_bench(
+        scale_name=args.scale,
+        operations=args.operations,
+        fault_rate=args.fault_rate,
+        seed=args.seed,
+    )
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[bench_faults] wrote {args.output}")
+    for name in ("clean", "faulty"):
+        row = payload[name]
+        print(
+            f"[bench_faults] {name:6s} {row['requests_per_sec']:8.1f} req/s  "
+            f"p50 {row['latency_ms']['p50']:.2f}ms  p99 {row['latency_ms']['p99']:.2f}ms  "
+            f"(shed {row['shed']}, rolled back {row['rolled_back']})"
+        )
+    print(f"[bench_faults] throughput drop: {payload['throughput_drop_pct']:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

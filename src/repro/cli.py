@@ -9,6 +9,7 @@ Examples::
     svc-repro all --scale paper                 # the full 1,000-machine reproduction
     svc-repro serve --port 0 --journal-dir /var/lib/svc  # admission daemon
     svc-repro top --port 40123                  # live metrics view of a daemon
+    svc-repro chaos --schedules 200             # fault-injection recovery check
 """
 
 from __future__ import annotations
@@ -129,6 +130,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.service.top import top_main
 
         return top_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.faults.chaos_cli import chaos_main
+
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     setup_logging(args.log_level)
     started = time.time()

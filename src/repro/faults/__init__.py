@@ -1,0 +1,61 @@
+"""Deterministic fault injection for the admission service (``repro.faults``).
+
+Failpoints are named hooks compiled into the durability and worker paths
+(``journal.write``, ``worker.crash_after_journal``, ...).  Arming one from a
+test, the chaos harness, or ``svc-repro serve --failpoints`` makes that site
+fail — raise, crash, stall, corrupt, or shed — under a seeded RNG, so every
+fault schedule is replayable.  See docs/operations.md for the operator view
+and DESIGN.md §7 for the fault model.
+"""
+
+from repro.faults.failpoints import (
+    FAILPOINTS,
+    FP_JOURNAL_FSYNC,
+    FP_JOURNAL_WRITE,
+    FP_QUEUE_ACCEPT,
+    FP_RELEASE_AFTER_JOURNAL,
+    FP_RELEASE_BEFORE_JOURNAL,
+    FP_SERVER_RESPONSE,
+    FP_SNAPSHOT_WRITE,
+    FP_WORKER_AFTER_JOURNAL,
+    FP_WORKER_BEFORE_JOURNAL,
+    KNOWN_FAILPOINTS,
+    MODE_CORRUPT,
+    MODE_CRASH,
+    MODE_DELAY,
+    MODE_ERROR,
+    MODE_SHED,
+    MODES,
+    Failpoint,
+    FailpointError,
+    FailpointRegistry,
+    InjectedCrash,
+    arm_from_spec,
+    parse_failpoint_spec,
+)
+
+__all__ = [
+    "FAILPOINTS",
+    "FP_JOURNAL_FSYNC",
+    "FP_JOURNAL_WRITE",
+    "FP_QUEUE_ACCEPT",
+    "FP_RELEASE_AFTER_JOURNAL",
+    "FP_RELEASE_BEFORE_JOURNAL",
+    "FP_SERVER_RESPONSE",
+    "FP_SNAPSHOT_WRITE",
+    "FP_WORKER_AFTER_JOURNAL",
+    "FP_WORKER_BEFORE_JOURNAL",
+    "KNOWN_FAILPOINTS",
+    "MODE_CORRUPT",
+    "MODE_CRASH",
+    "MODE_DELAY",
+    "MODE_ERROR",
+    "MODE_SHED",
+    "MODES",
+    "Failpoint",
+    "FailpointError",
+    "FailpointRegistry",
+    "InjectedCrash",
+    "arm_from_spec",
+    "parse_failpoint_spec",
+]

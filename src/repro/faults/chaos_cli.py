@@ -1,0 +1,125 @@
+"""``svc-repro chaos`` — run randomized fault schedules against recovery.
+
+Each schedule is a pure function of its seed (base seed + index), so any
+reported failure is replayable in isolation::
+
+    svc-repro chaos --schedules 1 --seed <failing-seed> --json
+
+Exit status is 0 only when every schedule upholds the recovery contract
+(see :mod:`repro.faults.harness`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.config import SCALES
+from repro.faults.harness import ChaosResult, run_chaos_suite
+from repro.logconfig import LOG_LEVELS, setup_logging
+
+
+def build_chaos_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="svc-repro chaos",
+        description="Drive randomized fault schedules and verify crash recovery.",
+    )
+    parser.add_argument(
+        "--schedules", type=int, default=200,
+        help="how many seeded schedules to run (default: 200)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed (schedule i uses seed+i)"
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="tiny",
+        help="datacenter scale each schedule runs against (default: tiny)",
+    )
+    parser.add_argument(
+        "--operations", type=int, default=40,
+        help="admit/release operations per schedule (default: 40)",
+    )
+    parser.add_argument(
+        "--workdir", type=Path, default=None,
+        help="keep durability directories here instead of a temp dir",
+    )
+    parser.add_argument(
+        "--stop-on-failure", action="store_true",
+        help="stop at the first failing schedule instead of running all",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON report on stdout instead of progress lines",
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default="error",
+        help="stderr log verbosity (default: error)",
+    )
+    return parser
+
+
+def _print_summary(results: List[ChaosResult]) -> None:
+    crashed = sum(1 for r in results if r.crashed)
+    admits = sum(r.acked_admits for r in results)
+    releases = sum(r.acked_releases for r in results)
+    shed = sum(r.shed for r in results)
+    degraded = sum(r.degraded_hits for r in results)
+    retried = sum(r.unacked_keys for r in results)
+    failures = [r for r in results if not r.ok]
+    print(
+        f"chaos: {len(results)} schedule(s), {crashed} crashed mid-run, "
+        f"{admits} acked admits, {releases} acked releases, "
+        f"{shed} shed, {degraded} degraded refusals, {retried} in-flight retries"
+    )
+    for result in failures:
+        for message in result.failures:
+            print(f"  FAIL seed={result.seed}: {message}")
+    verdict = "OK" if not failures else f"{len(failures)} schedule(s) FAILED"
+    print(f"chaos: {verdict}")
+
+
+def chaos_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``svc-repro chaos``."""
+    args = build_chaos_parser().parse_args(argv)
+    setup_logging(args.log_level)
+
+    def progress(result: ChaosResult) -> None:
+        if args.json:
+            return
+        if not result.ok:
+            sys.stderr.write(f"seed {result.seed}: FAILED {result.failures}\n")
+        elif (result.seed - args.seed + 1) % 25 == 0:
+            sys.stderr.write(
+                f"... {result.seed - args.seed + 1}/{args.schedules} schedules\n"
+            )
+
+    def run(workdir: Path) -> List[ChaosResult]:
+        return run_chaos_suite(
+            schedules=args.schedules,
+            base_seed=args.seed,
+            workdir=workdir,
+            scale=args.scale,
+            operations=args.operations,
+            stop_on_failure=args.stop_on_failure,
+            progress=progress,
+        )
+
+    if args.workdir is not None:
+        results = run(args.workdir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="svc-repro-chaos-") as tmp:
+            results = run(Path(tmp))
+
+    if args.json:
+        print(json.dumps({"results": [r.describe() for r in results]}, indent=2))
+    else:
+        _print_summary(results)
+    return 0 if all(r.ok for r in results) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(chaos_main())

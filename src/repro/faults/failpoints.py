@@ -1,0 +1,304 @@
+"""Deterministic, seedable fault injection: named failpoints.
+
+A *failpoint* is a named hook compiled into a production code path —
+``journal.write``, ``worker.crash_after_journal``, ``snapshot.write`` and
+friends.  In normal operation a hook is one dict lookup on the process-wide
+:data:`FAILPOINTS` registry (empty dict -> ``None`` -> fall through), so
+shipping the hooks costs effectively nothing.  Arming a failpoint makes
+matching calls misbehave in a controlled, reproducible way:
+
+========  ==============================================================
+mode      behaviour at the hit site
+========  ==============================================================
+error     :meth:`FailpointRegistry.hit` raises :class:`FailpointError`
+          (an ``OSError``) — models EIO/ENOSPC-style I/O failures.
+crash     raises :class:`InjectedCrash` (a ``BaseException``, so generic
+          ``except Exception`` recovery code cannot accidentally swallow
+          it) or, with ``crash_mode="exit"``, kills the process with
+          ``os._exit(137)`` — models power loss / SIGKILL.
+delay     sleeps ``delay_s`` then falls through — models slow disks and
+          stalled peers.
+corrupt   returns the triggered :class:`Failpoint`; the call site is
+          responsible for damaging its own payload (torn journal line,
+          truncated snapshot).
+shed      returns the triggered :class:`Failpoint`; the call site treats
+          the resource as saturated (forced queue-full).
+========  ==============================================================
+
+Triggering is governed per failpoint by ``probability`` (sampled from the
+registry's seeded RNG), ``every`` (deterministic: every N-th call) and
+``max_hits`` (stop after N triggers).  Seeding the registry makes a fault
+schedule reproducible; with multiple worker threads the *assignment* of
+probabilistic triggers to requests can still vary with thread interleaving,
+which is why the chaos harness runs single-worker services.
+
+Spec strings (the ``svc-repro serve --failpoints`` syntax)::
+
+    journal.write=error:p=0.01,worker.crash_after_journal=crash:every=50
+
+Every trigger is mirrored onto the ``repro_faults_injected_total`` metric
+family (best effort — metrics must never break injection).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+logger = logging.getLogger(__name__)
+
+MODE_ERROR = "error"
+MODE_CRASH = "crash"
+MODE_DELAY = "delay"
+MODE_CORRUPT = "corrupt"
+MODE_SHED = "shed"
+MODES = (MODE_ERROR, MODE_CRASH, MODE_DELAY, MODE_CORRUPT, MODE_SHED)
+
+# The failpoint names compiled into repro.service (see the module docstrings
+# of journal.py / concurrency.py / server.py for the exact hook positions).
+FP_JOURNAL_WRITE = "journal.write"
+FP_JOURNAL_FSYNC = "journal.fsync"
+FP_SNAPSHOT_WRITE = "snapshot.write"
+FP_WORKER_BEFORE_JOURNAL = "worker.crash_before_journal"
+FP_WORKER_AFTER_JOURNAL = "worker.crash_after_journal"
+FP_RELEASE_BEFORE_JOURNAL = "release.crash_before_journal"
+FP_RELEASE_AFTER_JOURNAL = "release.crash_after_journal"
+FP_QUEUE_ACCEPT = "queue.accept"
+FP_SERVER_RESPONSE = "server.response_stall"
+
+KNOWN_FAILPOINTS = (
+    FP_JOURNAL_WRITE,
+    FP_JOURNAL_FSYNC,
+    FP_SNAPSHOT_WRITE,
+    FP_WORKER_BEFORE_JOURNAL,
+    FP_WORKER_AFTER_JOURNAL,
+    FP_RELEASE_BEFORE_JOURNAL,
+    FP_RELEASE_AFTER_JOURNAL,
+    FP_QUEUE_ACCEPT,
+    FP_SERVER_RESPONSE,
+)
+
+
+class FailpointError(OSError):
+    """An injected I/O failure (mode ``error``)."""
+
+
+class InjectedCrash(BaseException):
+    """An injected process death (mode ``crash``).
+
+    Deliberately **not** an ``Exception``: the service's defensive
+    ``except Exception`` blocks (allocator bugs, journal I/O) must not be
+    able to swallow a simulated crash — a real SIGKILL would not be caught
+    either.  Only the chaos harness (and the worker loop's explicit
+    crash-simulation handler) catches it.
+    """
+
+
+@dataclass
+class Failpoint:
+    """One armed failpoint and its trigger bookkeeping."""
+
+    name: str
+    mode: str = MODE_ERROR
+    #: Trigger probability per call (ignored when ``every`` is set).
+    probability: float = 1.0
+    #: Deterministic trigger: fire on every N-th call (1-based).
+    every: Optional[int] = None
+    #: Stop triggering after this many hits (``None`` = unlimited).
+    max_hits: Optional[int] = None
+    #: Sleep length for mode ``delay``.
+    delay_s: float = 0.05
+    message: Optional[str] = None
+    calls: int = field(default=0, repr=False)
+    triggered: int = field(default=0, repr=False)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "probability": self.probability,
+            "every": self.every,
+            "max_hits": self.max_hits,
+            "calls": self.calls,
+            "triggered": self.triggered,
+        }
+
+
+class FailpointRegistry:
+    """Process-wide registry of armed failpoints (see module docstring).
+
+    ``hit(name)`` is the only call production code makes; everything else
+    is test/harness/CLI configuration surface.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._points: Dict[str, Failpoint] = {}
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+        #: ``"raise"`` raises :class:`InjectedCrash` (in-process chaos);
+        #: ``"exit"`` calls ``os._exit(137)`` (real daemons, e2e tests).
+        self.crash_mode = "raise"
+
+    # -- configuration --------------------------------------------------
+
+    def seed(self, seed: int) -> None:
+        """Re-seed the trigger RNG (chaos schedules call this per run)."""
+        with self._lock:
+            self._rng.seed(seed)
+
+    def arm(self, name: str, mode: str = MODE_ERROR, **options) -> Failpoint:
+        """Arm (or re-arm) one failpoint; returns its live record."""
+        if mode not in MODES:
+            raise ValueError(f"unknown failpoint mode {mode!r}; choose from {MODES}")
+        point = Failpoint(name=name, mode=mode, **options)
+        if point.every is not None and point.every < 1:
+            raise ValueError(f"every must be >= 1, got {point.every}")
+        if not 0.0 <= point.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {point.probability}")
+        with self._lock:
+            self._points[name] = point
+        logger.debug("failpoint armed: %s", point.describe())
+        return point
+
+    def disarm(self, name: str) -> None:
+        with self._lock:
+            self._points.pop(name, None)
+
+    def clear(self) -> None:
+        """Disarm everything and reset the crash mode."""
+        with self._lock:
+            self._points.clear()
+            self.crash_mode = "raise"
+
+    def armed(self, name: str) -> bool:
+        return name in self._points
+
+    def get(self, name: str) -> Optional[Failpoint]:
+        return self._points.get(name)
+
+    def describe(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return [point.describe() for point in self._points.values()]
+
+    # -- the production hook --------------------------------------------
+
+    def hit(
+        self, name: str, sleep: Callable[[float], None] = time.sleep
+    ) -> Optional[Failpoint]:
+        """Evaluate one failpoint at its call site.
+
+        Returns ``None`` when the failpoint is unarmed or did not trigger.
+        Modes ``error`` and ``crash`` raise; ``delay`` sleeps and returns
+        the failpoint; ``corrupt``/``shed`` return the failpoint for the
+        call site to act on.
+        """
+        point = self._points.get(name)
+        if point is None:
+            return None
+        with self._lock:
+            point.calls += 1
+            if point.max_hits is not None and point.triggered >= point.max_hits:
+                return None
+            if point.every is not None:
+                fire = point.calls % point.every == 0
+            else:
+                fire = point.probability >= 1.0 or self._rng.random() < point.probability
+            if not fire:
+                return None
+            point.triggered += 1
+        self._record_metric(name)
+        logger.info(
+            "failpoint triggered: %s mode=%s hit=%d", name, point.mode, point.triggered
+        )
+        if point.mode == MODE_DELAY:
+            sleep(point.delay_s)
+            return point
+        if point.mode == MODE_ERROR:
+            raise FailpointError(
+                point.message or f"injected I/O error at failpoint {name!r}"
+            )
+        if point.mode == MODE_CRASH:
+            if self.crash_mode == "exit":
+                os._exit(137)
+            raise InjectedCrash(point.message or f"injected crash at failpoint {name!r}")
+        return point
+
+    @staticmethod
+    def _record_metric(name: str) -> None:
+        try:
+            from repro.obs.instruments import record_fault
+
+            record_fault(name)
+        except Exception:  # metrics must never break fault injection
+            pass
+
+
+def parse_failpoint_spec(spec: str) -> List[Dict[str, object]]:
+    """Parse a ``--failpoints`` spec string into ``arm()`` keyword sets.
+
+    Grammar: comma-separated ``name=mode[:opt=value[:opt=value...]]``.
+    Options: ``p``/``probability`` (float), ``every`` (int), ``max_hits``
+    (int), ``delay_s`` (float).
+    """
+    armings: List[Dict[str, object]] = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise ValueError(
+                f"bad failpoint spec {chunk!r}: expected name=mode[:opt=value...]"
+            )
+        name, _, rest = chunk.partition("=")
+        parts = rest.split(":")
+        mode = parts[0].strip()
+        if mode not in MODES:
+            raise ValueError(
+                f"bad failpoint spec {chunk!r}: unknown mode {mode!r} "
+                f"(choose from {', '.join(MODES)})"
+            )
+        arming: Dict[str, object] = {"name": name.strip(), "mode": mode}
+        for option in parts[1:]:
+            if "=" not in option:
+                raise ValueError(f"bad failpoint option {option!r} in {chunk!r}")
+            key, _, value = option.partition("=")
+            key = key.strip()
+            try:
+                if key in ("p", "probability"):
+                    arming["probability"] = float(value)
+                elif key == "every":
+                    arming["every"] = int(value)
+                elif key == "max_hits":
+                    arming["max_hits"] = int(value)
+                elif key == "delay_s":
+                    arming["delay_s"] = float(value)
+                else:
+                    raise ValueError(f"unknown failpoint option {key!r} in {chunk!r}")
+            except ValueError as exc:
+                raise ValueError(f"bad failpoint spec {chunk!r}: {exc}") from exc
+        armings.append(arming)
+    return armings
+
+
+def arm_from_spec(spec: str, registry: Optional[FailpointRegistry] = None) -> int:
+    """Arm every failpoint named in a spec string; returns how many."""
+    registry = registry if registry is not None else FAILPOINTS
+    armings = parse_failpoint_spec(spec)
+    for arming in armings:
+        name = str(arming.pop("name"))
+        mode = str(arming.pop("mode"))
+        if name not in KNOWN_FAILPOINTS:
+            logger.warning(
+                "arming unknown failpoint %r (no compiled hook will hit it)", name
+            )
+        registry.arm(name, mode=mode, **arming)
+    return len(armings)
+
+
+#: The process-global registry every compiled hook consults.
+FAILPOINTS = FailpointRegistry()

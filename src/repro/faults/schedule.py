@@ -1,0 +1,126 @@
+"""Randomized-but-reproducible fault schedules for the chaos harness.
+
+A :class:`ChaosPlan` is everything one chaos run arms: possibly one crash
+site (fires deterministically on its N-th call, like a power cut at a
+chosen instruction), plus transient faults — probabilistic journal I/O
+errors, torn journal writes, corrupt snapshots, forced queue saturation,
+fsync failures.  Plans are pure functions of a seed, so any failing run is
+replayable from its seed alone (``svc-repro chaos --seed N --schedules 1``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.faults.failpoints import (
+    FP_JOURNAL_FSYNC,
+    FP_JOURNAL_WRITE,
+    FP_QUEUE_ACCEPT,
+    FP_RELEASE_AFTER_JOURNAL,
+    FP_RELEASE_BEFORE_JOURNAL,
+    FP_SNAPSHOT_WRITE,
+    FP_WORKER_AFTER_JOURNAL,
+    FP_WORKER_BEFORE_JOURNAL,
+    MODE_CORRUPT,
+    MODE_CRASH,
+    MODE_ERROR,
+    MODE_SHED,
+    FailpointRegistry,
+)
+
+#: Sites where an injected crash models dying mid-operation.  They bracket
+#: the journal append on both the admit and the release path, so schedules
+#: cover "decided but never journaled" and "journaled but never acked".
+CRASH_SITES = (
+    FP_WORKER_BEFORE_JOURNAL,
+    FP_WORKER_AFTER_JOURNAL,
+    FP_RELEASE_BEFORE_JOURNAL,
+    FP_RELEASE_AFTER_JOURNAL,
+)
+
+
+@dataclass
+class ChaosPlan:
+    """One run's armings, derived deterministically from ``seed``."""
+
+    seed: int
+    operations: int = 40
+    #: ``arm()`` keyword sets, one per armed failpoint.
+    armings: List[Dict[str, Any]] = field(default_factory=list)
+    crash_site: Optional[str] = None
+    #: Whether the run's durability store fsyncs each append.
+    fsync: bool = False
+
+    @classmethod
+    def generate(cls, seed: int, operations: int = 40) -> "ChaosPlan":
+        rng = random.Random(seed)
+        plan = cls(seed=seed, operations=operations)
+        # ~70% of schedules die mid-run at a deterministic call count;
+        # the rest only suffer transient faults and must stay consistent
+        # without ever crashing.
+        if rng.random() < 0.7:
+            plan.crash_site = rng.choice(CRASH_SITES)
+            plan.armings.append(
+                {
+                    "name": plan.crash_site,
+                    "mode": MODE_CRASH,
+                    "every": rng.randint(2, max(3, operations // 3)),
+                    "max_hits": 1,
+                }
+            )
+        # Transient journal failures: I/O errors or torn (half-written)
+        # lines.  Low probability so the service usually climbs back to
+        # full operation between hits.
+        if rng.random() < 0.6:
+            plan.armings.append(
+                {
+                    "name": FP_JOURNAL_WRITE,
+                    "mode": rng.choice((MODE_ERROR, MODE_CORRUPT)),
+                    "probability": rng.uniform(0.02, 0.12),
+                }
+            )
+        if rng.random() < 0.3:
+            plan.fsync = True
+            plan.armings.append(
+                {
+                    "name": FP_JOURNAL_FSYNC,
+                    "mode": MODE_ERROR,
+                    "probability": rng.uniform(0.02, 0.1),
+                }
+            )
+        if rng.random() < 0.35:
+            plan.armings.append(
+                {
+                    "name": FP_SNAPSHOT_WRITE,
+                    "mode": rng.choice((MODE_ERROR, MODE_CORRUPT)),
+                    "probability": rng.uniform(0.1, 0.5),
+                }
+            )
+        if rng.random() < 0.3:
+            plan.armings.append(
+                {
+                    "name": FP_QUEUE_ACCEPT,
+                    "mode": MODE_SHED,
+                    "probability": rng.uniform(0.02, 0.1),
+                }
+            )
+        return plan
+
+    def arm(self, registry: FailpointRegistry) -> None:
+        """Arm this plan on a registry (clearing whatever was armed)."""
+        registry.clear()
+        registry.seed(self.seed)
+        for arming in self.armings:
+            options = dict(arming)
+            registry.arm(str(options.pop("name")), mode=str(options.pop("mode")), **options)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "operations": self.operations,
+            "fsync": self.fsync,
+            "crash_site": self.crash_site,
+            "armings": [dict(arming) for arming in self.armings],
+        }

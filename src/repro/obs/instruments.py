@@ -37,6 +37,7 @@ __all__ = [
     "AdmissionInstruments",
     "service_instruments",
     "ServiceInstruments",
+    "record_fault",
     "outage_monitor",
     "OutageMonitor",
     "bind_network_gauges",
@@ -308,7 +309,15 @@ class ServiceInstruments:
         "released",
         "retries",
         "errors",
+        "shed",
+        "deduped",
     )
+
+    #: Load-shedding reasons (the typed error codes a shed maps to).
+    SHED_REASONS = ("overloaded", "read_only", "unavailable")
+
+    #: Degradation-ladder states a transition can land in.
+    DEGRADATION_STATES = ("full", "read_only", "fast_fail")
 
     def __init__(self, registry: MetricsRegistry) -> None:
         self.registry = registry
@@ -325,6 +334,29 @@ class ServiceInstruments:
             "End-to-end admission latency: enqueue to decision, queueing included.",
             buckets=DEFAULT_TIME_BUCKETS,
         )
+        self._shed: Dict[str, Counter] = {
+            reason: registry.counter(
+                "repro_service_shed_total",
+                "Requests refused with a typed load-shedding error, by reason.",
+                reason=reason,
+            )
+            for reason in self.SHED_REASONS
+        }
+        self._transitions: Dict[str, Counter] = {
+            state: registry.counter(
+                "repro_service_degradation_transitions_total",
+                "Degradation-ladder transitions, by destination state.",
+                to=state,
+            )
+            for state in self.DEGRADATION_STATES
+        }
+        # Presence-before-traffic: the fault counter family must appear in
+        # the exposition even in processes that never inject a fault.
+        registry.counter(
+            "repro_faults_injected_total",
+            "Failpoint triggers, by failpoint name.",
+            failpoint="none",
+        )
         # The metrics endpoint must always carry the guarantee-health
         # families, even before any simulation ran in this process.
         outage_monitor()
@@ -335,6 +367,28 @@ class ServiceInstruments:
 
     def observe_latency(self, seconds: float) -> None:
         self._latency.observe(seconds)
+
+    def shed_reason(self, reason: str) -> None:
+        counter = self._shed.get(reason)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_service_shed_total",
+                "Requests refused with a typed load-shedding error, by reason.",
+                reason=reason,
+            )
+            self._shed[reason] = counter
+        counter.inc()
+
+    def degradation_transition(self, to_state: str) -> None:
+        counter = self._transitions.get(to_state)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_service_degradation_transitions_total",
+                "Degradation-ladder transitions, by destination state.",
+                to=to_state,
+            )
+            self._transitions[to_state] = counter
+        counter.inc()
 
     def bind_service(self, service) -> None:
         """Register pull gauges over one live ``AdmissionService``.
@@ -361,6 +415,10 @@ class ServiceInstruments:
             "repro_service_workers",
             "Configured admission worker threads.",
         ).set_function(lambda: float(service.workers))
+        registry.gauge(
+            "repro_service_degradation_state",
+            "Degradation ladder position: 0=full, 1=read_only, 2=fast_fail.",
+        ).set_function(lambda: float(service.degradation_code()))
         bind_network_gauges(registry, service.manager)
 
 
@@ -371,6 +429,12 @@ class _NullService:
         pass
 
     def observe_latency(self, seconds: float) -> None:
+        pass
+
+    def shed_reason(self, reason: str) -> None:
+        pass
+
+    def degradation_transition(self, to_state: str) -> None:
         pass
 
     def bind_service(self, service) -> None:
@@ -389,6 +453,17 @@ def service_instruments():
     if _SERVICE is None:
         _SERVICE = ServiceInstruments(_REGISTRY)
     return _SERVICE
+
+
+def record_fault(failpoint: str) -> None:
+    """Count one failpoint trigger (called by ``repro.faults``, best effort)."""
+    if not _ENABLED:
+        return
+    _REGISTRY.counter(
+        "repro_faults_injected_total",
+        "Failpoint triggers, by failpoint name.",
+        failpoint=failpoint,
+    ).inc()
 
 
 # ----------------------------------------------------------------------

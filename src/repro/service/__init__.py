@@ -6,10 +6,13 @@ into a runnable daemon: a thread-safe front-end with a worker pool
 priorities and deadlines (:mod:`.queue`), an append-only write-ahead
 journal with periodic snapshots and crash recovery (:mod:`.journal`,
 :mod:`.recovery`), a stdlib TCP line-JSON server (:mod:`.server`) and a
-matching client (:mod:`.client`).  ``svc-repro serve`` is the CLI entry.
+matching retrying client (:mod:`.client`).  Fault behaviour — typed
+errors (:mod:`.errors`), the degradation ladder (:mod:`.degrade`) and the
+failpoints of :mod:`repro.faults` — is documented in DESIGN.md §7 and
+docs/operations.md.  ``svc-repro serve`` is the CLI entry.
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import RetryPolicy, ServiceClient
 from repro.service.codec import (
     CodecError,
     allocation_from_dict,
@@ -20,11 +23,26 @@ from repro.service.codec import (
 )
 from repro.service.concurrency import (
     OUTCOME_ADMITTED,
+    OUTCOME_ERROR,
     OUTCOME_EXPIRED,
     OUTCOME_QUEUED,
     OUTCOME_REJECTED,
     AdmissionService,
     Ticket,
+)
+from repro.service.degrade import (
+    STATE_FAST_FAIL,
+    STATE_FULL,
+    STATE_READ_ONLY,
+    DegradationLadder,
+)
+from repro.service.errors import (
+    RETRYABLE_CODES,
+    DeadlineExceededError,
+    DegradedError,
+    OverloadedError,
+    RetryExhaustedError,
+    ServiceError,
 )
 from repro.service.journal import DurabilityStore, Journal
 from repro.service.queue import MODE_BATCH, MODE_ONLINE, QueuedRequest, RequestQueue
@@ -41,18 +59,29 @@ __all__ = [
     "AdmissionService",
     "AdmissionTCPServer",
     "CodecError",
+    "DeadlineExceededError",
+    "DegradationLadder",
+    "DegradedError",
     "DurabilityStore",
     "Journal",
     "MODE_BATCH",
     "MODE_ONLINE",
     "OUTCOME_ADMITTED",
+    "OUTCOME_ERROR",
     "OUTCOME_EXPIRED",
     "OUTCOME_QUEUED",
     "OUTCOME_REJECTED",
+    "OverloadedError",
     "QueuedRequest",
     "RecoveryError",
     "RecoveryReport",
     "RequestQueue",
+    "RETRYABLE_CODES",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "STATE_FAST_FAIL",
+    "STATE_FULL",
+    "STATE_READ_ONLY",
     "ServiceClient",
     "ServiceError",
     "Ticket",

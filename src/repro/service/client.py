@@ -9,21 +9,94 @@ connections).
         reply = client.submit(HomogeneousSVC(n_vms=8, mean=200.0, std=80.0))
         if reply["outcome"] == "admitted":
             client.release(reply["request_id"])
+
+``ok: false`` responses raise typed subclasses of :class:`ServiceError`
+(:class:`OverloadedError`, :class:`DegradedError`, ...) keyed off the
+response ``code``, each carrying the server's ``retry_after`` hint.
+
+:meth:`ServiceClient.submit_with_retry` adds the full client-side fault
+story: exponential backoff with seeded jitter (:class:`RetryPolicy`),
+automatic reconnect after connection loss, honoring ``retry_after`` hints,
+and an idempotency key generated per logical request — so a retry after a
+lost ack returns the server's original decision instead of double-admitting
+(see DESIGN.md §7).
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
-from typing import Any, Dict, Optional, Union
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Optional, Union
 
 from repro.abstractions.requests import VirtualClusterRequest
 from repro.service.codec import request_to_dict
+from repro.service.errors import (
+    CODE_DEADLINE,
+    RETRYABLE_CODES,
+    DeadlineExceededError,
+    DegradedError,
+    OverloadedError,
+    RetryExhaustedError,
+    ServiceError,
+    error_from_response,
+)
 from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
 
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "OverloadedError",
+    "DegradedError",
+    "DeadlineExceededError",
+    "RetryExhaustedError",
+    "RetryPolicy",
+]
 
-class ServiceError(RuntimeError):
-    """The server answered ``ok: false``."""
+#: Submit outcomes worth retrying with the same idempotency key: the
+#: server rolled the attempt back (``error``) or never decided it yet
+#: (``queued`` after a bounded wait).
+_RETRYABLE_OUTCOMES = frozenset({"error", "queued"})
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff + jitter schedule for :meth:`submit_with_retry`.
+
+    ``seed`` makes the jitter deterministic (tests assert the exact
+    schedule); the default ``None`` seeds from the system RNG.  The delay
+    before attempt ``n+1`` is ``min(max_delay, base_delay * multiplier**n)``
+    scaled by a jitter factor uniform in ``[1-jitter, 1+jitter]``, but
+    never less than the server's ``retry_after`` hint when one was given.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    #: Overall wall-clock budget across all attempts (None = unbounded).
+    deadline_s: Optional[float] = None
+    retry_codes: FrozenSet[str] = RETRYABLE_CODES
+    seed: Optional[int] = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        self._rng = random.Random(self.seed)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the attempt *after* 1-based attempt ``attempt``."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            raw *= 1.0 - self.jitter + 2.0 * self.jitter * self._rng.random()
+        return raw
 
 
 class ServiceClient:
@@ -37,19 +110,32 @@ class ServiceClient:
     ) -> None:
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self.reconnect()
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
 
+    def reconnect(self) -> None:
+        """(Re)establish the TCP connection, dropping any broken one."""
+        self.close()
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._file = self._sock.makefile("rwb")
+
     def call(self, op: str, **fields: Any) -> Dict[str, Any]:
         """Issue one raw operation and return the decoded response.
 
-        Raises :class:`ServiceError` on an ``ok: false`` response and
-        :class:`ConnectionError` when the server hangs up mid-call.
+        Raises a typed :class:`ServiceError` subclass on an ``ok: false``
+        response (mapped from its ``code``) and :class:`ConnectionError`
+        when the server hangs up mid-call.
         """
+        if self._file is None:
+            raise ConnectionError("client is closed")
         payload = {"op": op, **fields}
         self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
         self._file.flush()
@@ -58,14 +144,23 @@ class ServiceClient:
             raise ConnectionError(f"server closed the connection during {op!r}")
         response = json.loads(line)
         if not response.get("ok"):
-            raise ServiceError(response.get("error", f"{op} failed"))
+            raise error_from_response(op, response)
         return response
 
     def close(self) -> None:
         try:
-            self._file.close()
+            if self._file is not None:
+                self._file.close()
+        except OSError:
+            pass
         finally:
-            self._sock.close()
+            self._file = None
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -87,6 +182,7 @@ class ServiceClient:
         timeout_s: Optional[float] = None,
         wait: bool = True,
         wait_timeout: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Submit a request; returns the ticket/outcome payload."""
         if isinstance(request, VirtualClusterRequest):
@@ -96,7 +192,87 @@ class ServiceClient:
             fields["timeout_s"] = timeout_s
         if wait_timeout is not None:
             fields["wait_timeout"] = wait_timeout
+        if idempotency_key is not None:
+            fields["idem"] = idempotency_key
         return self.call("submit", **fields)
+
+    def submit_with_retry(
+        self,
+        request: Union[VirtualClusterRequest, Dict[str, Any]],
+        policy: Optional[RetryPolicy] = None,
+        idempotency_key: Optional[str] = None,
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+        wait_timeout: Optional[float] = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> Dict[str, Any]:
+        """Submit with backoff/retry until a decision or the budget is spent.
+
+        Every attempt carries the *same* idempotency key (generated once
+        when not supplied), so a retry after a lost ack or a dropped
+        connection converges on the server's original decision — never a
+        second allocation.  Raises :class:`DeadlineExceededError` when the
+        server expired the request or ``policy.deadline_s`` would pass,
+        and :class:`RetryExhaustedError` (chained to the last failure)
+        when the attempt cap is reached.  Non-retryable server errors
+        propagate as their typed class immediately.
+        """
+        policy = policy or RetryPolicy()
+        key = idempotency_key or uuid.uuid4().hex
+        deadline = clock() + policy.deadline_s if policy.deadline_s is not None else None
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            retry_after: Optional[float] = None
+            try:
+                reply = self.submit(
+                    request,
+                    priority=priority,
+                    timeout_s=timeout_s,
+                    wait=True,
+                    wait_timeout=wait_timeout,
+                    idempotency_key=key,
+                )
+                outcome = reply.get("outcome")
+                if outcome == "expired":
+                    raise DeadlineExceededError(
+                        f"request deadline passed server-side (attempt {attempt})",
+                        code=CODE_DEADLINE,
+                    )
+                if outcome not in _RETRYABLE_OUTCOMES:
+                    return reply
+                last_error = ServiceError(
+                    f"transient outcome {outcome!r}: {reply.get('detail', '')}"
+                )
+            except DeadlineExceededError:
+                raise
+            except ServiceError as exc:
+                if exc.code not in policy.retry_codes:
+                    raise
+                last_error = exc
+                retry_after = exc.retry_after
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+            if attempt >= policy.max_attempts:
+                break
+            pause = policy.delay(attempt)
+            if retry_after is not None:
+                pause = max(pause, float(retry_after))
+            if deadline is not None and clock() + pause >= deadline:
+                raise DeadlineExceededError(
+                    f"retry budget ({policy.deadline_s}s) would pass before "
+                    f"attempt {attempt + 1}",
+                    code=CODE_DEADLINE,
+                ) from last_error
+            sleep(pause)
+            if isinstance(last_error, (ConnectionError, OSError)):
+                try:
+                    self.reconnect()
+                except OSError as exc:
+                    last_error = exc
+        raise RetryExhaustedError(
+            f"submit failed after {policy.max_attempts} attempt(s): {last_error}"
+        ) from last_error
 
     def status(self, ticket: int) -> Dict[str, Any]:
         return self.call("status", ticket=ticket)

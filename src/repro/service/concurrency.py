@@ -12,7 +12,19 @@ resolve the submitting client's :class:`Ticket`.
 Durability ordering: state is mutated first, then the event is journaled,
 both under the lock, and the ticket is resolved only after the journal
 append returns.  A crash can lose at most the final un-acknowledged
-operation; everything a client saw acknowledged is recoverable.
+operation; everything a client saw acknowledged is recoverable.  When the
+journal append itself fails, the just-applied mutation is **rolled back**
+before anyone sees it — memory never acknowledges what the journal will
+not remember — and the service steps down the degradation ladder
+(:mod:`repro.service.degrade`): mutations shed with typed, retryable
+errors while a background probe record (``op: "note"``) tests the volume
+until writes succeed again.
+
+Idempotency: ``submit`` accepts a client-generated ``idempotency_key``.
+The key is persisted inside the admit/reject journal record and indexed
+both live and at recovery, so a client retrying after a lost ack gets the
+original decision back instead of a second allocation (the tentpole
+"no double-admit on retry" guarantee).
 """
 
 from __future__ import annotations
@@ -21,15 +33,36 @@ import logging
 import math
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.abstractions.requests import VirtualClusterRequest
+from repro.faults.failpoints import (
+    FAILPOINTS,
+    FP_QUEUE_ACCEPT,
+    FP_RELEASE_AFTER_JOURNAL,
+    FP_RELEASE_BEFORE_JOURNAL,
+    FP_WORKER_AFTER_JOURNAL,
+    FP_WORKER_BEFORE_JOURNAL,
+    InjectedCrash,
+)
 from repro.manager.network_manager import NetworkManager, Tenancy
 from repro.network.snapshot import utilization_by_level
 from repro.obs.instruments import global_registry, service_instruments
 from repro.service.codec import request_from_dict, request_to_dict
+from repro.service.degrade import (
+    STATE_FAST_FAIL,
+    STATE_FULL,
+    STATE_READ_ONLY,
+    DegradationLadder,
+)
+from repro.service.errors import (
+    CODE_READ_ONLY,
+    CODE_UNAVAILABLE,
+    DegradedError,
+    OverloadedError,
+)
 from repro.service.journal import DurabilityStore
 from repro.service.queue import (
     MODE_BATCH,
@@ -51,6 +84,16 @@ OUTCOME_ERROR = "error"
 
 #: How long an idle worker sleeps before re-checking deadlines (seconds).
 _IDLE_SWEEP_INTERVAL = 0.05
+
+#: Queue-bound default: generous for benchmarks, finite so a stalled
+#: worker pool cannot grow the heap without bound.
+DEFAULT_MAX_QUEUE_DEPTH = 1024
+
+#: Idempotency keys remembered live (oldest evicted beyond this).
+_IDEMPOTENCY_CAPACITY = 65536
+
+#: Ops that mutate manager/journal state and are shed while degraded.
+MUTATING_OPS = frozenset({"submit", "release", "snapshot"})
 
 
 class LatencyWindow:
@@ -106,6 +149,10 @@ class ServiceCounters:
     released: int = 0
     retries: int = 0
     errors: int = 0
+    #: Load-shedding responses (backpressure or degradation).
+    shed: int = 0
+    #: Submits answered from the idempotency index instead of the queue.
+    deduped: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -178,6 +225,20 @@ class AdmissionService:
         Worker threads draining the queue.  Admission decisions serialize
         on the manager lock regardless; extra workers overlap protocol
         handling, journaling and ticket resolution with allocator runs.
+    max_queue_depth:
+        Bounded-queue backpressure: submits beyond this many waiting
+        requests (ready + parked) shed with :class:`OverloadedError`
+        instead of growing the heap.  ``None`` disables the bound.
+    default_timeout_s:
+        Server-side deadline applied to submits that carry no
+        ``timeout_s`` of their own (``None`` = no default deadline).
+    degradation:
+        The :class:`DegradationLadder` guarding journal health; defaults
+        to a fresh ladder when a store is present.
+    idempotency_index:
+        ``{key: {"outcome", "request_id"}}`` recovered from the journal
+        (see :func:`repro.service.recovery.recover_manager`), seeding the
+        live dedup index so retries of pre-crash submits stay idempotent.
     """
 
     def __init__(
@@ -188,16 +249,24 @@ class AdmissionService:
         workers: int = 2,
         clock: Callable[[], float] = time.monotonic,
         latency_window: int = 4096,
+        max_queue_depth: Optional[int] = DEFAULT_MAX_QUEUE_DEPTH,
+        default_timeout_s: Optional[float] = None,
+        degradation: Optional[DegradationLadder] = None,
+        idempotency_index: Optional[Dict[str, Dict[str, Any]]] = None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"unknown service mode {mode!r}; choose from {MODES}")
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
         self.manager = manager
         self.store = store
         self.mode = mode
         self.workers = workers
         self.clock = clock
+        self.max_queue_depth = max_queue_depth
+        self.default_timeout_s = default_timeout_s
         self.counters = ServiceCounters()
         self.latencies = LatencyWindow(maxlen=latency_window)
         self._cond = threading.Condition()
@@ -207,6 +276,19 @@ class AdmissionService:
         self._threads: List[threading.Thread] = []
         self._running = False
         self._started_at = self.clock()
+        self._degradation = degradation or (
+            DegradationLadder(clock=clock) if store is not None else None
+        )
+        #: Set when a worker died to an injected crash (chaos harness).
+        self.crashed = False
+        # Live idempotency index: key -> {"ticket_id"} while a ticket is
+        # known in this process, or {"outcome", "request_id"} for keys
+        # rebuilt from the journal at recovery.
+        self._idem: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        if idempotency_index:
+            for key, decision in idempotency_index.items():
+                self._idem[key] = dict(decision)
+            self._trim_idempotency()
         # Mirror every counter/latency observation onto the process-global
         # metric registry and expose queue depth, uptime and the network
         # guarantee-health gauges through it (pull-style: the callbacks run
@@ -252,6 +334,21 @@ class AdmissionService:
             "admission service stopped: %d queued request(s) abandoned", len(abandoned)
         )
 
+    def kill(self, timeout: float = 2.0) -> None:
+        """Simulate a crash: stop workers *without* resolving anything.
+
+        Unlike :meth:`stop`, queued tickets stay unresolved and no shutdown
+        snapshot is taken — exactly what a power cut leaves behind.  Used
+        by the chaos harness; the journal on disk is already crash-ready
+        because every append is flushed before it is acknowledged.
+        """
+        with self._cond:
+            self._running = False
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()
+
     def __enter__(self) -> "AdmissionService":
         return self.start()
 
@@ -282,6 +379,94 @@ class AdmissionService:
         self._obs.observe_latency(seconds)
 
     # ------------------------------------------------------------------
+    # Degradation ladder
+    # ------------------------------------------------------------------
+
+    @property
+    def degradation(self) -> Optional[DegradationLadder]:
+        return self._degradation
+
+    def degradation_state(self) -> str:
+        return self._degradation.state if self._degradation else STATE_FULL
+
+    def degradation_code(self) -> int:
+        """Numeric ladder position for the degradation-state gauge."""
+        return self._degradation.code if self._degradation else 0
+
+    def gate(self, op: str) -> None:
+        """Shed one op if the current degradation rung forbids it.
+
+        ``full`` passes everything; ``read_only`` sheds mutations;
+        ``fast_fail`` sheds everything except ``ping``/``shutdown``.
+        Raises :class:`DegradedError` carrying the ladder's current
+        ``retry_after`` hint.  Called by the TCP dispatcher for every op
+        and by ``submit``/``release`` themselves (the in-process API).
+        """
+        ladder = self._degradation
+        if ladder is None or ladder.state == STATE_FULL:
+            return
+        if ladder.state == STATE_FAST_FAIL and op not in ("ping", "shutdown"):
+            self._shed(CODE_UNAVAILABLE)
+            raise DegradedError(
+                f"service is failing fast (journal unavailable: {ladder.last_error})",
+                code=CODE_UNAVAILABLE,
+                retry_after=ladder.retry_after(),
+            )
+        if ladder.state == STATE_READ_ONLY and op in MUTATING_OPS:
+            self._shed(CODE_READ_ONLY)
+            raise DegradedError(
+                f"service is read-only (journal failing: {ladder.last_error})",
+                code=CODE_READ_ONLY,
+                retry_after=ladder.retry_after(),
+            )
+
+    def _shed(self, reason: str) -> None:
+        self._count("shed")
+        self._obs.shed_reason(reason)
+
+    def _degrade(self, error: BaseException) -> None:
+        """Step down the ladder after a journal append failed (under lock)."""
+        ladder = self._degradation
+        if ladder is None:
+            return
+        before = ladder.state
+        ladder.record_failure(error)
+        if ladder.state != before:
+            self._obs.degradation_transition(ladder.state)
+            logger.warning(
+                "degradation: %s -> %s after journal failure: %s",
+                before, ladder.state, error,
+            )
+
+    def _recover_degradation(self) -> None:
+        """Step back to full service after a probe succeeded (under lock)."""
+        ladder = self._degradation
+        if ladder is None or not ladder.degraded:
+            return
+        before = ladder.state
+        ladder.record_success()
+        self._obs.degradation_transition(ladder.state)
+        logger.info("degradation: %s -> %s (journal probe succeeded)", before, ladder.state)
+
+    def _probe_journal(self) -> None:
+        """While degraded, test the journal with a replay-invisible note."""
+        ladder = self._degradation
+        if ladder is None or self.store is None:
+            return
+        try:
+            self.store.log_note("degradation probe")
+        except InjectedCrash:
+            raise
+        except Exception as exc:
+            before = ladder.state
+            ladder.record_failure(exc)
+            if ladder.state != before:
+                self._obs.degradation_transition(ladder.state)
+            logger.debug("journal probe failed: %s", exc)
+        else:
+            self._recover_degradation()
+
+    # ------------------------------------------------------------------
     # Client operations
     # ------------------------------------------------------------------
 
@@ -292,47 +477,123 @@ class AdmissionService:
         timeout_s: Optional[float] = None,
         wait: bool = True,
         wait_timeout: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
     ) -> Ticket:
         """Enqueue a tenant request; optionally block for the decision.
 
         ``timeout_s`` is the request's *deadline* relative to now: in batch
         mode a parked request expires once it passes; in online mode it
         only matters if the request expires before a worker first reaches
-        it.  ``wait_timeout`` bounds how long *this call* blocks — the
+        it.  Without an explicit value the service's ``default_timeout_s``
+        applies.  ``wait_timeout`` bounds how long *this call* blocks — the
         request itself stays queued when the wait times out.
+
+        ``idempotency_key`` makes retries safe: a key already decided (in
+        this process or recovered from the journal) returns the original
+        ticket/decision instead of enqueueing a second copy.
+
+        Raises :class:`DegradedError` while the ladder forbids mutations
+        and :class:`OverloadedError` when the queue bound is reached.
         """
         if isinstance(request, dict):
             request = request_from_dict(request)
+        if timeout_s is None:
+            timeout_s = self.default_timeout_s
         now = self.clock()
         deadline = now + timeout_s if timeout_s is not None else None
         with self._cond:
             if not self._running:
                 raise RuntimeError("service is not running")
-            ticket = Ticket(
-                ticket_id=self._next_ticket,
-                submitted_at=now,
-                priority=priority,
-                deadline=deadline,
+            dedup = (
+                self._deduplicate(idempotency_key, now)
+                if idempotency_key is not None
+                else None
             )
-            self._next_ticket += 1
-            self._tickets[ticket.ticket_id] = ticket
-            self._count("submitted")
-            entry = QueuedRequest(
-                ticket_id=ticket.ticket_id,
-                request=request,
-                priority=priority,
-                deadline=deadline,
-                enqueued_at=now,
-            )
-            self._queue.push(entry)
-            self._cond.notify()
+            if dedup is None:
+                self.gate("submit")
+                depth = len(self._queue)
+                saturated = FAILPOINTS.hit(FP_QUEUE_ACCEPT) is not None
+                if saturated or (
+                    self.max_queue_depth is not None and depth >= self.max_queue_depth
+                ):
+                    self._shed(OverloadedError.code)
+                    raise OverloadedError(
+                        f"admission queue is full ({depth} waiting)",
+                        retry_after=self._overload_retry_after(depth),
+                    )
+                ticket = Ticket(
+                    ticket_id=self._next_ticket,
+                    submitted_at=now,
+                    priority=priority,
+                    deadline=deadline,
+                )
+                self._next_ticket += 1
+                self._tickets[ticket.ticket_id] = ticket
+                if idempotency_key is not None:
+                    self._remember_key(idempotency_key, {"ticket_id": ticket.ticket_id})
+                self._count("submitted")
+                entry = QueuedRequest(
+                    ticket_id=ticket.ticket_id,
+                    request=request,
+                    priority=priority,
+                    deadline=deadline,
+                    enqueued_at=now,
+                    idempotency_key=idempotency_key,
+                )
+                self._queue.push(entry)
+                self._cond.notify()
+        if dedup is not None:
+            if wait:
+                dedup.wait(wait_timeout)
+            return dedup
         logger.debug(
-            "submit ticket=%d kind=%s priority=%d timeout_s=%s",
+            "submit ticket=%d kind=%s priority=%d timeout_s=%s idem=%s",
             ticket.ticket_id, type(request).__name__, priority, timeout_s,
+            idempotency_key,
         )
         if wait:
             ticket.wait(wait_timeout)
         return ticket
+
+    def _deduplicate(self, key: str, now: float) -> Optional[Ticket]:
+        """An already-known decision/ticket for this key, if any (under lock)."""
+        known = self._idem.get(key)
+        if known is None:
+            return None
+        self._count("deduped")
+        ticket_id = known.get("ticket_id")
+        if ticket_id is not None:
+            ticket = self._tickets.get(int(ticket_id))
+            if ticket is not None:
+                return ticket
+        # Key recovered from the journal: synthesize a resolved ticket so
+        # the retrying client gets the pre-crash decision, not a re-run.
+        ticket = Ticket(ticket_id=self._next_ticket, submitted_at=now)
+        self._next_ticket += 1
+        request_id = known.get("request_id")
+        ticket.resolve(
+            str(known.get("outcome", OUTCOME_ERROR)),
+            request_id=int(request_id) if request_id is not None else None,
+            detail="deduplicated: decision recovered from the journal",
+        )
+        self._tickets[ticket.ticket_id] = ticket
+        self._remember_key(key, {"ticket_id": ticket.ticket_id, **known})
+        return ticket
+
+    def _remember_key(self, key: str, decision: Dict[str, Any]) -> None:
+        self._idem[key] = decision
+        self._idem.move_to_end(key)
+        self._trim_idempotency()
+
+    def _trim_idempotency(self) -> None:
+        while len(self._idem) > _IDEMPOTENCY_CAPACITY:
+            self._idem.popitem(last=False)
+
+    def _overload_retry_after(self, depth: int) -> float:
+        """Backoff hint: expected drain time of the current backlog."""
+        summary_mean = self.latencies.summary().get("mean_ms", 0.0) / 1000.0
+        per_request = summary_mean if summary_mean > 0.0 else 0.005
+        return min(5.0, max(0.05, depth * per_request / max(1, self.workers)))
 
     def release(self, request_id: int) -> bool:
         """Release an admitted tenancy; False when the id is not active.
@@ -340,14 +601,37 @@ class AdmissionService:
         In batch mode a successful release requeues every parked request —
         the departure may have freed exactly the capacity they were
         waiting for.
+
+        If the journal append fails, the release is rolled back (the
+        tenancy is re-adopted) before the caller sees anything: the
+        journal stays the single source of truth, and the service steps
+        down the degradation ladder instead of acknowledging a release
+        that recovery would silently undo.
         """
         with self._cond:
+            self.gate("release")
             tenancy = self.manager.get_tenancy(request_id)
             if tenancy is None:
                 return False
+            FAILPOINTS.hit(FP_RELEASE_BEFORE_JOURNAL)
             self.manager.release(tenancy)
             if self.store is not None:
-                self.store.log_release(request_id)
+                try:
+                    self.store.log_release(request_id)
+                except InjectedCrash:
+                    raise
+                except Exception as exc:
+                    self.manager.adopt(tenancy.allocation)
+                    self._degrade(exc)
+                    self._count("errors")
+                    raise DegradedError(
+                        f"release not journaled ({type(exc).__name__}); rolled back",
+                        code=CODE_READ_ONLY,
+                        retry_after=(
+                            self._degradation.retry_after() if self._degradation else 1.0
+                        ),
+                    ) from exc
+                FAILPOINTS.hit(FP_RELEASE_AFTER_JOURNAL)
             self._count("released")
             retried = 0
             if self.mode == MODE_BATCH:
@@ -396,7 +680,14 @@ class AdmissionService:
                 "queue": {
                     "ready": self._queue.ready_count,
                     "parked": self._queue.parked_count,
+                    "limit": self.max_queue_depth,
                 },
+                "degradation": (
+                    self._degradation.describe()
+                    if self._degradation is not None
+                    else {"state": STATE_FULL}
+                ),
+                "idempotency": {"keys": len(self._idem)},
                 "admission_latency": self.latencies.summary(),
                 "occupancy": {
                     "max": manager.max_occupancy(),
@@ -451,29 +742,44 @@ class AdmissionService:
             entry = None
             expired: List[QueuedRequest] = []
             decision = None
-            with self._cond:
-                while self._running:
-                    now = self.clock()
-                    entry, drained = self._queue.pop_ready(now)
-                    expired = drained + self._queue.expire(now)
-                    if expired:
-                        self._count("expired", len(expired))
-                    if entry is not None or expired:
-                        break
-                    self._cond.wait(timeout=_IDLE_SWEEP_INTERVAL)
-                if not self._running and entry is None and not expired:
-                    return
-                if entry is not None:
-                    try:
-                        decision = self._attempt(entry, now)
-                    except Exception as exc:  # journal I/O etc. — fail the
-                        # request, keep the worker alive for the next one
-                        self._count("errors")
-                        logger.warning(
-                            "ticket=%d failed during admission: %s",
-                            entry.ticket_id, exc, exc_info=True,
-                        )
-                        decision = (OUTCOME_ERROR, None, f"{type(exc).__name__}: {exc}")
+            try:
+                with self._cond:
+                    while self._running:
+                        now = self.clock()
+                        if self._degradation is not None and self._degradation.should_probe(now):
+                            self._probe_journal()
+                        entry, drained = self._queue.pop_ready(now)
+                        expired = drained + self._queue.expire(now)
+                        if expired:
+                            self._count("expired", len(expired))
+                        if entry is not None or expired:
+                            break
+                        self._cond.wait(timeout=_IDLE_SWEEP_INTERVAL)
+                    if not self._running and entry is None and not expired:
+                        return
+                    if entry is not None:
+                        try:
+                            decision = self._attempt(entry, now)
+                        except Exception as exc:  # journal I/O etc. — fail the
+                            # request, keep the worker alive for the next one
+                            self._count("errors")
+                            self._forget_key(entry.idempotency_key)
+                            logger.warning(
+                                "ticket=%d failed during admission: %s",
+                                entry.ticket_id, exc, exc_info=True,
+                            )
+                            decision = (OUTCOME_ERROR, None, f"{type(exc).__name__}: {exc}")
+            except InjectedCrash as crash:
+                # Simulated process death (chaos harness): freeze the whole
+                # service — no ticket resolution, no drain, no snapshot.
+                # The in-flight entry stays unacknowledged, exactly like a
+                # request caught mid-flight by a real crash.
+                with self._cond:
+                    self._running = False
+                    self.crashed = True
+                    self._cond.notify_all()
+                logger.warning("worker crashed by injected fault: %s", crash)
+                return
             # Tickets are resolved outside the lock: Event.set wakes the
             # submitting thread, which may immediately call back into the
             # service (status/release) and would contend on the lock.
@@ -492,13 +798,42 @@ class AdmissionService:
             tenancy: Optional[Tenancy] = manager.request(entry.request)
         except Exception as exc:  # allocator bug — fail the request, not the worker
             self._count("errors")
+            self._forget_key(entry.idempotency_key)
             logger.warning(
                 "ticket=%d allocator raised: %s", entry.ticket_id, exc, exc_info=True
             )
             return (OUTCOME_ERROR, None, f"{type(exc).__name__}: {exc}")
         if tenancy is not None:
             if self.store is not None:
-                self.store.log_admit(tenancy.allocation)
+                FAILPOINTS.hit(FP_WORKER_BEFORE_JOURNAL)
+                try:
+                    self.store.log_admit(
+                        tenancy.allocation, idempotency_key=entry.idempotency_key
+                    )
+                except InjectedCrash:
+                    raise
+                except Exception as exc:
+                    # The journal will not remember this admission, so
+                    # memory must forget it too: roll back the tenancy
+                    # (and the admitted counter request() bumped) before
+                    # anyone is acknowledged, then degrade.
+                    manager.release(tenancy)
+                    manager.admitted_count -= 1
+                    self._forget_key(entry.idempotency_key)
+                    self._degrade(exc)
+                    self._count("errors")
+                    logger.warning(
+                        "ticket=%d admission rolled back (journal append failed: %s)",
+                        entry.ticket_id, exc,
+                    )
+                    return (
+                        OUTCOME_ERROR,
+                        None,
+                        f"journal unavailable ({type(exc).__name__}); "
+                        "admission rolled back",
+                    )
+                FAILPOINTS.hit(FP_WORKER_AFTER_JOURNAL)
+            self._record_decision(entry, OUTCOME_ADMITTED, tenancy.request_id)
             self._count("admitted")
             self._observe_latency(self.clock() - entry.enqueued_at)
             self._maybe_snapshot()
@@ -507,7 +842,21 @@ class AdmissionService:
             self._queue.park(entry)
             return None
         if self.store is not None:
-            self.store.log_reject(request_to_dict(entry.request), request_id=probe_id)
+            try:
+                self.store.log_reject(
+                    request_to_dict(entry.request),
+                    request_id=probe_id,
+                    idempotency_key=entry.idempotency_key,
+                )
+            except InjectedCrash:
+                raise
+            except Exception as exc:
+                # Rejections never touched link state, so there is nothing
+                # to roll back — degrade and still answer the client (the
+                # only divergence recovery can see is the reject counter).
+                self._degrade(exc)
+                logger.warning("reject not journaled: %s", exc)
+        self._record_decision(entry, OUTCOME_REJECTED, None)
         self._count("rejected")
         self._observe_latency(self.clock() - entry.enqueued_at)
         self._maybe_snapshot()
@@ -519,9 +868,34 @@ class AdmissionService:
         )
         return (OUTCOME_REJECTED, None, detail)
 
+    def _record_decision(
+        self, entry: QueuedRequest, outcome: str, request_id: Optional[int]
+    ) -> None:
+        """Pin the decision to the entry's idempotency key (under lock)."""
+        if entry.idempotency_key is not None:
+            self._remember_key(
+                entry.idempotency_key,
+                {
+                    "ticket_id": entry.ticket_id,
+                    "outcome": outcome,
+                    "request_id": request_id,
+                },
+            )
+
+    def _forget_key(self, key: Optional[str]) -> None:
+        if key is not None:
+            self._idem.pop(key, None)
+
     def _maybe_snapshot(self) -> None:
+        """Opportunistic snapshot; never fatal (the journal is the truth)."""
         if self.store is not None and self.store.should_snapshot():
-            self.store.write_snapshot(snapshot_payload(self.manager))
+            try:
+                self.store.write_snapshot(snapshot_payload(self.manager))
+            except InjectedCrash:
+                raise
+            except Exception as exc:
+                self._count("errors")
+                logger.warning("snapshot failed (journal remains truth): %s", exc)
 
     def _resolve(self, entry: QueuedRequest, outcome: str, request_id=None, detail=None):
         with self._cond:

@@ -1,0 +1,131 @@
+"""The graceful-degradation ladder of the admission service.
+
+Three rungs, strictly ordered::
+
+    full       -> every op served
+    read_only  -> journal appends are failing: mutating ops (submit,
+                  release, snapshot) shed with ``code=read_only`` and a
+                  ``retry_after`` hint; reads (status/stats/metrics) and
+                  ping still served.  State stays consistent because a
+                  mutation whose journal append fails is rolled back
+                  before the client sees any acknowledgement.
+    fast_fail  -> repeated journal probes failed: everything except ping
+                  and shutdown sheds with ``code=unavailable``.  The
+                  daemon stays up so operators keep an endpoint to poke.
+
+Transitions are driven by the owning :class:`AdmissionService` (always
+under its lock — the ladder itself is not thread-safe): every journal
+append failure calls :meth:`record_failure`; a background *probe* (an
+``op: "note"`` journal record, invisible to replay) runs while degraded
+and calls :meth:`record_success` the moment the volume writes again,
+restoring full service.  ``retry_after`` hints grow exponentially with
+consecutive failures so retrying clients back off together with the
+probe cadence.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+STATE_FULL = "full"
+STATE_READ_ONLY = "read_only"
+STATE_FAST_FAIL = "fast_fail"
+
+#: Numeric encoding of the ladder for the degradation-state gauge.
+STATE_CODES = {STATE_FULL: 0, STATE_READ_ONLY: 1, STATE_FAST_FAIL: 2}
+
+
+class DegradationLadder:
+    """Current degradation rung plus the probe/backoff bookkeeping.
+
+    Parameters
+    ----------
+    fast_fail_after:
+        Consecutive journal failures (including failed probes) before
+        dropping from ``read_only`` to ``fast_fail``.
+    probe_interval:
+        Base seconds between journal probes while degraded; the actual
+        gap backs off exponentially with consecutive failures, capped at
+        ``max_retry_after``.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        fast_fail_after: int = 5,
+        probe_interval: float = 1.0,
+        max_retry_after: float = 30.0,
+    ) -> None:
+        if fast_fail_after < 1:
+            raise ValueError(f"fast_fail_after must be >= 1, got {fast_fail_after}")
+        self.clock = clock
+        self.fast_fail_after = fast_fail_after
+        self.probe_interval = probe_interval
+        self.max_retry_after = max_retry_after
+        self.state = STATE_FULL
+        self.since = clock()
+        self.consecutive_failures = 0
+        self.transitions = 0
+        self.last_error: Optional[str] = None
+        self._next_probe_at = 0.0
+
+    @property
+    def code(self) -> int:
+        return STATE_CODES[self.state]
+
+    @property
+    def degraded(self) -> bool:
+        return self.state != STATE_FULL
+
+    def retry_after(self) -> float:
+        """The backoff hint shed responses should carry right now."""
+        backoff = self.probe_interval * (2.0 ** max(0, self.consecutive_failures - 1))
+        return min(self.max_retry_after, max(self.probe_interval, backoff))
+
+    def record_failure(self, error: BaseException) -> str:
+        """One journal append (or probe) failed; returns the new state."""
+        self.consecutive_failures += 1
+        self.last_error = f"{type(error).__name__}: {error}"
+        new_state = (
+            STATE_FAST_FAIL
+            if self.consecutive_failures >= self.fast_fail_after
+            else STATE_READ_ONLY
+        )
+        self._transition(new_state)
+        self._next_probe_at = self.clock() + self.retry_after()
+        return self.state
+
+    def record_success(self) -> str:
+        """One journal append (or probe) succeeded; returns the new state."""
+        self.consecutive_failures = 0
+        self.last_error = None
+        self._transition(STATE_FULL)
+        return self.state
+
+    def should_probe(self, now: Optional[float] = None) -> bool:
+        """Is it time for the owning service to probe the journal?"""
+        if not self.degraded:
+            return False
+        return (self.clock() if now is None else now) >= self._next_probe_at
+
+    def _transition(self, new_state: str) -> None:
+        if new_state == self.state:
+            return
+        self.state = new_state
+        self.since = self.clock()
+        self.transitions += 1
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``degradation`` block of the service ``stats()`` payload."""
+        payload: Dict[str, Any] = {
+            "state": self.state,
+            "since_s": max(0.0, self.clock() - self.since),
+            "consecutive_failures": self.consecutive_failures,
+            "transitions": self.transitions,
+        }
+        if self.degraded:
+            payload["retry_after_s"] = self.retry_after()
+        if self.last_error:
+            payload["last_error"] = self.last_error
+        return payload

@@ -1,0 +1,90 @@
+"""Typed service errors shared by the server and the client.
+
+Every load-shedding or degradation response carries a machine-readable
+``code`` (and usually a ``retry_after`` hint in seconds) next to the human
+``error`` string.  On the server side the :class:`AdmissionService` raises
+these directly and the TCP handler renders them as
+``{"ok": false, "code": ..., "retry_after": ...}``; on the client side
+:func:`error_from_response` maps the code back to the matching class, so
+callers can catch :class:`OverloadedError` instead of string-matching.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+#: The queue is at its configured bound (or shedding was injected).
+CODE_OVERLOADED = "overloaded"
+#: Journal volume failing: mutations shed, reads still served.
+CODE_READ_ONLY = "read_only"
+#: Repeated journal probes failed: everything but ping/shutdown sheds.
+CODE_UNAVAILABLE = "unavailable"
+#: A deadline (server-side request deadline or client retry budget) passed.
+CODE_DEADLINE = "deadline_exceeded"
+#: The client retry policy ran out of attempts.
+CODE_RETRY_EXHAUSTED = "retry_exhausted"
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false`` (or refused to accept an op)."""
+
+    code: Optional[str] = None
+
+    def __init__(
+        self,
+        message: str,
+        code: Optional[str] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+        self.retry_after = retry_after
+
+
+class OverloadedError(ServiceError):
+    """Bounded-queue backpressure: retry after backing off."""
+
+    code = CODE_OVERLOADED
+
+
+class DegradedError(ServiceError):
+    """The service shed this op because it is degraded (read-only or worse)."""
+
+    code = CODE_READ_ONLY
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline (or the caller's retry budget) passed."""
+
+    code = CODE_DEADLINE
+
+
+class RetryExhaustedError(ServiceError):
+    """A retrying client gave up after its configured attempt cap."""
+
+    code = CODE_RETRY_EXHAUSTED
+
+
+_CODE_TO_CLASS = {
+    CODE_OVERLOADED: OverloadedError,
+    CODE_READ_ONLY: DegradedError,
+    CODE_UNAVAILABLE: DegradedError,
+    CODE_DEADLINE: DeadlineExceededError,
+    CODE_RETRY_EXHAUSTED: RetryExhaustedError,
+}
+
+#: Response codes a retrying client treats as transient.
+RETRYABLE_CODES = frozenset({CODE_OVERLOADED, CODE_READ_ONLY, CODE_UNAVAILABLE})
+
+
+def error_from_response(op: str, response: Dict[str, Any]) -> ServiceError:
+    """The typed exception for one ``ok: false`` protocol response."""
+    message = response.get("error", f"{op} failed")
+    code = response.get("code")
+    retry_after = response.get("retry_after")
+    cls = _CODE_TO_CLASS.get(code, ServiceError)
+    error = cls(message, retry_after=retry_after)
+    if code is not None:
+        error.code = code
+    return error

@@ -23,6 +23,17 @@ and replays only journal records with ``seq`` greater than the snapshot's.
 The journal is never truncated here (compaction is an operator concern);
 replay from seq 0 must always reproduce the same state, which is what the
 oracle-replay tests exercise.
+
+Failure handling: a failed append (I/O error, failed fsync, torn write)
+marks the tail *dirty* — the bytes past the last known-good offset can no
+longer be trusted, because a record whose append raised was never
+acknowledged and must not reappear on replay.  The next append first
+truncates back to the good offset, so the on-disk journal always equals
+the sequence of successfully acknowledged appends.  The compiled
+failpoints ``journal.write`` (error/crash/corrupt — corrupt writes a torn
+half-line), ``journal.fsync`` (error before the fsync call) and
+``snapshot.write`` (error, or corrupt = a truncated snapshot file) let the
+chaos harness drive exactly these paths; see :mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -36,6 +47,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.faults.failpoints import (
+    FAILPOINTS,
+    FP_JOURNAL_FSYNC,
+    FP_JOURNAL_WRITE,
+    FP_SNAPSHOT_WRITE,
+    MODE_CORRUPT,
+    FailpointError,
+)
 from repro.service.codec import allocation_to_dict
 
 logger = logging.getLogger(__name__)
@@ -46,6 +65,8 @@ _SNAPSHOT_RE = re.compile(r"^snapshot-(\d+)\.json$")
 OP_ADMIT = "admit"
 OP_RELEASE = "release"
 OP_REJECT = "reject"
+#: Free-form marker record (journal health probes); replay skips it.
+OP_NOTE = "note"
 
 
 @dataclass
@@ -64,7 +85,9 @@ class Journal:
         self.path = Path(path)
         self.fsync = fsync
         self._next_seq = self._recover_tail()
-        self._file = open(self.path, "a", encoding="utf-8")
+        self._file = open(self.path, "ab")
+        self._good_offset = self.path.stat().st_size if self.path.exists() else 0
+        self._tail_dirty = False
 
     def _recover_tail(self) -> int:
         """Truncate any torn tail so appends extend the intact prefix.
@@ -104,15 +127,52 @@ class Journal:
         return self._next_seq
 
     def append(self, op: str, **fields: Any) -> int:
-        """Durably append one record; returns its sequence number."""
+        """Durably append one record; returns its sequence number.
+
+        On any failure the record does not count as appended: the tail is
+        marked dirty and the next append truncates back to the last good
+        offset, so a record whose append raised (and was therefore never
+        acknowledged) can never resurface on replay.
+        """
+        if self._tail_dirty:
+            self._repair_tail()
         seq = self._next_seq
         record = {"seq": seq, "op": op, **fields}
-        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
-        self._file.flush()
-        if self.fsync:
-            os.fsync(self._file.fileno())
+        data = (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
+        # ``error`` raises before any byte is written; ``corrupt`` asks us
+        # to simulate a torn write below; ``crash`` models dying right here.
+        point = FAILPOINTS.hit(FP_JOURNAL_WRITE)
+        try:
+            if point is not None and point.mode == MODE_CORRUPT:
+                self._file.write(data[: max(1, len(data) // 2)])
+                self._file.flush()
+                raise FailpointError(f"injected torn write at {self.path}")
+            self._file.write(data)
+            self._file.flush()
+            if self.fsync:
+                # A failed fsync leaves durability unknown: the bytes are
+                # in the file but may never reach disk.  Treat the record
+                # as not appended (dirty tail) — the conservative reading
+                # every fsync-gated WAL must take.
+                FAILPOINTS.hit(FP_JOURNAL_FSYNC)
+                os.fsync(self._file.fileno())
+        except BaseException:
+            self._tail_dirty = True
+            raise
+        self._good_offset += len(data)
         self._next_seq = seq + 1
         return seq
+
+    def _repair_tail(self) -> None:
+        """Truncate bytes written by failed appends back to the good offset."""
+        self._file.flush()
+        self._file.seek(self._good_offset)
+        self._file.truncate()
+        self._tail_dirty = False
+        logger.warning(
+            "journal %s tail repaired after failed append (truncated to %d bytes)",
+            self.path, self._good_offset,
+        )
 
     def close(self) -> None:
         if not self._file.closed:
@@ -227,19 +287,38 @@ class DurabilityStore:
     # Event logging
     # ------------------------------------------------------------------
 
-    def log_admit(self, allocation) -> int:
-        return self._log(OP_ADMIT, allocation=allocation_to_dict(allocation))
+    def log_admit(self, allocation, idempotency_key: Optional[str] = None) -> int:
+        fields: Dict[str, Any] = {"allocation": allocation_to_dict(allocation)}
+        if idempotency_key is not None:
+            # Persisted inside the admit record so recovery can rebuild the
+            # key -> decision index: a client retrying after a lost ack gets
+            # the journaled admission back instead of a second allocation.
+            fields["idem"] = idempotency_key
+        return self._log(OP_ADMIT, **fields)
 
     def log_release(self, request_id: int) -> int:
         return self._log(OP_RELEASE, request_id=request_id)
 
     def log_reject(
-        self, request_payload: Dict[str, Any], request_id: Optional[int] = None
+        self,
+        request_payload: Dict[str, Any],
+        request_id: Optional[int] = None,
+        idempotency_key: Optional[str] = None,
     ) -> int:
         fields: Dict[str, Any] = {"request": request_payload}
         if request_id is not None:
             fields["request_id"] = request_id
+        if idempotency_key is not None:
+            fields["idem"] = idempotency_key
         return self._log(OP_REJECT, **fields)
+
+    def log_note(self, note: str) -> int:
+        """Append a no-op marker record (used as a journal health probe).
+
+        Replay and the oracle skip unknown/``note`` ops, so probing while
+        degraded never perturbs recovered state.
+        """
+        return self._log(OP_NOTE, note=note)
 
     def _log(self, op: str, **fields: Any) -> int:
         seq = self.journal.append(op, **fields)
@@ -270,13 +349,20 @@ class DurabilityStore:
         """
         if seq is None:
             seq = self.journal.next_seq - 1
+        # ``error`` raises before anything touches disk; ``corrupt`` makes
+        # us persist a truncated snapshot file — recovery must skip it and
+        # fall back to an older snapshot or the bare journal.
+        point = FAILPOINTS.hit(FP_SNAPSHOT_WRITE)
+        body = json.dumps({"seq": seq, "state": payload})
+        if point is not None and point.mode == MODE_CORRUPT:
+            body = body[: max(1, len(body) // 2)]
         path = self.directory / f"snapshot-{seq}.json"
         fd, tmp_name = tempfile.mkstemp(
             prefix=".snapshot-", suffix=".tmp", dir=self.directory
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump({"seq": seq, "state": payload}, handle)
+                handle.write(body)
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp_name, path)

@@ -40,6 +40,9 @@ class QueuedRequest:
     deadline: Optional[float] = None
     enqueued_at: float = 0.0
     attempts: int = 0
+    #: Client-supplied dedup key, carried into the admit/reject journal
+    #: record so retries after a lost ack stay idempotent.
+    idempotency_key: Optional[str] = None
     #: FIFO tiebreak, assigned by the queue on first push and kept across
     #: park/retry cycles so retried requests keep their arrival position.
     seq: int = field(default=0, repr=False)

@@ -21,9 +21,9 @@ service and the snapshot-accelerated recovery must agree.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.allocation.base import Allocation, Allocator
 from repro.manager.network_manager import NetworkManager
@@ -54,6 +54,11 @@ class RecoveryReport:
     admits_replayed: int = 0
     releases_replayed: int = 0
     rejects_replayed: int = 0
+    #: ``{idempotency_key: {"outcome", "request_id"}}`` scanned from the
+    #: *whole* journal (the WAL is never truncated), so a client retrying
+    #: a pre-crash submit is answered with the journaled decision instead
+    #: of a second allocation.
+    idempotency_index: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def used_snapshot(self) -> bool:
@@ -89,8 +94,23 @@ def recover_manager(
     journal_last_seq: Optional[int] = None
     if store.wal_path.exists():
         tail = ReplaySummary()
-        for _record in Journal.iter_records(store.wal_path, summary=tail):
-            pass
+        for record in Journal.iter_records(store.wal_path, summary=tail):
+            # Idempotency keys are collected over the full journal, not
+            # just the post-snapshot suffix: snapshots drop released
+            # allocations, but a retried submit must still dedup.
+            key = record.get("idem")
+            if key is not None:
+                op = record.get("op")
+                if op == OP_ADMIT:
+                    report.idempotency_index[str(key)] = {
+                        "outcome": "admitted",
+                        "request_id": record["allocation"].get("request_id"),
+                    }
+                elif op == OP_REJECT:
+                    report.idempotency_index[str(key)] = {
+                        "outcome": "rejected",
+                        "request_id": None,
+                    }
         journal_last_seq = tail.last_seq
     snapshot = store.latest_snapshot(max_seq=journal_last_seq)
     if snapshot is not None:

@@ -33,6 +33,7 @@ import json
 import logging
 import os
 import signal
+import socket
 import socketserver
 import sys
 import threading
@@ -41,12 +42,15 @@ from typing import Any, Dict, List, Optional
 
 from repro.allocation.dispatch import ALLOCATOR_FACTORIES, allocator_by_name
 from repro.experiments.config import SCALES
+from repro.faults.failpoints import FAILPOINTS, FP_SERVER_RESPONSE, arm_from_spec
 from repro.logconfig import LOG_LEVELS, setup_logging
 from repro.manager.network_manager import NetworkManager
 from repro.obs.instruments import configure as configure_obs
 from repro.obs.instruments import outage_monitor
 from repro.service.codec import CodecError
 from repro.service.concurrency import AdmissionService
+from repro.service.degrade import DegradationLadder
+from repro.service.errors import ServiceError
 from repro.service.journal import DurabilityStore
 from repro.service.queue import MODE_ONLINE, MODES
 from repro.service.recovery import recover_manager, snapshot_payload
@@ -65,7 +69,25 @@ _REQUEST_IDS = itertools.count(1)
 class AdmissionRequestHandler(socketserver.StreamRequestHandler):
     """One connection: a stream of newline-delimited JSON commands."""
 
+    def setup(self) -> None:
+        super().setup()
+        # Slow-client defense: a peer that stops reading (or writing) for
+        # longer than this forfeits the connection instead of pinning a
+        # handler thread forever.  None = no timeout (the default).
+        client_timeout = getattr(self.server, "client_timeout", None)
+        if client_timeout is not None:
+            self.request.settimeout(client_timeout)
+
     def handle(self) -> None:
+        try:
+            self._serve_lines()
+        except (socket.timeout, TimeoutError):
+            logger.warning(
+                "peer=%s timed out mid-operation; closing connection",
+                self.client_address[0],
+            )
+
+    def _serve_lines(self) -> None:
         for raw in self.rfile:
             line = raw.strip()
             if not line:
@@ -78,6 +100,14 @@ class AdmissionRequestHandler(socketserver.StreamRequestHandler):
                 response = self._dispatch(command)
             except json.JSONDecodeError as exc:
                 response = {"ok": False, "error": f"malformed JSON: {exc.msg}"}
+            except ServiceError as exc:
+                # Typed shed/degradation errors: machine-readable code plus
+                # a Retry-After hint so clients can back off sensibly.
+                response = {"ok": False, "error": str(exc)}
+                if exc.code is not None:
+                    response["code"] = exc.code
+                if exc.retry_after is not None:
+                    response["retry_after"] = exc.retry_after
             except CodecError as exc:
                 response = {"ok": False, "error": str(exc)}
             except Exception as exc:  # never kill the connection on one bad op
@@ -88,6 +118,7 @@ class AdmissionRequestHandler(socketserver.StreamRequestHandler):
                 rid, self.client_address[0], op,
                 response.get("ok"), response.get("ticket"),
             )
+            FAILPOINTS.hit(FP_SERVER_RESPONSE)
             self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
             self.wfile.flush()
             if response.get("bye"):
@@ -96,8 +127,13 @@ class AdmissionRequestHandler(socketserver.StreamRequestHandler):
     def _dispatch(self, command: Dict[str, Any]) -> Dict[str, Any]:
         service: AdmissionService = self.server.service  # type: ignore[attr-defined]
         op = command.get("op")
+        # The degradation gate runs before any work: in fast-fail even
+        # reads shed (with code + retry_after), keeping ping/shutdown as
+        # the operator's lifeline.
+        if isinstance(op, str):
+            service.gate(op)
         if op == "ping":
-            return {"ok": True, "pong": True}
+            return {"ok": True, "pong": True, "state": service.degradation_state()}
         if op == "submit":
             ticket = service.submit(
                 command["request"],
@@ -105,6 +141,7 @@ class AdmissionRequestHandler(socketserver.StreamRequestHandler):
                 timeout_s=command.get("timeout_s"),
                 wait=bool(command.get("wait", True)),
                 wait_timeout=command.get("wait_timeout"),
+                idempotency_key=command.get("idem"),
             )
             return {"ok": True, **ticket.describe()}
         if op == "status":
@@ -141,9 +178,15 @@ class AdmissionTCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address, service: AdmissionService) -> None:
+    def __init__(
+        self,
+        address,
+        service: AdmissionService,
+        client_timeout: Optional[float] = None,
+    ) -> None:
         super().__init__(address, AdmissionRequestHandler)
         self.service = service
+        self.client_timeout = client_timeout
 
     def request_shutdown(self) -> None:
         # shutdown() blocks until serve_forever returns, so it must not be
@@ -234,6 +277,45 @@ def build_serve_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the observability layer (no-op instruments, bare endpoint)",
     )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        help="bounded-queue backpressure: shed submits beyond this many "
+        "waiting requests; 0 disables the bound (default: 1024)",
+    )
+    parser.add_argument(
+        "--default-timeout-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="server-side deadline for submits that carry no timeout_s "
+        "(default: none)",
+    )
+    parser.add_argument(
+        "--client-timeout-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="drop connections idle/stalled longer than this (slow-client "
+        "defense; default: none)",
+    )
+    parser.add_argument(
+        "--probe-interval-s",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="base interval between journal health probes while degraded "
+        "(default: 1.0)",
+    )
+    parser.add_argument(
+        "--failpoints",
+        default=None,
+        metavar="SPEC",
+        help="arm fault-injection failpoints, e.g. "
+        "'journal.write=error:p=0.01,snapshot.write=corrupt' "
+        "(testing/chaos only; crashes exit the process)",
+    )
     return parser
 
 
@@ -275,18 +357,31 @@ def _build_service(args: argparse.Namespace) -> AdmissionService:
         if report.replayed_records or report.used_snapshot:
             logger.info(
                 "recovered: snapshot seq %s, %d journal records replayed "
-                "(%d admits, %d releases), %d active tenancies",
+                "(%d admits, %d releases), %d active tenancies, "
+                "%d idempotency key(s) indexed",
                 report.snapshot_seq, report.replayed_records,
                 report.admits_replayed, report.releases_replayed,
-                manager.active_tenancies,
+                manager.active_tenancies, len(report.idempotency_index),
             )
             # Checkpoint the recovered state so the next crash replays only
             # the delta, then keep journaling after the recovered prefix.
             store.write_snapshot(snapshot_payload(manager))
     else:
         manager = NetworkManager(tree, epsilon=epsilon, allocator=allocator)
+    max_queue = getattr(args, "max_queue", 1024)
     service = AdmissionService(
-        manager, store=store, mode=args.mode, workers=args.workers
+        manager,
+        store=store,
+        mode=args.mode,
+        workers=args.workers,
+        max_queue_depth=max_queue if max_queue else None,
+        default_timeout_s=getattr(args, "default_timeout_s", None),
+        degradation=(
+            DegradationLadder(probe_interval=getattr(args, "probe_interval_s", 1.0))
+            if store is not None
+            else None
+        ),
+        idempotency_index=recovered.idempotency_index if recovered else None,
     )
     # Publish the SLA bound so the empirical-outage gauges compare against
     # the epsilon this daemon actually guarantees (Eq. 1).
@@ -304,8 +399,16 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         configure_obs(enabled=False)
     elif args.trace_sample is not None:
         configure_obs(sample_every=args.trace_sample)
+    if args.failpoints:
+        # A real daemon dies on a crash-mode failpoint (os._exit), unlike
+        # the in-process chaos harness which catches InjectedCrash.
+        FAILPOINTS.crash_mode = "exit"
+        armed = arm_from_spec(args.failpoints)
+        logger.warning("fault injection armed: %d failpoint(s)", armed)
     service = _build_service(args)
-    server = AdmissionTCPServer((args.host, args.port), service)
+    server = AdmissionTCPServer(
+        (args.host, args.port), service, client_timeout=args.client_timeout_s
+    )
     host, port = server.server_address[:2]
     service.start()
 

@@ -55,21 +55,35 @@ def render_top(stats: Dict[str, Any], metrics: Dict[str, Any]) -> str:
     queue = stats.get("queue", {})
     latency = stats.get("admission_latency", {})
     slots = stats.get("slots", {})
+    degradation = stats.get("degradation", {})
+    state = degradation.get("state", "full")
+    state_note = ""
+    if state != "full":
+        state_note = (
+            f"  failures={degradation.get('consecutive_failures', 0)}"
+            f"  retry_after={degradation.get('retry_after_s', 0.0):.1f}s"
+        )
     lines.append(
         f"svc-repro top — mode={stats.get('mode')} workers={stats.get('workers')} "
         f"uptime={stats.get('uptime_s', 0.0):.0f}s"
     )
     lines.append(
+        f"degradation {state.upper()}"
+        f" (transitions={degradation.get('transitions', 0)})" + state_note
+    )
+    lines.append(
         f"tenants {stats.get('active_tenancies', 0):>5}   "
         f"slots {slots.get('used', 0)}/{slots.get('total', 0)} used   "
         f"queue ready={queue.get('ready', 0)} parked={queue.get('parked', 0)}"
+        + (f" limit={queue['limit']}" if queue.get("limit") else "")
     )
     lines.append(
         "requests "
         + "  ".join(
             f"{name}={counters.get(name, 0)}"
             for name in (
-                "submitted", "admitted", "rejected", "expired", "released", "errors"
+                "submitted", "admitted", "rejected", "expired", "released",
+                "errors", "shed",
             )
         )
         + f"  rejection_rate={stats.get('rejection_rate', 0.0):.3f}"

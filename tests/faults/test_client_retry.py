@@ -1,0 +1,181 @@
+"""Client retry policy: backoff schedule, typed errors, idempotent retries."""
+
+import pytest
+
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.errors import (
+    CODE_DEADLINE,
+    CODE_OVERLOADED,
+    CODE_READ_ONLY,
+    DeadlineExceededError,
+    DegradedError,
+    OverloadedError,
+    RetryExhaustedError,
+    ServiceError,
+    error_from_response,
+)
+
+
+class ScriptedClient(ServiceClient):
+    """A ServiceClient with the TCP transport replaced by a script.
+
+    Each entry of ``script`` is either an exception to raise or a response
+    dict to return; ``submit`` consumes one entry per call and records the
+    submitted idempotency keys.
+    """
+
+    def __init__(self, script):
+        # Deliberately no super().__init__(): no sockets in unit tests.
+        self.script = list(script)
+        self.keys = []
+        self.reconnects = 0
+
+    def reconnect(self):
+        self.reconnects += 1
+
+    def submit(self, request, **kwargs):
+        self.keys.append(kwargs.get("idempotency_key"))
+        action = self.script.pop(0)
+        if isinstance(action, BaseException):
+            raise action
+        return action
+
+
+def admitted(request_id=7):
+    return {"ok": True, "outcome": "admitted", "request_id": request_id}
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_and_cap(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        assert [policy.delay(n) for n in (1, 2, 3, 4, 5)] == [
+            0.1, 0.2, 0.4, 0.5, 0.5
+        ]
+
+    def test_seeded_jitter_is_deterministic_and_bounded(self):
+        schedule = [RetryPolicy(seed=42, jitter=0.5).delay(n) for n in (1, 2, 3)]
+        assert schedule == [RetryPolicy(seed=42, jitter=0.5).delay(n) for n in (1, 2, 3)]
+        for n, delay in enumerate(schedule, start=1):
+            raw = min(2.0, 0.05 * 2.0 ** (n - 1))
+            assert 0.5 * raw <= delay <= 1.5 * raw
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+
+class TestSubmitWithRetry:
+    def test_retries_transient_errors_then_succeeds(self):
+        client = ScriptedClient(
+            [OverloadedError("full", retry_after=0.2), admitted()]
+        )
+        sleeps = []
+        reply = client.submit_with_retry(
+            {"kind": "x"},
+            policy=RetryPolicy(seed=1, base_delay=0.01, jitter=0.0),
+            sleep=sleeps.append,
+        )
+        assert reply["outcome"] == "admitted"
+        # The server's retry_after hint floors the backoff delay.
+        assert sleeps == [0.2]
+        # Both attempts carried the same auto-generated idempotency key.
+        assert len(set(client.keys)) == 1 and client.keys[0] is not None
+
+    def test_attempts_are_capped(self):
+        client = ScriptedClient([OverloadedError("full")] * 10)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            client.submit_with_retry(
+                {"kind": "x"},
+                policy=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+                sleep=lambda _s: None,
+            )
+        assert len(client.keys) == 3
+        assert isinstance(excinfo.value.__cause__, OverloadedError)
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        client = ScriptedClient([ServiceError("schema mismatch")])
+        with pytest.raises(ServiceError, match="schema mismatch"):
+            client.submit_with_retry(
+                {"kind": "x"}, policy=RetryPolicy(max_attempts=5), sleep=lambda _s: None
+            )
+        assert len(client.keys) == 1
+
+    def test_read_only_degradation_is_retryable(self):
+        client = ScriptedClient(
+            [DegradedError("read-only", code=CODE_READ_ONLY), admitted()]
+        )
+        reply = client.submit_with_retry(
+            {"kind": "x"},
+            policy=RetryPolicy(base_delay=0.0, jitter=0.0),
+            sleep=lambda _s: None,
+        )
+        assert reply["outcome"] == "admitted"
+
+    def test_connection_errors_trigger_reconnect(self):
+        client = ScriptedClient([ConnectionError("server died"), admitted()])
+        reply = client.submit_with_retry(
+            {"kind": "x"},
+            policy=RetryPolicy(base_delay=0.0, jitter=0.0),
+            sleep=lambda _s: None,
+        )
+        assert reply["outcome"] == "admitted"
+        assert client.reconnects == 1
+
+    def test_expired_outcome_is_a_typed_error_not_a_hang(self):
+        client = ScriptedClient([{"ok": True, "outcome": "expired"}])
+        with pytest.raises(DeadlineExceededError):
+            client.submit_with_retry({"kind": "x"}, sleep=lambda _s: None)
+
+    def test_deadline_budget_raises_instead_of_sleeping_past_it(self):
+        clock_now = [0.0]
+        client = ScriptedClient([OverloadedError("full", retry_after=10.0)] * 5)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            client.submit_with_retry(
+                {"kind": "x"},
+                policy=RetryPolicy(deadline_s=1.0, base_delay=0.1, jitter=0.0),
+                sleep=lambda _s: None,
+                clock=lambda: clock_now[0],
+            )
+        assert excinfo.value.code == CODE_DEADLINE
+        assert len(client.keys) == 1  # would sleep past the budget: no attempt 2
+
+    def test_explicit_key_is_reused_verbatim(self):
+        client = ScriptedClient([ConnectionError("x"), admitted()])
+        client.submit_with_retry(
+            {"kind": "x"},
+            policy=RetryPolicy(base_delay=0.0, jitter=0.0),
+            idempotency_key="my-key",
+            sleep=lambda _s: None,
+        )
+        assert client.keys == ["my-key", "my-key"]
+
+    def test_retryable_outcome_error_is_retried(self):
+        client = ScriptedClient(
+            [{"ok": True, "outcome": "error", "detail": "journal unavailable"},
+             admitted()]
+        )
+        reply = client.submit_with_retry(
+            {"kind": "x"},
+            policy=RetryPolicy(base_delay=0.0, jitter=0.0),
+            sleep=lambda _s: None,
+        )
+        assert reply["outcome"] == "admitted"
+
+
+class TestErrorMapping:
+    def test_error_from_response_maps_codes_to_classes(self):
+        exc = error_from_response(
+            "submit",
+            {"ok": False, "error": "full", "code": CODE_OVERLOADED, "retry_after": 2.5},
+        )
+        assert isinstance(exc, OverloadedError)
+        assert exc.retry_after == 2.5
+
+    def test_unknown_code_falls_back_to_service_error(self):
+        exc = error_from_response("submit", {"ok": False, "error": "boom"})
+        assert type(exc) is ServiceError
+        assert "boom" in str(exc)

@@ -1,0 +1,170 @@
+"""Unit tests of the failpoint registry: triggers, modes, specs, seeding."""
+
+import pytest
+
+from repro.faults.failpoints import (
+    FP_JOURNAL_WRITE,
+    MODE_CORRUPT,
+    MODE_CRASH,
+    MODE_DELAY,
+    MODE_ERROR,
+    MODE_SHED,
+    FailpointError,
+    FailpointRegistry,
+    InjectedCrash,
+    arm_from_spec,
+    parse_failpoint_spec,
+)
+
+
+class TestTriggering:
+    def test_unarmed_hit_is_a_noop(self):
+        registry = FailpointRegistry()
+        assert registry.hit("journal.write") is None
+
+    def test_error_mode_raises_oserror(self):
+        registry = FailpointRegistry()
+        registry.arm("journal.write", MODE_ERROR)
+        with pytest.raises(FailpointError) as excinfo:
+            registry.hit("journal.write")
+        assert isinstance(excinfo.value, OSError)
+        point = registry.get("journal.write")
+        assert (point.calls, point.triggered) == (1, 1)
+
+    def test_every_n_is_deterministic(self):
+        registry = FailpointRegistry()
+        registry.arm("x", MODE_SHED, every=3)
+        fired = [registry.hit("x") is not None for _ in range(9)]
+        assert fired == [False, False, True] * 3
+
+    def test_max_hits_caps_triggers(self):
+        registry = FailpointRegistry()
+        registry.arm("x", MODE_SHED, every=1, max_hits=2)
+        fired = [registry.hit("x") is not None for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_probability_zero_never_fires(self):
+        registry = FailpointRegistry()
+        registry.arm("x", MODE_ERROR, probability=0.0)
+        for _ in range(50):
+            assert registry.hit("x") is None
+
+    def test_seeded_probability_is_reproducible(self):
+        def pattern(seed):
+            registry = FailpointRegistry(seed=seed)
+            registry.arm("x", MODE_SHED, probability=0.5)
+            return [registry.hit("x") is not None for _ in range(40)]
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)  # and the seed actually matters
+
+    def test_delay_mode_sleeps_and_falls_through(self):
+        registry = FailpointRegistry()
+        registry.arm("x", MODE_DELAY, delay_s=1.25)
+        slept = []
+        point = registry.hit("x", sleep=slept.append)
+        assert point is not None
+        assert slept == [1.25]
+
+    def test_corrupt_mode_returns_point_for_the_call_site(self):
+        registry = FailpointRegistry()
+        registry.arm("x", MODE_CORRUPT)
+        point = registry.hit("x")
+        assert point is not None and point.mode == MODE_CORRUPT
+
+
+class TestCrashMode:
+    def test_crash_raises_injected_crash(self):
+        registry = FailpointRegistry()
+        registry.arm("x", MODE_CRASH)
+        with pytest.raises(InjectedCrash):
+            registry.hit("x")
+
+    def test_injected_crash_evades_generic_except_exception(self):
+        # The whole point of deriving from BaseException: recovery code's
+        # defensive handlers must not swallow a simulated power cut.
+        assert not issubclass(InjectedCrash, Exception)
+
+    def test_clear_resets_crash_mode(self):
+        registry = FailpointRegistry()
+        registry.crash_mode = "exit"
+        registry.clear()
+        assert registry.crash_mode == "raise"
+
+    def test_disarm_and_describe(self):
+        registry = FailpointRegistry()
+        registry.arm("a", MODE_ERROR)
+        registry.arm("b", MODE_SHED, every=2)
+        assert {p["name"] for p in registry.describe()} == {"a", "b"}
+        registry.disarm("a")
+        assert not registry.armed("a")
+        assert registry.armed("b")
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown failpoint mode"):
+            FailpointRegistry().arm("x", "explode")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FailpointRegistry().arm("x", MODE_ERROR, probability=1.5)
+
+    def test_bad_every_rejected(self):
+        with pytest.raises(ValueError, match="every"):
+            FailpointRegistry().arm("x", MODE_ERROR, every=0)
+
+
+class TestSpecParsing:
+    def test_single_spec(self):
+        (arming,) = parse_failpoint_spec("journal.write=error:p=0.25")
+        assert arming == {
+            "name": "journal.write",
+            "mode": "error",
+            "probability": 0.25,
+        }
+
+    def test_multi_spec_with_options(self):
+        armings = parse_failpoint_spec(
+            "journal.write=corrupt:p=0.1, worker.crash_after_journal=crash:every=50:max_hits=1"
+        )
+        assert len(armings) == 2
+        assert armings[1]["every"] == 50
+        assert armings[1]["max_hits"] == 1
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "journal.write",  # no mode
+            "journal.write=explode",  # unknown mode
+            "journal.write=error:p=high",  # unparsable value
+            "journal.write=error:frequency=2",  # unknown option
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            parse_failpoint_spec(spec)
+
+    def test_arm_from_spec_arms_everything(self):
+        registry = FailpointRegistry()
+        count = arm_from_spec(
+            f"{FP_JOURNAL_WRITE}=error:p=0.5,queue.accept=shed", registry=registry
+        )
+        assert count == 2
+        assert registry.armed(FP_JOURNAL_WRITE)
+        assert registry.armed("queue.accept")
+
+
+class TestMetricsMirror:
+    def test_triggers_are_counted_on_the_global_registry(self):
+        from repro.obs.instruments import global_registry
+
+        registry = FailpointRegistry()
+        registry.arm("x", MODE_SHED, every=1)
+        registry.hit("x")
+        snapshot = global_registry().snapshot()
+        series = snapshot["repro_faults_injected_total"]["series"]
+        values = {
+            entry["labels"]["failpoint"]: entry["value"] for entry in series
+        }
+        assert values.get("x", 0) >= 1
