@@ -1,0 +1,180 @@
+"""CI gate: a killed parallel sweep resumes without losing or redoing work.
+
+The drill, end to end:
+
+1. run the full sweep sequentially (``--workers 1``) and keep its tables as
+   the reference output;
+2. start the same sweep with ``--workers N`` into a run directory, wait
+   until a few cells are checkpointed, and ``SIGKILL`` the process mid-sweep
+   (no cleanup handlers — exactly what a preempted CI runner or OOM kill
+   looks like);
+3. snapshot the surviving checkpoints, then resume with ``--resume``;
+4. assert the resumed sweep's aggregated tables are byte-identical to the
+   sequential reference, and that every checkpoint that survived the kill
+   was reused verbatim (same bytes), not recomputed.
+
+Exit code 0 only if all of that holds.  The run directory is left in place
+so CI can upload it as an artifact.
+
+Usage (repo root)::
+
+    PYTHONPATH=src python scripts/check_parallel_resume.py --scale tiny
+    PYTHONPATH=src python scripts/check_parallel_resume.py --scale small --workers 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def log(message: str) -> None:
+    print(f"[check_parallel_resume] {message}", flush=True)
+
+
+def cli_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def run_cli(args, timeout: float) -> str:
+    """Run ``svc-repro`` to completion; returns stdout (the tables)."""
+    command = [sys.executable, "-m", "repro.cli", *args]
+    proc = subprocess.run(
+        command, env=cli_env(), cwd=REPO_ROOT, timeout=timeout,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    if proc.returncode != 0:
+        log(proc.stderr[-2000:])
+        raise SystemExit(f"command {' '.join(args)} exited {proc.returncode}")
+    return proc.stdout
+
+
+def checkpoints(run_dir: Path) -> dict:
+    """``{relative path: bytes}`` of every checkpointed cell in the run dir."""
+    cells = run_dir / "cells"
+    if not cells.is_dir():
+        return {}
+    return {
+        str(path.relative_to(run_dir)): path.read_bytes()
+        for path in sorted(cells.rglob("*.json"))
+    }
+
+
+def kill_mid_sweep(
+    args, run_dir: Path, min_cells: int, timeout: float
+) -> dict:
+    """Start the sweep, SIGKILL it once >= min_cells are on disk.
+
+    Returns the surviving checkpoints.  If the sweep finishes before the
+    threshold is seen (tiny scales are fast), that is fine too — the resume
+    then simply has nothing to recompute, which the equivalence check still
+    validates.
+    """
+    command = [sys.executable, "-m", "repro.cli", *args]
+    proc = subprocess.Popen(
+        command, env=cli_env(), cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.time() + timeout
+    try:
+        while proc.poll() is None and time.time() < deadline:
+            if len(checkpoints(run_dir)) >= min_cells:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=30)
+                log(f"killed sweep pid {proc.pid} mid-run")
+                break
+            time.sleep(0.2)
+        else:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+                raise SystemExit(
+                    f"sweep produced < {min_cells} checkpoints in {timeout:.0f}s"
+                )
+            log("sweep finished before the kill threshold (fast scale); "
+                "resume will be a pure replay")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    survivors = checkpoints(run_dir)
+    log(f"{len(survivors)} checkpoint(s) survived the kill")
+    return survivors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="tiny")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--run-dir", default="resume-check-run")
+    parser.add_argument("--min-cells", type=int, default=5,
+                        help="checkpoints required on disk before the kill")
+    parser.add_argument("--timeout", type=float, default=3600.0,
+                        help="per-phase wall-clock budget in seconds")
+    args = parser.parse_args(argv)
+
+    run_dir = Path(args.run_dir)
+    if run_dir.exists() and any(run_dir.iterdir()):
+        raise SystemExit(f"run dir {run_dir} is not empty; refusing to reuse it")
+
+    base = ["all", "--scale", args.scale, "--seed", str(args.seed),
+            "--log-level", "warning"]
+
+    log(f"phase 1: sequential reference sweep (scale={args.scale})")
+    reference = run_cli(base + ["--workers", "1"], timeout=args.timeout)
+
+    log(f"phase 2: parallel sweep with --workers {args.workers}, killed mid-run")
+    sweep_args = base + [
+        "--workers", str(args.workers), "--run-dir", str(run_dir),
+    ]
+    survivors = kill_mid_sweep(
+        sweep_args, run_dir, min_cells=args.min_cells, timeout=args.timeout
+    )
+
+    log("phase 3: resume")
+    resumed = run_cli(sweep_args + ["--resume"], timeout=args.timeout)
+
+    failures = []
+    if resumed != reference:
+        failures.append(
+            "resumed tables differ from the sequential reference sweep"
+        )
+    after = checkpoints(run_dir)
+    rewritten = [
+        path for path, content in survivors.items()
+        if after.get(path) != content
+    ]
+    if rewritten:
+        failures.append(
+            f"{len(rewritten)} surviving checkpoint(s) were rewritten on "
+            f"resume (finished cells were re-run): {rewritten[:5]}"
+        )
+    if len(after) < len(survivors):
+        failures.append("checkpoints disappeared during resume")
+
+    if failures:
+        for failure in failures:
+            log(f"FAIL: {failure}")
+        return 1
+    log(
+        f"OK: resumed sweep matches the sequential reference "
+        f"({len(survivors)} cells reused, {len(after) - len(survivors)} "
+        f"computed after resume)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

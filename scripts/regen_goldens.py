@@ -1,0 +1,39 @@
+"""Regenerate the tiny-scale golden tables pinned by the test suite.
+
+``tests/experiments/goldens/<name>.txt`` holds the formatted tables of
+``run_all(scale="tiny", seed=0)`` — one file per experiment, rendered
+exactly as the CLI prints them.  ``tests/experiments/test_goldens.py``
+asserts the harness still reproduces these bit for bit, which pins down
+the whole deterministic pipeline: seed derivations, workload generation,
+the simulators, cell aggregation, and table formatting.
+
+Changing any of those on purpose (e.g. a seed-derivation fix) is a
+reviewed act: rerun this script and commit the diff.
+
+Usage (repo root)::
+
+    PYTHONPATH=src python scripts/regen_goldens.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments.runner import EXPERIMENT_MODULES, run_all
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "experiments" / "goldens"
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    results = run_all(scale="tiny", seed=0)
+    for name, result in zip(EXPERIMENT_MODULES, results):
+        path = GOLDEN_DIR / f"{name}.txt"
+        path.write_text(result.format() + "\n", encoding="utf-8")
+        print(f"[regen_goldens] wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the allocation stack for experiments that take one",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the sweep; 1 (default) runs in-process and "
+            "is bit-identical to the pre-harness sequential path"
+        ),
+    )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        help=(
+            "checkpoint each completed sweep cell as JSON under this directory "
+            "(refused if non-empty unless --resume)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="re-enter --run-dir and skip cells already checkpointed there",
+    )
+    parser.add_argument(
         "--csv-dir",
         default=None,
         help="also export every result table as CSV into this directory",
@@ -136,20 +158,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     setup_logging(args.log_level)
+    if args.resume and args.run_dir is None:
+        logger.error("--resume requires --run-dir")
+        return 2
+    from repro.experiments.harness import RunDirError, run_experiments
+
     started = time.time()
-    if args.experiment == "all":
-        results = run_all(
-            scale=args.scale,
-            seed=args.seed,
-            epsilon=args.epsilon,
-            allocator=args.allocator,
-        )
-    else:
-        runner = EXPERIMENTS[args.experiment]
-        overrides = experiment_overrides(
-            runner, epsilon=args.epsilon, allocator=args.allocator
-        )
-        results = [runner(scale=args.scale, seed=args.seed, **overrides)]
+    try:
+        if args.experiment == "all":
+            results = run_all(
+                scale=args.scale,
+                seed=args.seed,
+                epsilon=args.epsilon,
+                allocator=args.allocator,
+                workers=args.workers,
+                run_dir=args.run_dir,
+                resume=args.resume,
+            )
+        else:
+            results = run_experiments(
+                [args.experiment],
+                scale=args.scale,
+                seed=args.seed,
+                epsilon=args.epsilon,
+                allocator=args.allocator,
+                workers=args.workers,
+                run_dir=args.run_dir,
+                resume=args.resume,
+            )
+    except RunDirError as error:
+        logger.error("%s", error)
+        return 2
     for result in results:
         # Result tables are the command's product: stdout, not logging.
         sys.stdout.write(result.format() + "\n\n")

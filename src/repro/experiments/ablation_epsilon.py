@@ -10,8 +10,9 @@ gain), and average job running time (guarantee quality).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence
 
+from repro.experiments.cells import Cell, CellOutcome, run_cells_sequentially
 from repro.experiments.common import online_workload, resolve_scale, simulation_rng
 from repro.experiments.tables import ExperimentResult, Table
 from repro.simulation.scenario import run_online
@@ -19,6 +20,76 @@ from repro.topology.builder import build_datacenter
 
 DEFAULT_EPSILONS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.4)
 DEFAULT_LOAD = 0.6
+
+EXPERIMENT = "ablation-epsilon"
+
+
+def enumerate_cells(
+    scale="small",
+    seed: int = 0,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    load: float = DEFAULT_LOAD,
+) -> List[Cell]:
+    """One cell per risk factor at the fixed load."""
+    scale = resolve_scale(scale)
+    return [
+        Cell(
+            experiment=EXPERIMENT,
+            key=f"eps={epsilon:g}/load={load:g}",
+            scale=scale.name,
+            seed=seed,
+            params={"epsilon": float(epsilon), "load": float(load)},
+        )
+        for epsilon in epsilons
+    ]
+
+
+def run_cell(cell: Cell) -> CellOutcome:
+    """Run the SVC online scenario at one epsilon."""
+    scale = resolve_scale(cell.scale)
+    params = cell.params
+    tree = build_datacenter(scale.spec)
+    specs = online_workload(
+        scale, cell.seed, load=params["load"], total_slots=tree.total_slots
+    )
+    result = run_online(
+        tree,
+        specs,
+        model="svc",
+        epsilon=params["epsilon"],
+        rng=simulation_rng(cell.seed),
+    )
+    return CellOutcome(
+        payload={
+            "rejected_pct": 100.0 * float(result.rejection_rate),
+            "average_concurrency": float(result.average_concurrency),
+            "average_running_time": float(result.average_running_time),
+        },
+        raw=result,
+    )
+
+
+def aggregate(
+    cells: Sequence[Cell], outcomes: Dict[str, CellOutcome]
+) -> ExperimentResult:
+    """Fold cell outcomes back into the epsilon-knob table."""
+    load = cells[0].params["load"]
+    table = Table(
+        title=f"Ablation — risk factor epsilon at {load:.0%} load [{cells[0].scale}]",
+        headers=["epsilon", "rejected (%)", "avg concurrency", "avg runtime (s)"],
+    )
+    raw = {}
+    for cell in cells:
+        outcome = outcomes[cell.key]
+        epsilon = cell.params["epsilon"]
+        table.add_row(
+            f"{epsilon:g}",
+            outcome.payload["rejected_pct"],
+            outcome.payload["average_concurrency"],
+            outcome.payload["average_running_time"],
+        )
+        raw[epsilon] = outcome.result
+    return ExperimentResult(experiment=EXPERIMENT, tables=[table], raw=raw)
 
 
 def run(
@@ -28,24 +99,5 @@ def run(
     load: float = DEFAULT_LOAD,
 ) -> ExperimentResult:
     """Sweep epsilon at fixed load under the SVC abstraction."""
-    scale = resolve_scale(scale)
-    tree = build_datacenter(scale.spec)
-    specs = online_workload(scale, seed, load=load, total_slots=tree.total_slots)
-
-    table = Table(
-        title=f"Ablation — risk factor epsilon at {load:.0%} load [{scale.name}]",
-        headers=["epsilon", "rejected (%)", "avg concurrency", "avg runtime (s)"],
-    )
-    raw = {}
-    for epsilon in epsilons:
-        result = run_online(
-            tree, specs, model="svc", epsilon=epsilon, rng=simulation_rng(seed)
-        )
-        table.add_row(
-            f"{epsilon:g}",
-            100.0 * result.rejection_rate,
-            result.average_concurrency,
-            result.average_running_time,
-        )
-        raw[epsilon] = result
-    return ExperimentResult(experiment="ablation-epsilon", tables=[table], raw=raw)
+    cells = enumerate_cells(scale=scale, seed=seed, epsilons=epsilons, load=load)
+    return aggregate(cells, run_cells_sequentially(cells, run_cell))

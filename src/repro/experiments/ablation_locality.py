@@ -12,13 +12,19 @@ higher rejection rate under load.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from repro.allocation.svc_homogeneous import (
     GlobalMinMaxAllocator,
     SVCHomogeneousAllocator,
+)
+from repro.experiments.cells import (
+    Cell,
+    CellOutcome,
+    ordered_unique,
+    run_cells_sequentially,
 )
 from repro.experiments.common import online_workload, resolve_scale, simulation_rng
 from repro.experiments.tables import ExperimentResult, Table
@@ -32,11 +38,97 @@ ALGORITHMS = (
     ("global min-max", GlobalMinMaxAllocator),
 )
 
+EXPERIMENT = "ablation-locality"
+
+
+def _allocator_by_label(label: str):
+    for name, allocator_cls in ALGORITHMS:
+        if name == label:
+            return allocator_cls()
+    raise ValueError(f"unknown placement variant {label!r}")
+
 
 def _mean_max_occupancy(result) -> float:
     """Mean of the sampled max occupancies — overall network pressure."""
     samples = result.max_occupancies
     return float(np.mean(samples)) if samples else float("nan")
+
+
+def enumerate_cells(
+    scale="small", seed: int = 0, loads: Sequence[float] = DEFAULT_LOADS
+) -> List[Cell]:
+    """One cell per (load, placement variant), in table order."""
+    scale = resolve_scale(scale)
+    cells = []
+    for load in loads:
+        for label, _allocator_cls in ALGORITHMS:
+            cells.append(
+                Cell(
+                    experiment=EXPERIMENT,
+                    key=f"{label}/load={load:g}",
+                    scale=scale.name,
+                    seed=seed,
+                    params={"placement": label, "load": float(load)},
+                )
+            )
+    return cells
+
+
+def run_cell(cell: Cell) -> CellOutcome:
+    """Run one placement variant's online stream at one load."""
+    scale = resolve_scale(cell.scale)
+    params = cell.params
+    tree = build_datacenter(scale.spec)
+    specs = online_workload(
+        scale, cell.seed, load=params["load"], total_slots=tree.total_slots
+    )
+    result = run_online(
+        tree,
+        specs,
+        model="svc",
+        allocator=_allocator_by_label(params["placement"]),
+        rng=simulation_rng(cell.seed),
+        track_levels=True,
+    )
+    return CellOutcome(
+        payload={
+            "rejected_pct": 100.0 * float(result.rejection_rate),
+            "mean_max_occupancy": _mean_max_occupancy(result),
+            "agg_uplink_occupancy": float(result.mean_level_occupancy(2)),
+            "average_concurrency": float(result.average_concurrency),
+        },
+        raw=result,
+    )
+
+
+def aggregate(
+    cells: Sequence[Cell], outcomes: Dict[str, CellOutcome]
+) -> ExperimentResult:
+    """Fold cell outcomes back into the locality-ablation table."""
+    table = Table(
+        title=f"Ablation — locality bias of Algorithm 1 [{cells[0].scale}]",
+        headers=[
+            "placement", "load", "rejected (%)", "mean max-occupancy",
+            "agg-uplink occupancy", "avg concurrency",
+        ],
+    )
+    raw = {}
+    for load in ordered_unique(cell.params["load"] for cell in cells):
+        for cell in cells:
+            if cell.params["load"] != load:
+                continue
+            outcome = outcomes[cell.key]
+            label = cell.params["placement"]
+            table.add_row(
+                label,
+                f"{load:.0%}",
+                outcome.payload["rejected_pct"],
+                outcome.payload["mean_max_occupancy"],
+                outcome.payload["agg_uplink_occupancy"],
+                outcome.payload["average_concurrency"],
+            )
+            raw[(label, load)] = outcome.result
+    return ExperimentResult(experiment=EXPERIMENT, tables=[table], raw=raw)
 
 
 def run(
@@ -45,35 +137,5 @@ def run(
     loads: Sequence[float] = DEFAULT_LOADS,
 ) -> ExperimentResult:
     """Localized vs. global min-max placement under the SVC abstraction."""
-    scale = resolve_scale(scale)
-    tree = build_datacenter(scale.spec)
-
-    table = Table(
-        title=f"Ablation — locality bias of Algorithm 1 [{scale.name}]",
-        headers=[
-            "placement", "load", "rejected (%)", "mean max-occupancy",
-            "agg-uplink occupancy", "avg concurrency",
-        ],
-    )
-    raw = {}
-    for load in loads:
-        specs = online_workload(scale, seed, load=load, total_slots=tree.total_slots)
-        for label, allocator_cls in ALGORITHMS:
-            result = run_online(
-                tree,
-                specs,
-                model="svc",
-                allocator=allocator_cls(),
-                rng=simulation_rng(seed),
-                track_levels=True,
-            )
-            table.add_row(
-                label,
-                f"{load:.0%}",
-                100.0 * result.rejection_rate,
-                _mean_max_occupancy(result),
-                result.mean_level_occupancy(2),
-                result.average_concurrency,
-            )
-            raw[(label, load)] = result
-    return ExperimentResult(experiment="ablation-locality", tables=[table], raw=raw)
+    cells = enumerate_cells(scale=scale, seed=seed, loads=loads)
+    return aggregate(cells, run_cells_sequentially(cells, run_cell))

@@ -1,0 +1,156 @@
+"""Cell decomposition of the experiment sweep.
+
+A **cell** is the atom of the evaluation: one (variant x sweep-point x trial)
+combination of one experiment — e.g. "Fig. 7, SVC(eps=0.05), load 60%,
+seed 0".  Cells are embarrassingly parallel: each one regenerates its own
+workload and data-plane streams from named :class:`~numpy.random.SeedSequence`
+children of the trial seed (see :mod:`repro.experiments.common`), so a cell's
+result is a pure function of its :class:`Cell` description and can be
+computed in any process, in any order, and checkpointed to disk.
+
+Every experiment module exposes the same three-function protocol on top of
+this type:
+
+- ``enumerate_cells(scale, seed, **params) -> List[Cell]`` — the sweep's
+  cells in table order;
+- ``run_cell(cell) -> CellOutcome`` — execute one cell;
+- ``aggregate(cells, outcomes) -> ExperimentResult`` — fold the outcomes
+  back into the experiment's tables.
+
+``run()`` is the sequential composition of the three, so the parallel
+harness at ``--workers 1`` is *the same code path* as a direct ``run()``
+call — tables agree bit for bit by construction.
+
+The ``payload`` of a :class:`CellOutcome` must be JSON-serializable with
+exact round-tripping (floats survive ``json.dumps``/``loads`` bitwise), as
+it is what the harness persists under ``--run-dir`` and ships across the
+process pool.  ``raw`` carries the rich in-memory result (``BatchResult`` /
+``OnlineResult``) and only exists when the cell ran in the calling process.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "Cell",
+    "CellOutcome",
+    "cell_filename",
+    "ordered_unique",
+    "run_cells_sequentially",
+]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independently-computable unit of an experiment sweep."""
+
+    #: Registry name of the owning experiment (``fig5`` ... ``validate-outage``).
+    experiment: str
+    #: Unique key within the experiment, e.g. ``"SVC(eps=0.05)/load=0.6"``.
+    key: str
+    #: Scale *name* (cells must be describable in JSON; scales are registered).
+    scale: str
+    #: Trial seed; the cell derives its named streams from this.
+    seed: int
+    #: JSON-safe keyword parameters the experiment's ``run_cell`` consumes.
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "key": self.key,
+            "scale": self.scale,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @staticmethod
+    def from_json(payload: Mapping[str, Any]) -> "Cell":
+        return Cell(
+            experiment=payload["experiment"],
+            key=payload["key"],
+            scale=payload["scale"],
+            seed=int(payload["seed"]),
+            params=dict(payload["params"]),
+        )
+
+
+@dataclass
+class CellOutcome:
+    """What one executed cell produced.
+
+    ``payload`` is the persisted, JSON-exact summary the tables are built
+    from; ``raw`` is the in-memory simulation result (populated only when
+    the cell ran in-process) that ``ExperimentResult.raw`` exposes to tests
+    and notebooks.  Aggregation must consume **only** ``payload`` for table
+    values so that in-process, pooled, and resumed-from-disk runs produce
+    identical tables.
+    """
+
+    payload: Dict[str, Any]
+    raw: Any = None
+
+    @property
+    def result(self) -> Any:
+        """The richest view available: ``raw`` in-process, else ``payload``."""
+        return self.raw if self.raw is not None else self.payload
+
+
+def cell_filename(cell: Cell) -> str:
+    """A stable, filesystem-safe, collision-free file name for one cell.
+
+    The human-readable slug of the key is suffixed with a CRC of the exact
+    key so two keys that slugify identically still map to distinct files.
+    """
+    slug = re.sub(r"[^a-zA-Z0-9.=-]+", "-", cell.key).strip("-")[:100] or "cell"
+    return f"{slug}.{zlib.crc32(cell.key.encode('utf-8')):08x}.json"
+
+
+def ordered_unique(values: Iterable[Any]) -> List[Any]:
+    """Distinct values in first-appearance order (sweep axes from cells)."""
+    seen = set()
+    out = []
+    for value in values:
+        if value not in seen:
+            seen.add(value)
+            out.append(value)
+    return out
+
+
+def unique_cells(cells: Iterable[Cell]) -> List[Cell]:
+    """Validate that cell identities are unique; returns the input as a list."""
+    cells = list(cells)
+    seen = set()
+    for cell in cells:
+        identity = (cell.experiment, cell.key)
+        if identity in seen:
+            raise ValueError(f"duplicate cell {identity!r} in sweep")
+        seen.add(identity)
+    return cells
+
+
+def run_cells_sequentially(
+    cells: Iterable[Cell],
+    run_cell: Callable[[Cell], CellOutcome],
+    observer: Optional[Callable[[Cell, CellOutcome, float], None]] = None,
+) -> Dict[str, CellOutcome]:
+    """Execute cells in order in this process, keeping rich ``raw`` results.
+
+    This is the ``run()`` path of every experiment module; the harness calls
+    the same ``run_cell`` functions, so anything computed here is computed
+    identically under ``--workers N``.
+    """
+    from time import perf_counter
+
+    outcomes: Dict[str, CellOutcome] = {}
+    for cell in unique_cells(cells):
+        started = perf_counter()
+        outcome = run_cell(cell)
+        if observer is not None:
+            observer(cell, outcome, perf_counter() - started)
+        outcomes[cell.key] = outcome
+    return outcomes

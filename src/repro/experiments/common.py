@@ -1,7 +1,24 @@
-"""Shared plumbing for the experiment modules."""
+"""Shared plumbing for the experiment modules.
+
+Randomness discipline
+---------------------
+Every random stream an experiment consumes is a **named child** of the trial
+seed, derived through :class:`numpy.random.SeedSequence` spawning.  The
+streams (``workload``, ``arrivals``, ``simulation``) are pairwise independent
+for one seed *and* across seeds — unlike the additive ``seed + k``
+derivations this replaced, where trial ``s``'s arrival stream was bit-equal
+to trial ``s + 1``'s workload stream and any trial seed >= 10,000 collided
+with a data-plane stream.
+
+``run_all`` additionally decorrelates the *experiments* from each other:
+each experiment runs at :func:`experiment_seed`, a child of the base seed
+keyed by the experiment's name (stable across insertion order), so no two
+experiments draw byte-identical job batches.
+"""
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
@@ -11,6 +28,9 @@ from repro.allocation.base import Allocator
 from repro.experiments.config import ExperimentScale, scale_by_name
 from repro.simulation.jobs import JobSpec
 from repro.simulation.workload import assign_poisson_arrivals, generate_jobs
+
+#: The named random streams of one (experiment, seed) trial, in spawn order.
+STREAMS = ("workload", "arrivals", "simulation")
 
 
 @dataclass(frozen=True)
@@ -44,12 +64,42 @@ def resolve_scale(scale) -> ExperimentScale:
     return scale_by_name(scale)
 
 
+def stream_rng(seed: int, stream: str) -> np.random.Generator:
+    """The named child generator of one trial seed.
+
+    All streams of one seed are spawned from the same root
+    ``SeedSequence(seed)``, so they are mutually independent and distinct
+    from every stream of every other seed.
+    """
+    try:
+        index = STREAMS.index(stream)
+    except ValueError:
+        raise ValueError(
+            f"unknown random stream {stream!r}; choose from {STREAMS}"
+        ) from None
+    child = np.random.SeedSequence(seed).spawn(len(STREAMS))[index]
+    return np.random.default_rng(child)
+
+
+def experiment_seed(seed: int, experiment: str) -> int:
+    """A per-experiment child of the base seed, keyed by the experiment name.
+
+    Stable across run orderings and Python hash randomization (the name is
+    folded in through BLAKE2, not ``hash()``).  ``run_all`` forwards this to
+    each experiment so their workloads are decorrelated instead of all
+    replaying the identical job batch.
+    """
+    digest = hashlib.blake2b(experiment.encode("utf-8"), digest_size=8).digest()
+    child = np.random.SeedSequence((int(seed), int.from_bytes(digest, "big")))
+    return int(child.generate_state(1, np.uint64)[0])
+
+
 def batch_workload(
     scale: ExperimentScale, seed: int, **overrides
 ) -> List[JobSpec]:
     """The shared job batch for one (scale, seed): all models see it verbatim."""
     config = scale.workload(**overrides)
-    return generate_jobs(config, np.random.default_rng(seed))
+    return generate_jobs(config, stream_rng(seed, "workload"))
 
 
 def online_workload(
@@ -61,17 +111,17 @@ def online_workload(
 ) -> List[JobSpec]:
     """A Poisson-stamped arrival sequence at the given datacenter load."""
     config = scale.workload(**overrides)
-    specs = generate_jobs(config, np.random.default_rng(seed))
+    specs = generate_jobs(config, stream_rng(seed, "workload"))
     return assign_poisson_arrivals(
         specs,
         load=load,
         total_slots=total_slots,
         mean_job_size=config.mean_job_size,
         mean_compute_time=config.mean_compute_time,
-        rng=np.random.default_rng(seed + 1),
+        rng=stream_rng(seed, "arrivals"),
     )
 
 
 def simulation_rng(seed: int) -> np.random.Generator:
-    """The data-plane RNG, decoupled from the workload RNG."""
-    return np.random.default_rng(seed + 10_000)
+    """The data-plane RNG, decoupled from the workload and arrival RNGs."""
+    return stream_rng(seed, "simulation")

@@ -21,12 +21,26 @@ def _slugify(title: str) -> str:
 
 
 def export_csv(result: ExperimentResult, directory) -> List[Path]:
-    """Write each table of a result as CSV; returns the written paths."""
+    """Write each table of a result as CSV; returns the written paths.
+
+    Distinct tables whose titles slugify to the same stem (long titles
+    truncate at 80 characters; punctuation-only differences collapse) get
+    ``-2``, ``-3``, ... suffixes instead of silently overwriting each other,
+    so the returned list always has one live file per table.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     written: List[Path] = []
+    used_stems = set()
     for table in result.tables:
-        path = directory / f"{result.experiment}__{_slugify(table.title)}.csv"
+        stem = f"{result.experiment}__{_slugify(table.title)}"
+        candidate = stem
+        suffix = 1
+        while candidate in used_stems:
+            suffix += 1
+            candidate = f"{stem}-{suffix}"
+        used_stems.add(candidate)
+        path = directory / f"{candidate}.csv"
         with path.open("w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(table.headers)

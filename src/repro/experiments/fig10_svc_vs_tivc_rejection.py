@@ -7,15 +7,93 @@ optimization barely affects the ability to accommodate future requests.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence
 
+from repro.experiments.cells import (
+    Cell,
+    CellOutcome,
+    ordered_unique,
+    run_cells_sequentially,
+)
 from repro.experiments.common import online_workload, resolve_scale, simulation_rng
-from repro.experiments.fig9_occupancy_cdf import ALGORITHMS
+from repro.experiments.fig9_occupancy_cdf import ALGORITHMS, _allocator_by_label
 from repro.experiments.tables import ExperimentResult, Table
 from repro.simulation.scenario import run_online
 from repro.topology.builder import build_datacenter
 
 DEFAULT_LOADS = (0.2, 0.4, 0.6, 0.8)
+
+EXPERIMENT = "fig10"
+
+
+def enumerate_cells(
+    scale="small",
+    seed: int = 0,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    epsilon: float = 0.05,
+) -> List[Cell]:
+    """One cell per (occupancy algorithm, load)."""
+    scale = resolve_scale(scale)
+    cells = []
+    for label, _allocator_cls in ALGORITHMS:
+        for load in loads:
+            cells.append(
+                Cell(
+                    experiment=EXPERIMENT,
+                    key=f"{label}/load={load:g}",
+                    scale=scale.name,
+                    seed=seed,
+                    params={
+                        "algorithm": label,
+                        "load": float(load),
+                        "epsilon": float(epsilon),
+                    },
+                )
+            )
+    return cells
+
+
+def run_cell(cell: Cell) -> CellOutcome:
+    """Run one allocator's online stream at one load."""
+    scale = resolve_scale(cell.scale)
+    params = cell.params
+    tree = build_datacenter(scale.spec)
+    specs = online_workload(
+        scale, cell.seed, load=params["load"], total_slots=tree.total_slots
+    )
+    result = run_online(
+        tree,
+        specs,
+        model="svc",
+        epsilon=params["epsilon"],
+        allocator=_allocator_by_label(params["algorithm"]),
+        rng=simulation_rng(cell.seed),
+    )
+    return CellOutcome(
+        payload={"rejected_pct": 100.0 * float(result.rejection_rate)}, raw=result
+    )
+
+
+def aggregate(
+    cells: Sequence[Cell], outcomes: Dict[str, CellOutcome]
+) -> ExperimentResult:
+    """Fold cell outcomes back into the Fig. 10 table."""
+    loads = ordered_unique(cell.params["load"] for cell in cells)
+    table = Table(
+        title=f"Fig. 10 — rejected requests (%): SVC vs adapted TIVC [{cells[0].scale}]",
+        headers=["algorithm"] + [f"load={load:.0%}" for load in loads],
+    )
+    raw = {}
+    for label in ordered_unique(cell.params["algorithm"] for cell in cells):
+        values = []
+        for cell in cells:
+            if cell.params["algorithm"] != label:
+                continue
+            outcome = outcomes[cell.key]
+            values.append(outcome.payload["rejected_pct"])
+            raw[(label, cell.params["load"])] = outcome.result
+        table.add_row(label, *values)
+    return ExperimentResult(experiment=EXPERIMENT, tables=[table], raw=raw)
 
 
 def run(
@@ -25,27 +103,5 @@ def run(
     epsilon: float = 0.05,
 ) -> ExperimentResult:
     """Reproduce Fig. 10 at the given scale."""
-    scale = resolve_scale(scale)
-    tree = build_datacenter(scale.spec)
-
-    table = Table(
-        title=f"Fig. 10 — rejected requests (%): SVC vs adapted TIVC [{scale.name}]",
-        headers=["algorithm"] + [f"load={load:.0%}" for load in loads],
-    )
-    raw = {}
-    for label, allocator_cls in ALGORITHMS:
-        cells = []
-        for load in loads:
-            specs = online_workload(scale, seed, load=load, total_slots=tree.total_slots)
-            result = run_online(
-                tree,
-                specs,
-                model="svc",
-                epsilon=epsilon,
-                allocator=allocator_cls(),
-                rng=simulation_rng(seed),
-            )
-            cells.append(100.0 * result.rejection_rate)
-            raw[(label, load)] = result
-        table.add_row(label, *cells)
-    return ExperimentResult(experiment="fig10", tables=[table], raw=raw)
+    cells = enumerate_cells(scale=scale, seed=seed, loads=loads, epsilon=epsilon)
+    return aggregate(cells, run_cells_sequentially(cells, run_cell))

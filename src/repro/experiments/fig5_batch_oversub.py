@@ -10,8 +10,14 @@ oversubscription as upper-level links get scarcer.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence
 
+from repro.experiments.cells import (
+    Cell,
+    CellOutcome,
+    ordered_unique,
+    run_cells_sequentially,
+)
 from repro.experiments.common import (
     batch_workload,
     resolve_scale,
@@ -24,6 +30,74 @@ from repro.topology.builder import build_datacenter
 
 DEFAULT_OVERSUBSCRIPTIONS = (1.0, 2.0, 3.0, 4.0)
 
+EXPERIMENT = "fig5"
+
+
+def enumerate_cells(
+    scale="small",
+    seed: int = 0,
+    oversubscriptions: Sequence[float] = DEFAULT_OVERSUBSCRIPTIONS,
+    epsilons: Sequence[float] = (0.05, 0.02),
+) -> List[Cell]:
+    """One cell per (model variant, oversubscription factor)."""
+    scale = resolve_scale(scale)
+    cells = []
+    for variant in standard_variants(epsilons):
+        for factor in oversubscriptions:
+            cells.append(
+                Cell(
+                    experiment=EXPERIMENT,
+                    key=f"{variant.label}/oversub={factor:g}",
+                    scale=scale.name,
+                    seed=seed,
+                    params={
+                        "label": variant.label,
+                        "model": variant.model,
+                        "epsilon": float(variant.epsilon),
+                        "factor": float(factor),
+                    },
+                )
+            )
+    return cells
+
+
+def run_cell(cell: Cell) -> CellOutcome:
+    """Run one variant's batch on one oversubscribed datacenter."""
+    scale = resolve_scale(cell.scale)
+    params = cell.params
+    specs = batch_workload(scale, cell.seed)
+    tree = build_datacenter(scale.spec.with_oversubscription(params["factor"]))
+    result = run_batch(
+        tree,
+        specs,
+        model=params["model"],
+        epsilon=params["epsilon"],
+        rng=simulation_rng(cell.seed),
+    )
+    return CellOutcome(payload={"makespan": float(result.makespan)}, raw=result)
+
+
+def aggregate(
+    cells: Sequence[Cell], outcomes: Dict[str, CellOutcome]
+) -> ExperimentResult:
+    """Fold cell outcomes back into the Fig. 5 table."""
+    factors = ordered_unique(cell.params["factor"] for cell in cells)
+    table = Table(
+        title=f"Fig. 5 — batch completion time (s) vs oversubscription [{cells[0].scale}]",
+        headers=["model"] + [f"oversub={factor:g}" for factor in factors],
+    )
+    raw = {}
+    for label in ordered_unique(cell.params["label"] for cell in cells):
+        values = []
+        for cell in cells:
+            if cell.params["label"] != label:
+                continue
+            outcome = outcomes[cell.key]
+            values.append(outcome.payload["makespan"])
+            raw[(label, cell.params["factor"])] = outcome.result
+        table.add_row(label, *values)
+    return ExperimentResult(experiment=EXPERIMENT, tables=[table], raw=raw)
+
 
 def run(
     scale="small",
@@ -32,27 +106,7 @@ def run(
     epsilons: Sequence[float] = (0.05, 0.02),
 ) -> ExperimentResult:
     """Reproduce Fig. 5 at the given scale."""
-    scale = resolve_scale(scale)
-    specs = batch_workload(scale, seed)
-    variants = standard_variants(epsilons)
-
-    table = Table(
-        title=f"Fig. 5 — batch completion time (s) vs oversubscription [{scale.name}]",
-        headers=["model"] + [f"oversub={factor:g}" for factor in oversubscriptions],
+    cells = enumerate_cells(
+        scale=scale, seed=seed, oversubscriptions=oversubscriptions, epsilons=epsilons
     )
-    raw = {}
-    for variant in variants:
-        cells = []
-        for factor in oversubscriptions:
-            tree = build_datacenter(scale.spec.with_oversubscription(factor))
-            result = run_batch(
-                tree,
-                specs,
-                model=variant.model,
-                epsilon=variant.epsilon,
-                rng=simulation_rng(seed),
-            )
-            cells.append(float(result.makespan))
-            raw[(variant.label, factor)] = result
-        table.add_row(variant.label, *cells)
-    return ExperimentResult(experiment="fig5", tables=[table], raw=raw)
+    return aggregate(cells, run_cells_sequentially(cells, run_cell))

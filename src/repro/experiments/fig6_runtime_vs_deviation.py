@@ -10,8 +10,14 @@ percentile-VC.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence
 
+from repro.experiments.cells import (
+    Cell,
+    CellOutcome,
+    ordered_unique,
+    run_cells_sequentially,
+)
 from repro.experiments.common import (
     batch_workload,
     resolve_scale,
@@ -24,6 +30,80 @@ from repro.topology.builder import build_datacenter
 
 DEFAULT_DEVIATIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
 
+EXPERIMENT = "fig6"
+
+
+def enumerate_cells(
+    scale="small",
+    seed: int = 0,
+    deviations: Sequence[float] = DEFAULT_DEVIATIONS,
+    epsilons: Sequence[float] = (0.05, 0.02),
+) -> List[Cell]:
+    """One cell per (model variant, deviation coefficient)."""
+    scale = resolve_scale(scale)
+    cells = []
+    for variant in standard_variants(epsilons):
+        for rho in deviations:
+            cells.append(
+                Cell(
+                    experiment=EXPERIMENT,
+                    key=f"{variant.label}/rho={rho:g}",
+                    scale=scale.name,
+                    seed=seed,
+                    params={
+                        "label": variant.label,
+                        "model": variant.model,
+                        "epsilon": float(variant.epsilon),
+                        "rho": float(rho),
+                    },
+                )
+            )
+    return cells
+
+
+def run_cell(cell: Cell) -> CellOutcome:
+    """Run one variant's batch at one fixed deviation coefficient."""
+    scale = resolve_scale(cell.scale)
+    params = cell.params
+    specs = batch_workload(scale, cell.seed, deviation=params["rho"])
+    tree = build_datacenter(scale.spec)
+    result = run_batch(
+        tree,
+        specs,
+        model=params["model"],
+        epsilon=params["epsilon"],
+        rng=simulation_rng(cell.seed),
+    )
+    return CellOutcome(
+        payload={"average_running_time": float(result.average_running_time)},
+        raw=result,
+    )
+
+
+def aggregate(
+    cells: Sequence[Cell], outcomes: Dict[str, CellOutcome]
+) -> ExperimentResult:
+    """Fold cell outcomes back into the Fig. 6 table."""
+    deviations = ordered_unique(cell.params["rho"] for cell in cells)
+    table = Table(
+        title=(
+            "Fig. 6 — average running time per job (s) vs deviation coefficient "
+            f"[{cells[0].scale}]"
+        ),
+        headers=["model"] + [f"rho={rho:g}" for rho in deviations],
+    )
+    raw = {}
+    for label in ordered_unique(cell.params["label"] for cell in cells):
+        values = []
+        for cell in cells:
+            if cell.params["label"] != label:
+                continue
+            outcome = outcomes[cell.key]
+            values.append(outcome.payload["average_running_time"])
+            raw[(label, cell.params["rho"])] = outcome.result
+        table.add_row(label, *values)
+    return ExperimentResult(experiment=EXPERIMENT, tables=[table], raw=raw)
+
 
 def run(
     scale="small",
@@ -32,27 +112,7 @@ def run(
     epsilons: Sequence[float] = (0.05, 0.02),
 ) -> ExperimentResult:
     """Reproduce Fig. 6 at the given scale."""
-    scale = resolve_scale(scale)
-    variants = standard_variants(epsilons)
-    tree = build_datacenter(scale.spec)
-
-    table = Table(
-        title=f"Fig. 6 — average running time per job (s) vs deviation coefficient [{scale.name}]",
-        headers=["model"] + [f"rho={rho:g}" for rho in deviations],
+    cells = enumerate_cells(
+        scale=scale, seed=seed, deviations=deviations, epsilons=epsilons
     )
-    raw = {}
-    for variant in variants:
-        cells = []
-        for rho in deviations:
-            specs = batch_workload(scale, seed, deviation=rho)
-            result = run_batch(
-                tree,
-                specs,
-                model=variant.model,
-                epsilon=variant.epsilon,
-                rng=simulation_rng(seed),
-            )
-            cells.append(result.average_running_time)
-            raw[(variant.label, rho)] = result
-        table.add_row(variant.label, *cells)
-    return ExperimentResult(experiment="fig6", tables=[table], raw=raw)
+    return aggregate(cells, run_cells_sequentially(cells, run_cell))

@@ -8,8 +8,14 @@ effective reservations reject more, and a tighter risk factor reserves more.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence
 
+from repro.experiments.cells import (
+    Cell,
+    CellOutcome,
+    ordered_unique,
+    run_cells_sequentially,
+)
 from repro.experiments.common import (
     online_workload,
     resolve_scale,
@@ -22,6 +28,78 @@ from repro.topology.builder import build_datacenter
 
 DEFAULT_LOADS = (0.2, 0.4, 0.6, 0.8)
 
+EXPERIMENT = "fig7"
+
+
+def enumerate_cells(
+    scale="small",
+    seed: int = 0,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    epsilons: Sequence[float] = (0.05, 0.02),
+) -> List[Cell]:
+    """One cell per (model variant, datacenter load)."""
+    scale = resolve_scale(scale)
+    cells = []
+    for variant in standard_variants(epsilons):
+        for load in loads:
+            cells.append(
+                Cell(
+                    experiment=EXPERIMENT,
+                    key=f"{variant.label}/load={load:g}",
+                    scale=scale.name,
+                    seed=seed,
+                    params={
+                        "label": variant.label,
+                        "model": variant.model,
+                        "epsilon": float(variant.epsilon),
+                        "load": float(load),
+                    },
+                )
+            )
+    return cells
+
+
+def run_cell(cell: Cell) -> CellOutcome:
+    """Run one variant's online arrival stream at one load."""
+    scale = resolve_scale(cell.scale)
+    params = cell.params
+    tree = build_datacenter(scale.spec)
+    specs = online_workload(
+        scale, cell.seed, load=params["load"], total_slots=tree.total_slots
+    )
+    result = run_online(
+        tree,
+        specs,
+        model=params["model"],
+        epsilon=params["epsilon"],
+        rng=simulation_rng(cell.seed),
+    )
+    return CellOutcome(
+        payload={"rejected_pct": 100.0 * float(result.rejection_rate)}, raw=result
+    )
+
+
+def aggregate(
+    cells: Sequence[Cell], outcomes: Dict[str, CellOutcome]
+) -> ExperimentResult:
+    """Fold cell outcomes back into the Fig. 7 table."""
+    loads = ordered_unique(cell.params["load"] for cell in cells)
+    table = Table(
+        title=f"Fig. 7 — rejected requests (%) vs datacenter load [{cells[0].scale}]",
+        headers=["model"] + [f"load={load:.0%}" for load in loads],
+    )
+    raw = {}
+    for label in ordered_unique(cell.params["label"] for cell in cells):
+        values = []
+        for cell in cells:
+            if cell.params["label"] != label:
+                continue
+            outcome = outcomes[cell.key]
+            values.append(outcome.payload["rejected_pct"])
+            raw[(label, cell.params["load"])] = outcome.result
+        table.add_row(label, *values)
+    return ExperimentResult(experiment=EXPERIMENT, tables=[table], raw=raw)
+
 
 def run(
     scale="small",
@@ -30,27 +108,5 @@ def run(
     epsilons: Sequence[float] = (0.05, 0.02),
 ) -> ExperimentResult:
     """Reproduce Fig. 7 at the given scale."""
-    scale = resolve_scale(scale)
-    variants = standard_variants(epsilons)
-    tree = build_datacenter(scale.spec)
-
-    table = Table(
-        title=f"Fig. 7 — rejected requests (%) vs datacenter load [{scale.name}]",
-        headers=["model"] + [f"load={load:.0%}" for load in loads],
-    )
-    raw = {}
-    for variant in variants:
-        cells = []
-        for load in loads:
-            specs = online_workload(scale, seed, load=load, total_slots=tree.total_slots)
-            result = run_online(
-                tree,
-                specs,
-                model=variant.model,
-                epsilon=variant.epsilon,
-                rng=simulation_rng(seed),
-            )
-            cells.append(100.0 * result.rejection_rate)
-            raw[(variant.label, load)] = result
-        table.add_row(variant.label, *cells)
-    return ExperimentResult(experiment="fig7", tables=[table], raw=raw)
+    cells = enumerate_cells(scale=scale, seed=seed, loads=loads, epsilons=epsilons)
+    return aggregate(cells, run_cells_sequentially(cells, run_cell))

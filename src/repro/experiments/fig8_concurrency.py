@@ -9,17 +9,25 @@ into deciles of the run plus the overall averages and their ratio.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.experiments.common import ModelVariant, online_workload, resolve_scale, simulation_rng
+from repro.experiments.cells import Cell, CellOutcome, run_cells_sequentially
+from repro.experiments.common import (
+    ModelVariant,
+    online_workload,
+    resolve_scale,
+    simulation_rng,
+)
 from repro.experiments.tables import ExperimentResult, Table
 from repro.simulation.scenario import run_online
 from repro.topology.builder import build_datacenter
 
 DEFAULT_LOAD = 0.6
 _NUM_BUCKETS = 10
+
+EXPERIMENT = "fig8"
 
 
 def _bucket_means(samples: List[Tuple[float, int]], num_buckets: int) -> List[float]:
@@ -31,36 +39,85 @@ def _bucket_means(samples: List[Tuple[float, int]], num_buckets: int) -> List[fl
     return [float(chunk.mean()) if chunk.size else float("nan") for chunk in chunks]
 
 
-def run(scale="small", seed: int = 0, load: float = DEFAULT_LOAD, epsilon: float = 0.05) -> ExperimentResult:
-    """Reproduce Fig. 8 at the given scale."""
-    scale = resolve_scale(scale)
-    tree = build_datacenter(scale.spec)
-    specs = online_workload(scale, seed, load=load, total_slots=tree.total_slots)
-    variants = [
+def _variants(epsilon: float) -> List[ModelVariant]:
+    return [
         ModelVariant(f"SVC(eps={epsilon:g})", "svc", epsilon=epsilon),
         ModelVariant("percentile-VC", "percentile-vc"),
     ]
 
+
+def enumerate_cells(
+    scale="small", seed: int = 0, load: float = DEFAULT_LOAD, epsilon: float = 0.05
+) -> List[Cell]:
+    """One cell per model variant (single sweep point at the given load)."""
+    scale = resolve_scale(scale)
+    return [
+        Cell(
+            experiment=EXPERIMENT,
+            key=f"{variant.label}/load={load:g}",
+            scale=scale.name,
+            seed=seed,
+            params={
+                "label": variant.label,
+                "model": variant.model,
+                "epsilon": float(variant.epsilon),
+                "load": float(load),
+            },
+        )
+        for variant in _variants(epsilon)
+    ]
+
+
+def run_cell(cell: Cell) -> CellOutcome:
+    """Run one variant's online stream and bucket its concurrency series."""
+    scale = resolve_scale(cell.scale)
+    params = cell.params
+    tree = build_datacenter(scale.spec)
+    specs = online_workload(
+        scale, cell.seed, load=params["load"], total_slots=tree.total_slots
+    )
+    result = run_online(
+        tree,
+        specs,
+        model=params["model"],
+        epsilon=params["epsilon"],
+        rng=simulation_rng(cell.seed),
+    )
+    return CellOutcome(
+        payload={
+            "buckets": _bucket_means(result.concurrency_samples, _NUM_BUCKETS),
+            "average_concurrency": float(result.average_concurrency),
+        },
+        raw=result,
+    )
+
+
+def aggregate(
+    cells: Sequence[Cell], outcomes: Dict[str, CellOutcome]
+) -> ExperimentResult:
+    """Fold cell outcomes back into the Fig. 8 series and ratio tables."""
+    load = cells[0].params["load"]
     series = Table(
-        title=f"Fig. 8 — mean concurrent jobs per arrival-decile at {load:.0%} load [{scale.name}]",
-        headers=["model"] + [f"d{decile}" for decile in range(1, _NUM_BUCKETS + 1)] + ["avg"],
+        title=(
+            f"Fig. 8 — mean concurrent jobs per arrival-decile at {load:.0%} load "
+            f"[{cells[0].scale}]"
+        ),
+        headers=["model"]
+        + [f"d{decile}" for decile in range(1, _NUM_BUCKETS + 1)]
+        + ["avg"],
     )
     raw = {}
     averages = {}
-    for variant in variants:
-        result = run_online(
-            tree,
-            specs,
-            model=variant.model,
-            epsilon=variant.epsilon,
-            rng=simulation_rng(seed),
+    for cell in cells:
+        outcome = outcomes[cell.key]
+        label = cell.params["label"]
+        series.add_row(
+            label, *outcome.payload["buckets"], outcome.payload["average_concurrency"]
         )
-        buckets = _bucket_means(result.concurrency_samples, _NUM_BUCKETS)
-        series.add_row(variant.label, *buckets, result.average_concurrency)
-        raw[variant.label] = result
-        averages[variant.label] = result.average_concurrency
+        raw[label] = outcome.result
+        averages[label] = outcome.payload["average_concurrency"]
 
-    svc_label = variants[0].label
+    svc_label = cells[0].params["label"]
     ratio = Table(
         title="Fig. 8 — SVC concurrency gain over percentile-VC",
         headers=["metric", "value"],
@@ -70,4 +127,12 @@ def run(scale="small", seed: int = 0, load: float = DEFAULT_LOAD, epsilon: float
     ratio.add_row("avg concurrency SVC", averages[svc_label])
     ratio.add_row("avg concurrency percentile-VC", pvc)
     ratio.add_row("SVC gain (%)", gain)
-    return ExperimentResult(experiment="fig8", tables=[series, ratio], raw=raw)
+    return ExperimentResult(experiment=EXPERIMENT, tables=[series, ratio], raw=raw)
+
+
+def run(
+    scale="small", seed: int = 0, load: float = DEFAULT_LOAD, epsilon: float = 0.05
+) -> ExperimentResult:
+    """Reproduce Fig. 8 at the given scale."""
+    cells = enumerate_cells(scale=scale, seed=seed, load=load, epsilon=epsilon)
+    return aggregate(cells, run_cells_sequentially(cells, run_cell))

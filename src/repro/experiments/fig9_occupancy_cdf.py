@@ -12,12 +12,18 @@ which carries the same information as the plotted curves.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from repro.allocation.svc_homogeneous import AdaptedTIVCAllocator, SVCHomogeneousAllocator
 from repro.experiments.ascii_plot import render_cdf
+from repro.experiments.cells import (
+    Cell,
+    CellOutcome,
+    ordered_unique,
+    run_cells_sequentially,
+)
 from repro.experiments.common import online_workload, resolve_scale, simulation_rng
 from repro.experiments.tables import ExperimentResult, Table
 from repro.simulation.scenario import run_online
@@ -31,6 +37,108 @@ ALGORITHMS = (
     ("TIVC", AdaptedTIVCAllocator),
 )
 
+EXPERIMENT = "fig9"
+
+
+def _allocator_by_label(label: str):
+    for name, allocator_cls in ALGORITHMS:
+        if name == label:
+            return allocator_cls()
+    raise ValueError(f"unknown fig9 algorithm {label!r}")
+
+
+def enumerate_cells(
+    scale="small",
+    seed: int = 0,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    epsilon: float = 0.05,
+    percentiles: Sequence[int] = DEFAULT_PERCENTILES,
+) -> List[Cell]:
+    """One cell per (load, occupancy algorithm), in table order."""
+    scale = resolve_scale(scale)
+    cells = []
+    for load in loads:
+        for label, _allocator_cls in ALGORITHMS:
+            cells.append(
+                Cell(
+                    experiment=EXPERIMENT,
+                    key=f"{label}/load={load:g}",
+                    scale=scale.name,
+                    seed=seed,
+                    params={
+                        "algorithm": label,
+                        "load": float(load),
+                        "epsilon": float(epsilon),
+                        "percentiles": [int(pct) for pct in percentiles],
+                    },
+                )
+            )
+    return cells
+
+
+def run_cell(cell: Cell) -> CellOutcome:
+    """Run one allocator over the shared SVC workload at one load."""
+    scale = resolve_scale(cell.scale)
+    params = cell.params
+    tree = build_datacenter(scale.spec)
+    specs = online_workload(
+        scale, cell.seed, load=params["load"], total_slots=tree.total_slots
+    )
+    result = run_online(
+        tree,
+        specs,
+        model="svc",
+        epsilon=params["epsilon"],
+        allocator=_allocator_by_label(params["algorithm"]),
+        rng=simulation_rng(cell.seed),
+    )
+    samples = np.asarray(result.max_occupancies)
+    values = [
+        float(np.percentile(samples, pct)) if samples.size else float("nan")
+        for pct in params["percentiles"]
+    ]
+    return CellOutcome(
+        payload={
+            "percentile_values": values,
+            "samples": [float(sample) for sample in result.max_occupancies],
+        },
+        raw=result,
+    )
+
+
+def aggregate(
+    cells: Sequence[Cell], outcomes: Dict[str, CellOutcome]
+) -> ExperimentResult:
+    """Fold cell outcomes back into the Fig. 9 table and CDF notes."""
+    percentiles = cells[0].params["percentiles"]
+    table = Table(
+        title=(
+            f"Fig. 9 — max bandwidth occupancy ratio at CDF percentiles "
+            f"[{cells[0].scale}]"
+        ),
+        headers=["algorithm", "load"] + [f"p{pct}" for pct in percentiles],
+    )
+    raw = {}
+    notes = []
+    for load in ordered_unique(cell.params["load"] for cell in cells):
+        curves = {}
+        for cell in cells:
+            if cell.params["load"] != load:
+                continue
+            outcome = outcomes[cell.key]
+            label = cell.params["algorithm"]
+            table.add_row(label, f"{load:.0%}", *outcome.payload["percentile_values"])
+            raw[(label, load)] = outcome.result
+            samples = np.asarray(outcome.payload["samples"])
+            if samples.size:
+                curves[label] = samples
+        if curves:
+            notes.append(
+                f"CDF of max bandwidth occupancy ratio at {load:.0%} load:\n"
+                + render_cdf(curves, x_label="max occupancy ratio")
+            )
+    return ExperimentResult(experiment=EXPERIMENT, tables=[table], raw=raw, notes=notes)
+
 
 def run(
     scale="small",
@@ -40,39 +148,7 @@ def run(
     percentiles: Sequence[int] = DEFAULT_PERCENTILES,
 ) -> ExperimentResult:
     """Reproduce Fig. 9 at the given scale."""
-    scale = resolve_scale(scale)
-    tree = build_datacenter(scale.spec)
-
-    table = Table(
-        title=f"Fig. 9 — max bandwidth occupancy ratio at CDF percentiles [{scale.name}]",
-        headers=["algorithm", "load"] + [f"p{pct}" for pct in percentiles],
+    cells = enumerate_cells(
+        scale=scale, seed=seed, loads=loads, epsilon=epsilon, percentiles=percentiles
     )
-    raw = {}
-    notes = []
-    for load in loads:
-        specs = online_workload(scale, seed, load=load, total_slots=tree.total_slots)
-        curves = {}
-        for label, allocator_cls in ALGORITHMS:
-            result = run_online(
-                tree,
-                specs,
-                model="svc",
-                epsilon=epsilon,
-                allocator=allocator_cls(),
-                rng=simulation_rng(seed),
-            )
-            samples = np.asarray(result.max_occupancies)
-            cells = [
-                float(np.percentile(samples, pct)) if samples.size else float("nan")
-                for pct in percentiles
-            ]
-            table.add_row(label, f"{load:.0%}", *cells)
-            raw[(label, load)] = result
-            if samples.size:
-                curves[label] = samples
-        if curves:
-            notes.append(
-                f"CDF of max bandwidth occupancy ratio at {load:.0%} load:\n"
-                + render_cdf(curves, x_label="max occupancy ratio")
-            )
-    return ExperimentResult(experiment="fig9", tables=[table], raw=raw, notes=notes)
+    return aggregate(cells, run_cells_sequentially(cells, run_cell))

@@ -1,0 +1,379 @@
+"""Parallel, checkpointable execution of experiment sweeps.
+
+Every experiment decomposes into independent **cells** (see
+:mod:`repro.experiments.cells`); this module is the engine that executes
+them — in-process at ``--workers 1`` (keeping rich ``raw`` results,
+bit-identical to a plain ``module.run()`` call) or fanned out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` at ``--workers N``.
+
+With a ``--run-dir``, every completed cell is persisted as one JSON file
+under ``<run_dir>/cells/<experiment>/`` via an atomic write (tmp file +
+``os.replace``), so a killed sweep loses at most the cells in flight.
+``--resume`` re-enters the directory, loads every checkpoint whose stored
+cell description still matches the requested sweep (a parameter change
+invalidates the checkpoint, which is silently recomputed), and computes
+only what is missing.  A non-empty run dir is refused without ``--resume``
+so two unrelated sweeps can never interleave their checkpoints.
+
+Layout of a run directory::
+
+    <run_dir>/
+      manifest.json                   # {"version", "scale", "seed", ...}
+      cells/<experiment>/<slug>.<crc32>.json   # one checkpoint per cell
+
+Aggregated tables are built from checkpoint payloads only, so a resumed or
+pooled run renders byte-identical tables to a fresh single-process run of
+the same (scale, seed) sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.cells import Cell, CellOutcome, cell_filename, unique_cells
+from repro.experiments.common import resolve_scale
+from repro.experiments.tables import ExperimentResult
+from repro.obs.instruments import experiment_instruments
+
+__all__ = [
+    "RunDirError",
+    "CellStore",
+    "run_experiments",
+    "module_for_experiment",
+]
+
+logger = logging.getLogger(__name__)
+
+MANIFEST_FILENAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+class RunDirError(RuntimeError):
+    """A run directory cannot be (re)used as requested."""
+
+
+# ----------------------------------------------------------------------
+# Cell-module dispatch (worker side)
+# ----------------------------------------------------------------------
+
+_MODULES_BY_EXPERIMENT: Optional[Dict[str, Any]] = None
+
+
+def module_for_experiment(experiment: str):
+    """The experiment module owning cells tagged ``experiment``.
+
+    Keyed by each module's ``EXPERIMENT`` constant (what :class:`Cell`
+    carries), not the CLI registry name — the two differ for ``het`` /
+    ``het-vs-first-fit``.  Imported lazily so pool workers resolve the
+    table on first use after the fork.
+    """
+    global _MODULES_BY_EXPERIMENT
+    if _MODULES_BY_EXPERIMENT is None:
+        from repro.experiments.runner import EXPERIMENT_MODULES
+
+        _MODULES_BY_EXPERIMENT = {
+            module.EXPERIMENT: module for module in EXPERIMENT_MODULES.values()
+        }
+    try:
+        return _MODULES_BY_EXPERIMENT[experiment]
+    except KeyError:
+        raise KeyError(f"no experiment module owns cells tagged {experiment!r}")
+
+
+def _run_cell_worker(cell_json: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool entry point: compute one cell, return its JSON payload + timing."""
+    cell = Cell.from_json(cell_json)
+    started = perf_counter()
+    outcome = module_for_experiment(cell.experiment).run_cell(cell)
+    return {"payload": outcome.payload, "seconds": perf_counter() - started}
+
+
+# ----------------------------------------------------------------------
+# Checkpoint store
+# ----------------------------------------------------------------------
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+class CellStore:
+    """Checkpointed cells of one run directory.
+
+    Construction validates or creates the directory: an existing, non-empty
+    directory is only entered with ``resume=True`` and only when its
+    manifest matches the requested ``(scale, seed)`` — a mismatch means the
+    checkpoints describe a different sweep and resuming would silently mix
+    results.
+    """
+
+    def __init__(
+        self, run_dir, scale: str, seed: int, resume: bool = False
+    ) -> None:
+        self.run_dir = Path(run_dir)
+        self.resumed_cells = 0
+        manifest = {"version": MANIFEST_VERSION, "scale": str(scale), "seed": int(seed)}
+        manifest_path = self.run_dir / MANIFEST_FILENAME
+        if self.run_dir.exists() and any(self.run_dir.iterdir()):
+            if not resume:
+                raise RunDirError(
+                    f"run dir {self.run_dir} is not empty; "
+                    "pass --resume to continue the sweep checkpointed there"
+                )
+            if not manifest_path.exists():
+                raise RunDirError(
+                    f"run dir {self.run_dir} has no {MANIFEST_FILENAME}; "
+                    "refusing to resume into a directory this harness did not create"
+                )
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                stored = json.load(handle)
+            mismatches = [
+                f"{key}: run dir has {stored.get(key)!r}, invocation has {value!r}"
+                for key, value in manifest.items()
+                if stored.get(key) != value
+            ]
+            if mismatches:
+                raise RunDirError(
+                    f"cannot resume {self.run_dir}: " + "; ".join(mismatches)
+                )
+        else:
+            self.run_dir.mkdir(parents=True, exist_ok=True)
+            _atomic_write_json(
+                manifest_path, {**manifest, "created_at": time.time()}
+            )
+
+    def _cell_path(self, cell: Cell) -> Path:
+        return self.run_dir / "cells" / cell.experiment / cell_filename(cell)
+
+    def load(self, cell: Cell) -> Optional[Dict[str, Any]]:
+        """The checkpointed payload of ``cell``, or ``None`` to recompute.
+
+        A checkpoint is only honoured when its stored cell description is
+        exactly the requested one — a changed parameter (or a truncated
+        file from a crash mid-write, which the atomic replace makes
+        impossible but a foreign file could fake) falls back to computing.
+        """
+        path = self._cell_path(cell)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                stored = json.load(handle)
+        except (OSError, ValueError):
+            logger.warning("unreadable checkpoint %s; recomputing", path)
+            return None
+        if stored.get("cell") != cell.to_json():
+            logger.warning(
+                "checkpoint %s was computed with different parameters; recomputing",
+                path,
+            )
+            return None
+        payload = stored.get("payload")
+        if not isinstance(payload, dict):
+            logger.warning("checkpoint %s has no payload; recomputing", path)
+            return None
+        self.resumed_cells += 1
+        return payload
+
+    def save(self, cell: Cell, payload: Dict[str, Any], seconds: float) -> None:
+        path = self._cell_path(cell)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(
+            path,
+            {"cell": cell.to_json(), "payload": payload, "seconds": seconds},
+        )
+
+
+# ----------------------------------------------------------------------
+# Progress reporting
+# ----------------------------------------------------------------------
+
+
+class _Progress:
+    """Counts completed cells; emits one log line per cell with a naive ETA."""
+
+    def __init__(self, total: int) -> None:
+        self.total = total
+        self.done = 0
+        self.computed = 0
+        self.spent = 0.0
+        self.resumed = 0
+        self._instruments = experiment_instruments()
+
+    def record(self, cell: Cell, seconds: float, cached: bool = False) -> None:
+        self.done += 1
+        if cached:
+            self.resumed += 1
+            logger.info(
+                "cell %d/%d %s [%s] resumed from checkpoint",
+                self.done, self.total, cell.experiment, cell.key,
+            )
+            return
+        self.computed += 1
+        self.spent += seconds
+        self._instruments.cell_completed(cell.experiment, seconds)
+        average = self.spent / self.computed
+        eta = average * (self.total - self.done)
+        logger.info(
+            "cell %d/%d %s [%s] %.2fs (avg %.2fs, eta %.0fs, %d resumed)",
+            self.done, self.total, cell.experiment, cell.key,
+            seconds, average, eta, self.resumed,
+        )
+
+
+# ----------------------------------------------------------------------
+# Orchestration
+# ----------------------------------------------------------------------
+
+_Plan = Tuple[str, Any, List[Cell]]
+
+
+def _build_plans(
+    names: Sequence[str],
+    scale,
+    seed: int,
+    epsilon: Optional[float],
+    allocator: Optional[str],
+    derive_seed: Optional[Callable[[str], int]],
+) -> List[_Plan]:
+    from repro.cli import experiment_overrides  # local: cli imports runner
+    from repro.experiments.runner import EXPERIMENT_MODULES
+
+    plans: List[_Plan] = []
+    for name in names:
+        module = EXPERIMENT_MODULES[name]
+        overrides = experiment_overrides(
+            module.enumerate_cells, epsilon=epsilon, allocator=allocator
+        )
+        cell_seed = derive_seed(name) if derive_seed is not None else seed
+        cells = unique_cells(
+            module.enumerate_cells(scale=scale, seed=cell_seed, **overrides)
+        )
+        plans.append((name, module, cells))
+    return plans
+
+
+def _run_plans_inprocess(
+    plans: Sequence[_Plan], store: Optional[CellStore], progress: _Progress
+) -> List[ExperimentResult]:
+    """The ``--workers 1`` path: same in-order ``run_cell`` calls as ``run()``."""
+    results = []
+    for _name, module, cells in plans:
+        outcomes: Dict[str, CellOutcome] = {}
+        for cell in cells:
+            payload = store.load(cell) if store is not None else None
+            if payload is not None:
+                outcomes[cell.key] = CellOutcome(payload=payload)
+                progress.record(cell, 0.0, cached=True)
+                continue
+            started = perf_counter()
+            outcome = module.run_cell(cell)
+            seconds = perf_counter() - started
+            if store is not None:
+                store.save(cell, outcome.payload, seconds)
+            outcomes[cell.key] = outcome
+            progress.record(cell, seconds)
+        results.append(module.aggregate(cells, outcomes))
+    return results
+
+
+def _run_plans_pooled(
+    plans: Sequence[_Plan],
+    store: Optional[CellStore],
+    progress: _Progress,
+    workers: int,
+) -> List[ExperimentResult]:
+    """Fan missing cells across all experiments out over a process pool."""
+    outcome_maps: Dict[str, Dict[str, CellOutcome]] = {
+        name: {} for name, _module, _cells in plans
+    }
+    pending: List[Tuple[str, Cell]] = []
+    for name, _module, cells in plans:
+        for cell in cells:
+            payload = store.load(cell) if store is not None else None
+            if payload is not None:
+                outcome_maps[name][cell.key] = CellOutcome(payload=payload)
+                progress.record(cell, 0.0, cached=True)
+            else:
+                pending.append((name, cell))
+    if pending:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_cell_worker, cell.to_json()): (name, cell)
+                for name, cell in pending
+            }
+            for future in as_completed(futures):
+                name, cell = futures[future]
+                computed = future.result()
+                payload, seconds = computed["payload"], computed["seconds"]
+                if store is not None:
+                    store.save(cell, payload, seconds)
+                outcome_maps[name][cell.key] = CellOutcome(payload=payload)
+                progress.record(cell, seconds)
+    return [
+        module.aggregate(cells, outcome_maps[name])
+        for name, module, cells in plans
+    ]
+
+
+def run_experiments(
+    names: Sequence[str],
+    scale="small",
+    seed: int = 0,
+    epsilon: Optional[float] = None,
+    allocator: Optional[str] = None,
+    workers: int = 1,
+    run_dir=None,
+    resume: bool = False,
+    derive_seed: Optional[Callable[[str], int]] = None,
+) -> List[ExperimentResult]:
+    """Run the named experiments through the cell harness, in order.
+
+    ``names`` are CLI registry names (``fig5`` ... ``validate-outage``).
+    ``derive_seed`` maps a registry name to that experiment's trial seed
+    (``run_all`` passes the per-experiment child derivation); by default
+    every experiment receives ``seed`` unchanged, matching a direct
+    ``module.run(seed=...)`` call.
+
+    ``workers=1`` executes in-process — identical call sequence, identical
+    tables, and rich ``result.raw`` objects, exactly like ``module.run()``.
+    ``workers>1`` fans cells over a process pool; ``result.raw`` then holds
+    the JSON payloads.  With ``run_dir``, completed cells are checkpointed
+    and ``resume=True`` skips them on re-entry.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    scale_name = resolve_scale(scale).name
+    plans = _build_plans(names, scale_name, seed, epsilon, allocator, derive_seed)
+    store = (
+        CellStore(run_dir, scale_name, seed, resume=resume)
+        if run_dir is not None
+        else None
+    )
+    total = sum(len(cells) for _name, _module, cells in plans)
+    progress = _Progress(total)
+    logger.info(
+        "running %d experiment(s), %d cells, %d worker(s)%s",
+        len(plans), total, workers,
+        f", run dir {store.run_dir}" if store is not None else "",
+    )
+    if workers == 1:
+        results = _run_plans_inprocess(plans, store, progress)
+    else:
+        results = _run_plans_pooled(plans, store, progress, workers)
+    logger.info(
+        "completed %d cells (%d computed, %d resumed)",
+        progress.done, progress.computed, progress.resumed,
+    )
+    return results

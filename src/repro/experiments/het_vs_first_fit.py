@@ -9,12 +9,18 @@ distributions) in the online scenario.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from repro.allocation.first_fit import FirstFitAllocator
 from repro.allocation.svc_het_heuristic import SVCHeterogeneousAllocator
+from repro.experiments.cells import (
+    Cell,
+    CellOutcome,
+    ordered_unique,
+    run_cells_sequentially,
+)
 from repro.experiments.common import online_workload, resolve_scale, simulation_rng
 from repro.experiments.tables import ExperimentResult, Table
 from repro.simulation.scenario import run_online
@@ -28,6 +34,114 @@ ALGORITHMS = (
     ("first-fit", FirstFitAllocator),
 )
 
+EXPERIMENT = "het-vs-first-fit"
+
+
+def _allocator_by_label(label: str):
+    for name, allocator_cls in ALGORITHMS:
+        if name == label:
+            return allocator_cls()
+    raise ValueError(f"unknown heterogeneous algorithm {label!r}")
+
+
+def enumerate_cells(
+    scale="small",
+    seed: int = 0,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    epsilon: float = 0.05,
+    percentiles: Sequence[int] = DEFAULT_PERCENTILES,
+) -> List[Cell]:
+    """One cell per (load, allocator), in table order."""
+    scale = resolve_scale(scale)
+    cells = []
+    for load in loads:
+        for label, _allocator_cls in ALGORITHMS:
+            cells.append(
+                Cell(
+                    experiment=EXPERIMENT,
+                    key=f"{label}/load={load:g}",
+                    scale=scale.name,
+                    seed=seed,
+                    params={
+                        "algorithm": label,
+                        "load": float(load),
+                        "epsilon": float(epsilon),
+                        "percentiles": [int(pct) for pct in percentiles],
+                    },
+                )
+            )
+    return cells
+
+
+def run_cell(cell: Cell) -> CellOutcome:
+    """Run one allocator over the heterogeneous workload at one load."""
+    scale = resolve_scale(cell.scale)
+    params = cell.params
+    tree = build_datacenter(scale.spec)
+    specs = online_workload(
+        scale,
+        cell.seed,
+        load=params["load"],
+        total_slots=tree.total_slots,
+        heterogeneous=True,
+    )
+    result = run_online(
+        tree,
+        specs,
+        model="svc",
+        epsilon=params["epsilon"],
+        allocator=_allocator_by_label(params["algorithm"]),
+        rng=simulation_rng(cell.seed),
+    )
+    samples = np.asarray(result.max_occupancies)
+    values = [
+        float(np.percentile(samples, pct)) if samples.size else float("nan")
+        for pct in params["percentiles"]
+    ]
+    return CellOutcome(
+        payload={
+            "percentile_values": values,
+            "rejected_pct": 100.0 * float(result.rejection_rate),
+        },
+        raw=result,
+    )
+
+
+def aggregate(
+    cells: Sequence[Cell], outcomes: Dict[str, CellOutcome]
+) -> ExperimentResult:
+    """Fold cell outcomes back into the occupancy and rejection tables."""
+    loads = ordered_unique(cell.params["load"] for cell in cells)
+    labels = ordered_unique(cell.params["algorithm"] for cell in cells)
+    percentiles = cells[0].params["percentiles"]
+    occupancy = Table(
+        title=(
+            "Heterogeneous SVC vs first fit — max occupancy at CDF percentiles "
+            f"[{cells[0].scale}]"
+        ),
+        headers=["algorithm", "load"] + [f"p{pct}" for pct in percentiles],
+    )
+    rejection = Table(
+        title="Heterogeneous SVC vs first fit — rejected requests (%)",
+        headers=["algorithm"] + [f"load={load:.0%}" for load in loads],
+    )
+    raw = {}
+    rejection_cells = {label: [] for label in labels}
+    for load in loads:
+        for cell in cells:
+            if cell.params["load"] != load:
+                continue
+            outcome = outcomes[cell.key]
+            label = cell.params["algorithm"]
+            occupancy.add_row(label, f"{load:.0%}", *outcome.payload["percentile_values"])
+            rejection_cells[label].append(outcome.payload["rejected_pct"])
+            raw[(label, load)] = outcome.result
+    for label in labels:
+        rejection.add_row(label, *rejection_cells[label])
+    return ExperimentResult(
+        experiment=EXPERIMENT, tables=[occupancy, rejection], raw=raw
+    )
+
 
 def run(
     scale="small",
@@ -37,42 +151,7 @@ def run(
     percentiles: Sequence[int] = DEFAULT_PERCENTILES,
 ) -> ExperimentResult:
     """Reproduce the Section VI-B3 heterogeneous comparison."""
-    scale = resolve_scale(scale)
-    tree = build_datacenter(scale.spec)
-
-    occupancy = Table(
-        title=f"Heterogeneous SVC vs first fit — max occupancy at CDF percentiles [{scale.name}]",
-        headers=["algorithm", "load"] + [f"p{pct}" for pct in percentiles],
+    cells = enumerate_cells(
+        scale=scale, seed=seed, loads=loads, epsilon=epsilon, percentiles=percentiles
     )
-    rejection = Table(
-        title="Heterogeneous SVC vs first fit — rejected requests (%)",
-        headers=["algorithm"] + [f"load={load:.0%}" for load in loads],
-    )
-    raw = {}
-    rejection_cells = {label: [] for label, _cls in ALGORITHMS}
-    for load in loads:
-        specs = online_workload(
-            scale, seed, load=load, total_slots=tree.total_slots, heterogeneous=True
-        )
-        for label, allocator_cls in ALGORITHMS:
-            result = run_online(
-                tree,
-                specs,
-                model="svc",
-                epsilon=epsilon,
-                allocator=allocator_cls(),
-                rng=simulation_rng(seed),
-            )
-            samples = np.asarray(result.max_occupancies)
-            cells = [
-                float(np.percentile(samples, pct)) if samples.size else float("nan")
-                for pct in percentiles
-            ]
-            occupancy.add_row(label, f"{load:.0%}", *cells)
-            rejection_cells[label].append(100.0 * result.rejection_rate)
-            raw[(label, load)] = result
-    for label, _cls in ALGORITHMS:
-        rejection.add_row(label, *rejection_cells[label])
-    return ExperimentResult(
-        experiment="het-vs-first-fit", tables=[occupancy, rejection], raw=raw
-    )
+    return aggregate(cells, run_cells_sequentially(cells, run_cell))

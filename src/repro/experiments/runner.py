@@ -16,19 +16,26 @@ from repro.experiments import (
     fig10_svc_vs_tivc_rejection,
     het_vs_first_fit,
 )
+from repro.experiments.common import experiment_seed
 from repro.experiments.tables import ExperimentResult
 
+#: Registry name -> experiment module (each exposes the cell protocol:
+#: ``EXPERIMENT``, ``enumerate_cells``, ``run_cell``, ``aggregate``, ``run``).
+EXPERIMENT_MODULES = {
+    "fig5": fig5_batch_oversub,
+    "fig6": fig6_runtime_vs_deviation,
+    "fig7": fig7_rejection_vs_load,
+    "fig8": fig8_concurrency,
+    "fig9": fig9_occupancy_cdf,
+    "fig10": fig10_svc_vs_tivc_rejection,
+    "het": het_vs_first_fit,
+    "ablation-epsilon": ablation_epsilon,
+    "ablation-locality": ablation_locality,
+    "validate-outage": validation_outage,
+}
+
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
-    "fig5": fig5_batch_oversub.run,
-    "fig6": fig6_runtime_vs_deviation.run,
-    "fig7": fig7_rejection_vs_load.run,
-    "fig8": fig8_concurrency.run,
-    "fig9": fig9_occupancy_cdf.run,
-    "fig10": fig10_svc_vs_tivc_rejection.run,
-    "het": het_vs_first_fit.run,
-    "ablation-epsilon": ablation_epsilon.run,
-    "ablation-locality": ablation_locality.run,
-    "validate-outage": validation_outage.run,
+    name: module.run for name, module in EXPERIMENT_MODULES.items()
 }
 
 
@@ -37,17 +44,31 @@ def run_all(
     seed: int = 0,
     epsilon=None,
     allocator=None,
+    workers: int = 1,
+    run_dir=None,
+    resume: bool = False,
 ) -> List[ExperimentResult]:
     """Run every experiment and return the results in figure order.
 
-    ``epsilon``/``allocator`` (the CLI override flags) are forwarded to each
-    runner that accepts them; runners without the matching parameter run at
-    their defaults.
+    Each experiment receives its own child seed derived from ``seed`` and
+    the experiment's registry name (:func:`repro.experiments.common
+    .experiment_seed`), so no two experiments consume byte-identical
+    workloads and the derivation is stable against reordering this
+    registry.  ``epsilon``/``allocator`` (the CLI override flags) are
+    forwarded to each experiment that accepts them; the rest run at their
+    defaults.  ``workers``/``run_dir``/``resume`` select the parallel
+    checkpointing harness (:mod:`repro.experiments.harness`).
     """
-    from repro.cli import experiment_overrides
+    from repro.experiments.harness import run_experiments
 
-    results = []
-    for runner in EXPERIMENTS.values():
-        overrides = experiment_overrides(runner, epsilon=epsilon, allocator=allocator)
-        results.append(runner(scale=scale, seed=seed, **overrides))
-    return results
+    return run_experiments(
+        list(EXPERIMENT_MODULES),
+        scale=scale,
+        seed=seed,
+        epsilon=epsilon,
+        allocator=allocator,
+        workers=workers,
+        run_dir=run_dir,
+        resume=resume,
+        derive_seed=lambda name: experiment_seed(seed, name),
+    )

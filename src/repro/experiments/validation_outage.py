@@ -16,8 +16,9 @@ draws, and the min() bound all cut the same direction).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence
 
+from repro.experiments.cells import Cell, CellOutcome, run_cells_sequentially
 from repro.experiments.common import online_workload, resolve_scale, simulation_rng
 from repro.experiments.tables import ExperimentResult, Table
 from repro.simulation.scenario import run_online
@@ -25,6 +26,85 @@ from repro.topology.builder import build_datacenter
 
 DEFAULT_EPSILONS = (0.02, 0.05, 0.1, 0.2)
 DEFAULT_LOAD = 0.8
+
+EXPERIMENT = "validate-outage"
+
+
+def enumerate_cells(
+    scale="small",
+    seed: int = 0,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    load: float = DEFAULT_LOAD,
+) -> List[Cell]:
+    """One cell per epsilon SLA at the fixed load."""
+    scale = resolve_scale(scale)
+    return [
+        Cell(
+            experiment=EXPERIMENT,
+            key=f"eps={epsilon:g}/load={load:g}",
+            scale=scale.name,
+            seed=seed,
+            params={"epsilon": float(epsilon), "load": float(load)},
+        )
+        for epsilon in epsilons
+    ]
+
+
+def run_cell(cell: Cell) -> CellOutcome:
+    """Run the instrumented online scenario at one epsilon."""
+    scale = resolve_scale(cell.scale)
+    params = cell.params
+    tree = build_datacenter(scale.spec)
+    specs = online_workload(
+        scale, cell.seed, load=params["load"], total_slots=tree.total_slots
+    )
+    result = run_online(
+        tree,
+        specs,
+        model="svc",
+        epsilon=params["epsilon"],
+        rng=simulation_rng(cell.seed),
+        track_outages=True,
+    )
+    return CellOutcome(
+        payload={
+            "outage_link_seconds": int(result.outage_link_seconds),
+            "loaded_link_seconds": int(result.loaded_link_seconds),
+            "empirical_rate": float(result.empirical_outage_rate),
+        },
+        raw=result,
+    )
+
+
+def aggregate(
+    cells: Sequence[Cell], outcomes: Dict[str, CellOutcome]
+) -> ExperimentResult:
+    """Fold cell outcomes back into the outage-validation table."""
+    load = cells[0].params["load"]
+    table = Table(
+        title=(
+            f"Validation — empirical link outage rate vs epsilon at {load:.0%} load "
+            f"[{cells[0].scale}]"
+        ),
+        headers=[
+            "epsilon", "outage link-seconds", "loaded link-seconds",
+            "empirical rate", "bound respected",
+        ],
+    )
+    raw = {}
+    for cell in cells:
+        outcome = outcomes[cell.key]
+        epsilon = cell.params["epsilon"]
+        rate = outcome.payload["empirical_rate"]
+        table.add_row(
+            f"{epsilon:g}",
+            float(outcome.payload["outage_link_seconds"]),
+            float(outcome.payload["loaded_link_seconds"]),
+            rate,
+            "yes" if rate <= epsilon else "NO",
+        )
+        raw[epsilon] = outcome.result
+    return ExperimentResult(experiment=EXPERIMENT, tables=[table], raw=raw)
 
 
 def run(
@@ -34,34 +114,5 @@ def run(
     load: float = DEFAULT_LOAD,
 ) -> ExperimentResult:
     """Measure per-link outage frequency against the epsilon SLA."""
-    scale = resolve_scale(scale)
-    tree = build_datacenter(scale.spec)
-    specs = online_workload(scale, seed, load=load, total_slots=tree.total_slots)
-
-    table = Table(
-        title=f"Validation — empirical link outage rate vs epsilon at {load:.0%} load [{scale.name}]",
-        headers=[
-            "epsilon", "outage link-seconds", "loaded link-seconds",
-            "empirical rate", "bound respected",
-        ],
-    )
-    raw = {}
-    for epsilon in epsilons:
-        result = run_online(
-            tree,
-            specs,
-            model="svc",
-            epsilon=epsilon,
-            rng=simulation_rng(seed),
-            track_outages=True,
-        )
-        rate = result.empirical_outage_rate
-        table.add_row(
-            f"{epsilon:g}",
-            float(result.outage_link_seconds),
-            float(result.loaded_link_seconds),
-            rate,
-            "yes" if rate <= epsilon else "NO",
-        )
-        raw[epsilon] = result
-    return ExperimentResult(experiment="validation-outage", tables=[table], raw=raw)
+    cells = enumerate_cells(scale=scale, seed=seed, epsilons=epsilons, load=load)
+    return aggregate(cells, run_cells_sequentially(cells, run_cell))

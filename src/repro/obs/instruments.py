@@ -38,6 +38,8 @@ __all__ = [
     "service_instruments",
     "ServiceInstruments",
     "record_fault",
+    "experiment_instruments",
+    "ExperimentInstruments",
     "outage_monitor",
     "OutageMonitor",
     "bind_network_gauges",
@@ -103,11 +105,12 @@ def configure(
 
 def reset_global_registry() -> MetricsRegistry:
     """Fresh global registry (tests only — live gauges are left behind)."""
-    global _REGISTRY, _ADMISSION, _OUTAGE, _SERVICE
+    global _REGISTRY, _ADMISSION, _OUTAGE, _SERVICE, _EXPERIMENT
     _REGISTRY = MetricsRegistry()
     _ADMISSION = None
     _OUTAGE = None
     _SERVICE = None
+    _EXPERIMENT = None
     return _REGISTRY
 
 
@@ -464,6 +467,80 @@ def record_fault(failpoint: str) -> None:
         "Failpoint triggers, by failpoint name.",
         failpoint=failpoint,
     ).inc()
+
+
+# ----------------------------------------------------------------------
+# Experiment harness instruments
+# ----------------------------------------------------------------------
+
+#: Buckets for sweep-cell wall times: 10ms (tiny cells) .. 1h (paper scale).
+_CELL_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0,
+)
+
+
+class ExperimentInstruments:
+    """Progress counters for the (parallel) experiment harness.
+
+    One counter/histogram pair per experiment, resolved once and cached —
+    the harness records one observation per completed sweep cell, so the
+    cost is negligible next to the cell itself.  Resumed-from-checkpoint
+    cells are *not* recorded: the metrics describe compute performed by
+    this process, which is what a progress dashboard wants.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._completed: Dict[str, Counter] = {}
+        self._seconds: Dict[str, Histogram] = {}
+        # Presence-before-traffic: both families must appear in the
+        # exposition even in processes that never run an experiment.
+        self._for_experiment("none")
+
+    def _for_experiment(self, experiment: str) -> Tuple[Counter, Histogram]:
+        counter = self._completed.get(experiment)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_experiment_cells_completed_total",
+                "Sweep cells computed by this process, per experiment.",
+                experiment=experiment,
+            )
+            self._completed[experiment] = counter
+            self._seconds[experiment] = self.registry.histogram(
+                "repro_experiment_cell_seconds",
+                "Wall time to compute one sweep cell.",
+                buckets=_CELL_BUCKETS,
+                experiment=experiment,
+            )
+        return counter, self._seconds[experiment]
+
+    def cell_completed(self, experiment: str, seconds: float) -> None:
+        """Record one freshly-computed cell and its wall time."""
+        counter, histogram = self._for_experiment(experiment)
+        counter.inc()
+        histogram.observe(seconds)
+
+
+class _NullExperiment:
+    """No-op facade used while instrumentation is disabled."""
+
+    def cell_completed(self, experiment: str, seconds: float) -> None:
+        pass
+
+
+_NULL_EXPERIMENT = _NullExperiment()
+_EXPERIMENT: Optional[ExperimentInstruments] = None
+
+
+def experiment_instruments():
+    """The live harness facade, or the shared no-op when disabled."""
+    global _EXPERIMENT
+    if not _ENABLED:
+        return _NULL_EXPERIMENT
+    if _EXPERIMENT is None:
+        _EXPERIMENT = ExperimentInstruments(_REGISTRY)
+    return _EXPERIMENT
 
 
 # ----------------------------------------------------------------------

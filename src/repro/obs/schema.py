@@ -48,6 +48,7 @@ def bootstrap_registry():
     monitor = instruments.outage_monitor()
     monitor.set_epsilon(0.05)
     monitor.record(0, 1)
+    instruments.experiment_instruments()  # registers the harness families
     return registry
 
 

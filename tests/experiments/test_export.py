@@ -46,6 +46,33 @@ class TestCsvExport:
         assert len(paths) == 2
         assert len({p.name for p in paths}) == 2
 
+    def test_colliding_titles_do_not_overwrite(self, tmp_path):
+        # These three titles all slugify to "same-title"; before the
+        # suffixing fix, the last table silently clobbered the first two.
+        tables = []
+        for i, title in enumerate(["Same: Title!", "same title", "Same -- Title"]):
+            table = Table(title=title, headers=[f"col{i}"])
+            table.add_row(float(i))
+            tables.append(table)
+        result = ExperimentResult(experiment="dup", tables=tables)
+        paths = export_csv(result, tmp_path)
+        assert len(paths) == 3
+        assert len({p.name for p in paths}) == 3
+        assert all(p.exists() for p in paths)
+        headers = []
+        for path in paths:
+            with path.open() as handle:
+                headers.append(next(csv.reader(handle)))
+        assert headers == [["col0"], ["col1"], ["col2"]]
+
+    def test_collision_suffixes_are_numeric_and_ordered(self, tmp_path):
+        tables = [Table(title="Dup", headers=["a"]) for _ in range(3)]
+        result = ExperimentResult(experiment="e", tables=tables)
+        paths = export_csv(result, tmp_path)
+        assert [p.name for p in paths] == [
+            "e__dup.csv", "e__dup-2.csv", "e__dup-3.csv",
+        ]
+
 
 class TestMarkdownExport:
     def test_table_markdown_shape(self, result):

@@ -1,0 +1,39 @@
+"""Golden tables: ``run_all(scale="tiny", seed=0)`` is pinned bit for bit.
+
+The goldens under ``tests/experiments/goldens/`` were produced by
+``scripts/regen_goldens.py`` through the harness's ``--workers 1`` path, so
+this test simultaneously pins the seed derivations (per-experiment child
+seeds, named streams), every experiment's cell decomposition, and the table
+renderer.  A legitimate change to any of those regenerates the goldens in
+the same commit; an accidental change fails here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENT_MODULES, run_all
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def tiny_results():
+    return dict(zip(EXPERIMENT_MODULES, run_all(scale="tiny", seed=0)))
+
+
+def test_every_experiment_has_a_golden():
+    assert GOLDEN_DIR.is_dir(), "run scripts/regen_goldens.py to create goldens"
+    present = {path.stem for path in GOLDEN_DIR.glob("*.txt")}
+    assert present == set(EXPERIMENT_MODULES)
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENT_MODULES))
+def test_golden_matches(name, tiny_results):
+    golden = (GOLDEN_DIR / f"{name}.txt").read_text(encoding="utf-8")
+    assert tiny_results[name].format() + "\n" == golden, (
+        f"{name}: tiny-scale tables drifted from the golden; if intentional, "
+        "rerun scripts/regen_goldens.py and commit the diff"
+    )

@@ -1,0 +1,237 @@
+"""The parallel/checkpointing harness against the sequential experiment paths.
+
+The contract under test (see ``repro/experiments/harness.py``):
+
+- ``run_experiments([x], workers=1)`` is the same code path as
+  ``module.run()`` — identical tables, rich ``raw`` results;
+- ``workers=2`` produces byte-identical formatted tables;
+- a run directory checkpoints every cell, refuses reuse without ``resume``,
+  resumes without recomputing finished cells, and invalidates checkpoints
+  whose stored parameters no longer match the requested sweep.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import fig8_concurrency
+from repro.experiments.cells import (
+    Cell,
+    CellOutcome,
+    cell_filename,
+    ordered_unique,
+    run_cells_sequentially,
+    unique_cells,
+)
+from repro.experiments.harness import (
+    CellStore,
+    RunDirError,
+    module_for_experiment,
+    run_experiments,
+)
+from repro.experiments.runner import EXPERIMENT_MODULES
+
+
+def make_cell(key="SVC/load=0.6", experiment="fig8", seed=0, **params):
+    return Cell(
+        experiment=experiment, key=key, scale="tiny", seed=seed, params=params
+    )
+
+
+class TestCellPrimitives:
+    def test_cell_json_roundtrip(self):
+        cell = make_cell(load=0.6, label="SVC")
+        assert Cell.from_json(cell.to_json()) == cell
+
+    def test_colliding_slugs_get_distinct_filenames(self):
+        # "a/b" and "a b" slugify identically; the CRC suffix disambiguates.
+        first = cell_filename(make_cell(key="a/b"))
+        second = cell_filename(make_cell(key="a b"))
+        assert first.rsplit(".", 2)[0] == second.rsplit(".", 2)[0]
+        assert first != second
+
+    def test_filename_is_filesystem_safe(self):
+        name = cell_filename(make_cell(key="SVC(eps=0.05)/load=0.6 %*?"))
+        assert "/" not in name and " " not in name
+
+    def test_unique_cells_rejects_duplicates(self):
+        cell = make_cell()
+        with pytest.raises(ValueError, match="duplicate cell"):
+            unique_cells([cell, make_cell()])
+
+    def test_ordered_unique_keeps_first_appearance(self):
+        assert ordered_unique([0.4, 0.8, 0.4, 0.2]) == [0.4, 0.8, 0.2]
+
+    def test_outcome_result_prefers_raw(self):
+        payload = {"x": 1.0}
+        assert CellOutcome(payload=payload).result == payload
+        assert CellOutcome(payload=payload, raw="rich").result == "rich"
+
+    def test_run_cells_sequentially_reports_to_observer(self):
+        cells = [make_cell(key="a"), make_cell(key="b")]
+        seen = []
+
+        def fake_run(cell):
+            return CellOutcome(payload={"key": cell.key})
+
+        outcomes = run_cells_sequentially(
+            cells, fake_run, observer=lambda c, o, s: seen.append((c.key, s))
+        )
+        assert sorted(outcomes) == ["a", "b"]
+        assert [key for key, _seconds in seen] == ["a", "b"]
+        assert all(seconds >= 0.0 for _key, seconds in seen)
+
+
+class TestModuleDispatch:
+    def test_every_registered_module_is_dispatchable(self):
+        for module in EXPERIMENT_MODULES.values():
+            assert module_for_experiment(module.EXPERIMENT) is module
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="fig99"):
+            module_for_experiment("fig99")
+
+
+class TestCellStore:
+    def test_fresh_dir_gets_manifest(self, tmp_path):
+        run_dir = tmp_path / "run"
+        CellStore(run_dir, "tiny", 0)
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["scale"] == "tiny"
+        assert manifest["seed"] == 0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = CellStore(tmp_path / "run", "tiny", 0)
+        cell = make_cell(load=0.6)
+        store.save(cell, {"value": 1.25}, seconds=0.1)
+        assert store.load(cell) == {"value": 1.25}
+        assert store.resumed_cells == 1
+
+    def test_nonempty_dir_refused_without_resume(self, tmp_path):
+        CellStore(tmp_path / "run", "tiny", 0)
+        with pytest.raises(RunDirError, match="--resume"):
+            CellStore(tmp_path / "run", "tiny", 0)
+
+    def test_resume_with_matching_manifest_allowed(self, tmp_path):
+        CellStore(tmp_path / "run", "tiny", 0)
+        CellStore(tmp_path / "run", "tiny", 0, resume=True)
+
+    def test_resume_with_mismatched_seed_refused(self, tmp_path):
+        CellStore(tmp_path / "run", "tiny", 0)
+        with pytest.raises(RunDirError, match="seed"):
+            CellStore(tmp_path / "run", "tiny", 7, resume=True)
+
+    def test_resume_with_mismatched_scale_refused(self, tmp_path):
+        CellStore(tmp_path / "run", "tiny", 0)
+        with pytest.raises(RunDirError, match="scale"):
+            CellStore(tmp_path / "run", "small", 0, resume=True)
+
+    def test_resume_into_foreign_dir_refused(self, tmp_path):
+        foreign = tmp_path / "foreign"
+        foreign.mkdir()
+        (foreign / "notes.txt").write_text("not a run dir")
+        with pytest.raises(RunDirError, match="manifest"):
+            CellStore(foreign, "tiny", 0, resume=True)
+
+    def test_parameter_drift_invalidates_checkpoint(self, tmp_path):
+        store = CellStore(tmp_path / "run", "tiny", 0)
+        store.save(make_cell(load=0.6), {"value": 1.0}, seconds=0.1)
+        # Same key, different parameters: the stored payload answers a
+        # different question and must not be resumed.
+        assert store.load(make_cell(load=0.8)) is None
+
+    def test_corrupt_checkpoint_recomputed(self, tmp_path):
+        store = CellStore(tmp_path / "run", "tiny", 0)
+        cell = make_cell(load=0.6)
+        store.save(cell, {"value": 1.0}, seconds=0.1)
+        path = store.run_dir / "cells" / cell.experiment / cell_filename(cell)
+        path.write_text("{ truncated")
+        assert store.load(cell) is None
+
+
+@pytest.mark.slow
+class TestHarnessEquivalence:
+    @pytest.fixture(scope="class")
+    def sequential(self):
+        return fig8_concurrency.run(scale="tiny", seed=0)
+
+    def test_workers1_matches_direct_run(self, sequential):
+        (result,) = run_experiments(["fig8"], scale="tiny", seed=0)
+        assert result.format() == sequential.format()
+
+    def test_workers1_keeps_rich_raw_results(self):
+        (result,) = run_experiments(["fig8"], scale="tiny", seed=0)
+        for raw in result.raw.values():
+            assert not isinstance(raw, dict)  # OnlineResult, not payload
+
+    def test_workers2_matches_workers1(self, sequential):
+        (result,) = run_experiments(["fig8"], scale="tiny", seed=0, workers=2)
+        assert result.format() == sequential.format()
+
+    def test_pooled_raw_is_payload(self):
+        (result,) = run_experiments(["fig8"], scale="tiny", seed=0, workers=2)
+        for raw in result.raw.values():
+            assert isinstance(raw, dict)
+
+    def test_derive_seed_matches_direct_run_at_that_seed(self):
+        (derived,) = run_experiments(
+            ["fig8"], scale="tiny", seed=0, derive_seed=lambda name: 5
+        )
+        assert derived.format() == fig8_concurrency.run(scale="tiny", seed=5).format()
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_experiments(["fig8"], scale="tiny", workers=0)
+
+
+@pytest.mark.slow
+class TestHarnessResume:
+    def test_resume_skips_finished_cells_and_recomputes_missing(self, tmp_path):
+        run_dir = tmp_path / "run"
+        (first,) = run_experiments(
+            ["fig8"], scale="tiny", seed=0, run_dir=run_dir
+        )
+        checkpoints = sorted((run_dir / "cells" / "fig8").iterdir())
+        assert len(checkpoints) == 2
+        # Simulate a killed sweep: one finished cell survives, one is gone.
+        survivor, casualty = checkpoints
+        survivor_bytes = survivor.read_bytes()
+        casualty.unlink()
+        (resumed,) = run_experiments(
+            ["fig8"], scale="tiny", seed=0, run_dir=run_dir, resume=True
+        )
+        assert resumed.format() == first.format()
+        # The surviving checkpoint was reused verbatim, not rewritten.
+        assert survivor.read_bytes() == survivor_bytes
+        assert casualty.exists()
+
+    def test_full_resume_runs_nothing(self, tmp_path, caplog):
+        run_dir = tmp_path / "run"
+        (first,) = run_experiments(["fig8"], scale="tiny", seed=0, run_dir=run_dir)
+        with caplog.at_level("INFO", logger="repro.experiments.harness"):
+            (resumed,) = run_experiments(
+                ["fig8"], scale="tiny", seed=0, run_dir=run_dir, resume=True
+            )
+        assert resumed.format() == first.format()
+        assert "2 resumed" in caplog.text
+
+    def test_rundir_tables_match_plain_run(self, tmp_path):
+        (checkpointed,) = run_experiments(
+            ["fig8"], scale="tiny", seed=0, run_dir=tmp_path / "run"
+        )
+        assert (
+            checkpointed.format()
+            == fig8_concurrency.run(scale="tiny", seed=0).format()
+        )
+
+    def test_pooled_resume_matches(self, tmp_path):
+        run_dir = tmp_path / "run"
+        (first,) = run_experiments(
+            ["fig8"], scale="tiny", seed=0, workers=2, run_dir=run_dir
+        )
+        for path in sorted((run_dir / "cells" / "fig8").iterdir())[:1]:
+            path.unlink()
+        (resumed,) = run_experiments(
+            ["fig8"], scale="tiny", seed=0, workers=2, run_dir=run_dir, resume=True
+        )
+        assert resumed.format() == first.format()

@@ -1,0 +1,106 @@
+"""Regression tests for the SeedSequence-based random-stream derivations.
+
+The additive derivations these replaced had two collision families:
+
+- within a trial, ``arrivals = default_rng(seed + 1)`` was bit-equal to the
+  *next* trial's workload stream, and ``simulation = default_rng(seed +
+  10_000)`` collided with the workload stream of any trial seeded >= 10,000;
+- across experiments, ``run_all`` forwarded the identical seed everywhere,
+  so every experiment consumed byte-identical job batches.
+
+Both must stay dead: streams are now named ``SeedSequence`` children of the
+trial seed, and ``run_all`` derives a per-experiment child seed keyed by the
+experiment's registry name.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    STREAMS,
+    batch_workload,
+    experiment_seed,
+    online_workload,
+    resolve_scale,
+    stream_rng,
+)
+from repro.experiments.runner import EXPERIMENT_MODULES
+
+
+def draws(rng: np.random.Generator, n: int = 16):
+    return rng.random(n).tolist()
+
+
+class TestStreamRng:
+    def test_deterministic_per_name(self):
+        for stream in STREAMS:
+            assert draws(stream_rng(3, stream)) == draws(stream_rng(3, stream))
+
+    def test_streams_of_one_seed_are_pairwise_distinct(self):
+        streams = {stream: draws(stream_rng(7, stream)) for stream in STREAMS}
+        values = list(streams.values())
+        for i, left in enumerate(values):
+            for right in values[i + 1:]:
+                assert left != right
+
+    def test_arrival_stream_is_not_next_trials_workload(self):
+        # The old ``seed + 1`` arrival derivation, verbatim.
+        assert draws(stream_rng(0, "arrivals")) != draws(stream_rng(1, "workload"))
+
+    def test_simulation_stream_is_not_a_distant_trials_workload(self):
+        # The old ``seed + 10_000`` data-plane derivation, verbatim.
+        assert draws(stream_rng(0, "simulation")) != draws(
+            stream_rng(10_000, "workload")
+        )
+
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(ValueError, match="unknown random stream"):
+            stream_rng(0, "entropy")
+
+
+class TestExperimentSeed:
+    def test_deterministic(self):
+        assert experiment_seed(0, "fig5") == experiment_seed(0, "fig5")
+
+    def test_distinct_across_all_registered_experiments(self):
+        seeds = {name: experiment_seed(0, name) for name in EXPERIMENT_MODULES}
+        assert len(set(seeds.values())) == len(EXPERIMENT_MODULES)
+
+    def test_distinct_across_base_seeds(self):
+        assert experiment_seed(0, "fig5") != experiment_seed(1, "fig5")
+
+    def test_independent_of_registry_order(self):
+        # The derivation is a pure function of (seed, name): iterating the
+        # registry in any order yields the same mapping.
+        forward = [experiment_seed(0, name) for name in EXPERIMENT_MODULES]
+        backward = [
+            experiment_seed(0, name) for name in reversed(list(EXPERIMENT_MODULES))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_fits_in_uint64(self):
+        for name in EXPERIMENT_MODULES:
+            assert 0 <= experiment_seed(12345, name) < 2**64
+
+
+class TestWorkloadDecorrelation:
+    def test_experiments_no_longer_see_identical_job_batches(self):
+        # run_all's per-experiment child seeds must produce different
+        # workloads for different experiments at the same base seed.
+        scale = resolve_scale("tiny")
+        jobs_fig5 = batch_workload(scale, experiment_seed(0, "fig5"))
+        jobs_fig6 = batch_workload(scale, experiment_seed(0, "fig6"))
+        assert jobs_fig5 != jobs_fig6
+
+    def test_same_experiment_same_base_seed_is_reproducible(self):
+        scale = resolve_scale("tiny")
+        seed = experiment_seed(0, "fig7")
+        assert batch_workload(scale, seed) == batch_workload(scale, seed)
+
+    def test_online_arrivals_differ_from_adjacent_trial(self):
+        # End-to-end form of the ``seed + 1`` regression: the arrival stamps
+        # of trial 0 must not replay trial 1's workload draws.
+        scale = resolve_scale("tiny")
+        trial0 = online_workload(scale, 0, load=0.6, total_slots=64)
+        trial1 = online_workload(scale, 1, load=0.6, total_slots=64)
+        assert trial0 != trial1

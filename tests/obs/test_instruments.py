@@ -142,3 +142,42 @@ class TestNetworkGauges:
         # A spread tenant puts mean demand on some machine uplink, so the
         # worst-case headroom can only shrink (or stay equal if co-located).
         assert after <= before
+
+
+class TestExperimentInstruments:
+    def test_families_present_before_traffic(self, fresh_registry):
+        instruments.experiment_instruments()
+        completed = fresh_registry.get(
+            "repro_experiment_cells_completed_total", experiment="none"
+        )
+        seconds = fresh_registry.get(
+            "repro_experiment_cell_seconds", experiment="none"
+        )
+        assert completed.value == 0
+        assert seconds.count == 0
+
+    def test_cell_completed_records_count_and_wall_time(self, fresh_registry):
+        obs = instruments.experiment_instruments()
+        obs.cell_completed("fig8", 0.3)
+        obs.cell_completed("fig8", 1.7)
+        obs.cell_completed("fig9", 0.05)
+        assert fresh_registry.get(
+            "repro_experiment_cells_completed_total", experiment="fig8"
+        ).value == 2
+        histogram = fresh_registry.get(
+            "repro_experiment_cell_seconds", experiment="fig8"
+        )
+        assert histogram.count == 2
+        assert histogram.total == 2.0
+        assert fresh_registry.get(
+            "repro_experiment_cells_completed_total", experiment="fig9"
+        ).value == 1
+
+    def test_disabled_instrumentation_is_a_noop(self, fresh_registry):
+        instruments.configure(enabled=False)
+        obs = instruments.experiment_instruments()
+        obs.cell_completed("fig8", 0.3)  # must not touch (or need) a registry
+        instruments.configure(enabled=True)
+        assert fresh_registry.get(
+            "repro_experiment_cells_completed_total", experiment="fig8"
+        ) is None

@@ -151,3 +151,95 @@ class TestFairnessProperties:
                             bottlenecked = True
                             break
                 assert bottlenecked, f"flow {flow} throttled without a bottleneck"
+
+
+@st.composite
+def degenerate_networks(draw):
+    """Adversarial inputs: zero-capacity links, duplicated demands spanning
+    ten orders of magnitude, optionally-empty paths — the terrain where the
+    water-filling loop's freeze condition and numerical-stall guard live."""
+    num_links = draw(st.integers(min_value=1, max_value=5))
+    num_flows = draw(st.integers(min_value=1, max_value=10))
+    capacities = [
+        draw(st.one_of(st.just(0.0), st.floats(min_value=0.0, max_value=1e3)))
+        for _ in range(num_links)
+    ]
+    base_demand = draw(st.floats(min_value=0.0, max_value=100.0))
+    demands = [
+        draw(
+            st.one_of(
+                st.just(base_demand),  # ties: many flows freeze in one round
+                st.floats(min_value=0.0, max_value=1e3),
+                st.floats(min_value=0.0, max_value=1e-7),  # below/near tolerance
+            )
+        )
+        for _ in range(num_flows)
+    ]
+    paths = [
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_links - 1),
+                unique=True,
+                max_size=num_links,
+            )
+        )
+        for _ in range(num_flows)
+    ]
+    return demands, paths, capacities
+
+
+class TestEdgeCaseProperties:
+    @given(
+        demands=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=0, max_size=20
+        ),
+        num_links=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_all_linkless_flows_get_exact_demand(self, demands, num_links):
+        # No flow crosses any link: the allocation is the demand vector,
+        # bit for bit, regardless of how many (unused) links exist.
+        capacities = [10.0] * num_links
+        rates = rates_for(demands, [[] for _ in demands], capacities)
+        assert rates.tolist() == demands
+
+    @given(network=degenerate_networks())
+    @settings(max_examples=200, deadline=None)
+    def test_degenerate_networks_converge_with_invariants(self, network):
+        # The convergence loop must terminate (the stall guard's job when
+        # float cancellation leaves no flow provably freezable) and the two
+        # safety invariants must survive zero capacities and demand ties.
+        demands, paths, capacities = network
+        rates = rates_for(demands, paths, capacities)
+        assert (rates >= 0.0).all()
+        assert (rates <= np.asarray(demands) + 1e-6).all()
+        usage = np.zeros(len(capacities))
+        for flow, path in enumerate(paths):
+            for link in path:
+                usage[link] += rates[flow]
+        assert (usage <= np.asarray(capacities) + 1e-6).all()
+
+    @given(network=degenerate_networks())
+    @settings(max_examples=200, deadline=None)
+    def test_zero_capacity_links_starve_their_flows(self, network):
+        demands, paths, capacities = network
+        rates = rates_for(demands, paths, capacities)
+        for flow, path in enumerate(paths):
+            if any(capacities[link] == 0.0 for link in path):
+                assert rates[flow] <= 1e-6
+
+    @given(
+        num_flows=st.integers(min_value=2, max_value=40),
+        capacity=st.floats(min_value=1e-12, max_value=1e-6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_near_zero_capacity_ties_terminate(self, num_flows, capacity):
+        # Every flow shares one hairline link with an identical demand just
+        # above the freeze tolerance: per-flow shares and the fill level
+        # agree to within float error, the regime the stall guard exists
+        # for.  The call must return (not spin to _MAX_ROUNDS) and split
+        # the link evenly.
+        demands = [1e-8] * num_flows
+        rates = rates_for(demands, [[0]] * num_flows, [capacity])
+        assert (rates >= 0.0).all()
+        assert rates.sum() <= capacity + 1e-9 or rates.sum() <= sum(demands) + 1e-9

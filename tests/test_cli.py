@@ -82,6 +82,47 @@ class TestOverrideFlags:
         assert "--epsilon" in caplog.text and "--allocator" in caplog.text
 
 
+class TestHarnessFlags:
+    def test_parallel_flags_parse(self):
+        args = build_parser().parse_args(
+            ["all", "--workers", "4", "--run-dir", "/tmp/sweep", "--resume"]
+        )
+        assert args.workers == 4
+        assert args.run_dir == "/tmp/sweep"
+        assert args.resume is True
+
+    def test_parallel_flags_default_to_sequential(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.workers == 1
+        assert args.run_dir is None
+        assert args.resume is False
+
+    def test_resume_requires_run_dir(self):
+        assert main(["fig8", "--scale", "tiny", "--resume"]) == 2
+
+    @pytest.mark.slow
+    def test_run_dir_reuse_without_resume_exits_2(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        assert main(["fig8", "--scale", "tiny", "--run-dir", run_dir]) == 0
+        capsys.readouterr()
+        assert main(["fig8", "--scale", "tiny", "--run-dir", run_dir]) == 2
+
+    @pytest.mark.slow
+    def test_workers_and_resume_reproduce_sequential_output(self, tmp_path, capsys):
+        assert main(["fig8", "--scale", "tiny"]) == 0
+        sequential = capsys.readouterr().out
+        run_dir = str(tmp_path / "run")
+        assert (
+            main(["fig8", "--scale", "tiny", "--workers", "2", "--run-dir", run_dir])
+            == 0
+        )
+        assert capsys.readouterr().out == sequential
+        assert (
+            main(["fig8", "--scale", "tiny", "--run-dir", run_dir, "--resume"]) == 0
+        )
+        assert capsys.readouterr().out == sequential
+
+
 class TestServeRouting:
     def test_serve_is_dispatched_before_experiment_parsing(self, monkeypatch):
         import repro.service.server as server
