@@ -1,0 +1,62 @@
+"""Provenance stamping for benchmark artifacts.
+
+Every ``BENCH_*.json`` this suite writes carries a ``provenance`` block —
+git commit, host, python version, UTC timestamp — so a checked-in or
+CI-uploaded artifact can always be traced back to the tree and machine
+that produced it.  Numbers without provenance age into folklore.
+
+Usage (all bench scripts)::
+
+    from _provenance import stamped
+
+    payload = stamped({...results...})
+    json.dump(payload, handle, indent=2, sort_keys=True)
+"""
+
+from __future__ import annotations
+
+import platform
+import socket
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git(*args: str) -> str:
+    """One git query against the repo this file lives in; '' on any failure
+    (benchmarks must run from exported tarballs too)."""
+    try:
+        return subprocess.run(
+            ["git", *args],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return ""
+
+
+def provenance() -> Dict[str, Any]:
+    """The stamp itself: where, when, and from what source these numbers came."""
+    commit = _git("rev-parse", "HEAD")
+    dirty = bool(_git("status", "--porcelain")) if commit else False
+    return {
+        "git_commit": commit or None,
+        "git_dirty": dirty,
+        "host": socket.gethostname(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(),
+    }
+
+
+def stamped(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The payload with a ``provenance`` block added (in place, returned)."""
+    payload["provenance"] = provenance()
+    return payload

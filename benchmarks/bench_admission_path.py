@@ -32,6 +32,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from _provenance import stamped
+
 from repro.allocation.svc_het_heuristic import SVCHeterogeneousAllocator
 from repro.allocation.svc_homogeneous import (
     AdaptedTIVCAllocator,
@@ -190,7 +192,7 @@ def main(argv=None) -> None:
         variants=tuple(args.variants),
     )
     with open(args.output, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+        json.dump(stamped(payload), handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"[bench_admission_path] wrote {args.output}")
     if "svc_dp_speedup_vs_seed" in payload:

@@ -24,6 +24,8 @@ import json
 from time import perf_counter
 from typing import Dict, List
 
+from _provenance import stamped
+
 from repro.experiments.harness import run_experiments
 from repro.experiments.runner import EXPERIMENT_MODULES
 
@@ -124,7 +126,7 @@ def main(argv=None) -> None:
         else 0.0,
     }
     with open(args.output, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+        json.dump(stamped(payload), handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"[bench_experiments] wrote {args.output}")
 

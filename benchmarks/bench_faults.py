@@ -33,6 +33,8 @@ import time
 from pathlib import Path
 from typing import Dict, List
 
+from _provenance import stamped
+
 from repro.abstractions import DeterministicVC, HomogeneousSVC
 from repro.experiments.config import SCALES
 from repro.faults.failpoints import FAILPOINTS, FP_JOURNAL_WRITE, MODE_ERROR
@@ -163,7 +165,7 @@ def main(argv=None) -> int:
         seed=args.seed,
     )
     with open(args.output, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+        json.dump(stamped(payload), handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"[bench_faults] wrote {args.output}")
     for name in ("clean", "faulty"):

@@ -24,6 +24,8 @@ import json
 import sys
 from typing import Dict, List
 
+from _provenance import stamped
+
 from bench_admission_path import run_variant
 
 from repro.obs.instruments import configure, global_registry
@@ -108,7 +110,7 @@ def main(argv=None) -> int:
         variant=args.variant,
     )
     with open(args.output, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+        json.dump(stamped(payload), handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"[bench_obs_overhead] wrote {args.output}")
     if args.metrics_output:

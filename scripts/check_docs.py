@@ -99,6 +99,7 @@ class Failure(NamedTuple):
 
 def _parsers():
     from repro.cli import build_parser
+    from repro.cluster.cluster_cli import build_cluster_parser
     from repro.faults.chaos_cli import build_chaos_parser
     from repro.service.server import build_serve_parser
     from repro.service.top import build_top_parser
@@ -107,6 +108,7 @@ def _parsers():
         "serve": build_serve_parser(),
         "top": build_top_parser(),
         "chaos": build_chaos_parser(),
+        "cluster": build_cluster_parser(),
         None: build_parser(),  # the experiment front-end
     }
 

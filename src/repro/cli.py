@@ -10,6 +10,7 @@ Examples::
     svc-repro serve --port 0 --journal-dir /var/lib/svc  # admission daemon
     svc-repro top --port 40123                  # live metrics view of a daemon
     svc-repro chaos --schedules 200             # fault-injection recovery check
+    svc-repro cluster --shards 4 --scale small  # sharded admission cluster
 """
 
 from __future__ import annotations
@@ -156,6 +157,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.faults.chaos_cli import chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        from repro.cluster.cluster_cli import cluster_main
+
+        return cluster_main(argv[1:])
     args = build_parser().parse_args(argv)
     setup_logging(args.log_level)
     if args.resume and args.run_dir is None:

@@ -1,0 +1,256 @@
+"""``svc-repro cluster`` — drive a sharded admission cluster from the shell.
+
+Two modes share one parser:
+
+* **drive** (default): build a K-shard cluster over the chosen scale, push a
+  seeded workload through the coordinator and print the routing/occupancy
+  summary.  ``--process`` runs each shard in its own child process (the
+  GIL-free configuration the throughput benchmark uses); ``--workdir`` makes
+  the run durable so a second invocation recovers and continues.
+* **chaos** (``--chaos N``): run N seeded kill/recover schedules against the
+  coordinator + shards and verify the cluster recovery contract (no lost
+  acked admissions, no reservation leaks, no double admits; see
+  :mod:`repro.cluster.chaos`).  Exit status 0 only when every schedule holds.
+
+Examples::
+
+    svc-repro cluster --shards 4 --scale small --requests 200
+    svc-repro cluster --shards 2 --workdir /tmp/cluster --requests 50
+    svc-repro cluster --chaos 200 --seed 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.config import SCALES
+from repro.logconfig import LOG_LEVELS, setup_logging
+
+
+def build_cluster_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="svc-repro cluster",
+        description=(
+            "Run a sharded admission cluster (coordinator + K shards), or its "
+            "chaos referee (--chaos N)."
+        ),
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2,
+        help="number of shards, at most one pod each (default: 2)",
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="tiny",
+        help="datacenter scale the cluster partitions (default: tiny)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed; chaos schedule i uses seed+i (default: 0)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=100,
+        help="drive mode: tenant requests to submit (default: 100)",
+    )
+    parser.add_argument(
+        "--release-prob", type=float, default=0.25,
+        help="drive mode: per-step chance an admitted tenant departs (default: 0.25)",
+    )
+    parser.add_argument(
+        "--epsilon", type=float, default=0.05,
+        help="SLA risk factor for every shard and the coordinator (default: 0.05)",
+    )
+    parser.add_argument(
+        "--process", action="store_true",
+        help="drive mode: run each shard in a child process instead of in-process",
+    )
+    parser.add_argument(
+        "--workdir", type=Path, default=None,
+        help="durability directory (WALs land here; re-running recovers from it)",
+    )
+    parser.add_argument(
+        "--chaos", type=int, default=None, metavar="N",
+        help="run N cluster chaos schedules instead of a workload drive",
+    )
+    parser.add_argument(
+        "--operations", type=int, default=40,
+        help="chaos mode: admit/release operations per schedule (default: 40)",
+    )
+    parser.add_argument(
+        "--stop-on-failure", action="store_true",
+        help="chaos mode: stop at the first failing schedule",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON report on stdout instead of text",
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default="error",
+        help="stderr log verbosity (default: error)",
+    )
+    return parser
+
+
+def _drive(args: argparse.Namespace, workdir: Optional[Path]) -> int:
+    """Default mode: seeded workload through a freshly built cluster."""
+    from repro.cluster.chaos import _workload_request
+    from repro.cluster.coordinator import ClusterCoordinator, CoordinatorError
+    from repro.cluster.partition import ClusterPartition
+    from repro.cluster.rebalance import ShardLoadRebalancer
+    from repro.cluster.shard import LocalShard
+    from repro.service.errors import ServiceError
+
+    spec = SCALES[args.scale].spec
+    partition = ClusterPartition.build(spec, args.shards)
+    if args.process:
+        from repro.cluster.worker import ProcessShard, wait_for_shards
+
+        shards: List[Any] = [
+            ProcessShard(
+                view,
+                workdir / f"shard-{view.shard_index}" if workdir else None,
+                epsilon=args.epsilon,
+            )
+            for view in partition.shards
+        ]
+        wait_for_shards(shards)
+    else:
+        shards = [
+            LocalShard(
+                view,
+                workdir / f"shard-{view.shard_index}" if workdir else None,
+                epsilon=args.epsilon,
+            )
+            for view in partition.shards
+        ]
+    coordinator = ClusterCoordinator(
+        partition,
+        shards,
+        directory=workdir,
+        epsilon=args.epsilon,
+        rebalancer=ShardLoadRebalancer(args.shards, interval_s=0.0),
+    )
+    rng = random.Random(args.seed)
+    shard_slots = partition.shards[0].total_slots
+    routes: Dict[str, int] = {}
+    active: List[int] = []
+    errors = 0
+    try:
+        for index in range(args.requests):
+            if active and rng.random() < args.release_prob:
+                coordinator.release(active.pop(rng.randrange(len(active))))
+            request = _workload_request(rng, shard_slots)
+            try:
+                decision = coordinator.submit(
+                    request, idempotency_key=f"drive-{args.seed}-{index}"
+                )
+            except (CoordinatorError, ServiceError):
+                errors += 1
+                continue
+            route = decision.get("route", "recovered")
+            routes[route] = routes.get(route, 0) + 1
+            if decision["outcome"] == "admitted":
+                active.append(decision["request_id"])
+        coordinator.refresh_shard_stats()
+        stats = coordinator.stats()
+        report = {
+            "scale": args.scale,
+            "shards": args.shards,
+            "process_shards": bool(args.process),
+            "requests": args.requests,
+            "routes": routes,
+            "transport_errors": errors,
+            "stats": stats,
+        }
+        if args.json:
+            print(json.dumps(report, indent=2, default=str))
+        else:
+            print(
+                f"cluster: {args.requests} request(s) over {args.shards} shard(s) "
+                f"at scale {args.scale!r}"
+            )
+            for route in sorted(routes):
+                print(f"  route {route}: {routes[route]}")
+            print(
+                f"  admitted {stats['admitted_total']}, rejected "
+                f"{stats['rejected_total']}, active {stats['active_tenancies']}, "
+                f"transport errors {errors}"
+            )
+            occupancy = max(stats["core_occupancy"].values() or [0.0])
+            print(
+                f"  max core-link occupancy {occupancy:.3f}, replica max "
+                f"{stats['replica_max_occupancy']:.3f}, free slots "
+                f"{stats['free_slots']}"
+            )
+        return 0
+    finally:
+        coordinator.stop()
+        for shard in shards:
+            shard.close()
+
+
+def _chaos(args: argparse.Namespace, workdir: Path) -> int:
+    """``--chaos N``: the cluster recovery referee."""
+    from repro.cluster.chaos import ClusterChaosResult, run_cluster_chaos_suite
+
+    def progress(result: ClusterChaosResult) -> None:
+        if args.json:
+            return
+        if not result.ok:
+            sys.stderr.write(f"seed {result.seed}: FAILED {result.failures}\n")
+        elif (result.seed - args.seed + 1) % 25 == 0:
+            sys.stderr.write(
+                f"... {result.seed - args.seed + 1}/{args.chaos} schedules\n"
+            )
+
+    results = run_cluster_chaos_suite(
+        schedules=args.chaos,
+        base_seed=args.seed,
+        workdir=workdir,
+        shards=args.shards,
+        scale=args.scale,
+        operations=args.operations,
+        stop_on_failure=args.stop_on_failure,
+        progress=progress,
+    )
+    if args.json:
+        print(json.dumps({"results": [r.describe() for r in results]}, indent=2))
+    else:
+        crashed = sum(1 for r in results if r.crashed)
+        admits = sum(r.acked_admits for r in results)
+        cross = sum(r.cross_shard_admits for r in results)
+        failures = [r for r in results if not r.ok]
+        print(
+            f"cluster chaos: {len(results)} schedule(s), {crashed} crashed "
+            f"mid-run, {admits} acked admits ({cross} cross-shard)"
+        )
+        for result in failures:
+            for message in result.failures:
+                print(f"  FAIL seed={result.seed}: {message}")
+        print("cluster chaos: OK" if not failures
+              else f"cluster chaos: {len(failures)} schedule(s) FAILED")
+    return 0 if all(r.ok for r in results) else 1
+
+
+def cluster_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``svc-repro cluster``."""
+    args = build_cluster_parser().parse_args(argv)
+    setup_logging(args.log_level)
+    if args.shards < 1:
+        print("cluster: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.chaos is not None:
+        if args.workdir is not None:
+            return _chaos(args, args.workdir)
+        with tempfile.TemporaryDirectory(prefix="svc-repro-cluster-") as tmp:
+            return _chaos(args, Path(tmp))
+    return _drive(args, args.workdir)
+
+
+if __name__ == "__main__":
+    raise SystemExit(cluster_main())

@@ -1,0 +1,1084 @@
+"""Cluster coordinator: locality-first routing + two-phase core-link commits.
+
+The coordinator is the cluster's client-facing admission front-end.  It owns
+three pieces of state, all guarded by one lock (the same single-owner
+discipline as ``AdmissionService``):
+
+* a **replica** ``NetworkManager`` over the *global* tree, kept in sync by
+  applying every shard admission and release (translated to global ids).
+  Routing reads per-shard free slots from it without touching a shard, and
+  the cross-shard allocator runs on it with the exact full-tree Lemma-1
+  moments — so a placement spanning shards carries the same per-link
+  effective bandwidth ``E^L_i`` a single giant manager would compute, and
+  Eq. (1) composes across shards (DESIGN.md §9);
+* the **core-link ledger** (:mod:`repro.cluster.ledger`): the global truth
+  for aggregation-uplink capacity, with TTL'd reservations for in-flight
+  two-phase rounds;
+* a **write-ahead log** (reusing :class:`repro.service.journal.Journal`)
+  whose record order is the order coordinator state changed.
+
+Request lifecycle:
+
+* **local** — routed to one shard (most free capacity, weighted by the
+  advisory rebalancer; with a single shard this degenerates to a pass-
+  through, which is what makes the one-shard cluster bit-identical to the
+  direct service).  The shard's own serialized admission guards everything
+  it touches, including its own core links; the coordinator mirrors the
+  decision into replica + ledger after the ack.
+* **cross-shard** — placement computed on the replica, then a two-phase
+  round: ``reserve`` effective bandwidth on the ledger (TTL'd), journal the
+  intent, ``adopt`` one revalidated fragment per shard, ``commit`` the
+  reservation (or release every adopted fragment and ``abort`` on any
+  conflict).  Every step is idempotent per global request id, so crash
+  recovery can re-walk the protocol without double-counting or leaking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.abstractions.requests import (
+    DeterministicVC,
+    HeterogeneousSVC,
+    HomogeneousSVC,
+    VirtualClusterRequest,
+)
+from repro.allocation.base import Allocation
+from repro.cluster.ledger import CoreDemand, CoreLinkLedger, core_demands_of
+from repro.cluster.partition import ClusterPartition
+from repro.cluster.rebalance import ShardLoadRebalancer
+from repro.cluster.shard import ShardHandle
+from repro.faults.failpoints import (
+    FAILPOINTS,
+    FP_COORD_AFTER_COMMIT,
+    FP_COORD_AFTER_RESERVE,
+    FP_COORD_BEFORE_COMMIT,
+    FP_COORD_BEFORE_WAL,
+    InjectedCrash,
+)
+from repro.manager.network_manager import NetworkManager
+from repro.obs.instruments import cluster_instruments
+from repro.service.codec import allocation_from_dict, allocation_to_dict
+from repro.service.errors import ConflictError, ServiceError
+from repro.service.journal import Journal
+
+logger = logging.getLogger(__name__)
+
+#: Coordinator WAL record types.  Unknown ops are skipped at replay, same
+#: forward-compatibility contract as ``recover_manager``.
+OP_RINTENT = "rintent"    # keyed single-shard submit routed, awaiting decision
+OP_RADMIT = "radmit"      # single-shard admission acknowledged by its shard
+OP_RREJECT = "rreject"    # keyed rejection decided
+OP_XINTENT = "xintent"    # two-phase round: reserved + fragments chosen
+OP_XCOMMIT = "xcommit"    # two-phase round: all fragments adopted
+OP_XABORT = "xabort"      # two-phase round: rolled back
+OP_RELEASE = "release"    # tenant departure completed
+
+ROUTE_LOCAL = "local"
+ROUTE_CROSS = "cross_shard"
+ROUTE_SPILL = "spill"
+ROUTE_REJECT = "reject"
+ROUTE_DEDUP = "dedup"
+
+WAL_FILENAME = "coordinator.jsonl"
+
+
+class CoordinatorError(ServiceError):
+    """The coordinator could not produce a decision (outcome unknown)."""
+
+
+class ClusterCoordinator:
+    """Routes admissions over K shards; owns the global request-id space."""
+
+    def __init__(
+        self,
+        partition: ClusterPartition,
+        shards: Sequence[ShardHandle],
+        *,
+        directory: Optional[Path] = None,
+        epsilon: float = 0.05,
+        allocator=None,
+        fsync: bool = False,
+        reserve_ttl_s: float = 30.0,
+        max_cross_retries: int = 2,
+        decision_timeout_s: float = 30.0,
+        rebalancer: Optional[ShardLoadRebalancer] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if len(shards) != partition.num_shards:
+            raise ValueError(
+                f"partition has {partition.num_shards} shards, got {len(shards)} handles"
+            )
+        self.partition = partition
+        self.shards = list(shards)
+        self.clock = clock
+        self.decision_timeout_s = decision_timeout_s
+        self.max_cross_retries = max_cross_retries
+        self.replica = NetworkManager(partition.tree, epsilon=epsilon, allocator=allocator)
+        self.ledger = CoreLinkLedger(
+            partition.tree,
+            partition.core_link_ids,
+            epsilon=epsilon,
+            reserve_ttl_s=reserve_ttl_s,
+            clock=clock,
+        )
+        self.rebalancer = rebalancer
+        self._lock = threading.RLock()
+        self._next_gid = 1
+        #: global id -> {shard index -> shard-local request id}.
+        self._gid_map: Dict[int, Dict[int, int]] = {}
+        #: (shard index, shard-local request id) -> global id.
+        self._srid_map: Dict[Tuple[int, int], int] = {}
+        #: client idempotency key -> decision payload.
+        self._idem: Dict[str, Dict[str, Any]] = {}
+        #: client keys with a decision currently in flight (double-submit guard).
+        self._inflight: set = set()
+        #: shard index -> VMs of submits routed there but not yet decided;
+        #: routing discounts these so concurrent submits spread across
+        #: shards instead of piling onto the momentarily-most-free one.
+        self._inflight_vms: Dict[int, int] = {}
+        self._shard_stats: Dict[int, Dict[str, Any]] = {}
+        self.admitted_count = 0
+        self.rejected_count = 0
+        self._wal: Optional[Journal] = None
+        if directory is not None:
+            directory = Path(directory)
+            directory.mkdir(parents=True, exist_ok=True)
+            self._wal = Journal(directory / WAL_FILENAME, fsync=fsync)
+        self._obs = cluster_instruments()
+        self._obs.bind_coordinator(self)
+        if self._wal is not None and self._wal.next_seq > 1:
+            self._recover()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def active_tenancies(self) -> int:
+        with self._lock:
+            return len(self._gid_map)
+
+    def fragments_of(self, gid: int) -> Optional[Dict[int, int]]:
+        with self._lock:
+            entry = self._gid_map.get(gid)
+            return dict(entry) if entry is not None else None
+
+    def allocation_of(self, gid: int) -> Optional[Allocation]:
+        """The admitted global-id allocation for one tenant, or None."""
+        with self._lock:
+            tenancy = self.replica.get_tenancy(gid)
+            return tenancy.allocation if tenancy is not None else None
+
+    def shard_free_slots(self, shard_index: int) -> int:
+        """Free slots of one shard, read from the replica (no shard RPC)."""
+        view = self.shards[shard_index].view
+        state = self.replica.state
+        return sum(state.free_slots_under(agg) for agg in view.core_link_ids)
+
+    def cached_shard_stat(self, shard_index: int, field: str) -> float:
+        """Last collected shard summary value (0 before the first refresh)."""
+        stats = self._shard_stats.get(shard_index)
+        return float(stats.get(field, 0)) if stats else 0.0
+
+    def refresh_shard_stats(self) -> List[Dict[str, Any]]:
+        """Collect per-shard summaries; feeds the rebalancer and the gauges."""
+        summaries = []
+        for shard in self.shards:
+            try:
+                stats = shard.stats()
+            except ServiceError as exc:
+                stats = {
+                    "shard": shard.index,
+                    "free_slots": 0,
+                    "total_slots": shard.view.total_slots,
+                    "queue_depth": 0,
+                    "active_tenancies": 0,
+                    "max_occupancy": 0.0,
+                    "error": str(exc),
+                }
+            self._shard_stats[shard.index] = stats
+            summaries.append(stats)
+        if self.rebalancer is not None:
+            self.rebalancer.maybe_update(summaries)
+        return summaries
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            payload = {
+                "shards": self.num_shards,
+                "admitted_total": self.admitted_count,
+                "rejected_total": self.rejected_count,
+                "active_tenancies": len(self._gid_map),
+                "pending_reservations": self.ledger.pending_reservations,
+                "core_occupancy": self.ledger.occupancies(),
+                "replica_max_occupancy": self.replica.max_occupancy(),
+                "free_slots": {
+                    shard.index: self.shard_free_slots(shard.index)
+                    for shard in self.shards
+                },
+            }
+            if self.rebalancer is not None:
+                payload["rebalancer"] = self.rebalancer.describe()
+            return payload
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _route(self, request: VirtualClusterRequest) -> int:
+        """Locality-first: the shard with the most weighted free capacity.
+
+        Shards that can hold the whole cluster are preferred; when none
+        can, the fullest-but-best shard still gets the request so its
+        allocator produces the authoritative rejection (keeping per-shard
+        decision streams identical to a standalone service's).
+        """
+        weights = (
+            self.rebalancer.weights()
+            if self.rebalancer is not None
+            else (1.0,) * self.num_shards
+        )
+        scored = []
+        for shard in self.shards:
+            free = max(
+                0,
+                self.shard_free_slots(shard.index)
+                - self._inflight_vms.get(shard.index, 0),
+            )
+            scored.append((free * weights[shard.index], free, shard.index))
+        fitting = [row for row in scored if row[1] >= request.n_vms]
+        pool = fitting if fitting else scored
+        pool.sort(key=lambda row: (-row[0], row[2]))
+        return pool[0][2]
+
+    # ------------------------------------------------------------------
+    # Submit
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        request: VirtualClusterRequest,
+        idempotency_key: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Admit or reject one tenant request; returns the decision payload.
+
+        Raises :class:`CoordinatorError` (or a transport
+        :class:`ServiceError`) when the outcome is *unknown* — the caller
+        retries with the same ``idempotency_key`` and converges on the
+        journaled decision.
+        """
+        if idempotency_key is None:
+            return self._submit(request, None, timeout)
+        with self._lock:
+            known = self._idem.get(idempotency_key)
+            if known is not None:
+                self._obs.routing(ROUTE_DEDUP)
+                return dict(known, deduped=True)
+            if idempotency_key in self._inflight:
+                raise CoordinatorError(
+                    f"key {idempotency_key!r} already has a decision in "
+                    "flight; retry after it resolves"
+                )
+            self._inflight.add(idempotency_key)
+        try:
+            return self._submit(request, idempotency_key, timeout)
+        finally:
+            with self._lock:
+                self._inflight.discard(idempotency_key)
+
+    def _submit(
+        self,
+        request: VirtualClusterRequest,
+        idempotency_key: Optional[str],
+        timeout: Optional[float],
+    ) -> Dict[str, Any]:
+        started = self.clock()
+        with self._lock:
+            for _expired in self.ledger.expire():
+                self._obs.reservation("expire")
+            if idempotency_key is not None:
+                known = self._idem.get(idempotency_key)
+                if known is not None:
+                    self._obs.routing(ROUTE_DEDUP)
+                    return dict(known, deduped=True)
+            gid = self._next_gid
+            self._next_gid += 1
+            target = self._route(request)
+            FAILPOINTS.hit(FP_COORD_BEFORE_WAL)
+            # The shard sees a per-gid key, never the client's: retries
+            # after a rolled-back round get a fresh gid and therefore a
+            # clean shard-side dedup slate, while client-level dedup lives
+            # in the coordinator's own WAL-rebuilt index.
+            skey = f"r-{gid}"
+            if self._wal is not None:
+                try:
+                    self._wal.append(
+                        OP_RINTENT, gid=gid, idem=idempotency_key,
+                        skey=skey, shard=target,
+                    )
+                except InjectedCrash:
+                    raise
+                except Exception as exc:
+                    # Nothing happened yet beyond burning a gid; the
+                    # outcome is unknown to the caller, who retries.
+                    raise CoordinatorError(
+                        f"intent not journaled ({type(exc).__name__})"
+                    ) from exc
+            pending = int(request.n_vms)
+            self._inflight_vms[target] = self._inflight_vms.get(target, 0) + pending
+        try:
+            decision = self.shards[target].submit(
+                request,
+                idempotency_key=skey,
+                timeout=self.decision_timeout_s if timeout is None else timeout,
+            )
+            outcome = decision.get("outcome")
+            if outcome == "admitted":
+                return self._complete_local_admit(
+                    gid, target, decision, idempotency_key, started
+                )
+            if outcome == "rejected":
+                if self.num_shards > 1:
+                    return self._submit_cross(
+                        request, gid, idempotency_key, started, first_reject=decision
+                    )
+                return self._complete_reject(
+                    gid, idempotency_key, decision.get("detail"), started, ROUTE_REJECT
+                )
+            raise CoordinatorError(
+                f"shard {target} returned outcome {outcome!r} (ticket unresolved?)"
+            )
+        finally:
+            with self._lock:
+                remaining = self._inflight_vms.get(target, 0) - pending
+                if remaining > 0:
+                    self._inflight_vms[target] = remaining
+                else:
+                    self._inflight_vms.pop(target, None)
+
+    def _complete_local_admit(
+        self,
+        gid: int,
+        shard_index: int,
+        decision: Dict[str, Any],
+        idempotency_key: Optional[str],
+        started: float,
+    ) -> Dict[str, Any]:
+        srid = decision["request_id"]
+        local_allocation = decision.get("allocation")
+        with self._lock:
+            existing = self._srid_map.get((shard_index, srid))
+            if existing is not None:
+                # The shard deduplicated a retried key onto a tenancy the
+                # coordinator already accounts for — reuse its global id.
+                payload = self._decision(
+                    existing, "admitted", decision.get("detail"), ROUTE_LOCAL
+                )
+                self._remember(idempotency_key, payload)
+                self._obs.routing(ROUTE_DEDUP)
+                return payload
+            if local_allocation is None:
+                raise CoordinatorError(
+                    f"shard {shard_index} acked request {srid} without an allocation"
+                )
+            view = self.shards[shard_index].view
+            global_allocation = view.allocation_to_global(local_allocation, request_id=gid)
+            if self._wal is not None:
+                try:
+                    self._wal.append(
+                        OP_RADMIT,
+                        gid=gid,
+                        shard=shard_index,
+                        srid=srid,
+                        idem=idempotency_key,
+                        allocation=allocation_to_dict(global_allocation),
+                    )
+                except InjectedCrash:
+                    raise
+                except Exception as exc:
+                    # The WAL will not remember this admission, so the
+                    # shard must forget it too (same rollback discipline
+                    # as the shard's own journal failures).
+                    try:
+                        self.shards[shard_index].release(srid)
+                    except ServiceError:
+                        logger.warning(
+                            "gid=%d: rollback release on shard %d failed; "
+                            "recovery will settle it", gid, shard_index,
+                        )
+                    raise CoordinatorError(
+                        f"admission not journaled ({type(exc).__name__}); "
+                        "rolled back"
+                    ) from exc
+            self.replica.adopt(global_allocation)
+            core = core_demands_of(global_allocation, self.partition.core_link_ids)
+            if core:
+                self.ledger.commit_direct(gid, core)
+                self._obs.reservation("mirror")
+            self._gid_map[gid] = {shard_index: srid}
+            self._srid_map[(shard_index, srid)] = gid
+            self.admitted_count += 1
+            payload = self._decision(
+                gid, "admitted", decision.get("detail"), ROUTE_LOCAL
+            )
+            self._remember(idempotency_key, payload)
+            self._obs.routing(ROUTE_LOCAL)
+            self._obs.observe_latency("local", self.clock() - started)
+            return payload
+
+    def _complete_reject(
+        self,
+        gid: int,
+        idempotency_key: Optional[str],
+        detail: Optional[str],
+        started: float,
+        route: str,
+    ) -> Dict[str, Any]:
+        with self._lock:
+            if self._wal is not None and idempotency_key is not None:
+                try:
+                    self._wal.append(OP_RREJECT, gid=gid, idem=idempotency_key)
+                except InjectedCrash:
+                    raise
+                except Exception as exc:
+                    # Roll forward: a lost reject record only means a
+                    # post-crash retry re-runs the (deterministic) decision.
+                    logger.warning("gid=%d: reject not journaled: %s", gid, exc)
+            self.rejected_count += 1
+            payload = self._decision(gid, "rejected", detail, route)
+            self._remember(idempotency_key, payload)
+            self._obs.routing(route)
+            self._obs.observe_latency("local", self.clock() - started)
+            return payload
+
+    # ------------------------------------------------------------------
+    # Cross-shard two-phase path
+    # ------------------------------------------------------------------
+
+    def _submit_cross(
+        self,
+        request: VirtualClusterRequest,
+        gid: int,
+        idempotency_key: Optional[str],
+        started: float,
+        first_reject: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        last_detail = first_reject.get("detail")
+        for attempt in range(1 + self.max_cross_retries):
+            fragment_key = f"xfrag-{gid}-r{attempt}"
+            with self._lock:
+                allocation = self.replica.allocator.allocate(
+                    self.replica.state, request, gid
+                )
+                if allocation is None:
+                    return self._complete_reject(
+                        gid, idempotency_key, last_detail, started, ROUTE_REJECT
+                    )
+                core = core_demands_of(allocation, self.partition.core_link_ids)
+                if not self.ledger.reserve(gid, core):
+                    self._obs.reservation("reserve_denied")
+                    return self._complete_reject(
+                        gid,
+                        idempotency_key,
+                        "core links at capacity (reservation denied)",
+                        started,
+                        ROUTE_REJECT,
+                    )
+                self._obs.reservation("reserve")
+                FAILPOINTS.hit(FP_COORD_AFTER_RESERVE)
+                fragments = self._fragment(allocation)
+                if self._wal is not None:
+                    try:
+                        self._wal.append(
+                            OP_XINTENT,
+                            gid=gid,
+                            idem=idempotency_key,
+                            fkey=fragment_key,
+                            allocation=allocation_to_dict(allocation),
+                            fragments={
+                                str(shard_index): allocation_to_dict(fragment)
+                                for shard_index, fragment in fragments.items()
+                            },
+                            core={
+                                str(link_id): demand.to_dict()
+                                for link_id, demand in core.items()
+                            },
+                        )
+                    except InjectedCrash:
+                        raise
+                    except Exception as exc:
+                        self.ledger.abort(gid)
+                        self._obs.reservation("abort")
+                        raise CoordinatorError(
+                            f"two-phase intent not journaled "
+                            f"({type(exc).__name__}); reservation aborted"
+                        ) from exc
+            adopted: Dict[int, int] = {}
+            failure: Optional[Exception] = None
+            for shard_index in sorted(fragments):
+                try:
+                    adopted[shard_index] = self.shards[shard_index].adopt(
+                        fragments[shard_index], idempotency_key=fragment_key
+                    )
+                except ConflictError as exc:
+                    failure = exc
+                    break
+                except ServiceError as exc:
+                    failure = exc
+                    break
+            if failure is None:
+                with self._lock:
+                    FAILPOINTS.hit(FP_COORD_BEFORE_COMMIT)
+                    self.ledger.commit(gid)
+                    self._obs.reservation("commit")
+                    if self._wal is not None:
+                        try:
+                            self._wal.append(
+                                OP_XCOMMIT,
+                                gid=gid,
+                                idem=idempotency_key,
+                                srids={
+                                    str(shard_index): srid
+                                    for shard_index, srid in adopted.items()
+                                },
+                            )
+                        except InjectedCrash:
+                            raise
+                        except Exception as exc:
+                            # Without the commit record, recovery would
+                            # presume-abort this round — make the live
+                            # process agree: undo everything and report
+                            # the outcome as unknown.
+                            for shard_index, srid in adopted.items():
+                                try:
+                                    self.shards[shard_index].release(srid)
+                                except ServiceError:
+                                    logger.warning(
+                                        "gid=%d: commit rollback on shard %d "
+                                        "failed; recovery will presume-abort",
+                                        gid, shard_index,
+                                    )
+                            self.ledger.release(gid)
+                            self._obs.reservation("abort")
+                            raise CoordinatorError(
+                                f"commit not journaled ({type(exc).__name__}); "
+                                "round rolled back"
+                            ) from exc
+                    FAILPOINTS.hit(FP_COORD_AFTER_COMMIT)
+                    self.replica.adopt(allocation)
+                    self._gid_map[gid] = dict(adopted)
+                    for shard_index, srid in adopted.items():
+                        self._srid_map[(shard_index, srid)] = gid
+                    self.admitted_count += 1
+                    route = ROUTE_SPILL if len(fragments) == 1 else ROUTE_CROSS
+                    payload = self._decision(gid, "admitted", None, route)
+                    self._remember(idempotency_key, payload)
+                    self._obs.routing(route)
+                    self._obs.observe_latency("cross", self.clock() - started)
+                    return payload
+            # Roll back this round: release adopted fragments, abort the
+            # reservation, journal the abort, then retry or give up.
+            for shard_index, srid in adopted.items():
+                try:
+                    self.shards[shard_index].release(srid)
+                except ServiceError:
+                    logger.warning(
+                        "gid=%d: fragment release on shard %d failed; recovery "
+                        "will presume-abort it", gid, shard_index,
+                    )
+            with self._lock:
+                self.ledger.abort(gid)
+                self._obs.reservation("abort")
+                if self._wal is not None:
+                    try:
+                        self._wal.append(OP_XABORT, gid=gid)
+                    except InjectedCrash:
+                        raise
+                    except Exception as exc:
+                        # Roll forward: a missing abort record just means
+                        # recovery presumes the abort from the dangling
+                        # intent, which lands in the same place.
+                        logger.warning("gid=%d: abort not journaled: %s", gid, exc)
+            if isinstance(failure, ConflictError):
+                last_detail = f"cross-shard conflict: {failure}"
+                continue
+            raise CoordinatorError(
+                f"cross-shard round for gid={gid} failed: {failure}"
+            ) from failure
+        return self._complete_reject(
+            gid,
+            idempotency_key,
+            last_detail or "cross-shard placement kept conflicting",
+            started,
+            ROUTE_REJECT,
+        )
+
+    def _fragment(self, allocation: Allocation) -> Dict[int, Allocation]:
+        """Split a global allocation into per-shard sub-allocations.
+
+        Each fragment carries the *exact* per-link demands the full-tree
+        placement computed (including the shard's own aggregation uplinks),
+        translated to shard-local ids, plus a sub-request sized to the VMs
+        the shard hosts — so shard-side revalidation and release math see
+        precisely this tenant's footprint on their links, never a
+        recomputed (and differently-split) one.
+        """
+        partition = self.partition
+        per_shard_machines: Dict[int, Dict[int, int]] = {}
+        for machine_id, count in allocation.machine_counts.items():
+            shard_index = partition.node_to_shard[machine_id]
+            per_shard_machines.setdefault(shard_index, {})[machine_id] = count
+        per_shard_links: Dict[int, Dict[int, Any]] = {
+            shard_index: {} for shard_index in per_shard_machines
+        }
+        for link_id, demand in allocation.link_demands.items():
+            shard_index = partition.node_to_shard[link_id]
+            # A link of a shard no VM landed in cannot carry hose demand.
+            per_shard_links.setdefault(shard_index, {})[link_id] = demand
+        fragments: Dict[int, Allocation] = {}
+        for shard_index, machines in per_shard_machines.items():
+            view = self.shards[shard_index].view
+            placed = sum(machines.values())
+            sub_request, machine_vms = self._sub_request(
+                allocation, machines, placed
+            )
+            fragments[shard_index] = Allocation(
+                request=sub_request,
+                request_id=allocation.request_id,
+                host_node=view.tree.root_id,
+                machine_counts={
+                    view.from_global[machine_id]: count
+                    for machine_id, count in machines.items()
+                },
+                link_demands={
+                    view.from_global[link_id]: demand
+                    for link_id, demand in per_shard_links.get(shard_index, {}).items()
+                },
+                machine_vms=(
+                    {
+                        view.from_global[machine_id]: vms
+                        for machine_id, vms in machine_vms.items()
+                    }
+                    if machine_vms is not None
+                    else None
+                ),
+            )
+        return fragments
+
+    @staticmethod
+    def _sub_request(
+        allocation: Allocation, machines: Dict[int, int], placed: int
+    ) -> Tuple[VirtualClusterRequest, Optional[Dict[int, Tuple[int, ...]]]]:
+        """A request describing only the VMs one shard hosts.
+
+        For heterogeneous requests the hosted VM indices are remapped to a
+        dense ``0..k-1`` range (ascending original index) so the fragment
+        is a self-consistent ``HeterogeneousSVC``.
+        """
+        request = allocation.request
+        if isinstance(request, HeterogeneousSVC):
+            if allocation.machine_vms is None:
+                raise CoordinatorError(
+                    "heterogeneous allocation lacks VM identities; cannot fragment"
+                )
+            hosted: List[int] = []
+            for machine_id in machines:
+                hosted.extend(allocation.machine_vms[machine_id])
+            hosted.sort()
+            remap = {vm: index for index, vm in enumerate(hosted)}
+            machine_vms = {
+                machine_id: tuple(remap[vm] for vm in allocation.machine_vms[machine_id])
+                for machine_id in machines
+            }
+            sub = HeterogeneousSVC(
+                n_vms=len(hosted),
+                demands=tuple(request.demands[vm] for vm in hosted),
+            )
+            return sub, machine_vms
+        if isinstance(request, DeterministicVC):
+            return DeterministicVC(n_vms=placed, bandwidth=request.bandwidth), None
+        if isinstance(request, HomogeneousSVC):
+            return HomogeneousSVC(n_vms=placed, mean=request.mean, std=request.std), None
+        raise CoordinatorError(f"cannot fragment request type {type(request).__name__}")
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+
+    def release(self, gid: int) -> bool:
+        """Release one admitted tenant across all its shards; False if unknown.
+
+        Raises :class:`CoordinatorError` when the outcome is *unknown*: a
+        fragment could not be released at its shard AND the release record
+        could not be journaled, so no durable store records the departure.
+        The caller retries ``release(gid)`` — fragment releases and the
+        WAL append are both idempotent.
+        """
+        with self._lock:
+            entry = self._gid_map.get(gid)
+            if entry is None:
+                return False
+            fragments = dict(entry)
+        shard_failures = 0
+        for shard_index, srid in sorted(fragments.items()):
+            try:
+                self.shards[shard_index].release(srid)
+            except ServiceError:
+                shard_failures += 1
+                logger.warning(
+                    "gid=%d: release on shard %d failed; recovery will finish it",
+                    gid, shard_index,
+                )
+        with self._lock:
+            journaled = False
+            if shard_failures and self._wal is not None:
+                # The failed shards' journals still carry their fragments,
+                # so this WAL record is the only durable evidence of the
+                # departure — it must land before the release is acked, or
+                # recovery would re-adopt the surviving fragments.
+                try:
+                    self._wal.append(OP_RELEASE, gid=gid)
+                except InjectedCrash:
+                    raise
+                except Exception as exc:
+                    # Nothing durable records the release; keep the maps
+                    # intact so a retry re-runs the idempotent steps.
+                    raise CoordinatorError(
+                        f"release of gid {gid} not journaled "
+                        f"({type(exc).__name__}); outcome unknown"
+                    ) from exc
+                journaled = True
+            if self._gid_map.pop(gid, None) is None:
+                return True  # lost a race with a concurrent release
+            for shard_index, srid in fragments.items():
+                self._srid_map.pop((shard_index, srid), None)
+            tenancy = self.replica.get_tenancy(gid)
+            if tenancy is not None:
+                self.replica.release(tenancy)
+            self.ledger.release(gid)
+            if self._wal is not None and not journaled:
+                try:
+                    self._wal.append(OP_RELEASE, gid=gid)
+                except InjectedCrash:
+                    raise
+                except Exception as exc:
+                    # Roll forward: every fragment is gone from its shard
+                    # journal, so recovery's release-completion pass will
+                    # finish the job without this record.
+                    logger.warning("gid=%d: release not journaled: %s", gid, exc)
+        return True
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop the coordinator (shards are owned by the caller)."""
+        if self._wal is not None:
+            self._wal.close()
+
+    def kill(self) -> None:
+        """Chaos-harness death: drop the WAL handle without any drain."""
+        if self._wal is not None:
+            self._wal.close()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild coordinator state from the WAL + the recovered shards.
+
+        The shards recover themselves (their own WALs) before the
+        coordinator is constructed; this pass reconciles the coordinator's
+        view with what each shard actually journaled: dangling two-phase
+        rounds are presumed aborted, in-flight keyed submits resolve to
+        the shard's journaled decision, half-done releases are finished,
+        and shard tenancies the WAL never acknowledged are re-attached
+        under fresh global ids.  Idempotent: recovering twice converges.
+
+        Replica/ledger adoption is deferred until after the recovered set
+        has been reconciled against the shards' live tenancies.  The WAL
+        alone can over-state occupancy — a roll-forward release whose
+        record was lost leaves a stale radmit whose slots the shard has
+        since reused — and adopting stale tenancies into the replica
+        first would conflict with the re-used slots.  Shard journals are
+        authoritative for their own tenancies; only fragments still
+        active at their shard are adopted.
+        """
+        assert self._wal is not None
+        open_rintents: Dict[int, Dict[str, Any]] = {}
+        open_xintents: Dict[int, Dict[str, Any]] = {}
+        closed_xintents: List[Dict[str, Any]] = []
+        # gid -> (fragments {shard: srid}, global Allocation): the WAL's
+        # view of what is admitted, before shard reconciliation.
+        recovered: Dict[int, Tuple[Dict[int, int], Allocation]] = {}
+        srid_to_gid: Dict[Tuple[int, int], int] = {}
+        # Fragments of WAL-acknowledged releases: a shard that was down
+        # for its fragment release still journals the tenancy as active,
+        # and the orphan sweep must finish the release, not resurrect it.
+        released_srids: set = set()
+
+        def remember_admit(
+            gid: int, srids: Dict[int, int], allocation: Allocation, key: Optional[str]
+        ) -> None:
+            if gid in recovered:
+                return
+            recovered[gid] = (dict(srids), allocation)
+            for shard_index, srid in srids.items():
+                srid_to_gid[(shard_index, srid)] = gid
+            if key is not None:
+                self._idem[key] = self._decision(gid, "admitted", None)
+            self.admitted_count += 1
+
+        max_gid = 0
+        for record in Journal.iter_records(self._wal.path):
+            op = record.get("op")
+            gid = int(record.get("gid", 0))
+            max_gid = max(max_gid, gid)
+            if op == OP_RINTENT:
+                open_rintents[gid] = record
+            elif op == OP_RADMIT:
+                key = record.get("idem")
+                open_rintents.pop(gid, None)
+                shard_index = int(record["shard"])
+                srid = int(record["srid"])
+                if (shard_index, srid) in srid_to_gid:
+                    if key is not None:
+                        existing = srid_to_gid[(shard_index, srid)]
+                        self._idem[key] = self._decision(existing, "admitted", None)
+                    continue
+                allocation = allocation_from_dict(record["allocation"])
+                remember_admit(gid, {shard_index: srid}, allocation, key)
+            elif op == OP_RREJECT:
+                key = record.get("idem")
+                open_rintents.pop(gid, None)
+                if key is not None:
+                    self._idem[key] = self._decision(gid, "rejected", None)
+                self.rejected_count += 1
+            elif op == OP_XINTENT:
+                open_xintents[gid] = record
+            elif op == OP_XCOMMIT:
+                open_rintents.pop(gid, None)
+                intent = open_xintents.pop(gid, None)
+                if intent is None:
+                    continue
+                allocation = allocation_from_dict(intent["allocation"])
+                srids = {
+                    int(shard_index): int(srid)
+                    for shard_index, srid in record.get("srids", {}).items()
+                }
+                remember_admit(gid, srids, allocation, record.get("idem"))
+            elif op == OP_XABORT:
+                intent = open_xintents.pop(gid, None)
+                if intent is not None:
+                    closed_xintents.append(intent)
+            elif op == OP_RELEASE:
+                entry = recovered.pop(gid, None)
+                if entry is None:
+                    continue
+                for shard_index, srid in entry[0].items():
+                    srid_to_gid.pop((shard_index, srid), None)
+                    released_srids.add((shard_index, srid))
+            # Unknown ops are skipped (forward compatibility).
+        self._next_gid = max(self._next_gid, max_gid + 1)
+
+        # Presumed abort: release fragments of rounds that never committed
+        # (journaled aborts whose fragment releases may not have landed,
+        # plus intents dangling at the crash).
+        for intent in closed_xintents:
+            self._presume_abort(intent, journal_abort=False)
+        for gid, intent in sorted(open_xintents.items()):
+            self._presume_abort(intent, journal_abort=True)
+
+        # Resolve in-flight submits against the routed shard's journal.
+        for gid, record in sorted(open_rintents.items()):
+            shard_index = int(record["shard"])
+            skey = record.get("skey")
+            key = record.get("idem")
+            found = self._shard_idem(shard_index, skey) if skey else None
+            if found is None:
+                continue  # never reached a shard; a retry starts fresh
+            if found.get("outcome") == "admitted":
+                srid = found.get("request_id")
+                allocation = found.get("allocation")
+                if srid is None or allocation is None:
+                    # Journaled at the shard but since released — the
+                    # coordinator rolled it back before the crash.
+                    continue
+                if (shard_index, int(srid)) in srid_to_gid:
+                    if key is not None:
+                        self._idem[key] = self._decision(
+                            srid_to_gid[(shard_index, int(srid))],
+                            "admitted", None,
+                        )
+                    continue
+                view = self.shards[shard_index].view
+                global_allocation = view.allocation_to_global(allocation, request_id=gid)
+                self._wal.append(
+                    OP_RADMIT,
+                    gid=gid,
+                    shard=shard_index,
+                    srid=int(srid),
+                    idem=key,
+                    allocation=allocation_to_dict(global_allocation),
+                )
+                remember_admit(gid, {shard_index: int(srid)}, global_allocation, key)
+            elif found.get("outcome") == "rejected" and self.num_shards == 1:
+                # With one shard the shard's decision IS the decision.  In
+                # a multi-shard cluster a local reject only means "did not
+                # fit here" — the cross-shard path never concluded, so the
+                # outcome stays unknown and a retry re-decides.
+                if key is not None:
+                    self._wal.append(OP_RREJECT, gid=gid, idem=key)
+                    self._idem[key] = self._decision(gid, "rejected", None)
+                self.rejected_count += 1
+
+        # Finish releases that were acknowledged by some shards only (or
+        # whose WAL record was lost in a roll-forward): a gid with ANY
+        # fragment gone from its shard was being released — shards are the
+        # source of truth, so drop it and release the remaining fragments.
+        active_by_shard = self._active_srids()
+        for gid in sorted(list(recovered)):
+            fragments = recovered[gid][0]
+            if all(
+                srid in active_by_shard.get(shard_index, set())
+                for shard_index, srid in fragments.items()
+            ):
+                continue
+            for shard_index, srid in sorted(fragments.items()):
+                if srid in active_by_shard.get(shard_index, set()):
+                    try:
+                        self.shards[shard_index].release(srid)
+                        active_by_shard[shard_index].discard(srid)
+                    except ServiceError:
+                        logger.warning(
+                            "recovery: gid=%d fragment on shard %d not releasable",
+                            gid, shard_index,
+                        )
+                srid_to_gid.pop((shard_index, srid), None)
+            recovered.pop(gid, None)
+            self._wal.append(OP_RELEASE, gid=gid)
+
+        # Orphan sweep: shard tenancies the coordinator WAL never linked
+        # (crash between shard ack and the radmit append).  Re-attach them
+        # under fresh global ids so no acked-at-the-shard resource is lost.
+        for shard in self.shards:
+            active = self._shard_active(shard.index)
+            for srid in sorted(active):
+                if (shard.index, srid) in srid_to_gid:
+                    continue
+                if (shard.index, srid) in released_srids:
+                    # The WAL acknowledged this tenant's release; the shard
+                    # was down for its fragment — finish the release now.
+                    try:
+                        shard.release(srid)
+                    except ServiceError:
+                        logger.warning(
+                            "recovery: released gid's fragment on shard %d "
+                            "srid %d not releasable", shard.index, srid,
+                        )
+                    continue
+                allocation = active[srid]
+                gid = self._next_gid
+                self._next_gid += 1
+                global_allocation = shard.view.allocation_to_global(
+                    allocation, request_id=gid
+                )
+                self._wal.append(
+                    OP_RADMIT,
+                    gid=gid,
+                    shard=shard.index,
+                    srid=srid,
+                    idem=None,
+                    allocation=allocation_to_dict(global_allocation),
+                )
+                remember_admit(gid, {shard.index: srid}, global_allocation, None)
+
+        # Adopt the reconciled set: every fragment is live at its shard and
+        # every shard is internally capacity-consistent, so the union fits
+        # the replica by construction (machines and pod-internal links are
+        # owned by exactly one shard each).
+        for gid in sorted(recovered):
+            srids, allocation = recovered[gid]
+            self.replica.adopt(allocation)
+            core = core_demands_of(allocation, self.partition.core_link_ids)
+            if core:
+                self.ledger.commit_direct(gid, core)
+            self._gid_map[gid] = dict(srids)
+            for shard_index, srid in srids.items():
+                self._srid_map[(shard_index, srid)] = gid
+
+    def _presume_abort(self, intent: Dict[str, Any], journal_abort: bool) -> None:
+        """Release any adopted fragments of a round that never committed."""
+        gid = int(intent["gid"])
+        fragment_key = intent.get("fkey")
+        if fragment_key is not None:
+            for shard_text in intent.get("fragments", {}):
+                shard_index = int(shard_text)
+                found = self._shard_idem(shard_index, fragment_key)
+                if (
+                    found is not None
+                    and found.get("outcome") == "admitted"
+                    and found.get("request_id") is not None
+                    and found.get("allocation") is not None
+                ):
+                    try:
+                        self.shards[shard_index].release(int(found["request_id"]))
+                    except ServiceError:
+                        logger.warning(
+                            "presumed abort: gid=%d fragment on shard %d not "
+                            "releasable", gid, shard_index,
+                        )
+        self.ledger.abort(gid)
+        if journal_abort and self._wal is not None:
+            self._wal.append(OP_XABORT, gid=gid)
+
+    def _shard_idem(self, shard_index: int, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            return self.shards[shard_index].idem_lookup(key)
+        except ServiceError:
+            return None
+
+    def _shard_active(self, shard_index: int) -> Dict[int, Allocation]:
+        try:
+            return self.shards[shard_index].active_allocations()
+        except ServiceError:
+            return {}
+
+    def _active_srids(self) -> Dict[int, set]:
+        return {
+            shard.index: set(self._shard_active(shard.index))
+            for shard in self.shards
+        }
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _decision(
+        gid: int,
+        outcome: str,
+        detail: Optional[str],
+        route: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"outcome": outcome, "request_id": gid}
+        if detail:
+            payload["detail"] = detail
+        if route is not None:
+            payload["route"] = route
+        return payload
+
+    def _remember(self, key: Optional[str], payload: Dict[str, Any]) -> None:
+        if key is not None:
+            self._idem[key] = dict(payload)

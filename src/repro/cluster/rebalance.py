@@ -1,0 +1,109 @@
+"""Advisory shard-load rebalancer: bounded routing-weight nudges.
+
+The coordinator's locality-first routing scores shards by free capacity;
+the rebalancer multiplies those scores by a per-shard weight in
+``[min_weight, max_weight]``.  Weights move by at most ``step`` per update
+cycle, toward relieving shards whose slot utilization (plus queue
+backlog) sits above the cluster mean — **advisory and bounded**: the
+rebalancer can bias where new tenants land, it can never veto an
+admission, move a placed VM, or touch any admission-control math, so the
+Eq. (1) guarantee is unaffected by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+
+class ShardLoadRebalancer:
+    """Per-shard routing weights from periodic load summaries."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        *,
+        step: float = 0.1,
+        min_weight: float = 0.5,
+        max_weight: float = 2.0,
+        imbalance_tolerance: float = 0.05,
+        interval_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        if not 0.0 < step <= 0.2:
+            raise ValueError(f"step must be in (0, 0.2] (bounded nudges), got {step}")
+        if not 0.0 < min_weight <= 1.0 <= max_weight:
+            raise ValueError(
+                f"weights must straddle 1.0: [{min_weight}, {max_weight}]"
+            )
+        self.num_shards = num_shards
+        self.step = step
+        self.min_weight = min_weight
+        self.max_weight = max_weight
+        self.imbalance_tolerance = imbalance_tolerance
+        self.interval_s = interval_s
+        self.clock = clock
+        self._weights: List[float] = [1.0] * num_shards
+        self._last_update = float("-inf")
+        self.updates = 0
+
+    def weights(self) -> Tuple[float, ...]:
+        return tuple(self._weights)
+
+    def weight_of(self, shard_index: int) -> float:
+        return self._weights[shard_index]
+
+    @staticmethod
+    def _pressure(stats: Dict[str, Any]) -> float:
+        """Scalar load of one shard: slot utilization + queue backlog."""
+        total = max(1, int(stats.get("total_slots", 1)))
+        free = max(0, int(stats.get("free_slots", 0)))
+        utilization = 1.0 - free / total
+        # A deep queue means demand the slot counters have not absorbed
+        # yet; one queued request per 1% of capacity saturates the term.
+        backlog = min(1.0, int(stats.get("queue_depth", 0)) / max(1.0, total / 100.0))
+        return utilization + 0.25 * backlog
+
+    def maybe_update(self, stats: Sequence[Dict[str, Any]]) -> bool:
+        """Rate-limited :meth:`update`; True when an update ran."""
+        now = self.clock()
+        if now - self._last_update < self.interval_s:
+            return False
+        self._last_update = now
+        self.update(stats)
+        return True
+
+    def update(self, stats: Sequence[Dict[str, Any]]) -> Tuple[float, ...]:
+        """One bounded adjustment toward the cluster-mean pressure."""
+        if len(stats) != self.num_shards:
+            raise ValueError(
+                f"expected {self.num_shards} shard summaries, got {len(stats)}"
+            )
+        pressures = [self._pressure(row) for row in stats]
+        mean = sum(pressures) / len(pressures)
+        for index, pressure in enumerate(pressures):
+            if pressure > mean + self.imbalance_tolerance:
+                self._weights[index] -= self.step
+            elif pressure < mean - self.imbalance_tolerance:
+                self._weights[index] += self.step
+            else:
+                # Drift back toward neutral so old corrections decay.
+                if self._weights[index] > 1.0:
+                    self._weights[index] = max(1.0, self._weights[index] - self.step)
+                elif self._weights[index] < 1.0:
+                    self._weights[index] = min(1.0, self._weights[index] + self.step)
+            self._weights[index] = min(
+                self.max_weight, max(self.min_weight, self._weights[index])
+            )
+        self.updates += 1
+        return self.weights()
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "weights": list(self._weights),
+            "step": self.step,
+            "updates": self.updates,
+            "bounds": [self.min_weight, self.max_weight],
+        }

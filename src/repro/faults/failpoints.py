@@ -70,6 +70,13 @@ FP_RELEASE_BEFORE_JOURNAL = "release.crash_before_journal"
 FP_RELEASE_AFTER_JOURNAL = "release.crash_after_journal"
 FP_QUEUE_ACCEPT = "queue.accept"
 FP_SERVER_RESPONSE = "server.response_stall"
+# Cluster coordinator sites (repro.cluster.coordinator): placed around the
+# two-phase core-link protocol so the chaos referee can kill the
+# coordinator between reserve, shard adopt, and commit.
+FP_COORD_BEFORE_WAL = "cluster.coordinator.crash_before_wal"
+FP_COORD_AFTER_RESERVE = "cluster.coordinator.crash_after_reserve"
+FP_COORD_BEFORE_COMMIT = "cluster.coordinator.crash_before_commit"
+FP_COORD_AFTER_COMMIT = "cluster.coordinator.crash_after_commit"
 
 KNOWN_FAILPOINTS = (
     FP_JOURNAL_WRITE,
@@ -81,6 +88,10 @@ KNOWN_FAILPOINTS = (
     FP_RELEASE_AFTER_JOURNAL,
     FP_QUEUE_ACCEPT,
     FP_SERVER_RESPONSE,
+    FP_COORD_BEFORE_WAL,
+    FP_COORD_AFTER_RESERVE,
+    FP_COORD_BEFORE_COMMIT,
+    FP_COORD_AFTER_COMMIT,
 )
 
 

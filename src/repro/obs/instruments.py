@@ -43,6 +43,8 @@ __all__ = [
     "outage_monitor",
     "OutageMonitor",
     "bind_network_gauges",
+    "cluster_instruments",
+    "ClusterInstruments",
     "PHASE_PRUNE",
     "PHASE_TABLE_BUILD",
     "PHASE_BATCH_OCCUPANCY",
@@ -105,12 +107,13 @@ def configure(
 
 def reset_global_registry() -> MetricsRegistry:
     """Fresh global registry (tests only — live gauges are left behind)."""
-    global _REGISTRY, _ADMISSION, _OUTAGE, _SERVICE, _EXPERIMENT
+    global _REGISTRY, _ADMISSION, _OUTAGE, _SERVICE, _EXPERIMENT, _CLUSTER
     _REGISTRY = MetricsRegistry()
     _ADMISSION = None
     _OUTAGE = None
     _SERVICE = None
     _EXPERIMENT = None
+    _CLUSTER = None
     return _REGISTRY
 
 
@@ -626,6 +629,195 @@ def outage_monitor():
     if _OUTAGE is None:
         _OUTAGE = OutageMonitor(_REGISTRY)
     return _OUTAGE
+
+
+# ----------------------------------------------------------------------
+# Cluster (sharded admission) instruments
+# ----------------------------------------------------------------------
+
+
+class ClusterInstruments:
+    """Counters, latency histograms and gauges for the sharded coordinator.
+
+    Same discipline as the other facades: counter children resolved once
+    and cached, gauges are pull-based over the live coordinator, and every
+    family is touched at construction so the exposition carries the
+    cluster story from process start even before the first request.
+    """
+
+    #: Routing decisions (mirrors repro.cluster.coordinator ROUTE_*).
+    DECISIONS = ("local", "cross_shard", "spill", "reject", "dedup")
+
+    #: Two-phase reservation lifecycle events on the core-link ledger.
+    RESERVATION_EVENTS = (
+        "reserve", "reserve_denied", "commit", "abort", "expire", "mirror",
+    )
+
+    #: Coordinator paths timed end to end.
+    PATHS = ("local", "cross")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._routing: Dict[str, Counter] = {
+            decision: registry.counter(
+                "repro_cluster_routing_total",
+                "Coordinator routing decisions (local/cross_shard/spill/"
+                "reject/dedup).",
+                decision=decision,
+            )
+            for decision in self.DECISIONS
+        }
+        self._reservations: Dict[str, Counter] = {
+            event: registry.counter(
+                "repro_cluster_reservations_total",
+                "Core-link ledger reservation lifecycle events of the "
+                "two-phase protocol.",
+                event=event,
+            )
+            for event in self.RESERVATION_EVENTS
+        }
+        self._latency: Dict[str, Histogram] = {
+            path: registry.histogram(
+                "repro_cluster_coordinator_latency_seconds",
+                "End-to-end coordinator decision latency, by admission path.",
+                buckets=DEFAULT_TIME_BUCKETS,
+                path=path,
+            )
+            for path in self.PATHS
+        }
+        # Presence-before-traffic for the gauge families; bind_coordinator
+        # replaces these placeholders with live per-shard/per-link children.
+        registry.gauge(
+            "repro_cluster_shard_free_slots",
+            "Free VM slots per shard, read from the coordinator replica.",
+            shard="none",
+        )
+        registry.gauge(
+            "repro_cluster_shard_queue_depth",
+            "Queued requests per shard (last collected shard summary).",
+            shard="none",
+        )
+        registry.gauge(
+            "repro_cluster_core_link_occupancy",
+            "Ledger occupancy O_L per shared core link, committed + reserved.",
+            link="none",
+        )
+        registry.gauge(
+            "repro_cluster_pending_reservations",
+            "Live (uncommitted, unexpired) core-link reservations.",
+        )
+
+    # -- hot-path API ---------------------------------------------------
+
+    def routing(self, decision: str) -> None:
+        counter = self._routing.get(decision)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_cluster_routing_total",
+                "Coordinator routing decisions (local/cross_shard/spill/"
+                "reject/dedup).",
+                decision=decision,
+            )
+            self._routing[decision] = counter
+        counter.inc()
+
+    def reservation(self, event: str) -> None:
+        counter = self._reservations.get(event)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_cluster_reservations_total",
+                "Core-link ledger reservation lifecycle events of the "
+                "two-phase protocol.",
+                event=event,
+            )
+            self._reservations[event] = counter
+        counter.inc()
+
+    def observe_latency(self, path: str, seconds: float) -> None:
+        histogram = self._latency.get(path)
+        if histogram is None:
+            histogram = self.registry.histogram(
+                "repro_cluster_coordinator_latency_seconds",
+                "End-to-end coordinator decision latency, by admission path.",
+                buckets=DEFAULT_TIME_BUCKETS,
+                path=path,
+            )
+            self._latency[path] = histogram
+        histogram.observe(seconds)
+
+    def bind_coordinator(self, coordinator) -> None:
+        """Register pull gauges over one live ``ClusterCoordinator``.
+
+        Shard gauges read the replica (free slots, no RPC) and the last
+        collected shard summaries (queue depth — refreshed by
+        ``refresh_shard_stats``); core-link occupancy reads the ledger
+        live, committed plus reserved, which is exactly the quantity the
+        two-phase protocol admits against.
+        """
+        registry = self.registry
+
+        def _free(shard_index: int):
+            return lambda: float(coordinator.shard_free_slots(shard_index))
+
+        def _queue(shard_index: int):
+            return lambda: coordinator.cached_shard_stat(shard_index, "queue_depth")
+
+        for shard in coordinator.shards:
+            label = str(shard.index)
+            registry.gauge(
+                "repro_cluster_shard_free_slots",
+                "Free VM slots per shard, read from the coordinator replica.",
+                shard=label,
+            ).set_function(_free(shard.index))
+            registry.gauge(
+                "repro_cluster_shard_queue_depth",
+                "Queued requests per shard (last collected shard summary).",
+                shard=label,
+            ).set_function(_queue(shard.index))
+
+        def _occupancy(link_id: int):
+            return lambda: float(coordinator.ledger.occupancy_of(link_id))
+
+        for link_id in coordinator.partition.core_link_ids:
+            registry.gauge(
+                "repro_cluster_core_link_occupancy",
+                "Ledger occupancy O_L per shared core link, committed + reserved.",
+                link=coordinator.partition.tree.node(link_id).name,
+            ).set_function(_occupancy(link_id))
+        registry.gauge(
+            "repro_cluster_pending_reservations",
+            "Live (uncommitted, unexpired) core-link reservations.",
+        ).set_function(lambda: float(coordinator.ledger.pending_reservations))
+
+
+class _NullCluster:
+    """No-op facade used while instrumentation is disabled."""
+
+    def routing(self, decision: str) -> None:
+        pass
+
+    def reservation(self, event: str) -> None:
+        pass
+
+    def observe_latency(self, path: str, seconds: float) -> None:
+        pass
+
+    def bind_coordinator(self, coordinator) -> None:
+        pass
+
+
+_NULL_CLUSTER = _NullCluster()
+_CLUSTER: Optional[ClusterInstruments] = None
+
+
+def cluster_instruments():
+    """The live cluster facade, or the shared no-op when disabled."""
+    global _CLUSTER
+    if not _ENABLED:
+        return _NULL_CLUSTER
+    if _CLUSTER is None:
+        _CLUSTER = ClusterInstruments(_REGISTRY)
+    return _CLUSTER
 
 
 # ----------------------------------------------------------------------

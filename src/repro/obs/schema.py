@@ -49,6 +49,22 @@ def bootstrap_registry():
     monitor.set_epsilon(0.05)
     monitor.record(0, 1)
     instruments.experiment_instruments()  # registers the harness families
+
+    # The cluster families, including the coordinator-bound pull gauges: a
+    # one-shard in-memory cluster is enough to register every name the
+    # sharded deployment exposes.
+    from repro.cluster.coordinator import ClusterCoordinator
+    from repro.cluster.partition import ClusterPartition
+    from repro.cluster.shard import LocalShard
+
+    partition = ClusterPartition.build(TINY_SPEC, 1)
+    shard = LocalShard(partition.shards[0], None, epsilon=0.05)
+    coordinator = ClusterCoordinator(partition, [shard], epsilon=0.05)
+    try:
+        coordinator.refresh_shard_stats()
+    finally:
+        coordinator.stop()
+        shard.close()
     return registry
 
 

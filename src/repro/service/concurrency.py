@@ -29,6 +29,7 @@ original decision back instead of a second allocation (the tentpole
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 import math
 import threading
@@ -60,6 +61,7 @@ from repro.service.degrade import (
 from repro.service.errors import (
     CODE_READ_ONLY,
     CODE_UNAVAILABLE,
+    ConflictError,
     DegradedError,
     OverloadedError,
 )
@@ -643,10 +645,106 @@ class AdmissionService:
         logger.debug("release request_id=%d retried=%d", request_id, retried)
         return True
 
+    def adopt(self, allocation, idempotency_key: Optional[str] = None) -> int:
+        """Install an already-placed allocation; returns its local request id.
+
+        This is the cluster coordinator's entry point for cross-shard
+        fragments: the placement was computed elsewhere (against a replica
+        of this shard's state), so no allocator runs here — but the
+        placement is **revalidated** under the service lock before it
+        commits.  If a concurrent shard-local admission consumed the slots
+        or the link headroom in the meantime, :class:`ConflictError` is
+        raised and nothing is touched (the optimistic-concurrency abort
+        path of the two-phase protocol).
+
+        Same durability ordering as the worker path: mutate, journal, and
+        roll back the mutation if the journal append fails.  Idempotent per
+        ``idempotency_key`` — a retried adopt returns the original local id
+        instead of committing a second copy.
+        """
+        with self._cond:
+            if not self._running:
+                raise RuntimeError("service is not running")
+            if idempotency_key is not None:
+                known = self._idem.get(idempotency_key)
+                if (
+                    known is not None
+                    and known.get("outcome") == OUTCOME_ADMITTED
+                    and known.get("request_id") is not None
+                ):
+                    self._count("deduped")
+                    return int(known["request_id"])
+            self.gate("submit")
+            manager = self.manager
+            state = manager.state
+            for machine_id, count in allocation.machine_counts.items():
+                if state.free_slots(machine_id) < count:
+                    raise ConflictError(
+                        f"machine {machine_id} lacks {count} free slots"
+                    )
+            for link_id, demand in allocation.link_demands.items():
+                if allocation.deterministic:
+                    extra = dict(extra_deterministic=demand.mean)
+                else:
+                    extra = dict(extra_mean=demand.mean, extra_var=demand.variance)
+                occupancy = state.links[link_id].occupancy_with(
+                    state.risk_c, **extra
+                )
+                if occupancy >= 1.0:
+                    raise ConflictError(
+                        f"link {link_id} would reach O_L={occupancy:.4f}"
+                    )
+            local = dataclasses.replace(
+                allocation, request_id=manager.next_request_id
+            )
+            tenancy = manager.adopt(local)
+            manager.admitted_count += 1
+            if self.store is not None:
+                FAILPOINTS.hit(FP_WORKER_BEFORE_JOURNAL)
+                try:
+                    self.store.log_admit(local, idempotency_key=idempotency_key)
+                except InjectedCrash:
+                    raise
+                except Exception as exc:
+                    manager.release(tenancy)
+                    manager.admitted_count -= 1
+                    self._degrade(exc)
+                    self._count("errors")
+                    raise DegradedError(
+                        f"adopt not journaled ({type(exc).__name__}); rolled back",
+                        code=CODE_READ_ONLY,
+                        retry_after=(
+                            self._degradation.retry_after() if self._degradation else 1.0
+                        ),
+                    ) from exc
+                FAILPOINTS.hit(FP_WORKER_AFTER_JOURNAL)
+            if idempotency_key is not None:
+                self._remember_key(
+                    idempotency_key,
+                    {
+                        "ticket_id": None,
+                        "outcome": OUTCOME_ADMITTED,
+                        "request_id": local.request_id,
+                    },
+                )
+            self._count("admitted")
+            self._maybe_snapshot()
+            return local.request_id
+
     def status(self, ticket_id: int) -> Optional[Dict[str, Any]]:
         with self._cond:
             ticket = self._tickets.get(ticket_id)
         return ticket.describe() if ticket is not None else None
+
+    def lookup_idempotency(self, key: str) -> Optional[Dict[str, Any]]:
+        """The recorded decision for an idempotency key, if any (a copy).
+
+        Used by the cluster coordinator's recovery to resolve in-flight
+        keys against what this shard actually journaled before a crash.
+        """
+        with self._cond:
+            known = self._idem.get(key)
+            return dict(known) if known is not None else None
 
     def active_request_ids(self) -> List[int]:
         with self._cond:

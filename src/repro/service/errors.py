@@ -23,6 +23,8 @@ CODE_UNAVAILABLE = "unavailable"
 CODE_DEADLINE = "deadline_exceeded"
 #: The client retry policy ran out of attempts.
 CODE_RETRY_EXHAUSTED = "retry_exhausted"
+#: An already-placed allocation no longer fits (lost an optimistic race).
+CODE_CONFLICT = "conflict"
 
 
 class ServiceError(RuntimeError):
@@ -66,12 +68,25 @@ class RetryExhaustedError(ServiceError):
     code = CODE_RETRY_EXHAUSTED
 
 
+class ConflictError(ServiceError):
+    """An adopt lost its optimistic race: the placement no longer fits.
+
+    Raised by ``AdmissionService.adopt`` when a concurrent shard-local
+    admission consumed the slots or link headroom a cross-shard fragment
+    was computed against.  The coordinator aborts the two-phase round and
+    recomputes the placement.
+    """
+
+    code = CODE_CONFLICT
+
+
 _CODE_TO_CLASS = {
     CODE_OVERLOADED: OverloadedError,
     CODE_READ_ONLY: DegradedError,
     CODE_UNAVAILABLE: DegradedError,
     CODE_DEADLINE: DeadlineExceededError,
     CODE_RETRY_EXHAUSTED: RetryExhaustedError,
+    CODE_CONFLICT: ConflictError,
 }
 
 #: Response codes a retrying client treats as transient.

@@ -1,0 +1,16 @@
+"""Shared fixtures for the cluster tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.failpoints import FAILPOINTS
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    """No test may leak armed failpoints into the rest of the suite."""
+    FAILPOINTS.clear()
+    FAILPOINTS.seed(0)
+    yield
+    FAILPOINTS.clear()

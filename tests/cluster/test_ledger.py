@@ -1,0 +1,180 @@
+"""Core-link ledger: Eq. (6) occupancy, two-phase transitions, TTLs."""
+
+import pytest
+
+from repro.cluster.ledger import CoreDemand, CoreLinkLedger, LedgerError
+from repro.cluster.partition import ClusterPartition
+from repro.topology.builder import TINY_SPEC
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def setup():
+    partition = ClusterPartition.build(TINY_SPEC, 2)
+    clock = FakeClock()
+    ledger = CoreLinkLedger(
+        partition.tree,
+        partition.core_link_ids,
+        epsilon=0.05,
+        reserve_ttl_s=10.0,
+        clock=clock,
+    )
+    return partition, ledger, clock
+
+
+def det(fraction, capacity):
+    return CoreDemand(deterministic=fraction * capacity)
+
+
+class TestReserveCommit:
+    def test_reservation_holds_bandwidth(self, setup):
+        partition, ledger, _clock = setup
+        link = partition.core_link_ids[0]
+        capacity = partition.tree.link(link).capacity
+        assert ledger.reserve(1, {link: det(0.4, capacity)})
+        assert ledger.pending_reservations == 1
+        assert ledger.occupancy_of(link) == pytest.approx(0.4)
+        # A second reservation that would push O_L to 1 is denied.
+        assert not ledger.reserve(2, {link: det(0.7, capacity)})
+        assert ledger.occupancy_of(link) == pytest.approx(0.4)
+
+    def test_commit_moves_to_committed(self, setup):
+        partition, ledger, _clock = setup
+        link = partition.core_link_ids[0]
+        capacity = partition.tree.link(link).capacity
+        ledger.reserve(1, {link: det(0.3, capacity)})
+        ledger.commit(1)
+        assert ledger.pending_reservations == 0
+        assert ledger.is_committed(1)
+        assert ledger.occupancy_of(link) == pytest.approx(0.3)
+
+    def test_commit_without_reservation_raises(self, setup):
+        _partition, ledger, _clock = setup
+        with pytest.raises(LedgerError):
+            ledger.commit(7)
+
+    def test_abort_frees_everything(self, setup):
+        partition, ledger, _clock = setup
+        link = partition.core_link_ids[0]
+        capacity = partition.tree.link(link).capacity
+        ledger.reserve(1, {link: det(0.5, capacity)})
+        assert ledger.abort(1)
+        assert not ledger.abort(1)  # idempotent
+        assert ledger.occupancy_of(link) == 0.0
+
+    def test_release_is_exact_zero_after_drain(self, setup):
+        partition, ledger, _clock = setup
+        link = partition.core_link_ids[1]
+        capacity = partition.tree.link(link).capacity
+        ledger.reserve(1, {link: CoreDemand(mean=0.1 * capacity, variance=9.0)})
+        ledger.commit(1)
+        assert ledger.release(1)
+        assert not ledger.release(1)
+        # Float-residue hygiene: an empty ledger reports exactly zero.
+        assert ledger.occupancy_of(link) == 0.0
+        assert ledger.max_occupancy() == 0.0
+
+    def test_stochastic_occupancy_follows_eq6(self, setup):
+        partition, ledger, _clock = setup
+        link = partition.core_link_ids[0]
+        capacity = partition.tree.link(link).capacity
+        demand = CoreDemand(mean=0.2 * capacity, variance=(0.05 * capacity) ** 2)
+        ledger.reserve(1, {link: demand})
+        expected = (demand.mean + ledger.risk_c * (demand.variance ** 0.5)) / capacity
+        assert ledger.occupancy_of(link) == pytest.approx(expected)
+
+
+class TestIdempotency:
+    def test_reserve_twice_holds_once(self, setup):
+        partition, ledger, _clock = setup
+        link = partition.core_link_ids[0]
+        capacity = partition.tree.link(link).capacity
+        assert ledger.reserve(1, {link: det(0.4, capacity)})
+        assert ledger.reserve(1, {link: det(0.4, capacity)})  # retry
+        assert ledger.occupancy_of(link) == pytest.approx(0.4)
+
+    def test_reserve_after_commit_is_noop_success(self, setup):
+        partition, ledger, _clock = setup
+        link = partition.core_link_ids[0]
+        capacity = partition.tree.link(link).capacity
+        ledger.reserve(1, {link: det(0.4, capacity)})
+        ledger.commit(1)
+        assert ledger.reserve(1, {link: det(0.4, capacity)})
+        assert ledger.occupancy_of(link) == pytest.approx(0.4)
+
+    def test_commit_twice_counts_once(self, setup):
+        partition, ledger, _clock = setup
+        link = partition.core_link_ids[0]
+        capacity = partition.tree.link(link).capacity
+        ledger.reserve(1, {link: det(0.25, capacity)})
+        ledger.commit(1)
+        ledger.commit(1)
+        assert ledger.occupancy_of(link) == pytest.approx(0.25)
+
+    def test_commit_direct_idempotent(self, setup):
+        partition, ledger, _clock = setup
+        link = partition.core_link_ids[0]
+        capacity = partition.tree.link(link).capacity
+        ledger.commit_direct(5, {link: det(0.3, capacity)})
+        ledger.commit_direct(5, {link: det(0.3, capacity)})
+        assert ledger.occupancy_of(link) == pytest.approx(0.3)
+
+    def test_commit_direct_supersedes_reservation(self, setup):
+        partition, ledger, _clock = setup
+        link = partition.core_link_ids[0]
+        capacity = partition.tree.link(link).capacity
+        ledger.reserve(5, {link: det(0.3, capacity)})
+        ledger.commit_direct(5, {link: det(0.3, capacity)})
+        assert ledger.pending_reservations == 0
+        assert ledger.occupancy_of(link) == pytest.approx(0.3)
+
+
+class TestTTL:
+    def test_expired_reservation_is_dropped(self, setup):
+        partition, ledger, clock = setup
+        link = partition.core_link_ids[0]
+        capacity = partition.tree.link(link).capacity
+        ledger.reserve(1, {link: det(0.6, capacity)})
+        assert not ledger.reserve(2, {link: det(0.6, capacity)})
+        clock.now = 11.0  # past the 10s TTL
+        assert ledger.expire() == [1]
+        assert ledger.reserve(2, {link: det(0.6, capacity)})
+
+    def test_reserve_itself_expires_stale_holds(self, setup):
+        partition, ledger, clock = setup
+        link = partition.core_link_ids[0]
+        capacity = partition.tree.link(link).capacity
+        ledger.reserve(1, {link: det(0.6, capacity)})
+        clock.now = 30.0
+        # No explicit expire() call: reserve sweeps on entry.
+        assert ledger.reserve(2, {link: det(0.6, capacity)})
+        assert not ledger.is_reserved(1)
+
+    def test_commit_of_expired_reservation_raises(self, setup):
+        partition, ledger, clock = setup
+        link = partition.core_link_ids[0]
+        capacity = partition.tree.link(link).capacity
+        ledger.reserve(1, {link: det(0.2, capacity)})
+        clock.now = 50.0
+        ledger.expire()
+        with pytest.raises(LedgerError):
+            ledger.commit(1)
+
+
+class TestValidation:
+    def test_unknown_core_link_rejected(self, setup):
+        _partition, ledger, _clock = setup
+        with pytest.raises(LedgerError):
+            ledger.reserve(1, {999_999: CoreDemand(deterministic=1.0)})
+
+    def test_bad_ttl_rejected(self, setup):
+        partition, _ledger, _clock = setup
+        with pytest.raises(ValueError):
+            CoreLinkLedger(partition.tree, partition.core_link_ids, reserve_ttl_s=0.0)

@@ -1,0 +1,125 @@
+"""Topology partitioner: shard views must tile the global tree exactly."""
+
+import pytest
+
+from repro.abstractions import HomogeneousSVC
+from repro.cluster.partition import ClusterPartition, build_shard_tree
+from repro.manager.network_manager import NetworkManager
+from repro.service.codec import allocation_to_dict
+from repro.topology.builder import SMALL_SPEC, TINY_SPEC, build_datacenter
+
+
+class TestSingleShardIdentity:
+    """K=1 is the bit-compatibility anchor: the shard tree IS the tree."""
+
+    def test_single_shard_tree_is_id_identical(self):
+        partition = ClusterPartition.build(TINY_SPEC, 1)
+        global_tree = build_datacenter(TINY_SPEC)
+        shard_tree = partition.shards[0].tree
+        assert shard_tree.num_nodes == global_tree.num_nodes
+        for node in global_tree.nodes:
+            twin = shard_tree.node(node.node_id)
+            assert twin.name == node.name
+            assert twin.level == node.level
+            assert twin.slot_capacity == node.slot_capacity
+
+    def test_single_shard_translation_is_identity(self):
+        partition = ClusterPartition.build(TINY_SPEC, 1)
+        view = partition.shards[0]
+        for local, global_ in view.to_global.items():
+            assert local == global_
+
+    def test_single_shard_link_capacities_match(self):
+        partition = ClusterPartition.build(TINY_SPEC, 1)
+        global_tree = partition.tree
+        shard_tree = partition.shards[0].tree
+        for node in global_tree.nodes:
+            if node.node_id == global_tree.root_id:
+                continue
+            assert (
+                shard_tree.link(node.node_id).capacity
+                == global_tree.link(node.node_id).capacity
+            )
+
+
+class TestTiling:
+    def test_every_non_core_node_owned_exactly_once(self):
+        partition = ClusterPartition.build(SMALL_SPEC, 3)
+        seen = {}
+        for view in partition.shards:
+            for global_id in view.from_global:
+                if global_id == partition.tree.root_id:
+                    continue  # the core switch is replicated by design
+                assert global_id not in seen, (
+                    f"node {global_id} owned by shards {seen[global_id]} "
+                    f"and {view.shard_index}"
+                )
+                seen[global_id] = view.shard_index
+        assert len(seen) == partition.tree.num_nodes - 1
+
+    def test_pod_blocks_are_balanced(self):
+        partition = ClusterPartition.build(SMALL_SPEC, 2)  # 3 pods over 2 shards
+        sizes = sorted(len(view.pods) for view in partition.shards)
+        assert sizes == [1, 2]
+        covered = sorted(pod for view in partition.shards for pod in view.pods)
+        assert covered == list(range(SMALL_SPEC.pods))
+
+    def test_core_links_are_the_agg_uplinks(self):
+        partition = ClusterPartition.build(TINY_SPEC, 2)
+        names = {
+            partition.tree.node(link_id).name
+            for link_id in partition.core_link_ids
+        }
+        assert names == {f"agg{pod}" for pod in range(TINY_SPEC.pods)}
+        for view in partition.shards:
+            for link_id in view.core_link_ids:
+                pod = int(partition.tree.node(link_id).name.removeprefix("agg"))
+                assert pod in view.pods
+
+    def test_shard_slots_sum_to_global(self):
+        partition = ClusterPartition.build(SMALL_SPEC, 3)
+        assert (
+            sum(view.total_slots for view in partition.shards)
+            == partition.tree.total_slots
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1, TINY_SPEC.pods + 1])
+    def test_shard_count_bounds(self, bad):
+        with pytest.raises(ValueError):
+            ClusterPartition.build(TINY_SPEC, bad)
+
+    def test_shard_tree_needs_pods(self):
+        with pytest.raises(ValueError):
+            build_shard_tree(TINY_SPEC, [])
+
+    def test_shard_tree_rejects_out_of_range_pod(self):
+        with pytest.raises(ValueError):
+            build_shard_tree(TINY_SPEC, [TINY_SPEC.pods])
+
+
+class TestAllocationTranslation:
+    def test_round_trip_preserves_allocation(self):
+        partition = ClusterPartition.build(TINY_SPEC, 2)
+        view = partition.shards[1]
+        manager = NetworkManager(view.tree, epsilon=0.05)
+        tenancy = manager.request(HomogeneousSVC(n_vms=4, mean=50.0, std=10.0))
+        assert tenancy is not None
+        local = tenancy.allocation
+        global_allocation = view.allocation_to_global(local, request_id=99)
+        assert global_allocation.request_id == 99
+        for machine_id in global_allocation.machine_counts:
+            assert partition.node_to_shard[machine_id] == view.shard_index
+        back = view.allocation_to_local(
+            global_allocation, request_id=local.request_id
+        )
+        assert allocation_to_dict(back) == allocation_to_dict(local)
+
+    def test_shards_touched(self):
+        partition = ClusterPartition.build(TINY_SPEC, 2)
+        view = partition.shards[0]
+        manager = NetworkManager(view.tree, epsilon=0.05)
+        tenancy = manager.request(HomogeneousSVC(n_vms=2, mean=30.0, std=5.0))
+        global_allocation = view.allocation_to_global(tenancy.allocation)
+        assert partition.shards_touched(global_allocation) == (0,)

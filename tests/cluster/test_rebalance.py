@@ -1,0 +1,91 @@
+"""Advisory rebalancer: bounded nudges, never an admission-control veto."""
+
+import pytest
+
+from repro.cluster.rebalance import ShardLoadRebalancer
+
+
+def stats(free, total=100, queue=0):
+    return {"free_slots": free, "total_slots": total, "queue_depth": queue}
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestWeightDirection:
+    def test_hot_shard_loses_weight_cold_shard_gains(self):
+        rebalancer = ShardLoadRebalancer(2, interval_s=0.0)
+        weights = rebalancer.update([stats(free=10), stats(free=90)])
+        assert weights[0] == pytest.approx(1.0 - rebalancer.step)
+        assert weights[1] == pytest.approx(1.0 + rebalancer.step)
+
+    def test_backlog_counts_as_pressure(self):
+        rebalancer = ShardLoadRebalancer(2, interval_s=0.0)
+        # Identical slot pictures; only shard 0 has a queue.
+        weights = rebalancer.update(
+            [stats(free=50, queue=10), stats(free=50, queue=0)]
+        )
+        assert weights[0] < 1.0 < weights[1]
+
+    def test_balanced_cluster_keeps_neutral_weights(self):
+        rebalancer = ShardLoadRebalancer(3, interval_s=0.0)
+        weights = rebalancer.update([stats(free=50)] * 3)
+        assert weights == (1.0, 1.0, 1.0)
+
+
+class TestBounds:
+    def test_weights_saturate_under_sustained_skew(self):
+        rebalancer = ShardLoadRebalancer(2, interval_s=0.0)
+        for _ in range(50):
+            rebalancer.update([stats(free=0), stats(free=100)])
+        assert rebalancer.weights() == (
+            rebalancer.min_weight,
+            rebalancer.max_weight,
+        )
+
+    def test_neutral_drift_decays_old_corrections(self):
+        rebalancer = ShardLoadRebalancer(2, interval_s=0.0)
+        for _ in range(5):
+            rebalancer.update([stats(free=0), stats(free=100)])
+        skewed = rebalancer.weights()
+        assert skewed[0] < 1.0 < skewed[1]
+        for _ in range(50):
+            rebalancer.update([stats(free=50), stats(free=50)])
+        assert rebalancer.weights() == (1.0, 1.0)
+
+
+class TestRateLimit:
+    def test_maybe_update_honors_interval(self):
+        clock = FakeClock()
+        rebalancer = ShardLoadRebalancer(2, interval_s=5.0, clock=clock)
+        assert rebalancer.maybe_update([stats(free=10), stats(free=90)])
+        assert not rebalancer.maybe_update([stats(free=10), stats(free=90)])
+        clock.now = 4.9
+        assert not rebalancer.maybe_update([stats(free=10), stats(free=90)])
+        clock.now = 5.0
+        assert rebalancer.maybe_update([stats(free=10), stats(free=90)])
+        assert rebalancer.updates == 2
+
+
+class TestValidation:
+    def test_constructor_bounds(self):
+        with pytest.raises(ValueError):
+            ShardLoadRebalancer(0)
+        with pytest.raises(ValueError):
+            ShardLoadRebalancer(2, step=0.0)
+        with pytest.raises(ValueError):
+            ShardLoadRebalancer(2, step=0.5)  # bounded nudges only
+        with pytest.raises(ValueError):
+            ShardLoadRebalancer(2, min_weight=1.2)  # must straddle 1.0
+        with pytest.raises(ValueError):
+            ShardLoadRebalancer(2, max_weight=0.8)
+
+    def test_update_requires_all_shards(self):
+        rebalancer = ShardLoadRebalancer(3, interval_s=0.0)
+        with pytest.raises(ValueError):
+            rebalancer.update([stats(free=50)] * 2)

@@ -1,0 +1,65 @@
+"""Process-backed shard workers: the wire protocol end to end."""
+
+import pytest
+
+from repro.abstractions import HomogeneousSVC
+from repro.cluster.partition import ClusterPartition
+from repro.cluster.worker import ProcessShard, wait_for_shards
+from repro.service.errors import ServiceError
+from repro.topology.builder import TINY_SPEC
+
+
+@pytest.fixture()
+def shard():
+    partition = ClusterPartition.build(TINY_SPEC, 2)
+    handle = ProcessShard(partition.shards[0], None)
+    wait_for_shards([handle])
+    yield handle
+    handle.close()
+
+
+class TestProtocol:
+    def test_submit_release_round_trip(self, shard):
+        decision = shard.submit(
+            HomogeneousSVC(n_vms=3, mean=40.0, std=8.0), idempotency_key="w1"
+        )
+        assert decision["outcome"] == "admitted"
+        srid = decision["request_id"]
+        assert decision["allocation"] is not None
+        assert decision["allocation"].request_id == srid
+
+        stats = shard.stats()
+        assert stats["shard"] == 0
+        assert stats["active_tenancies"] == 1
+        assert stats["free_slots"] == stats["total_slots"] - 3
+
+        known = shard.idem_lookup("w1")
+        assert known is not None
+        assert known["outcome"] == "admitted"
+        assert known["request_id"] == srid
+        assert shard.idem_lookup("missing") is None
+
+        active = shard.active_allocations()
+        assert set(active) == {srid}
+        assert sum(active[srid].machine_counts.values()) == 3
+
+        assert shard.release(srid)
+        assert not shard.release(srid)
+        assert shard.stats()["active_tenancies"] == 0
+
+    def test_rejection_crosses_the_wire(self, shard):
+        total = shard.stats()["total_slots"]
+        decision = shard.submit(
+            HomogeneousSVC(n_vms=total + 1, mean=1.0, std=0.1)
+        )
+        assert decision["outcome"] == "rejected"
+        assert decision["allocation"] is None
+
+
+class TestDeath:
+    def test_killed_worker_raises_service_error(self, shard):
+        assert shard.alive
+        shard.kill()
+        assert not shard.alive
+        with pytest.raises(ServiceError):
+            shard.stats()

@@ -64,6 +64,58 @@ class TestDeadlines:
         assert queue.pop_ready(1e12)[0].ticket_id == 1
 
 
+class TestTieBreaking:
+    """Priority and arrival order are the only keys — deadlines never
+    reorder the heap, they only expire entries at pop time."""
+
+    def test_equal_priority_is_fifo_regardless_of_deadlines(self):
+        queue = RequestQueue(MODE_ONLINE)
+        queue.push(entry(1, deadline=100.0))
+        queue.push(entry(2, deadline=5.0))  # tighter deadline, later arrival
+        queue.push(entry(3))
+        popped = [queue.pop_ready(0.0)[0].ticket_id for _ in range(3)]
+        assert popped == [1, 2, 3]
+
+    def test_priority_beats_earlier_deadline(self):
+        queue = RequestQueue(MODE_ONLINE)
+        queue.push(entry(1, priority=0, deadline=1.0))
+        queue.push(entry(2, priority=3, deadline=1000.0))
+        ready, expired = queue.pop_ready(now=0.5)
+        assert ready.ticket_id == 2
+        assert expired == []
+
+    def test_expired_ties_drain_in_arrival_order(self):
+        queue = RequestQueue(MODE_ONLINE)
+        queue.push(entry(1, deadline=5.0))
+        queue.push(entry(2, deadline=5.0))
+        queue.push(entry(3, deadline=100.0))
+        ready, expired = queue.pop_ready(now=10.0)
+        assert ready.ticket_id == 3
+        assert [e.ticket_id for e in expired] == [1, 2]
+
+    def test_parked_retry_keeps_original_seq_among_equal_priorities(self):
+        queue = RequestQueue(MODE_BATCH)
+        queue.push(entry(1))
+        queue.push(entry(2))
+        first, _ = queue.pop_ready(0.0)
+        queue.park(first)
+        queue.push(entry(3))  # arrives while ticket 1 waits parked
+        queue.requeue_parked()
+        order = [queue.pop_ready(0.0)[0].ticket_id for _ in range(3)]
+        assert order == [1, 2, 3]
+
+    def test_sort_key_is_priority_then_seq(self):
+        high_late = entry(1, priority=5)
+        high_late.seq = 9
+        low_early = entry(2, priority=0)
+        low_early.seq = 1
+        assert high_late.sort_key() < low_early.sort_key()
+        first = entry(3)
+        second = entry(4)
+        second.seq = 1  # push() assigns seq; deadlines are not in the key
+        assert first.sort_key() < second.sort_key()
+
+
 class TestBatchParking:
     def test_online_mode_rejects_parking(self):
         queue = RequestQueue(MODE_ONLINE)

@@ -211,3 +211,77 @@ class TestOracleReplay:
         state, active = oracle_replay((tmp_path / "j") / "wal.jsonl", tiny_tree)
         assert network_state_to_dict(state) == network_state_to_dict(recovered.state)
         assert sorted(active) == sorted(t.request_id for t in recovered.tenancies())
+
+
+class TestIdempotencyIndexRebuild:
+    """Keys are scanned over the WHOLE journal, not the post-snapshot
+    suffix — a key whose tenancy was released before the last snapshot
+    must still deduplicate after recovery (satellite of the cluster PR:
+    the coordinator trusts this index for shard-side dedup)."""
+
+    def test_index_survives_snapshot_and_seeds_dedup(self, tiny_tree, tmp_path):
+        directory = tmp_path / "j"
+        store = DurabilityStore(directory, snapshot_every=2)
+        manager = NetworkManager(tiny_tree)
+        admitted = {}
+        with AdmissionService(manager, store=store, workers=1) as service:
+            for index in range(4):
+                ticket = service.submit(
+                    HomogeneousSVC(n_vms=2, mean=40.0, std=8.0),
+                    wait=True,
+                    idempotency_key=f"key-{index}",
+                )
+                assert ticket.outcome == OUTCOME_ADMITTED
+                admitted[f"key-{index}"] = ticket.request_id
+            reject = service.submit(
+                HomogeneousSVC(n_vms=10_000, mean=1.0, std=0.1),
+                wait=True,
+                idempotency_key="key-reject",
+            )
+            assert reject.outcome != OUTCOME_ADMITTED
+            # Release one tenant, then keep admitting so later snapshots
+            # no longer carry key-0's allocation.
+            assert service.release(admitted["key-0"])
+            for index in range(4, 8):
+                ticket = service.submit(
+                    HomogeneousSVC(n_vms=2, mean=40.0, std=8.0),
+                    wait=True,
+                    idempotency_key=f"key-{index}",
+                )
+                assert ticket.outcome == OUTCOME_ADMITTED
+                admitted[f"key-{index}"] = ticket.request_id
+        store.close()
+
+        store = DurabilityStore(directory)
+        recovered, report = recover_manager(store, tiny_tree)
+        assert report.used_snapshot  # snapshot_every=2 guarantees several
+        for key, request_id in admitted.items():
+            assert report.idempotency_index[key] == {
+                "outcome": "admitted",
+                "request_id": request_id,
+            }
+        assert report.idempotency_index["key-reject"] == {
+            "outcome": "rejected",
+            "request_id": None,
+        }
+
+        active_before = recovered.active_tenancies
+        with AdmissionService(
+            recovered,
+            store=store,
+            workers=1,
+            idempotency_index=report.idempotency_index,
+        ) as service:
+            for key in ("key-0", "key-3", "key-reject"):
+                replay = service.submit(
+                    HomogeneousSVC(n_vms=2, mean=40.0, std=8.0),
+                    wait=True,
+                    idempotency_key=key,
+                )
+                expected = report.idempotency_index[key]
+                assert replay.outcome == expected["outcome"]
+                assert replay.request_id == expected["request_id"]
+            # Every replay deduplicated: nothing new was admitted.
+            assert recovered.active_tenancies == active_before
+            assert service.counters.deduped == 3
+        store.close()

@@ -1,0 +1,41 @@
+"""No test may bind a hardcoded TCP port.
+
+Every test that opens a listening socket must ask the OS for an ephemeral
+port (``--port 0`` / ``port=0``) and read the bound port back; hardcoded
+ports collide when the suite runs in parallel workers or shares a CI host.
+This scan enforces the convention for the whole ``tests/`` tree, so a
+future test cannot quietly reintroduce a fixed port.
+"""
+
+import re
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).resolve().parent
+
+#: Port-valued literals at bind sites.  Comparisons against parser
+#: defaults (``args.port == 7421``) are fine — they never open a socket.
+BIND_PATTERNS = (
+    re.compile(r'"--port",\s*"(\d+)"'),  # argv lists
+    re.compile(r"--port\s+(\d+)"),       # command strings
+    re.compile(r"\bport=(\d+)"),         # keyword arguments
+)
+
+
+def test_tests_never_hardcode_a_port():
+    offenders = []
+    for path in sorted(TESTS_DIR.rglob("*.py")):
+        if path == Path(__file__).resolve():
+            continue
+        text = path.read_text()
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            for pattern in BIND_PATTERNS:
+                for match in pattern.finditer(line):
+                    if match.group(1) != "0":
+                        offenders.append(
+                            f"{path.relative_to(TESTS_DIR)}:{line_number}: "
+                            f"{line.strip()}"
+                        )
+    assert not offenders, (
+        "hardcoded ports in tests (use port 0 and read the bound port "
+        "back):\n" + "\n".join(offenders)
+    )
