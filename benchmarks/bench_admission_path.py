@@ -7,14 +7,18 @@ each allocator variant and records wall-clock allocate latency per request:
 * ``svc-dp``       — Algorithm 1, fast path (pruned/batched/vectorized DP)
 * ``svc-dp-seed``  — Algorithm 1, seed reference implementation
 * ``tivc``         — the adapted-TIVC baseline (fast path)
-* ``svc-het``      — the heterogeneous substring heuristic
+* ``svc-het``      — the heterogeneous substring heuristic, fast path
+* ``svc-het-seed`` — the heterogeneous heuristic, reference implementation
 
 The output (``BENCH_admission.json`` by default) is the perf trajectory
 subsequent PRs defend: requests/sec and p50/p99 allocate latency per variant,
-plus the fast-vs-seed speedup.  Placement equivalence of ``svc-dp`` vs
-``svc-dp-seed`` is *proven* by the test suite
-(``tests/allocation/test_fast_path_equivalence.py``); the benchmark
-cross-checks the admit/reject tallies as a cheap consistency signal.
+plus the fast-vs-seed speedups.  Placement equivalence of each fast path vs
+its reference is *proven* by the test suite
+(``tests/allocation/test_fast_path_equivalence.py`` and
+``tests/allocation/test_het_fast_equivalence.py``); the benchmark
+cross-checks the admit/reject tallies as a cheap consistency signal
+(``svc_dp_decisions_match_seed`` / ``svc_het_decisions_match_seed``, both
+gated in CI).
 
 Run it from the repo root::
 
@@ -48,7 +52,7 @@ from repro.simulation.workload import (
 )
 from repro.topology.builder import build_datacenter
 
-DEFAULT_VARIANTS = ("svc-dp", "svc-dp-seed", "tivc", "svc-het")
+DEFAULT_VARIANTS = ("svc-dp", "svc-dp-seed", "tivc", "svc-het", "svc-het-seed")
 
 
 def _make_allocator(variant: str):
@@ -60,6 +64,8 @@ def _make_allocator(variant: str):
         return AdaptedTIVCAllocator()
     if variant == "svc-het":
         return SVCHeterogeneousAllocator()
+    if variant == "svc-het-seed":
+        return SVCHeterogeneousAllocator(fast=False)
     raise ValueError(f"unknown variant {variant!r}; choose from {DEFAULT_VARIANTS}")
 
 
@@ -92,7 +98,7 @@ def run_variant(variant: str, scale_name: str, seed: int, load: float,
     later arrivals are admitted, so the allocator sees a realistically
     churning link state rather than a monotonically filling one.
     """
-    heterogeneous = variant == "svc-het"
+    heterogeneous = variant in ("svc-het", "svc-het-seed")
     tree, specs = _arrival_stream(scale_name, seed, load, num_jobs, heterogeneous)
     manager = NetworkManager(tree, epsilon=epsilon, allocator=_make_allocator(variant))
     rate_cap = tree.min_machine_uplink_capacity
@@ -157,15 +163,20 @@ def run_benchmark(scale_name: str = "paper", seed: int = 0, load: float = 0.6,
         "epsilon": 0.05,
         "variants": results,
     }
-    fast = results.get("svc-dp")
-    slow = results.get("svc-dp-seed")
-    if fast and slow:
-        payload["svc_dp_speedup_vs_seed"] = (
-            fast["requests_per_sec"] / slow["requests_per_sec"]
-        )
-        payload["svc_dp_decisions_match_seed"] = (
-            fast["admitted"] == slow["admitted"] and fast["rejected"] == slow["rejected"]
-        )
+    for prefix, fast_name, seed_name in (
+        ("svc_dp", "svc-dp", "svc-dp-seed"),
+        ("svc_het", "svc-het", "svc-het-seed"),
+    ):
+        fast = results.get(fast_name)
+        slow = results.get(seed_name)
+        if fast and slow:
+            payload[f"{prefix}_speedup_vs_seed"] = (
+                fast["requests_per_sec"] / slow["requests_per_sec"]
+            )
+            payload[f"{prefix}_decisions_match_seed"] = (
+                fast["admitted"] == slow["admitted"]
+                and fast["rejected"] == slow["rejected"]
+            )
     return payload
 
 
@@ -195,12 +206,13 @@ def main(argv=None) -> None:
         json.dump(stamped(payload), handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"[bench_admission_path] wrote {args.output}")
-    if "svc_dp_speedup_vs_seed" in payload:
-        print(
-            f"[bench_admission_path] svc-dp speedup vs seed: "
-            f"{payload['svc_dp_speedup_vs_seed']:.2f}x "
-            f"(decisions match: {payload['svc_dp_decisions_match_seed']})"
-        )
+    for prefix, label in (("svc_dp", "svc-dp"), ("svc_het", "svc-het")):
+        if f"{prefix}_speedup_vs_seed" in payload:
+            print(
+                f"[bench_admission_path] {label} speedup vs seed: "
+                f"{payload[f'{prefix}_speedup_vs_seed']:.2f}x "
+                f"(decisions match: {payload[f'{prefix}_decisions_match_seed']})"
+            )
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -20,6 +21,11 @@ from repro.abstractions.requests import HeterogeneousSVC, VirtualClusterRequest
 from repro.allocation.base import Allocation, Allocator
 from repro.allocation.demand_model import _vec_min_moments
 from repro.network.link_state import LinkState, NetworkState
+from repro.obs.instruments import (
+    REASON_NO_FEASIBLE_SUBTREE,
+    REASON_NO_FREE_SLOTS,
+    admission_instruments,
+)
 from repro.stochastic.normal import Normal
 
 #: Hard cap on N for the exact algorithm; beyond this the state space
@@ -29,12 +35,24 @@ MAX_EXACT_VMS = 14
 _FEASIBLE_LIMIT = 1.0
 
 
+#: Bounded memo of :func:`_mask_split_demands` results (same discipline as
+#: ``demand_model._SPLIT_MOMENTS_CACHE``): exhaustive test sweeps and repeated
+#: small requests reuse the ``O(2^N)`` subset moments instead of recomputing.
+_MASK_MOMENTS_CACHE: "dict" = {}
+_MASK_MOMENTS_CACHE_MAX = 128
+
+
 def _mask_split_demands(request: HeterogeneousSVC) -> Tuple[np.ndarray, np.ndarray]:
     """Demand moments on a link for *every* VM subset, indexed by bitmask.
 
     ``mu[mask]``/``var[mask]`` give the moments of ``min(B(mask), B(~mask))``.
     Computed via subset-sum DP over bits and one vectorized Lemma 1 pass.
+    Memoized per request shape; the cached arrays are read-only.
     """
+    key = tuple((demand.mean, demand.variance) for demand in request.demands)
+    cached = _MASK_MOMENTS_CACHE.get(key)
+    if cached is not None:
+        return cached
     n = request.n_vms
     size = 1 << n
     mean = np.zeros(size)
@@ -52,6 +70,11 @@ def _mask_split_demands(request: HeterogeneousSVC) -> Tuple[np.ndarray, np.ndarr
     mu[0] = mu[size - 1] = 0.0
     sigma_sq[0] = sigma_sq[size - 1] = 0.0
     np.maximum(mu, 0.0, out=mu)
+    mu.flags.writeable = False
+    sigma_sq.flags.writeable = False
+    if len(_MASK_MOMENTS_CACHE) >= _MASK_MOMENTS_CACHE_MAX:
+        _MASK_MOMENTS_CACHE.clear()
+    _MASK_MOMENTS_CACHE[key] = (mu, sigma_sq)
     return mu, sigma_sq
 
 
@@ -86,8 +109,15 @@ class SVCHeterogeneousExactAllocator(Allocator):
                 f"{self.name} is exponential in N; refusing N={request.n_vms} "
                 f"(> {self._max_vms}). Use SVCHeterogeneousAllocator instead."
             )
+        obs = admission_instruments()
+        trace = obs.start(self.name)
+        t_start = perf_counter()
         n = request.n_vms
         if n > state.total_free_slots:
+            obs.done(
+                self.name, perf_counter() - t_start, admitted=False,
+                reason=REASON_NO_FREE_SLOTS, trace=trace, n_vms=n,
+            )
             return None
         full_mask = (1 << n) - 1
         demand_mean, demand_var = _mask_split_demands(request)
@@ -108,6 +138,10 @@ class SVCHeterogeneousExactAllocator(Allocator):
             if host is not None:
                 break
         if host is None:
+            obs.done(
+                self.name, perf_counter() - t_start, admitted=False,
+                reason=REASON_NO_FEASIBLE_SUBTREE, trace=trace, n_vms=n,
+            )
             return None
 
         machine_vms: Dict[int, Tuple[int, ...]] = {}
@@ -117,7 +151,7 @@ class SVCHeterogeneousExactAllocator(Allocator):
             link_demands, host,
         )
         machine_counts = {machine: len(vms) for machine, vms in machine_vms.items()}
-        return Allocation(
+        allocation = Allocation(
             request=request,
             request_id=request_id,
             host_node=host,
@@ -126,6 +160,8 @@ class SVCHeterogeneousExactAllocator(Allocator):
             link_demands=link_demands,
             max_occupancy=host_value,
         )
+        obs.done(self.name, perf_counter() - t_start, admitted=True, trace=trace, n_vms=n)
+        return allocation
 
     # ------------------------------------------------------------------
 
@@ -183,7 +219,21 @@ class SVCHeterogeneousExactAllocator(Allocator):
         link_state: LinkState = state.links[child_id]
         risk_c = state.risk_c
         effective: Dict[int, float] = {}
-        for mask, value in tables[child_id].values.items():
+        child_values = tables[child_id].values
+        if link_state.capacity <= 0.0:
+            # A zero-capacity uplink admits nothing into the subtree; skipping
+            # it (the empty subset) stays free.  Guarded here because the raw
+            # occupancy division is undefined at capacity 0.
+            if 0 in child_values:
+                effective[0] = child_values[0]
+            return effective
+        for mask, value in child_values.items():
+            if mask == 0:
+                # Placing nothing in the child puts no demand on its uplink:
+                # the skip costs exactly the child's (zero) inner objective
+                # and must never be rejected by the uplink's existing load.
+                effective[0] = value
+                continue
             occ = link_state.occupancy_with(
                 risk_c,
                 extra_mean=float(demand_mean[mask]),

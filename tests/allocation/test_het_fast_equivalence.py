@@ -1,0 +1,130 @@
+"""The heterogeneous fast path must be *decision-identical* to its reference.
+
+Same contract the homogeneous DP is pinned by in
+``test_fast_path_equivalence.py``: the optimized substring heuristic
+(memoized segment tables, shared machine/vertex/effective tables, banded
+(min, max)-matrix combine) claims bit-for-bit equality with the
+straight-line reference — host node, per-machine VM placement, reported
+``max_occupancy``, and the link-state moments left behind after a full
+admit/release trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.abstractions import HeterogeneousSVC
+from repro.allocation.svc_het_heuristic import SVCHeterogeneousAllocator
+from repro.network import NetworkState
+from repro.stochastic import Normal
+from repro.topology import DatacenterSpec, build_datacenter
+
+
+def _record_het_trace(seed: int, steps: int, max_n: int):
+    """A reproducible heterogeneous request/release trace."""
+    rng = np.random.default_rng(seed)
+    trace = []
+    for _ in range(steps):
+        n = int(np.clip(round(rng.exponential(max_n / 4)), 2, max_n))
+        demands = tuple(
+            Normal(
+                float(rng.choice([100.0, 200.0, 300.0, 400.0, 500.0])),
+                float(rng.uniform(0.0, 1.0)) * 100.0,
+            )
+            for _ in range(n)
+        )
+        trace.append((HeterogeneousSVC(n_vms=n, demands=demands), float(rng.random())))
+    return trace
+
+
+def _replay(trace, tree, epsilon=0.05):
+    """Drive fast and reference allocators, asserting identical decisions."""
+    fast_state = NetworkState(tree, epsilon=epsilon)
+    seed_state = NetworkState(tree, epsilon=epsilon)
+    fast = SVCHeterogeneousAllocator()
+    seed = SVCHeterogeneousAllocator(fast=False)
+    active = []
+    decisions = 0
+    for request_id, (request, release_draw) in enumerate(trace, start=1):
+        fast_alloc = fast.allocate(fast_state, request, request_id)
+        seed_alloc = seed.allocate(seed_state, request, request_id)
+        assert (fast_alloc is None) == (seed_alloc is None), (
+            f"request {request_id}: fast={fast_alloc is not None} "
+            f"seed={seed_alloc is not None}"
+        )
+        if fast_alloc is not None:
+            assert fast_alloc.host_node == seed_alloc.host_node
+            # The exact VM-to-machine assignment, not just the counts:
+            assert fast_alloc.machine_vms == seed_alloc.machine_vms
+            # Bit-identical, not approximately equal:
+            assert fast_alloc.max_occupancy == seed_alloc.max_occupancy
+            fast_state.commit(fast_alloc)
+            seed_state.commit(seed_alloc)
+            active.append((fast_alloc, seed_alloc))
+            decisions += 1
+        if active and release_draw < 0.3:
+            index = int(release_draw * 1e6) % len(active)
+            fast_alloc, seed_alloc = active.pop(index)
+            fast_state.release(fast_alloc)
+            seed_state.release(seed_alloc)
+    for link_id, fast_link in fast_state.links.items():
+        seed_link = seed_state.links[link_id]
+        assert fast_link.mean_total == seed_link.mean_total
+        assert fast_link.var_total == seed_link.var_total
+        assert fast_link.deterministic_total == seed_link.deterministic_total
+    return decisions
+
+
+class TestRecordedTraceEquivalence:
+    def test_identical_on_recorded_trace(self, tiny_tree):
+        placed = _replay(_record_het_trace(seed=19, steps=90, max_n=24), tiny_tree)
+        assert placed > 10  # the trace must actually exercise placements
+
+    def test_identical_on_larger_tree(self):
+        tree = build_datacenter(DatacenterSpec(machines_per_rack=8, racks_per_pod=3, pods=3))
+        placed = _replay(_record_het_trace(seed=5, steps=50, max_n=40), tree)
+        assert placed > 10
+
+    def test_seed_allocator_reports_its_name(self):
+        assert SVCHeterogeneousAllocator().name == "svc-het"
+        assert SVCHeterogeneousAllocator(fast=False).name == "svc-het-seed"
+
+
+class TestRandomTreeAgreement:
+    """Hypothesis: fast and reference agree on arbitrary topologies."""
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        machines_per_rack=st.integers(min_value=1, max_value=4),
+        racks=st.integers(min_value=1, max_value=3),
+        pods=st.integers(min_value=1, max_value=2),
+        n_vms=st.integers(min_value=2, max_value=14),
+        base=st.sampled_from([50.0, 150.0, 400.0]),
+        rho=st.floats(min_value=0.0, max_value=1.0),
+        oversub=st.sampled_from([1.0, 2.0, 4.0]),
+    )
+    def test_decisions_agree(self, machines_per_rack, racks, pods, n_vms, base, rho, oversub):
+        spec = DatacenterSpec(
+            machines_per_rack=machines_per_rack,
+            slots_per_machine=2,
+            racks_per_pod=racks,
+            pods=pods,
+            machine_link_mbps=500.0,
+            oversubscription=oversub,
+        )
+        tree = build_datacenter(spec)
+        request = HeterogeneousSVC(
+            n_vms=n_vms,
+            demands=tuple(
+                Normal(base * (1.0 + 0.1 * i), rho * base) for i in range(n_vms)
+            ),
+        )
+        fast = SVCHeterogeneousAllocator().allocate(NetworkState(tree), request, 1)
+        seed = SVCHeterogeneousAllocator(fast=False).allocate(NetworkState(tree), request, 1)
+        assert (fast is None) == (seed is None)
+        if fast is not None:
+            assert fast.host_node == seed.host_node
+            assert fast.machine_vms == seed.machine_vms
+            assert fast.max_occupancy == seed.max_occupancy

@@ -1,5 +1,6 @@
 """Substring heuristic allocator: validity, contiguity, quality."""
 
+import numpy as np
 import pytest
 
 from repro.abstractions import HeterogeneousSVC, HomogeneousSVC
@@ -127,3 +128,63 @@ class TestHeuristicAllocator:
         for allocation in admitted:
             state.release(allocation)
         assert state.is_pristine()
+
+
+class TestTinyTreeOptimality:
+    """Exhaustive small-instance cross-check against the exact subset DP.
+
+    The substring heuristic searches a strict subset of the exact DP's
+    placements, so on every instance it either rejects or reports a min-max
+    occupancy >= the exact optimum — and whatever either admits must respect
+    the Eq. 1 validity condition (O_L < 1 on every loaded link).
+    """
+
+    def _random_instance(self, rng):
+        n = int(rng.integers(2, 7))  # N <= 6: exact stays exhaustive and cheap
+        machines = int(rng.integers(2, 4))
+        slots = tuple(int(rng.integers(1, 4)) for _ in range(machines))
+        capacities = tuple(
+            float(rng.choice([400.0, 800.0, 1500.0])) for _ in range(machines)
+        )
+        request = HeterogeneousSVC(
+            n_vms=n,
+            demands=tuple(
+                Normal(
+                    float(rng.choice([100.0, 200.0, 300.0])),
+                    float(rng.uniform(0.0, 1.0)) * 100.0,
+                )
+                for _ in range(n)
+            ),
+        )
+        return build_star_tree(slots=slots, capacities=capacities), request
+
+    def _assert_valid_commit(self, tree, allocation):
+        state = NetworkState(tree, epsilon=0.05)
+        state.commit(allocation)
+        for link_id in allocation.link_demands:
+            assert state.links[link_id].occupancy(state.risk_c) < 1.0
+        state.release(allocation)
+        assert state.is_pristine()
+
+    def test_heuristic_never_beats_exact_and_both_respect_eq1(self):
+        rng = np.random.default_rng(2024)
+        comparable = 0
+        for trial in range(40):
+            tree, request = self._random_instance(rng)
+            exact = SVCHeterogeneousExactAllocator().allocate(
+                NetworkState(tree, epsilon=0.05), request, 1
+            )
+            for fast in (True, False):
+                heuristic = SVCHeterogeneousAllocator(fast=fast).allocate(
+                    NetworkState(tree, epsilon=0.05), request, 1
+                )
+                if heuristic is not None:
+                    # Whatever the restricted search admits, the exhaustive
+                    # search admits too — and at least as cheaply.
+                    assert exact is not None, f"trial {trial}: exact rejected"
+                    assert heuristic.max_occupancy >= exact.max_occupancy - 1e-9
+                    self._assert_valid_commit(tree, heuristic)
+                    comparable += 1
+            if exact is not None:
+                self._assert_valid_commit(tree, exact)
+        assert comparable > 20  # the sweep must actually exercise admissions

@@ -2,18 +2,22 @@
 
 import json
 
-from repro.abstractions.requests import HomogeneousSVC
+from repro.abstractions.requests import HeterogeneousSVC, HomogeneousSVC
+from repro.allocation import SVCHeterogeneousAllocator, SVCHeterogeneousExactAllocator
 from repro.manager.network_manager import NetworkManager
+from repro.network import NetworkState
 from repro.obs import instruments
 from repro.obs.instruments import (
     PHASE_COMBINE,
     PHASE_TABLE_BUILD,
+    REASON_NO_FEASIBLE_SUBTREE,
     REASON_NO_FREE_SLOTS,
     admission_instruments,
     bind_network_gauges,
     outage_monitor,
 )
 from repro.topology.builder import TINY_SPEC, build_datacenter
+from tests.conftest import build_star_tree
 
 
 class TestAdmissionInstruments:
@@ -75,6 +79,55 @@ class TestAdmissionInstruments:
             "repro_admission_cache_lookups_total", cache="machine"
         )
         assert lookups.value > 0
+
+    def test_exact_het_allocator_is_instrumented(self, fresh_registry):
+        # The exact subset DP must feed the same counter/histogram families
+        # as the other allocators — dispatcher stats and `svc-repro top`
+        # undercounted while it bypassed repro.obs.
+        tree = build_star_tree(slots=(2, 2), capacities=(1000.0, 1000.0))
+        allocator = SVCHeterogeneousExactAllocator()
+        state = NetworkState(tree, epsilon=0.05)
+        assert allocator.allocate(state, HeterogeneousSVC.uniform(3, 100.0, 30.0), 1)
+        # 6 VMs > 4 total slots: rejected before any table is built.
+        assert allocator.allocate(state, HeterogeneousSVC.uniform(6, 100.0, 30.0), 2) is None
+        # Saturate both uplinks: a 3-VM request must split but cannot.
+        for link in state.links.values():
+            if state.tree.node(link.link.child).is_machine:
+                link.add_deterministic(999, link.capacity)
+        assert allocator.allocate(state, HeterogeneousSVC.uniform(3, 100.0, 30.0), 3) is None
+
+        name = allocator.name
+        requests = fresh_registry.get("repro_admission_requests_total", allocator=name)
+        admitted = fresh_registry.get("repro_admission_admitted_total", allocator=name)
+        assert requests.value == 3
+        assert admitted.value == 1
+        for reason in (REASON_NO_FREE_SLOTS, REASON_NO_FEASIBLE_SUBTREE):
+            rejected = fresh_registry.get(
+                "repro_admission_rejected_total", allocator=name, reason=reason
+            )
+            assert rejected.value == 1, reason
+        latency = fresh_registry.get("repro_admission_allocate_seconds", allocator=name)
+        assert latency.count == 3
+
+    def test_het_fast_path_records_caches_and_phases(self, fresh_registry):
+        # The heterogeneous fast path shares machine/vertex/effective tables;
+        # its cache counters and DP-phase timings must land in the registry.
+        state = NetworkState(build_datacenter(TINY_SPEC), epsilon=0.05)
+        allocator = SVCHeterogeneousAllocator()
+        assert allocator.allocate(state, HeterogeneousSVC.uniform(6, 100.0, 30.0), 1)
+        for cache in ("het_machine", "het_vertex", "het_eff"):
+            lookups = fresh_registry.get(
+                "repro_admission_cache_lookups_total", cache=cache
+            )
+            assert lookups is not None and lookups.value > 0, cache
+            hits = fresh_registry.get("repro_admission_cache_hits_total", cache=cache)
+            assert hits is not None and hits.value >= 0, cache
+        combine = fresh_registry.get("repro_admission_phase_seconds", phase=PHASE_COMBINE)
+        assert combine.count >= 1
+        latency = fresh_registry.get(
+            "repro_admission_allocate_seconds", allocator="svc-het"
+        )
+        assert latency.count == 1
 
     def test_disabled_swaps_in_noop_facade(self, fresh_registry):
         instruments.configure(enabled=False)
