@@ -101,6 +101,7 @@ def _parsers():
     from repro.cli import build_parser
     from repro.cluster.cluster_cli import build_cluster_parser
     from repro.faults.chaos_cli import build_chaos_parser
+    from repro.obs.obs_cli import build_obs_parser
     from repro.service.server import build_serve_parser
     from repro.service.top import build_top_parser
 
@@ -109,6 +110,7 @@ def _parsers():
         "top": build_top_parser(),
         "chaos": build_chaos_parser(),
         "cluster": build_cluster_parser(),
+        "obs": build_obs_parser(),
         None: build_parser(),  # the experiment front-end
     }
 

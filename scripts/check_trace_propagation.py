@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""E2E smoke: cluster-wide observability over a real 2-shard cluster.
+
+Boots two spawned shard *worker processes* (``ProcessShard``), submits one
+cross-shard admission through the coordinator with ``trace_sample_every=1``,
+and asserts the PR-8 acceptance surface end to end:
+
+1. **One trace, one trace id** — the coordinator's ring holds a finished
+   trace whose local spans cover routing, reserve and commit, and whose
+   remote spans were produced by *both* shard child processes (their own
+   pids, relayed over the RPC channel) under the same global trace id.
+2. **Federated snapshot** — ``cluster_metrics()`` merges both child
+   registries: per-shard Eq. 6 occupancy gauges and outage counters appear
+   under ``shard="0"`` / ``shard="1"`` labels.
+3. **Flight recorder** — the coordinator ring replays the admission as a
+   ``cluster_decision`` wide event, both shard rings answer the ``obs`` op,
+   and a triggered dump lands on disk where ``svc-repro obs dump
+   --workdir`` collects it.
+
+Run from the repo root (CI does, gating)::
+
+    PYTHONPATH=src python scripts/check_trace_propagation.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+from typing import List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def check(failures: List[str], ok: bool, what: str) -> None:
+    print(f"  {'ok' if ok else 'FAIL'}: {what}")
+    if not ok:
+        failures.append(what)
+
+
+def series_for(metrics, family: str, **labels) -> List[dict]:
+    rows = metrics.get(family, {}).get("series", [])
+    return [
+        row
+        for row in rows
+        if all(row.get("labels", {}).get(k) == v for k, v in labels.items())
+    ]
+
+
+def main() -> int:
+    from repro.abstractions import HomogeneousSVC
+    from repro.cluster.coordinator import ClusterCoordinator
+    from repro.cluster.partition import ClusterPartition
+    from repro.cluster.worker import ProcessShard, wait_for_shards
+    from repro.obs.flightrec import configure_flight_recorder, flight_recorder
+    from repro.obs.obs_cli import collect_disk_dumps
+    from repro.topology.builder import TINY_SPEC
+
+    failures: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="trace-smoke-") as tmp:
+        workdir = Path(tmp)
+        configure_flight_recorder(dump_dir=str(workdir / "coordinator"))
+        partition = ClusterPartition.build(TINY_SPEC, 2)
+        print("[trace-smoke] spawning 2 shard workers ...")
+        shards = [
+            ProcessShard(view, workdir / f"shard{view.shard_index}")
+            for view in partition.shards
+        ]
+        wait_for_shards(shards)
+        coordinator = ClusterCoordinator(
+            partition,
+            shards,
+            directory=workdir / "coordinator",
+            trace_sample_every=1,
+        )
+        try:
+            child_pids = {shard._process.pid for shard in shards}
+            # 40 VMs > the 32 slots of one TINY shard: must span both.
+            decision = coordinator.submit(
+                HomogeneousSVC(n_vms=40, mean=8.0, std=2.0)
+            )
+            print("[trace-smoke] cross-shard admission")
+            check(failures, decision["outcome"] == "admitted", "request admitted")
+            check(
+                failures,
+                decision["route"] in ("cross_shard", "spill"),
+                f"routed across shards (route={decision['route']})",
+            )
+            gid = decision["request_id"]
+            fragments = coordinator.fragments_of(gid)
+            check(
+                failures,
+                sorted(fragments) == [0, 1],
+                f"fragments on both shards ({sorted(fragments)})",
+            )
+
+            # -- 1. one end-to-end trace under a single trace id ---------
+            print("[trace-smoke] end-to-end trace")
+            traces = [
+                trace
+                for trace in coordinator.recent_traces(limit=16)
+                if trace["meta"].get("gid") == gid
+            ]
+            check(failures, len(traces) == 1, "exactly one trace for the admission")
+            if traces:
+                trace = traces[0]
+                trace_id = trace["meta"].get("trace_id_global", "")
+                check(
+                    failures,
+                    trace_id.startswith(f"{os.getpid()}-"),
+                    f"coordinator-scoped global trace id ({trace_id})",
+                )
+                span_names = {span["name"] for span in trace["spans"]}
+                for needed in ("route", "reserve", "commit"):
+                    check(failures, needed in span_names, f"local span {needed!r}")
+                remote = trace["remote_spans"]
+                check(failures, len(remote) > 0, f"remote spans present ({len(remote)})")
+                remote_pids = {span.get("pid") for span in remote}
+                check(
+                    failures,
+                    remote_pids == child_pids,
+                    f"remote spans from both shard workers (pids {sorted(remote_pids)})",
+                )
+                remote_shards = {span.get("shard") for span in remote}
+                check(
+                    failures,
+                    remote_shards == {0, 1},
+                    f"remote spans labeled per shard ({sorted(remote_shards)})",
+                )
+
+            # -- 2. federated metrics snapshot ---------------------------
+            print("[trace-smoke] metrics federation")
+            federated = coordinator.cluster_metrics()
+            metrics = federated["metrics"]
+            for shard_label in ("0", "1"):
+                occupancy = series_for(
+                    metrics, "repro_network_max_occupancy", shard=shard_label
+                )
+                check(
+                    failures,
+                    bool(occupancy) and occupancy[0]["value"] > 0.0,
+                    f"Eq. 6 occupancy gauge for shard {shard_label} "
+                    f"({occupancy[0]['value'] if occupancy else 'missing'})",
+                )
+                outage = series_for(
+                    metrics, "repro_outage_link_seconds_total", shard=shard_label
+                )
+                check(
+                    failures,
+                    bool(outage),
+                    f"outage counter federated for shard {shard_label}",
+                )
+            scrapes = series_for(
+                metrics,
+                "repro_cluster_federation_scrapes_total",
+                shard="coordinator",
+                outcome="ok",
+            )
+            check(
+                failures,
+                bool(scrapes) and scrapes[0]["value"] >= 2,
+                "federation scrape counter counts both shards",
+            )
+
+            # -- 3. flight recorder ring + on-disk dump ------------------
+            print("[trace-smoke] flight recorder")
+            obs = coordinator.collect_obs_dumps()
+            decisions = [
+                event
+                for event in obs["coordinator"]["flight"]
+                if event["kind"] == "cluster_decision" and event.get("gid") == gid
+            ]
+            check(
+                failures,
+                len(decisions) == 1 and decisions[0]["outcome"] == "admitted",
+                "coordinator flight ring replays the admission decision",
+            )
+            shard_pids = {
+                dump.get("pid") for dump in obs["shards"] if "error" not in dump
+            }
+            check(
+                failures,
+                shard_pids == child_pids,
+                "both shard workers answered the obs collection",
+            )
+            dump_path = flight_recorder().maybe_dump("smoke")
+            check(
+                failures,
+                dump_path is not None and Path(dump_path).is_file(),
+                f"flight dump written ({dump_path})",
+            )
+            collected = collect_disk_dumps(workdir)
+            check(
+                failures,
+                any(
+                    d.get("trigger") == "smoke" and d.get("events")
+                    for d in collected["dumps"]
+                ),
+                f"obs dump collection finds the flight file "
+                f"({len(collected['dumps'])} dump(s))",
+            )
+        finally:
+            coordinator.stop()
+            for shard in shards:
+                shard.close()
+
+    if failures:
+        print(f"[trace-smoke] FAILED: {len(failures)} check(s)", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("[trace-smoke] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

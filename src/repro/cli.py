@@ -11,6 +11,7 @@ Examples::
     svc-repro top --port 40123                  # live metrics view of a daemon
     svc-repro chaos --schedules 200             # fault-injection recovery check
     svc-repro cluster --shards 4 --scale small  # sharded admission cluster
+    svc-repro obs dump --port 40123             # flight-recorder + trace dump
 """
 
 from __future__ import annotations
@@ -161,6 +162,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.cluster.cluster_cli import cluster_main
 
         return cluster_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.obs.obs_cli import obs_main
+
+        return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     setup_logging(args.log_level)
     if args.resume and args.run_dir is None:

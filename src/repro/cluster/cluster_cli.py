@@ -74,6 +74,16 @@ def build_cluster_parser() -> argparse.ArgumentParser:
         help="durability directory (WALs land here; re-running recovers from it)",
     )
     parser.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="PATH",
+        help="drive mode: write the federated cluster metrics snapshot "
+        "(every shard's registry + the coordinator's, merged) as JSON here",
+    )
+    parser.add_argument(
+        "--obs-out", type=Path, default=None, metavar="PATH",
+        help="drive mode: write the cluster-wide observability dump "
+        "(flight-recorder rings + recent traces) as JSON here",
+    )
+    parser.add_argument(
         "--chaos", type=int, default=None, metavar="N",
         help="run N cluster chaos schedules instead of a workload drive",
     )
@@ -158,6 +168,20 @@ def _drive(args: argparse.Namespace, workdir: Optional[Path]) -> int:
                 active.append(decision["request_id"])
         coordinator.refresh_shard_stats()
         stats = coordinator.stats()
+        if args.metrics_out is not None:
+            federated = coordinator.cluster_metrics()
+            args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+            args.metrics_out.write_text(
+                json.dumps(federated, indent=2, default=str), encoding="utf-8"
+            )
+            print(f"federated metrics written: {args.metrics_out}", file=sys.stderr)
+        if args.obs_out is not None:
+            dumps = coordinator.collect_obs_dumps()
+            args.obs_out.parent.mkdir(parents=True, exist_ok=True)
+            args.obs_out.write_text(
+                json.dumps(dumps, indent=2, default=str), encoding="utf-8"
+            )
+            print(f"observability dump written: {args.obs_out}", file=sys.stderr)
         report = {
             "scale": args.scale,
             "shards": args.shards,

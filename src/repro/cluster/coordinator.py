@@ -37,8 +37,10 @@ from __future__ import annotations
 
 import dataclasses
 import logging
+import os
 import threading
 import time
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -62,12 +64,20 @@ from repro.faults.failpoints import (
     InjectedCrash,
 )
 from repro.manager.network_manager import NetworkManager
-from repro.obs.instruments import cluster_instruments
+from repro.obs.federation import federation_meta, merge_snapshots
+from repro.obs.flightrec import flight_recorder
+from repro.obs.instruments import cluster_instruments, global_registry
+from repro.obs.tracing import SpanTracer, Trace, TraceContext, take_remote_spans
 from repro.service.codec import allocation_from_dict, allocation_to_dict
 from repro.service.errors import ConflictError, ServiceError
 from repro.service.journal import Journal
 
 logger = logging.getLogger(__name__)
+
+
+def _tspan(trace: Optional[Trace], name: str):
+    """A span on ``trace``, or a no-op scope when the request is unsampled."""
+    return trace.span(name) if trace is not None else nullcontext()
 
 #: Coordinator WAL record types.  Unknown ops are skipped at replay, same
 #: forward-compatibility contract as ``recover_manager``.
@@ -108,6 +118,7 @@ class ClusterCoordinator:
         max_cross_retries: int = 2,
         decision_timeout_s: float = 30.0,
         rebalancer: Optional[ShardLoadRebalancer] = None,
+        trace_sample_every: int = 64,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if len(shards) != partition.num_shards:
@@ -152,6 +163,11 @@ class ClusterCoordinator:
             self._wal = Journal(directory / WAL_FILENAME, fsync=fsync)
         self._obs = cluster_instruments()
         self._obs.bind_coordinator(self)
+        #: End-to-end trace ring: every sampled admission becomes one trace
+        #: whose local spans cover routing/reserve/commit and whose remote
+        #: spans are the shard workers' allocator legs, all under a single
+        #: cluster-wide trace id.
+        self.tracer = SpanTracer(sample_every=trace_sample_every, keep=128)
         if self._wal is not None and self._wal.next_seq > 1:
             self._recover()
 
@@ -232,6 +248,84 @@ class ClusterCoordinator:
             return payload
 
     # ------------------------------------------------------------------
+    # Observability: federation, traces, flight recorder
+    # ------------------------------------------------------------------
+
+    def cluster_metrics(self) -> Dict[str, Any]:
+        """One federated snapshot: every shard's registry + the coordinator's.
+
+        Per-shard series gain a ``shard`` label; families reported by two
+        or more sources additionally get a ``shard="all"`` aggregate.  A
+        shard whose scrape fails is skipped (and counted), so one dead
+        worker never blanks the cluster view.
+        """
+        sources: Dict[str, Dict[str, Any]] = {}
+        for shard in self.shards:
+            try:
+                sources[str(shard.index)] = shard.metrics_snapshot()
+                self._obs.federation_scrape("ok")
+            except ServiceError as exc:
+                self._obs.federation_scrape("error")
+                logger.warning(
+                    "shard %d metrics scrape failed: %s", shard.index, exc
+                )
+        sources["coordinator"] = global_registry().snapshot()
+        merged = merge_snapshots(sources)
+        meta = federation_meta(sources)
+        return {
+            "metrics": merged,
+            "meta": meta,
+            "stats": self.stats(),
+            "shard_stats": self.refresh_shard_stats(),
+        }
+
+    def recent_traces(self, limit: int = 16) -> List[Dict[str, Any]]:
+        """Most recent end-to-end admission traces from the coordinator ring."""
+        return self.tracer.recent(limit)
+
+    def collect_obs_dumps(self) -> Dict[str, Any]:
+        """Flight-recorder rings and trace buffers, cluster-wide."""
+        shards: List[Dict[str, Any]] = []
+        for shard in self.shards:
+            try:
+                shards.append(shard.obs_dump())
+            except ServiceError as exc:
+                shards.append({"shard": shard.index, "error": str(exc)})
+        return {
+            "coordinator": {
+                "pid": os.getpid(),
+                "flight": flight_recorder().events(),
+                "traces": self.tracer.recent(),
+            },
+            "shards": shards,
+        }
+
+    def _collect_remote(
+        self, trace: Optional[Trace], tctx: Optional[TraceContext]
+    ) -> None:
+        """Fold shard-side spans buffered for this trace into it."""
+        if trace is None or tctx is None:
+            return
+        spans = take_remote_spans(tctx.trace_id)
+        for span in spans:
+            trace.add_remote(span)
+        if spans:
+            self._obs.trace_spans("shard", len(spans))
+
+    def _finish_trace(
+        self, trace: Optional[Trace], route: str, outcome: str
+    ) -> None:
+        if trace is None:
+            return
+        trace.annotate(route=route, outcome=outcome)
+        self._obs.trace_spans("coordinator", len(trace.spans))
+        self.tracer.finish(trace)
+
+    @staticmethod
+    def _flight(kind: str, **fields: Any) -> None:
+        flight_recorder().record(kind, component="coordinator", **fields)
+
+    # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
 
@@ -304,6 +398,8 @@ class ClusterCoordinator:
         timeout: Optional[float],
     ) -> Dict[str, Any]:
         started = self.clock()
+        trace = self.tracer.start("cluster_admission")
+        tctx: Optional[TraceContext] = None
         with self._lock:
             for _expired in self.ledger.expire():
                 self._obs.reservation("expire")
@@ -314,7 +410,13 @@ class ClusterCoordinator:
                     return dict(known, deduped=True)
             gid = self._next_gid
             self._next_gid += 1
-            target = self._route(request)
+            if trace is not None:
+                # The cluster-wide id must be unique across processes and
+                # coordinator restarts within one run; pid + ring id is.
+                tctx = TraceContext(f"{os.getpid()}-{trace.trace_id}")
+                trace.annotate(gid=gid, trace_id_global=tctx.trace_id)
+            with _tspan(trace, "route"):
+                target = self._route(request)
             FAILPOINTS.hit(FP_COORD_BEFORE_WAL)
             # The shard sees a per-gid key, never the client's: retries
             # after a rolled-back round get a fresh gid and therefore a
@@ -332,29 +434,37 @@ class ClusterCoordinator:
                 except Exception as exc:
                     # Nothing happened yet beyond burning a gid; the
                     # outcome is unknown to the caller, who retries.
+                    self._flight(
+                        "wal_error", op=OP_RINTENT, gid=gid, error=str(exc)
+                    )
                     raise CoordinatorError(
                         f"intent not journaled ({type(exc).__name__})"
                     ) from exc
             pending = int(request.n_vms)
             self._inflight_vms[target] = self._inflight_vms.get(target, 0) + pending
         try:
-            decision = self.shards[target].submit(
-                request,
-                idempotency_key=skey,
-                timeout=self.decision_timeout_s if timeout is None else timeout,
-            )
+            with _tspan(trace, f"shard{target}:submit"):
+                decision = self.shards[target].submit(
+                    request,
+                    idempotency_key=skey,
+                    timeout=self.decision_timeout_s if timeout is None else timeout,
+                    trace=tctx,
+                )
+            self._collect_remote(trace, tctx)
             outcome = decision.get("outcome")
             if outcome == "admitted":
                 return self._complete_local_admit(
-                    gid, target, decision, idempotency_key, started
+                    gid, target, decision, idempotency_key, started, trace=trace
                 )
             if outcome == "rejected":
                 if self.num_shards > 1:
                     return self._submit_cross(
-                        request, gid, idempotency_key, started, first_reject=decision
+                        request, gid, idempotency_key, started,
+                        first_reject=decision, trace=trace, tctx=tctx,
                     )
                 return self._complete_reject(
-                    gid, idempotency_key, decision.get("detail"), started, ROUTE_REJECT
+                    gid, idempotency_key, decision.get("detail"), started,
+                    ROUTE_REJECT, trace=trace,
                 )
             raise CoordinatorError(
                 f"shard {target} returned outcome {outcome!r} (ticket unresolved?)"
@@ -374,6 +484,7 @@ class ClusterCoordinator:
         decision: Dict[str, Any],
         idempotency_key: Optional[str],
         started: float,
+        trace: Optional[Trace] = None,
     ) -> Dict[str, Any]:
         srid = decision["request_id"]
         local_allocation = decision.get("allocation")
@@ -387,6 +498,7 @@ class ClusterCoordinator:
                 )
                 self._remember(idempotency_key, payload)
                 self._obs.routing(ROUTE_DEDUP)
+                self._finish_trace(trace, ROUTE_DEDUP, "admitted")
                 return payload
             if local_allocation is None:
                 raise CoordinatorError(
@@ -410,6 +522,9 @@ class ClusterCoordinator:
                     # The WAL will not remember this admission, so the
                     # shard must forget it too (same rollback discipline
                     # as the shard's own journal failures).
+                    self._flight(
+                        "wal_error", op=OP_RADMIT, gid=gid, error=str(exc)
+                    )
                     try:
                         self.shards[shard_index].release(srid)
                     except ServiceError:
@@ -435,6 +550,11 @@ class ClusterCoordinator:
             self._remember(idempotency_key, payload)
             self._obs.routing(ROUTE_LOCAL)
             self._obs.observe_latency("local", self.clock() - started)
+            self._flight(
+                "cluster_decision", gid=gid, outcome="admitted",
+                route=ROUTE_LOCAL, shard=shard_index,
+            )
+            self._finish_trace(trace, ROUTE_LOCAL, "admitted")
             return payload
 
     def _complete_reject(
@@ -444,6 +564,7 @@ class ClusterCoordinator:
         detail: Optional[str],
         started: float,
         route: str,
+        trace: Optional[Trace] = None,
     ) -> Dict[str, Any]:
         with self._lock:
             if self._wal is not None and idempotency_key is not None:
@@ -454,12 +575,20 @@ class ClusterCoordinator:
                 except Exception as exc:
                     # Roll forward: a lost reject record only means a
                     # post-crash retry re-runs the (deterministic) decision.
+                    self._flight(
+                        "wal_error", op=OP_RREJECT, gid=gid, error=str(exc)
+                    )
                     logger.warning("gid=%d: reject not journaled: %s", gid, exc)
             self.rejected_count += 1
             payload = self._decision(gid, "rejected", detail, route)
             self._remember(idempotency_key, payload)
             self._obs.routing(route)
             self._obs.observe_latency("local", self.clock() - started)
+            self._flight(
+                "cluster_decision", gid=gid, outcome="rejected",
+                route=route, detail=detail,
+            )
+            self._finish_trace(trace, route, "rejected")
             return payload
 
     # ------------------------------------------------------------------
@@ -473,27 +602,35 @@ class ClusterCoordinator:
         idempotency_key: Optional[str],
         started: float,
         first_reject: Dict[str, Any],
+        trace: Optional[Trace] = None,
+        tctx: Optional[TraceContext] = None,
     ) -> Dict[str, Any]:
         last_detail = first_reject.get("detail")
         for attempt in range(1 + self.max_cross_retries):
             fragment_key = f"xfrag-{gid}-r{attempt}"
             with self._lock:
-                allocation = self.replica.allocator.allocate(
-                    self.replica.state, request, gid
-                )
+                with _tspan(trace, "cross_allocate"):
+                    allocation = self.replica.allocator.allocate(
+                        self.replica.state, request, gid
+                    )
                 if allocation is None:
                     return self._complete_reject(
-                        gid, idempotency_key, last_detail, started, ROUTE_REJECT
+                        gid, idempotency_key, last_detail, started,
+                        ROUTE_REJECT, trace=trace,
                     )
                 core = core_demands_of(allocation, self.partition.core_link_ids)
-                if not self.ledger.reserve(gid, core):
+                with _tspan(trace, "reserve"):
+                    reserved = self.ledger.reserve(gid, core)
+                if not reserved:
                     self._obs.reservation("reserve_denied")
+                    self._flight("reservation_denied", gid=gid)
                     return self._complete_reject(
                         gid,
                         idempotency_key,
                         "core links at capacity (reservation denied)",
                         started,
                         ROUTE_REJECT,
+                        trace=trace,
                     )
                 self._obs.reservation("reserve")
                 FAILPOINTS.hit(FP_COORD_AFTER_RESERVE)
@@ -520,6 +657,13 @@ class ClusterCoordinator:
                     except Exception as exc:
                         self.ledger.abort(gid)
                         self._obs.reservation("abort")
+                        self._flight(
+                            "wal_error", op=OP_XINTENT, gid=gid, error=str(exc)
+                        )
+                        self._flight(
+                            "reservation_abort", gid=gid,
+                            reason="intent_not_journaled",
+                        )
                         raise CoordinatorError(
                             f"two-phase intent not journaled "
                             f"({type(exc).__name__}); reservation aborted"
@@ -528,9 +672,13 @@ class ClusterCoordinator:
             failure: Optional[Exception] = None
             for shard_index in sorted(fragments):
                 try:
-                    adopted[shard_index] = self.shards[shard_index].adopt(
-                        fragments[shard_index], idempotency_key=fragment_key
-                    )
+                    with _tspan(trace, f"shard{shard_index}:adopt"):
+                        adopted[shard_index] = self.shards[shard_index].adopt(
+                            fragments[shard_index],
+                            idempotency_key=fragment_key,
+                            trace=tctx,
+                        )
+                    self._collect_remote(trace, tctx)
                 except ConflictError as exc:
                     failure = exc
                     break
@@ -540,7 +688,8 @@ class ClusterCoordinator:
             if failure is None:
                 with self._lock:
                     FAILPOINTS.hit(FP_COORD_BEFORE_COMMIT)
-                    self.ledger.commit(gid)
+                    with _tspan(trace, "commit"):
+                        self.ledger.commit(gid)
                     self._obs.reservation("commit")
                     if self._wal is not None:
                         try:
@@ -571,6 +720,14 @@ class ClusterCoordinator:
                                     )
                             self.ledger.release(gid)
                             self._obs.reservation("abort")
+                            self._flight(
+                                "wal_error", op=OP_XCOMMIT, gid=gid,
+                                error=str(exc),
+                            )
+                            self._flight(
+                                "reservation_abort", gid=gid,
+                                reason="commit_not_journaled",
+                            )
                             raise CoordinatorError(
                                 f"commit not journaled ({type(exc).__name__}); "
                                 "round rolled back"
@@ -586,6 +743,11 @@ class ClusterCoordinator:
                     self._remember(idempotency_key, payload)
                     self._obs.routing(route)
                     self._obs.observe_latency("cross", self.clock() - started)
+                    self._flight(
+                        "cluster_decision", gid=gid, outcome="admitted",
+                        route=route, shards=sorted(fragments),
+                    )
+                    self._finish_trace(trace, route, "admitted")
                     return payload
             # Roll back this round: release adopted fragments, abort the
             # reservation, journal the abort, then retry or give up.
@@ -600,6 +762,10 @@ class ClusterCoordinator:
             with self._lock:
                 self.ledger.abort(gid)
                 self._obs.reservation("abort")
+                self._flight(
+                    "reservation_abort", gid=gid,
+                    reason=f"{type(failure).__name__}: {failure}",
+                )
                 if self._wal is not None:
                     try:
                         self._wal.append(OP_XABORT, gid=gid)
@@ -622,6 +788,7 @@ class ClusterCoordinator:
             last_detail or "cross-shard placement kept conflicting",
             started,
             ROUTE_REJECT,
+            trace=trace,
         )
 
     def _fragment(self, allocation: Allocation) -> Dict[int, Allocation]:

@@ -14,6 +14,7 @@ the same surface over a child process for GIL-free parallelism.
 
 from __future__ import annotations
 
+import os
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
@@ -21,6 +22,9 @@ from typing import Any, Callable, Dict, Optional
 from repro.allocation.base import Allocation
 from repro.cluster.partition import ShardView
 from repro.manager.network_manager import NetworkManager
+from repro.obs.flightrec import flight_recorder
+from repro.obs.instruments import admission_instruments, global_registry
+from repro.obs.tracing import TraceContext
 from repro.service.concurrency import AdmissionService
 from repro.service.errors import ServiceError
 from repro.service.journal import DurabilityStore
@@ -48,16 +52,30 @@ class ShardHandle:
         request,
         idempotency_key: Optional[str] = None,
         timeout: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> Dict[str, Any]:
         raise NotImplementedError
 
-    def adopt(self, allocation: Allocation, idempotency_key: Optional[str] = None) -> int:
+    def adopt(
+        self,
+        allocation: Allocation,
+        idempotency_key: Optional[str] = None,
+        trace: Optional[TraceContext] = None,
+    ) -> int:
         raise NotImplementedError
 
     def release(self, request_id: int) -> bool:
         raise NotImplementedError
 
     def stats(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The shard process's full metrics-registry snapshot (federation)."""
+        raise NotImplementedError
+
+    def obs_dump(self) -> Dict[str, Any]:
+        """Flight-recorder ring + recent traces of the shard process."""
         raise NotImplementedError
 
     def idem_lookup(self, key: str) -> Optional[Dict[str, Any]]:
@@ -138,12 +156,14 @@ class LocalShard(ShardHandle):
         request,
         idempotency_key: Optional[str] = None,
         timeout: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> Dict[str, Any]:
         ticket = self.service.submit(
             request,
             wait=True,
             wait_timeout=self.decision_timeout_s if timeout is None else timeout,
             idempotency_key=idempotency_key,
+            trace_context=trace,
         )
         if not ticket.done:
             raise ServiceError(
@@ -161,8 +181,15 @@ class LocalShard(ShardHandle):
                 decision["allocation"] = tenancy.allocation
         return decision
 
-    def adopt(self, allocation: Allocation, idempotency_key: Optional[str] = None) -> int:
-        return self.service.adopt(allocation, idempotency_key=idempotency_key)
+    def adopt(
+        self,
+        allocation: Allocation,
+        idempotency_key: Optional[str] = None,
+        trace: Optional[TraceContext] = None,
+    ) -> int:
+        return self.service.adopt(
+            allocation, idempotency_key=idempotency_key, trace_context=trace
+        )
 
     def release(self, request_id: int) -> bool:
         return self.service.release(request_id)
@@ -178,6 +205,26 @@ class LocalShard(ShardHandle):
             "active_tenancies": manager.active_tenancies,
             "max_occupancy": manager.max_occupancy(),
             "crashed": self.service.crashed,
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        # Parity with ProcessShard: a killed shard fails its scrape instead
+        # of answering from beyond the grave.
+        if not self.service.running or self.service.crashed:
+            raise ServiceError(f"shard {self.index} is down")
+        # In-process shards share the process-global registry, so the
+        # "shard snapshot" is simply this process's snapshot — the federated
+        # view stays meaningful because the coordinator labels it.
+        return global_registry().snapshot()
+
+    def obs_dump(self) -> Dict[str, Any]:
+        instruments = admission_instruments()
+        tracer = getattr(instruments, "tracer", None)
+        return {
+            "shard": self.index,
+            "pid": os.getpid(),
+            "flight": flight_recorder().events(),
+            "traces": tracer.recent() if tracer is not None else [],
         }
 
     def idem_lookup(self, key: str) -> Optional[Dict[str, Any]]:

@@ -25,6 +25,9 @@ from typing import Any, Dict, Optional
 from repro.allocation.base import Allocation
 from repro.cluster.partition import ShardView, build_shard_tree
 from repro.cluster.shard import LocalShard, ShardHandle
+from repro.obs.flightrec import configure_flight_recorder
+from repro.obs.instruments import configure as configure_obs
+from repro.obs.tracing import TraceContext, record_remote_span, take_remote_spans
 from repro.service.codec import (
     allocation_from_dict,
     allocation_to_dict,
@@ -51,6 +54,14 @@ def _shard_child_main(
     options: Dict[str, Any],
 ) -> None:
     """Child entry point: build the shard stack, serve ops until shutdown."""
+    # Stagger the deterministic every-Nth trace sampler per worker: a fresh
+    # spawn always starts its counter at zero, so without a phase offset
+    # every shard would sample the same startup-biased Nth calls.
+    configure_obs(sample_phase=shard_index)
+    # Crash/degradation flight dumps land next to the shard's journal (or
+    # nowhere when the shard is memory-only — maybe_dump is then a no-op).
+    if directory is not None:
+        configure_flight_recorder(dump_dir=directory)
     tree = build_shard_tree(spec, pods)
     # The child works purely in shard-local ids; the parent owns the
     # global<->local translation tables, so empty maps are correct here.
@@ -90,20 +101,37 @@ def _shard_child_main(
             except EOFError:
                 break
             op = message.get("op")
+            trace = TraceContext.from_dict(message.get("trace"))
             try:
                 if op == "submit":
                     decision = shard.submit(
                         request_from_dict(message["request"]),
                         idempotency_key=message.get("idem"),
                         timeout=message.get("timeout"),
+                        trace=trace,
                     )
-                    reply = {"ok": True, "result": _decision_to_wire(decision)}
+                    wire = _decision_to_wire(decision)
+                    if trace is not None:
+                        wire["trace_spans"] = take_remote_spans(trace.trace_id)
+                    reply = {"ok": True, "result": wire}
                 elif op == "adopt":
                     request_id = shard.adopt(
                         allocation_from_dict(message["allocation"]),
                         idempotency_key=message.get("idem"),
+                        trace=trace,
                     )
-                    reply = {"ok": True, "result": request_id}
+                    if trace is not None:
+                        result = {
+                            "request_id": request_id,
+                            "trace_spans": take_remote_spans(trace.trace_id),
+                        }
+                    else:
+                        result = request_id
+                    reply = {"ok": True, "result": result}
+                elif op == "metrics":
+                    reply = {"ok": True, "result": shard.metrics_snapshot()}
+                elif op == "obs":
+                    reply = {"ok": True, "result": shard.obs_dump()}
                 elif op == "release":
                     reply = {"ok": True, "result": shard.release(message["request_id"])}
                 elif op == "stats":
@@ -222,21 +250,52 @@ class ProcessShard(ShardHandle):
         request,
         idempotency_key: Optional[str] = None,
         timeout: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> Dict[str, Any]:
         decision = self._call(
             "submit",
             request=request_to_dict(request),
             idem=idempotency_key,
             timeout=timeout,
+            trace=trace.to_dict() if trace is not None else None,
         )
         if decision.get("allocation") is not None:
             decision["allocation"] = allocation_from_dict(decision["allocation"])
+        if trace is not None:
+            self._relay_spans(trace, decision.pop("trace_spans", []))
         return decision
 
-    def adopt(self, allocation: Allocation, idempotency_key: Optional[str] = None) -> int:
-        return self._call(
-            "adopt", allocation=allocation_to_dict(allocation), idem=idempotency_key
+    def adopt(
+        self,
+        allocation: Allocation,
+        idempotency_key: Optional[str] = None,
+        trace: Optional[TraceContext] = None,
+    ) -> int:
+        result = self._call(
+            "adopt",
+            allocation=allocation_to_dict(allocation),
+            idem=idempotency_key,
+            trace=trace.to_dict() if trace is not None else None,
         )
+        if isinstance(result, dict):
+            if trace is not None:
+                self._relay_spans(trace, result.get("trace_spans", []))
+            return int(result["request_id"])
+        return int(result)
+
+    def _relay_spans(self, trace: TraceContext, spans) -> None:
+        """Re-buffer child-process spans locally so the coordinator can
+        collect every shard's legs with one ``take_remote_spans`` call."""
+        for span in spans or []:
+            span = dict(span)
+            span.setdefault("shard", self.index)
+            record_remote_span(trace.trace_id, span)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        return self._call("metrics")
+
+    def obs_dump(self) -> Dict[str, Any]:
+        return self._call("obs")
 
     def release(self, request_id: int) -> bool:
         return self._call("release", request_id=request_id)

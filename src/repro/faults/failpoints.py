@@ -223,6 +223,7 @@ class FailpointRegistry:
                 return None
             point.triggered += 1
         self._record_metric(name)
+        self._record_flight(name, point)
         logger.info(
             "failpoint triggered: %s mode=%s hit=%d", name, point.mode, point.triggered
         )
@@ -246,6 +247,20 @@ class FailpointRegistry:
 
             record_fault(name)
         except Exception:  # metrics must never break fault injection
+            pass
+
+    @staticmethod
+    def _record_flight(name: str, point: "Failpoint") -> None:
+        try:
+            from repro.obs.flightrec import flight_recorder
+
+            flight_recorder().record(
+                "chaos_injection",
+                failpoint=name,
+                mode=point.mode,
+                hit=point.triggered,
+            )
+        except Exception:  # the flight recorder must never break injection
             pass
 
 

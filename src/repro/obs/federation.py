@@ -1,0 +1,146 @@
+"""Metrics federation: merge per-shard registry snapshots into one view.
+
+Each shard worker is its own process with its own process-global
+:class:`MetricsRegistry`; the coordinator cannot read them directly.
+Instead every shard serves ``registry.snapshot()`` over the existing RPC
+channel and this module merges the JSON snapshots into one *federated*
+snapshot:
+
+- every per-shard series keeps its identity under an added ``shard`` label;
+- counters and histograms additionally fold into a ``shard="all"`` cluster
+  aggregate (histograms are rebuilt from their bucket dicts so the existing
+  :meth:`Histogram.merge` semantics apply across processes);
+- gauges aggregate by *sum* — the families this matters for (free slots,
+  queue depth, active tenancies) are extensive quantities, and per-shard
+  readings stay available next to the sum for the intensive ones
+  (occupancy, rates).
+
+The result has the same shape as ``MetricsRegistry.snapshot()`` so every
+existing consumer — ``svc-repro top``, the schema gate, JSON dumps — can
+render it unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .registry import Histogram
+
+__all__ = ["merge_snapshots", "histogram_from_snapshot", "federation_meta"]
+
+#: Label value marking the cluster-wide aggregate series.
+ALL_SHARDS = "all"
+
+
+def histogram_from_snapshot(payload: Dict[str, Any]) -> Optional[Histogram]:
+    """Rebuild a :class:`Histogram` from its ``snapshot()`` dict.
+
+    The bucket keys carry the bounds (``repr(bound)`` plus ``"+Inf"``), the
+    values the per-bucket counts; sum/min/max restore the scalar state.
+    Returns ``None`` when the payload is not a histogram snapshot.
+    """
+    buckets = payload.get("buckets") if isinstance(payload, dict) else None
+    if not isinstance(buckets, dict) or not buckets:
+        return None
+    bounds: List[float] = []
+    counts: List[int] = []
+    overflow = 0
+    for key, count in buckets.items():
+        if key == "+Inf":
+            overflow = int(count)
+        else:
+            try:
+                bounds.append(float(key))
+            except ValueError:
+                return None
+            counts.append(int(count))
+    if not bounds:
+        return None
+    order = sorted(range(len(bounds)), key=lambda i: bounds[i])
+    hist = Histogram([bounds[i] for i in order])
+    hist.counts = [counts[i] for i in order] + [overflow]
+    hist.count = int(payload.get("count", sum(hist.counts)))
+    hist.total = float(payload.get("sum", 0.0))
+    if hist.count:
+        hist._min = float(payload.get("min", 0.0))
+        hist._max = float(payload.get("max", 0.0))
+    return hist
+
+
+def _histogram_aggregate(values: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    merged: Optional[Histogram] = None
+    for payload in values:
+        hist = histogram_from_snapshot(payload)
+        if hist is None:
+            continue
+        if merged is None:
+            merged = hist
+        elif hist.bounds == merged.bounds:
+            merged.merge(hist)
+    return merged.snapshot() if merged is not None else None
+
+
+def merge_snapshots(
+    shard_snapshots: Dict[str, Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Merge per-shard registry snapshots into one federated snapshot.
+
+    ``shard_snapshots`` maps a shard label value (e.g. ``"0"``, ``"1"``,
+    ``"coordinator"``) to that process's ``MetricsRegistry.snapshot()``.
+    """
+    # family -> (kind, help, series rows); aggregate accumulators per family.
+    out: Dict[str, Dict[str, Any]] = {}
+    aggregates: Dict[str, Dict[Tuple[Tuple[str, str], ...], List[Any]]] = {}
+
+    for shard_label in sorted(shard_snapshots, key=str):
+        snapshot = shard_snapshots[shard_label] or {}
+        for family_name in sorted(snapshot):
+            family = snapshot[family_name]
+            if not isinstance(family, dict) or "series" not in family:
+                continue
+            merged = out.setdefault(
+                family_name,
+                {
+                    "type": family.get("type", "gauge"),
+                    "help": family.get("help", ""),
+                    "series": [],
+                },
+            )
+            family_agg = aggregates.setdefault(family_name, {})
+            for row in family.get("series", []):
+                labels = dict(row.get("labels", {}))
+                labels["shard"] = str(shard_label)
+                merged["series"].append({"labels": labels, "value": row.get("value")})
+                base = tuple(sorted(
+                    (k, str(v)) for k, v in row.get("labels", {}).items()
+                ))
+                family_agg.setdefault(base, []).append(row.get("value"))
+
+    # Cluster-wide aggregate series under shard="all".
+    for family_name, family in out.items():
+        kind = family["type"]
+        family_agg = aggregates.get(family_name, {})
+        for base_labels, values in sorted(family_agg.items()):
+            if len(shard_snapshots) < 2:
+                continue  # one source: the aggregate would duplicate it
+            if kind == "histogram":
+                aggregate = _histogram_aggregate([v for v in values if isinstance(v, dict)])
+                if aggregate is None:
+                    continue
+            else:
+                numeric = [v for v in values if isinstance(v, (int, float))]
+                if not numeric:
+                    continue
+                aggregate = float(sum(numeric))
+            labels = dict(base_labels)
+            labels["shard"] = ALL_SHARDS
+            family["series"].append({"labels": labels, "value": aggregate})
+    return out
+
+
+def federation_meta(shard_snapshots: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Sidecar describing where a federated snapshot came from."""
+    families = set()
+    for snapshot in shard_snapshots.values():
+        families.update((snapshot or {}).keys())
+    return {"shards": sorted(shard_snapshots, key=str), "families": len(families)}

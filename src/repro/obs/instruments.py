@@ -74,6 +74,7 @@ REASON_NO_FEASIBLE_SUBTREE = "no_feasible_subtree"
 _REGISTRY = MetricsRegistry()
 _ENABLED = True
 _SAMPLE_EVERY = 64
+_SAMPLE_PHASE = 0
 
 
 def global_registry() -> MetricsRegistry:
@@ -86,15 +87,22 @@ def enabled() -> bool:
 
 
 def configure(
-    enabled: Optional[bool] = None, sample_every: Optional[int] = None
+    enabled: Optional[bool] = None,
+    sample_every: Optional[int] = None,
+    sample_phase: Optional[int] = None,
 ) -> None:
     """Flip instrumentation on/off or retune trace sampling at runtime.
 
     Disabling swaps the admission facade for a shared no-op object, so the
     allocator hot path pays a single global read and nothing else — the
     baseline side of the overhead benchmark.
+
+    ``sample_phase`` staggers the deterministic every-Nth sampler between
+    processes: spawned shard workers seed it from their shard index so the
+    cluster does not sample the same startup-biased Nth calls on every
+    shard.  Applying it resets the live tracer's call counter to the phase.
     """
-    global _ENABLED, _SAMPLE_EVERY, _ADMISSION
+    global _ENABLED, _SAMPLE_EVERY, _SAMPLE_PHASE, _ADMISSION
     if enabled is not None:
         _ENABLED = bool(enabled)
     if sample_every is not None:
@@ -103,6 +111,13 @@ def configure(
         _SAMPLE_EVERY = int(sample_every)
         if _ADMISSION is not None:
             _ADMISSION.tracer.sample_every = _SAMPLE_EVERY
+    if sample_phase is not None:
+        if sample_phase < 0:
+            raise ValueError(f"sample_phase must be >= 0, got {sample_phase}")
+        _SAMPLE_PHASE = int(sample_phase)
+        if _ADMISSION is not None:
+            _ADMISSION.tracer._calls = _SAMPLE_PHASE
+            _ADMISSION.tracer._phase = _SAMPLE_PHASE
 
 
 def reset_global_registry() -> MetricsRegistry:
@@ -132,9 +147,11 @@ class AdmissionInstruments:
 
     enabled = True
 
-    def __init__(self, registry: MetricsRegistry, sample_every: int = 64) -> None:
+    def __init__(
+        self, registry: MetricsRegistry, sample_every: int = 64, phase: int = 0
+    ) -> None:
         self.registry = registry
-        self.tracer = SpanTracer(sample_every=sample_every)
+        self.tracer = SpanTracer(sample_every=sample_every, phase=phase)
         self._requests: Dict[str, Counter] = {}
         self._admitted: Dict[str, Counter] = {}
         self._rejected: Dict[Tuple[str, str], Counter] = {}
@@ -288,7 +305,9 @@ def admission_instruments():
     if not _ENABLED:
         return _NULL_ADMISSION
     if _ADMISSION is None:
-        _ADMISSION = AdmissionInstruments(_REGISTRY, sample_every=_SAMPLE_EVERY)
+        _ADMISSION = AdmissionInstruments(
+            _REGISTRY, sample_every=_SAMPLE_EVERY, phase=_SAMPLE_PHASE
+        )
     return _ADMISSION
 
 
@@ -362,6 +381,17 @@ class ServiceInstruments:
             "repro_faults_injected_total",
             "Failpoint triggers, by failpoint name.",
             failpoint="none",
+        )
+        # Same for the flight recorder, whose writes are lazy best-effort.
+        registry.counter(
+            "repro_flight_events_total",
+            "Flight-recorder events recorded, by kind.",
+            kind="none",
+        )
+        registry.counter(
+            "repro_flight_dumps_total",
+            "Flight-recorder dumps written, by trigger.",
+            trigger="none",
         )
         # The metrics endpoint must always carry the guarantee-health
         # families, even before any simulation ran in this process.
@@ -706,8 +736,49 @@ class ClusterInstruments:
             "repro_cluster_pending_reservations",
             "Live (uncommitted, unexpired) core-link reservations.",
         )
+        # Federation + distributed tracing families (presence-before-traffic).
+        self._federation: Dict[str, Counter] = {
+            outcome: registry.counter(
+                "repro_cluster_federation_scrapes_total",
+                "Per-shard registry snapshot collections by the coordinator.",
+                outcome=outcome,
+            )
+            for outcome in ("ok", "error")
+        }
+        self._trace_spans: Dict[str, Counter] = {
+            origin: registry.counter(
+                "repro_cluster_trace_spans_total",
+                "Spans folded into end-to-end cluster traces, by origin.",
+                origin=origin,
+            )
+            for origin in ("coordinator", "shard")
+        }
 
     # -- hot-path API ---------------------------------------------------
+
+    def federation_scrape(self, outcome: str) -> None:
+        counter = self._federation.get(outcome)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_cluster_federation_scrapes_total",
+                "Per-shard registry snapshot collections by the coordinator.",
+                outcome=outcome,
+            )
+            self._federation[outcome] = counter
+        counter.inc()
+
+    def trace_spans(self, origin: str, count: int = 1) -> None:
+        if count <= 0:
+            return
+        counter = self._trace_spans.get(origin)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_cluster_trace_spans_total",
+                "Spans folded into end-to-end cluster traces, by origin.",
+                origin=origin,
+            )
+            self._trace_spans[origin] = counter
+        counter.inc(count)
 
     def routing(self, decision: str) -> None:
         counter = self._routing.get(decision)
@@ -792,6 +863,12 @@ class ClusterInstruments:
 
 class _NullCluster:
     """No-op facade used while instrumentation is disabled."""
+
+    def federation_scrape(self, outcome: str) -> None:
+        pass
+
+    def trace_spans(self, origin: str, count: int = 1) -> None:
+        pass
 
     def routing(self, decision: str) -> None:
         pass

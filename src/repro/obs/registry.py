@@ -48,11 +48,16 @@ def _label_items(labels: Dict[str, str]) -> LabelItems:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus text exposition format (0.0.4)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _format_labels(items: LabelItems, extra: Sequence[Tuple[str, str]] = ()) -> str:
     pairs = list(items) + list(extra)
     if not pairs:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    body = ",".join(f'{key}="{_escape_label_value(value)}"' for key, value in pairs)
     return "{" + body + "}"
 
 

@@ -13,11 +13,22 @@ lock-free.  Finished traces land in a bounded ring buffer that the service's
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from collections import deque
 from typing import Any, Dict, List, Optional
 
-__all__ = ["Span", "Trace", "SpanTracer"]
+__all__ = [
+    "Span",
+    "Trace",
+    "SpanTracer",
+    "TraceContext",
+    "activate_context",
+    "current_context",
+    "record_remote_span",
+    "take_remote_spans",
+]
 
 
 class Span:
@@ -61,7 +72,10 @@ class _SpanContext:
 class Trace:
     """One sampled request: named spans + accumulated phase totals."""
 
-    __slots__ = ("trace_id", "name", "started", "spans", "phases", "meta", "duration_s")
+    __slots__ = (
+        "trace_id", "name", "started", "spans", "phases", "meta",
+        "duration_s", "remote",
+    )
 
     def __init__(self, trace_id: int, name: str) -> None:
         self.trace_id = trace_id
@@ -71,6 +85,10 @@ class Trace:
         self.phases: Dict[str, float] = {}
         self.meta: Dict[str, Any] = {}
         self.duration_s: Optional[float] = None
+        #: Spans produced by *other processes* on this trace's behalf
+        #: (plain dicts carrying their own pid — clocks are not aligned
+        #: across processes, so they nest instead of sharing a timeline).
+        self.remote: List[Dict[str, Any]] = []
 
     def span(self, name: str) -> _SpanContext:
         return _SpanContext(self, name)
@@ -82,6 +100,9 @@ class Trace:
     def annotate(self, **meta: Any) -> None:
         self.meta.update(meta)
 
+    def add_remote(self, span: Dict[str, Any]) -> None:
+        self.remote.append(dict(span))
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "trace_id": self.trace_id,
@@ -89,24 +110,140 @@ class Trace:
             "duration_ms": 1000.0 * (self.duration_s or 0.0),
             "phases_ms": {k: 1000.0 * v for k, v in sorted(self.phases.items())},
             "spans": [span.as_dict() for span in self.spans],
+            "remote_spans": [dict(span) for span in self.remote],
             "meta": dict(self.meta),
         }
 
 
-class SpanTracer:
-    """Sampled trace source plus a ring buffer of finished traces."""
+class TraceContext:
+    """Serializable identity of one distributed trace.
 
-    def __init__(self, sample_every: int = 64, keep: int = 128) -> None:
+    Crosses the coordinator→shard RPC boundary as a plain dict so that a
+    sampled admission keeps a single ``trace_id`` across processes.  The
+    context itself records nothing; it only says *whether* the request is
+    sampled and under which id, so remote participants can force-sample
+    their local work and tag the spans they emit.
+    """
+
+    __slots__ = ("trace_id", "parent", "sampled")
+
+    def __init__(self, trace_id: str, parent: str = "", sampled: bool = True) -> None:
+        self.trace_id = str(trace_id)
+        self.parent = str(parent)
+        self.sampled = bool(sampled)
+
+    def child(self, parent: str) -> "TraceContext":
+        return TraceContext(self.trace_id, parent=parent, sampled=self.sampled)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"trace_id": self.trace_id, "parent": self.parent, "sampled": self.sampled}
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict[str, Any]]) -> Optional["TraceContext"]:
+        if not isinstance(payload, dict) or "trace_id" not in payload:
+            return None
+        return cls(
+            str(payload["trace_id"]),
+            parent=str(payload.get("parent", "")),
+            sampled=bool(payload.get("sampled", True)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceContext(trace_id={self.trace_id!r}, parent={self.parent!r})"
+
+
+_ACTIVE = threading.local()
+
+
+def activate_context(context: Optional[TraceContext]) -> "_ContextScope":
+    """Bind ``context`` to the current thread for the duration of a ``with``.
+
+    The admission worker activates the request's context around the
+    allocator call so that :meth:`AdmissionInstruments.start` — which has no
+    request in scope — can discover it and force-sample the local trace.
+    """
+    return _ContextScope(context)
+
+
+def current_context() -> Optional[TraceContext]:
+    return getattr(_ACTIVE, "context", None)
+
+
+class _ContextScope:
+    __slots__ = ("_context", "_previous")
+
+    def __init__(self, context: Optional[TraceContext]) -> None:
+        self._context = context
+
+    def __enter__(self) -> Optional[TraceContext]:
+        self._previous = getattr(_ACTIVE, "context", None)
+        _ACTIVE.context = self._context
+        return self._context
+
+    def __exit__(self, *exc_info) -> None:
+        _ACTIVE.context = self._previous
+
+
+# Spans produced on behalf of a remote trace, keyed by trace_id and stamped
+# with this process's pid.  A shard worker records its allocator spans here;
+# the RPC reply carries them back so the coordinator can fold them into the
+# one end-to-end trace.  Bounded so an abandoned trace cannot leak memory.
+_REMOTE_SPANS: "deque" = deque(maxlen=256)
+_REMOTE_LOCK = threading.Lock()
+
+
+def record_remote_span(trace_id: str, span: Dict[str, Any]) -> None:
+    entry = dict(span)
+    entry.setdefault("pid", os.getpid())
+    with _REMOTE_LOCK:
+        _REMOTE_SPANS.append((str(trace_id), entry))
+
+
+def take_remote_spans(trace_id: str) -> List[Dict[str, Any]]:
+    """Remove and return every buffered span recorded for ``trace_id``."""
+    wanted = str(trace_id)
+    with _REMOTE_LOCK:
+        taken = [span for tid, span in _REMOTE_SPANS if tid == wanted]
+        if taken:
+            remaining = [(tid, span) for tid, span in _REMOTE_SPANS if tid != wanted]
+            _REMOTE_SPANS.clear()
+            _REMOTE_SPANS.extend(remaining)
+    return taken
+
+
+class SpanTracer:
+    """Sampled trace source plus a ring buffer of finished traces.
+
+    ``phase`` offsets the deterministic every-Nth counter.  Spawned shard
+    workers all start with ``_calls == 0``, so without an offset every
+    worker samples the same startup-biased Nth pattern (calls N, 2N, ...);
+    seeding the phase from the shard index staggers which calls each worker
+    samples while keeping the long-run rate at exactly 1/N.
+    """
+
+    def __init__(self, sample_every: int = 64, keep: int = 128, phase: int = 0) -> None:
         if sample_every < 1:
             raise ValueError(f"sample_every must be >= 1, got {sample_every}")
         self.sample_every = sample_every
-        self._calls = 0
+        self._calls = int(phase)
+        self._phase = int(phase)
         self._next_id = 1
         self._finished: deque = deque(maxlen=keep)
 
-    def start(self, name: str) -> Optional[Trace]:
-        """A live trace for every ``sample_every``-th call, else None."""
+    def start(self, name: str, context: Optional[TraceContext] = None) -> Optional[Trace]:
+        """A live trace for every ``sample_every``-th call, else None.
+
+        A sampled :class:`TraceContext` (passed explicitly or active on the
+        thread) forces a live trace regardless of the counter, so a
+        distributed trace never loses a leg to local sampling.
+        """
         self._calls += 1
+        forced = context if context is not None else current_context()
+        if forced is not None and forced.sampled:
+            trace = Trace(self._next_id, name)
+            self._next_id += 1
+            trace.annotate(trace_id_global=forced.trace_id)
+            return trace
         if self._calls % self.sample_every != 0:
             return None
         trace = Trace(self._next_id, name)
@@ -123,7 +260,7 @@ class SpanTracer:
 
     @property
     def call_count(self) -> int:
-        return self._calls
+        return self._calls - self._phase
 
     def recent(self, limit: int = 16) -> List[Dict[str, Any]]:
         """Most recent finished traces, newest last, JSON-serializable."""

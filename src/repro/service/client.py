@@ -291,6 +291,19 @@ class ServiceClient:
         response = self.call("metrics")
         return {"metrics": response["metrics"], "prometheus": response["prometheus"]}
 
+    def obs(self, dump: bool = False, limit: Optional[int] = None) -> Dict[str, Any]:
+        """Flight-recorder ring + recent traces of the server process.
+
+        ``dump=True`` also asks the server to write its flight ring to disk
+        (``dump_path`` in the reply; None when no dump dir is configured).
+        """
+        fields: Dict[str, Any] = {}
+        if dump:
+            fields["dump"] = True
+        if limit is not None:
+            fields["limit"] = limit
+        return self.call("obs", **fields)["obs"]
+
     def snapshot(self) -> str:
         return self.call("snapshot")["snapshot"]
 

@@ -50,7 +50,9 @@ from repro.faults.failpoints import (
 )
 from repro.manager.network_manager import NetworkManager, Tenancy
 from repro.network.snapshot import utilization_by_level
+from repro.obs.flightrec import flight_recorder
 from repro.obs.instruments import global_registry, service_instruments
+from repro.obs.tracing import TraceContext, activate_context, record_remote_span
 from repro.service.codec import request_from_dict, request_to_dict
 from repro.service.degrade import (
     STATE_FAST_FAIL,
@@ -399,7 +401,9 @@ class AdmissionService:
         """Shed one op if the current degradation rung forbids it.
 
         ``full`` passes everything; ``read_only`` sheds mutations;
-        ``fast_fail`` sheds everything except ``ping``/``shutdown``.
+        ``fast_fail`` sheds everything except ``ping``/``shutdown``/``obs``
+        (the flight recorder exists to triage exactly this state, so the
+        dump op must survive it).
         Raises :class:`DegradedError` carrying the ladder's current
         ``retry_after`` hint.  Called by the TCP dispatcher for every op
         and by ``submit``/``release`` themselves (the in-process API).
@@ -407,7 +411,7 @@ class AdmissionService:
         ladder = self._degradation
         if ladder is None or ladder.state == STATE_FULL:
             return
-        if ladder.state == STATE_FAST_FAIL and op not in ("ping", "shutdown"):
+        if ladder.state == STATE_FAST_FAIL and op not in ("ping", "shutdown", "obs"):
             self._shed(CODE_UNAVAILABLE)
             raise DegradedError(
                 f"service is failing fast (journal unavailable: {ladder.last_error})",
@@ -435,6 +439,14 @@ class AdmissionService:
         ladder.record_failure(error)
         if ladder.state != before:
             self._obs.degradation_transition(ladder.state)
+            recorder = flight_recorder()
+            recorder.record(
+                "degradation",
+                from_state=before,
+                to_state=ladder.state,
+                error=f"{type(error).__name__}: {error}",
+            )
+            recorder.maybe_dump("degradation")
             logger.warning(
                 "degradation: %s -> %s after journal failure: %s",
                 before, ladder.state, error,
@@ -448,6 +460,9 @@ class AdmissionService:
         before = ladder.state
         ladder.record_success()
         self._obs.degradation_transition(ladder.state)
+        flight_recorder().record(
+            "degradation", from_state=before, to_state=ladder.state, recovered=True
+        )
         logger.info("degradation: %s -> %s (journal probe succeeded)", before, ladder.state)
 
     def _probe_journal(self) -> None:
@@ -480,6 +495,7 @@ class AdmissionService:
         wait: bool = True,
         wait_timeout: Optional[float] = None,
         idempotency_key: Optional[str] = None,
+        trace_context: Optional[TraceContext] = None,
     ) -> Ticket:
         """Enqueue a tenant request; optionally block for the decision.
 
@@ -541,6 +557,7 @@ class AdmissionService:
                     deadline=deadline,
                     enqueued_at=now,
                     idempotency_key=idempotency_key,
+                    trace_context=trace_context,
                 )
                 self._queue.push(entry)
                 self._cond.notify()
@@ -645,7 +662,12 @@ class AdmissionService:
         logger.debug("release request_id=%d retried=%d", request_id, retried)
         return True
 
-    def adopt(self, allocation, idempotency_key: Optional[str] = None) -> int:
+    def adopt(
+        self,
+        allocation,
+        idempotency_key: Optional[str] = None,
+        trace_context: Optional[TraceContext] = None,
+    ) -> int:
         """Install an already-placed allocation; returns its local request id.
 
         This is the cluster coordinator's entry point for cross-shard
@@ -662,6 +684,7 @@ class AdmissionService:
         ``idempotency_key`` — a retried adopt returns the original local id
         instead of committing a second copy.
         """
+        adopt_t0 = time.perf_counter()
         with self._cond:
             if not self._running:
                 raise RuntimeError("service is not running")
@@ -729,6 +752,21 @@ class AdmissionService:
                 )
             self._count("admitted")
             self._maybe_snapshot()
+            if trace_context is not None and trace_context.sampled:
+                record_remote_span(
+                    trace_context.trace_id,
+                    {
+                        "name": "shard_adopt",
+                        "duration_ms": 1000.0 * (time.perf_counter() - adopt_t0),
+                        "request_id": local.request_id,
+                    },
+                )
+            flight_recorder().record(
+                "admission",
+                outcome=OUTCOME_ADMITTED,
+                adopted=True,
+                request_id=local.request_id,
+            )
             return local.request_id
 
     def status(self, ticket_id: int) -> Optional[Dict[str, Any]]:
@@ -876,6 +914,9 @@ class AdmissionService:
                     self._running = False
                     self.crashed = True
                     self._cond.notify_all()
+                recorder = flight_recorder()
+                recorder.record("crash", error=str(crash))
+                recorder.maybe_dump("crash")
                 logger.warning("worker crashed by injected fault: %s", crash)
                 return
             # Tickets are resolved outside the lock: Event.set wakes the
@@ -892,8 +933,16 @@ class AdmissionService:
         entry.attempts += 1
         manager = self.manager
         probe_id = manager.next_request_id
+        context = TraceContext.from_dict(entry.trace_context) if isinstance(
+            entry.trace_context, dict
+        ) else entry.trace_context
+        allocate_t0 = time.perf_counter()
         try:
-            tenancy: Optional[Tenancy] = manager.request(entry.request)
+            # Activating the distributed-trace context forces the allocator's
+            # own sampled tracer live, so a cross-process trace never loses
+            # its shard leg to local every-Nth sampling.
+            with activate_context(context):
+                tenancy: Optional[Tenancy] = manager.request(entry.request)
         except Exception as exc:  # allocator bug — fail the request, not the worker
             self._count("errors")
             self._forget_key(entry.idempotency_key)
@@ -901,6 +950,15 @@ class AdmissionService:
                 "ticket=%d allocator raised: %s", entry.ticket_id, exc, exc_info=True
             )
             return (OUTCOME_ERROR, None, f"{type(exc).__name__}: {exc}")
+        if context is not None and context.sampled:
+            record_remote_span(
+                context.trace_id,
+                {
+                    "name": "shard_allocate",
+                    "duration_ms": 1000.0 * (time.perf_counter() - allocate_t0),
+                    "admitted": tenancy is not None,
+                },
+            )
         if tenancy is not None:
             if self.store is not None:
                 FAILPOINTS.hit(FP_WORKER_BEFORE_JOURNAL)
@@ -920,6 +978,12 @@ class AdmissionService:
                     self._forget_key(entry.idempotency_key)
                     self._degrade(exc)
                     self._count("errors")
+                    flight_recorder().record(
+                        "wal_error",
+                        op="admit",
+                        ticket=entry.ticket_id,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                     logger.warning(
                         "ticket=%d admission rolled back (journal append failed: %s)",
                         entry.ticket_id, exc,
@@ -935,6 +999,13 @@ class AdmissionService:
             self._count("admitted")
             self._observe_latency(self.clock() - entry.enqueued_at)
             self._maybe_snapshot()
+            flight_recorder().record(
+                "admission",
+                outcome=OUTCOME_ADMITTED,
+                ticket=entry.ticket_id,
+                request_id=tenancy.request_id,
+                attempts=entry.attempts,
+            )
             return (OUTCOME_ADMITTED, tenancy.request_id, None)
         if self.mode == MODE_BATCH and not entry.expired(self.clock()):
             self._queue.park(entry)
@@ -953,6 +1024,12 @@ class AdmissionService:
                 # to roll back — degrade and still answer the client (the
                 # only divergence recovery can see is the reject counter).
                 self._degrade(exc)
+                flight_recorder().record(
+                    "wal_error",
+                    op="reject",
+                    ticket=entry.ticket_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 logger.warning("reject not journaled: %s", exc)
         self._record_decision(entry, OUTCOME_REJECTED, None)
         self._count("rejected")
@@ -963,6 +1040,13 @@ class AdmissionService:
             f"no valid placement (allocator={rejected_by})"
             if rejected_by
             else "no valid placement"
+        )
+        flight_recorder().record(
+            "admission",
+            outcome=OUTCOME_REJECTED,
+            ticket=entry.ticket_id,
+            reason=rejected_by or "no_valid_placement",
+            attempts=entry.attempts,
         )
         return (OUTCOME_REJECTED, None, detail)
 

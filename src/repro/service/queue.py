@@ -43,6 +43,9 @@ class QueuedRequest:
     #: Client-supplied dedup key, carried into the admit/reject journal
     #: record so retries after a lost ack stay idempotent.
     idempotency_key: Optional[str] = None
+    #: Distributed-trace context (``repro.obs.tracing.TraceContext``) the
+    #: worker activates around the allocator call; None when unsampled.
+    trace_context: Optional[object] = None
     #: FIFO tiebreak, assigned by the queue on first push and kept across
     #: park/retry cycles so retried requests keep their arrival position.
     seq: int = field(default=0, repr=False)

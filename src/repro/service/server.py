@@ -12,6 +12,7 @@ Operations::
     {"op": "release", "request_id": 3}
     {"op": "stats"}
     {"op": "metrics"}
+    {"op": "obs", "dump": false}
     {"op": "snapshot"}
     {"op": "shutdown"}
 
@@ -45,6 +46,8 @@ from repro.experiments.config import SCALES
 from repro.faults.failpoints import FAILPOINTS, FP_SERVER_RESPONSE, arm_from_spec
 from repro.logconfig import LOG_LEVELS, setup_logging
 from repro.manager.network_manager import NetworkManager
+from repro.obs.flightrec import configure_flight_recorder, flight_recorder
+from repro.obs.instruments import admission_instruments
 from repro.obs.instruments import configure as configure_obs
 from repro.obs.instruments import outage_monitor
 from repro.service.codec import CodecError
@@ -161,6 +164,17 @@ class AdmissionRequestHandler(socketserver.StreamRequestHandler):
             return {"ok": True, "stats": service.stats()}
         if op == "metrics":
             return {"ok": True, **service.metrics()}
+        if op == "obs":
+            tracer = getattr(admission_instruments(), "tracer", None)
+            recorder = flight_recorder()
+            payload: Dict[str, Any] = {
+                "pid": os.getpid(),
+                "flight": recorder.events(limit=command.get("limit")),
+                "traces": tracer.recent() if tracer is not None else [],
+            }
+            if command.get("dump"):
+                payload["dump_path"] = recorder.maybe_dump("request")
+            return {"ok": True, "obs": payload}
         if op == "snapshot":
             path = service.take_snapshot()
             if path is None:
@@ -406,6 +420,9 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         armed = arm_from_spec(args.failpoints)
         logger.warning("fault injection armed: %d failpoint(s)", armed)
     service = _build_service(args)
+    if args.journal_dir is not None:
+        # Crash/degradation/SIGUSR2 flight dumps land next to the journal.
+        configure_flight_recorder(dump_dir=args.journal_dir)
     server = AdmissionTCPServer(
         (args.host, args.port), service, client_timeout=args.client_timeout_s
     )
@@ -415,11 +432,18 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     def _terminate(_signum, _frame) -> None:
         server.request_shutdown()
 
+    def _dump_flight(_signum, _frame) -> None:
+        path = flight_recorder().maybe_dump("sigusr2")
+        logger.info("flight recorder dump: %s", path or "skipped (no --journal-dir)")
+
     try:
         signal.signal(signal.SIGTERM, _terminate)
         signal.signal(signal.SIGINT, _terminate)
+        signal.signal(signal.SIGUSR2, _dump_flight)
     except ValueError:
         pass  # not the main thread (in-process tests drive the server directly)
+    except AttributeError:
+        pass  # platform without SIGUSR2
 
     ready = {
         "event": "ready",

@@ -5,16 +5,28 @@ compact dashboard: throughput counters, queue depth, admission latency,
 per-level occupancy ``O_L`` and headroom, DP table-cache hit rates, phase
 timings and the empirical-outage health of the Eq. (1) guarantee.
 
-Rendering is a pure function of the two payloads (:func:`render_top`), so
-tests exercise it without a terminal; :func:`top_main` adds the polling
-loop and ANSI screen handling.
+The polling loop survives transient connection loss: a dropped or refused
+connection prints a ``reconnecting`` status line and retries on the next
+refresh, up to ``--max-reconnects`` consecutive failures — so a daemon
+restart does not kill the operator's dashboard.
+
+``--cluster SNAPSHOT`` renders a *federated* cluster snapshot instead (the
+JSON that ``svc-repro cluster --metrics-out`` writes): per-shard Eq. (6)
+occupancy, outage monitors, the coordinator's core-link ledger and each
+shard's degradation state in one frame.
+
+Rendering is a pure function of the payloads (:func:`render_top`,
+:func:`render_cluster_top`), so tests exercise it without a terminal;
+:func:`top_main` adds the polling loop and ANSI screen handling.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.logconfig import LOG_LEVELS, setup_logging
@@ -154,6 +166,85 @@ def render_top(stats: Dict[str, Any], metrics: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+_DEGRADATION_NAMES = {0: "full", 1: "read_only", 2: "fast_fail"}
+
+
+def render_cluster_top(payload: Dict[str, Any]) -> str:
+    """One frame from a federated cluster snapshot (``cluster_metrics()``).
+
+    ``payload`` carries the merged registry (series labelled per shard),
+    the coordinator's ``stats()`` and the per-shard summaries — everything
+    needed for the per-shard Eq. (6) occupancy / outage / degradation rows.
+    """
+    metrics = payload.get("metrics", {})
+    meta = payload.get("meta", {})
+    stats = payload.get("stats", {})
+    shard_stats = payload.get("shard_stats", [])
+    lines: List[str] = []
+    lines.append(
+        f"svc-repro top — cluster: {stats.get('shards', len(shard_stats))} shard(s), "
+        f"{meta.get('families', 0)} metric families federated"
+    )
+    lines.append(
+        f"admitted {stats.get('admitted_total', 0)}  "
+        f"rejected {stats.get('rejected_total', 0)}  "
+        f"active {stats.get('active_tenancies', 0)}  "
+        f"pending reservations {stats.get('pending_reservations', 0)}"
+    )
+    core = stats.get("core_occupancy", {}) or {}
+    if core:
+        lines.append(
+            f"core-link ledger: {len(core)} link(s), max occupancy "
+            f"{max(core.values()):.3f}, replica max "
+            f"{stats.get('replica_max_occupancy', 0.0):.3f}"
+        )
+    lines.append("")
+    lines.append(
+        "shard  free/total slots  queue  tenants  occ(Eq.6)  degradation   outage"
+    )
+    for row in shard_stats:
+        shard = str(row.get("shard"))
+        state_value = _value(
+            metrics, "repro_service_degradation_state", shard=shard
+        )
+        state = (
+            _DEGRADATION_NAMES.get(int(state_value), "?")
+            if state_value is not None
+            else "–"
+        )
+        outage = _value(metrics, "repro_outage_empirical_rate", shard=shard)
+        outage_text = f"{outage:.5f}" if outage is not None else "      –"
+        crashed = "  CRASHED" if row.get("crashed") else ""
+        lines.append(
+            f"{shard:>5}  {row.get('free_slots', 0):>7}/{row.get('total_slots', 0):<6}  "
+            f"{row.get('queue_depth', 0):>5}  {row.get('active_tenancies', 0):>7}  "
+            f"{row.get('max_occupancy', 0.0):>9.3f}  {state:>11}  {outage_text:>7}"
+            f"{crashed}"
+        )
+    scrapes_ok = _value(
+        metrics, "repro_cluster_federation_scrapes_total",
+        outcome="ok", shard="coordinator",
+    )
+    scrapes_err = _value(
+        metrics, "repro_cluster_federation_scrapes_total",
+        outcome="error", shard="coordinator",
+    )
+    span_rows = []
+    for origin in ("coordinator", "shard"):
+        spans = _value(
+            metrics, "repro_cluster_trace_spans_total",
+            origin=origin, shard="coordinator",
+        )
+        if spans:
+            span_rows.append(f"{origin}={spans:.0f}")
+    lines.append("")
+    lines.append(
+        f"federation scrapes ok={scrapes_ok or 0:.0f} error={scrapes_err or 0:.0f}"
+        + (f"   trace spans {' '.join(span_rows)}" if span_rows else "")
+    )
+    return "\n".join(lines)
+
+
 def build_top_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="svc-repro top",
@@ -179,23 +270,89 @@ def build_top_parser() -> argparse.ArgumentParser:
         help="append frames instead of redrawing the screen",
     )
     parser.add_argument(
+        "--max-reconnects",
+        type=int,
+        default=3,
+        metavar="N",
+        help="give up after this many consecutive connection failures "
+        "(default: 3)",
+    )
+    parser.add_argument(
+        "--cluster",
+        metavar="SNAPSHOT",
+        default=None,
+        help="render a federated cluster snapshot JSON file (from "
+        "'svc-repro cluster --metrics-out') instead of polling a daemon",
+    )
+    parser.add_argument(
         "--log-level", choices=LOG_LEVELS, default="warning",
         help="stderr log verbosity (default: warning)",
     )
     return parser
 
 
+def _cluster_top(args: argparse.Namespace) -> int:
+    """``--cluster``: render frames from a federated snapshot file."""
+    iterations = 1 if args.once else args.iterations
+    rendered = 0
+    path = Path(args.cluster)
+    while True:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            sys.stderr.write(f"svc-repro top: cannot read {path} ({exc})\n")
+            return 1
+        if not args.no_clear and not args.once:
+            sys.stdout.write(_CLEAR)
+        sys.stdout.write(render_cluster_top(payload) + "\n")
+        sys.stdout.flush()
+        rendered += 1
+        if iterations and rendered >= iterations:
+            return 0
+        time.sleep(args.interval)
+
+
 def top_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``svc-repro top``."""
     args = build_top_parser().parse_args(argv)
     setup_logging(args.log_level)
-    iterations = 1 if args.once else args.iterations
-    rendered = 0
     try:
-        with ServiceClient(host=args.host, port=args.port) as client:
+        if args.cluster is not None:
+            return _cluster_top(args)
+        iterations = 1 if args.once else args.iterations
+        rendered = 0
+        failures = 0
+        client: Optional[ServiceClient] = None
+        try:
             while True:
-                stats = client.stats()
-                metrics = client.metrics()["metrics"]
+                try:
+                    if client is None:
+                        client = ServiceClient(host=args.host, port=args.port)
+                    stats = client.stats()
+                    metrics = client.metrics()["metrics"]
+                    failures = 0
+                except (ConnectionError, OSError) as exc:
+                    # One dead refresh must not kill the dashboard: the
+                    # daemon may be mid-restart.  Drop the broken client,
+                    # report, and retry on the next tick — bounded so a
+                    # permanently-gone server still fails the command.
+                    if client is not None:
+                        client.close()
+                        client = None
+                    failures += 1
+                    if failures > max(0, args.max_reconnects):
+                        sys.stderr.write(
+                            f"svc-repro top: cannot reach "
+                            f"{args.host}:{args.port} ({exc})\n"
+                        )
+                        return 1
+                    sys.stdout.write(
+                        f"svc-repro top: connection lost ({exc}); reconnecting "
+                        f"[{failures}/{args.max_reconnects}]\n"
+                    )
+                    sys.stdout.flush()
+                    time.sleep(args.interval)
+                    continue
                 frame = render_top(stats, metrics)
                 if not args.no_clear and not args.once:
                     sys.stdout.write(_CLEAR)
@@ -205,9 +362,9 @@ def top_main(argv: Optional[List[str]] = None) -> int:
                 if iterations and rendered >= iterations:
                     return 0
                 time.sleep(args.interval)
-    except (ConnectionError, OSError) as exc:
-        sys.stderr.write(f"svc-repro top: cannot reach {args.host}:{args.port} ({exc})\n")
-        return 1
+        finally:
+            if client is not None:
+                client.close()
     except KeyboardInterrupt:
         return 0
 

@@ -1,0 +1,172 @@
+"""Cluster-wide observability: federation, e2e traces, obs collection, top."""
+
+import os
+
+import pytest
+
+from repro.abstractions import HomogeneousSVC
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.partition import ClusterPartition
+from repro.cluster.shard import LocalShard
+from repro.cluster.worker import ProcessShard, wait_for_shards
+from repro.obs.flightrec import reset_flight_recorder
+from repro.service.top import render_cluster_top
+from repro.topology.builder import TINY_SPEC
+
+
+def build_cluster(num_shards, **kwargs):
+    partition = ClusterPartition.build(TINY_SPEC, num_shards)
+    shards = [LocalShard(view, None) for view in partition.shards]
+    coordinator = ClusterCoordinator(partition, shards, directory=None, **kwargs)
+    return partition, shards, coordinator
+
+
+def shutdown(coordinator, shards):
+    coordinator.stop()
+    for shard in shards:
+        shard.close()
+
+
+def series_for(metrics, family, **labels):
+    return [
+        row
+        for row in metrics.get(family, {}).get("series", [])
+        if all(row.get("labels", {}).get(k) == v for k, v in labels.items())
+    ]
+
+
+class TestClusterMetrics:
+    def test_federated_snapshot_shape_and_shard_labels(self):
+        _partition, shards, coordinator = build_cluster(2)
+        try:
+            assert coordinator.submit(
+                HomogeneousSVC(n_vms=3, mean=40.0, std=8.0)
+            )["outcome"] == "admitted"
+            payload = coordinator.cluster_metrics()
+            assert set(payload) == {"metrics", "meta", "stats", "shard_stats"}
+            assert payload["meta"]["shards"] == ["0", "1", "coordinator"]
+            assert payload["meta"]["families"] > 0
+            assert len(payload["shard_stats"]) == 2
+            metrics = payload["metrics"]
+            # Every source contributed shard-labelled admission counters.
+            for shard_label in ("0", "1", "coordinator"):
+                assert series_for(
+                    metrics, "repro_admission_requests_total", shard=shard_label
+                )
+            # The scrape counter itself federates under the coordinator's
+            # own label (both shards answered → at least two "ok" scrapes).
+            (scrapes,) = series_for(
+                metrics,
+                "repro_cluster_federation_scrapes_total",
+                shard="coordinator",
+                outcome="ok",
+            )
+            assert scrapes["value"] >= 2
+        finally:
+            shutdown(coordinator, shards)
+
+    def test_dead_shard_degrades_the_snapshot_instead_of_failing(self):
+        _partition, shards, coordinator = build_cluster(2)
+        try:
+            shards[1].kill()
+            payload = coordinator.cluster_metrics()
+            # The view survives with the live shard's series (in-process
+            # shards share the registry, so any registered family works)...
+            assert series_for(
+                payload["metrics"],
+                "repro_cluster_federation_scrapes_total",
+                shard="0",
+            )
+            # ...and the failed scrape is counted, not swallowed.
+            (errors,) = series_for(
+                payload["metrics"],
+                "repro_cluster_federation_scrapes_total",
+                shard="coordinator",
+                outcome="error",
+            )
+            assert errors["value"] >= 1
+        finally:
+            shutdown(coordinator, shards)
+
+
+@pytest.fixture(scope="class")
+def spawned_cluster():
+    partition = ClusterPartition.build(TINY_SPEC, 2)
+    shards = [ProcessShard(view, None) for view in partition.shards]
+    wait_for_shards(shards)
+    # Start from an empty ring: other tests' coordinators share the
+    # process-global flight recorder and reuse low global ids.
+    reset_flight_recorder()
+    coordinator = ClusterCoordinator(
+        partition, shards, directory=None, trace_sample_every=1
+    )
+    # 40 VMs > one TINY shard's 32 slots: the admission must span both
+    # worker processes, which is what makes the trace interesting.
+    decision = coordinator.submit(HomogeneousSVC(n_vms=40, mean=8.0, std=2.0))
+    try:
+        yield coordinator, shards, decision
+    finally:
+        coordinator.stop()
+        for shard in shards:
+            shard.close()
+
+
+class TestEndToEndTrace:
+    def test_cross_shard_admission_yields_one_trace(self, spawned_cluster):
+        coordinator, shards, decision = spawned_cluster
+        assert decision["outcome"] == "admitted"
+        assert sorted(coordinator.fragments_of(decision["request_id"])) == [0, 1]
+        traces = [
+            trace
+            for trace in coordinator.recent_traces()
+            if trace["meta"].get("gid") == decision["request_id"]
+        ]
+        assert len(traces) == 1
+        (trace,) = traces
+        assert trace["meta"]["trace_id_global"].startswith(f"{os.getpid()}-")
+        span_names = {span["name"] for span in trace["spans"]}
+        assert {"route", "reserve", "commit"} <= span_names
+        # Remote spans came back over the RPC channel from *both* shard
+        # child processes, pid-stamped and shard-labelled.
+        remote = trace["remote_spans"]
+        assert {span["pid"] for span in remote} == {
+            shard._process.pid for shard in shards
+        }
+        assert {span["shard"] for span in remote} == {0, 1}
+
+    def test_obs_collection_reaches_every_process(self, spawned_cluster):
+        coordinator, shards, decision = spawned_cluster
+        obs = coordinator.collect_obs_dumps()
+        assert obs["coordinator"]["pid"] == os.getpid()
+        decisions = [
+            event
+            for event in obs["coordinator"]["flight"]
+            if event["kind"] == "cluster_decision"
+            and event.get("gid") == decision["request_id"]
+        ]
+        assert len(decisions) == 1
+        assert decisions[0]["outcome"] == "admitted"
+        shard_dumps = [dump for dump in obs["shards"] if "error" not in dump]
+        assert {dump["pid"] for dump in shard_dumps} == {
+            shard._process.pid for shard in shards
+        }
+        for dump in shard_dumps:
+            assert "flight" in dump and "traces" in dump
+
+    def test_render_cluster_top_over_a_real_payload(self, spawned_cluster):
+        coordinator, _shards, _decision = spawned_cluster
+        frame = render_cluster_top(coordinator.cluster_metrics())
+        lines = frame.splitlines()
+        assert lines[0].startswith("svc-repro top — cluster: 2 shard(s)")
+        assert "admitted 1" in lines[1]
+        shard_rows = [
+            line for line in lines if line.strip().startswith(("0 ", "1 "))
+        ]
+        assert len(shard_rows) == 2
+        # Both shards hold fragments, so the Eq. 6 occupancy column is
+        # non-zero and each worker reports a live degradation state
+        # ("full" = fully operational, degradation level 0).
+        for row in shard_rows:
+            assert "0.000" not in row.split()[4]
+            assert "full" in row
+        assert any(line.startswith("federation scrapes ok=") for line in lines)

@@ -1,0 +1,114 @@
+"""Metrics federation: merging per-shard registry snapshots."""
+
+import json
+
+from repro.obs.federation import (
+    federation_meta,
+    histogram_from_snapshot,
+    merge_snapshots,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def registry_snapshot(admitted, latencies=()):
+    registry = MetricsRegistry()
+    registry.counter("requests_total", "requests", outcome="admitted").inc(admitted)
+    hist = registry.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+    for value in latencies:
+        hist.observe(value)
+    registry.gauge("free_slots", "free slots").set(10.0 + admitted)
+    return registry.snapshot()
+
+
+def rows(merged, family, **labels):
+    return [
+        row
+        for row in merged.get(family, {}).get("series", [])
+        if all(row["labels"].get(key) == value for key, value in labels.items())
+    ]
+
+
+class TestMergeSnapshots:
+    def test_per_shard_series_keep_their_identity(self):
+        merged = merge_snapshots(
+            {"0": registry_snapshot(3), "1": registry_snapshot(5)}
+        )
+        for shard, expected in (("0", 3), ("1", 5)):
+            (row,) = rows(merged, "requests_total", shard=shard)
+            assert row["value"] == expected
+            assert row["labels"]["outcome"] == "admitted"
+
+    def test_counters_fold_into_a_cluster_aggregate(self):
+        merged = merge_snapshots(
+            {"0": registry_snapshot(3), "1": registry_snapshot(5)}
+        )
+        (aggregate,) = rows(merged, "requests_total", shard="all")
+        assert aggregate["value"] == 8.0
+        assert aggregate["labels"]["outcome"] == "admitted"
+
+    def test_gauges_aggregate_by_sum(self):
+        merged = merge_snapshots(
+            {"0": registry_snapshot(3), "1": registry_snapshot(5)}
+        )
+        (aggregate,) = rows(merged, "free_slots", shard="all")
+        assert aggregate["value"] == 13.0 + 15.0
+
+    def test_histograms_are_rebuilt_and_merged_across_processes(self):
+        merged = merge_snapshots(
+            {
+                "0": registry_snapshot(1, latencies=(0.05, 0.5)),
+                "1": registry_snapshot(1, latencies=(5.0,)),
+            }
+        )
+        (aggregate,) = rows(merged, "lat_seconds", shard="all")
+        buckets = aggregate["value"]["buckets"]
+        assert buckets == {"0.1": 1, "1.0": 1, "+Inf": 1}
+        assert aggregate["value"]["count"] == 3
+        assert aggregate["value"]["sum"] == 5.55
+
+    def test_single_source_gets_no_duplicate_aggregate(self):
+        merged = merge_snapshots({"0": registry_snapshot(3)})
+        assert rows(merged, "requests_total", shard="all") == []
+        assert len(rows(merged, "requests_total", shard="0")) == 1
+
+    def test_dead_shard_snapshot_is_skipped(self):
+        # A shard that failed its scrape contributes no series; the live
+        # shard's rows (and the aggregate over the remaining sources)
+        # survive so partial federation degrades instead of failing.
+        merged = merge_snapshots({"0": registry_snapshot(3), "1": None})
+        (row,) = rows(merged, "requests_total", shard="0")
+        assert row["value"] == 3
+        assert rows(merged, "requests_total", shard="1") == []
+
+    def test_merged_snapshot_is_json_clean(self):
+        merged = merge_snapshots(
+            {"0": registry_snapshot(1, latencies=(0.2,)), "1": registry_snapshot(2)}
+        )
+        json.dumps(merged)
+
+
+class TestHistogramFromSnapshot:
+    def test_round_trip_preserves_distribution(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", "hist", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 3.0):
+            hist.observe(value)
+        clone = histogram_from_snapshot(hist.snapshot())
+        assert clone.bounds == hist.bounds
+        assert clone.counts == hist.counts
+        assert clone.count == 3
+        assert clone.total == hist.total
+
+    def test_rejects_non_histogram_payloads(self):
+        assert histogram_from_snapshot({"value": 3.0}) is None
+        assert histogram_from_snapshot({"buckets": {}}) is None
+        assert histogram_from_snapshot({"buckets": {"nan-bound": 1}}) is None
+
+
+class TestFederationMeta:
+    def test_meta_lists_sources_and_family_union(self):
+        meta = federation_meta(
+            {"1": registry_snapshot(1), "0": registry_snapshot(2), "coordinator": {}}
+        )
+        assert meta["shards"] == ["0", "1", "coordinator"]
+        assert meta["families"] == 3  # requests_total, lat_seconds, free_slots

@@ -1,0 +1,173 @@
+"""Flight recorder: bounded ring, trigger-driven dumps, metric mirror."""
+
+import json
+import os
+
+import pytest
+
+from repro.faults.failpoints import FailpointRegistry
+from repro.obs import instruments
+from repro.obs.flightrec import (
+    FlightRecorder,
+    configure_flight_recorder,
+    flight_recorder,
+    reset_flight_recorder,
+)
+
+
+class TestRing:
+    def test_events_are_ordered_and_sequenced(self):
+        recorder = FlightRecorder(capacity=8)
+        recorder.record("admission", outcome="admitted", request_id=1)
+        recorder.record("admission", outcome="rejected", request_id=2)
+        events = recorder.events()
+        assert [event["kind"] for event in events] == ["admission", "admission"]
+        assert [event["seq"] for event in events] == [1, 2]
+        assert all(event["pid"] == os.getpid() for event in events)
+        assert events[1]["outcome"] == "rejected"
+
+    def test_ring_is_bounded_and_keeps_the_newest(self):
+        recorder = FlightRecorder(capacity=3)
+        for index in range(10):
+            recorder.record("tick", index=index)
+        events = recorder.events()
+        assert len(events) == 3
+        assert [event["index"] for event in events] == [7, 8, 9]
+        assert len(recorder) == 3
+
+    def test_events_limit_returns_the_tail(self):
+        recorder = FlightRecorder(capacity=8)
+        for index in range(5):
+            recorder.record("tick", index=index)
+        assert [event["index"] for event in recorder.events(limit=2)] == [3, 4]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_record_never_raises(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record(object())  # kind coerced via str(); must not throw
+
+
+class TestDumps:
+    def test_dump_to_writes_one_json_document(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record("degradation", to_state="read_only")
+        path = tmp_path / "deep" / "flight.json"
+        payload = recorder.dump_to(str(path), trigger="test")
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(payload))
+        assert on_disk["trigger"] == "test"
+        assert on_disk["pid"] == os.getpid()
+        assert on_disk["recorded_total"] == 1
+        assert on_disk["events"][0]["kind"] == "degradation"
+        assert not path.with_suffix(".json.tmp").exists()  # atomic rename
+
+    def test_maybe_dump_without_directory_is_a_noop(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record("crash")
+        assert recorder.maybe_dump("crash") is None
+
+    def test_maybe_dump_writes_sequenced_files(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        recorder.dump_dir = str(tmp_path)
+        recorder.record("crash")
+        first = recorder.maybe_dump("crash")
+        second = recorder.maybe_dump("sigusr2")
+        assert first != second
+        for path, trigger in ((first, "crash"), (second, "sigusr2")):
+            name = os.path.basename(path)
+            assert name.startswith(f"flight-{os.getpid()}-")
+            assert json.loads(open(path).read())["trigger"] == trigger
+
+    def test_auto_dump_can_be_disabled(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        recorder.dump_dir = str(tmp_path)
+        recorder.auto_dump = False
+        assert recorder.maybe_dump("crash") is None
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestGlobalRecorder:
+    def test_configure_sets_directory_and_auto_dump(self, tmp_path):
+        reset_flight_recorder()
+        try:
+            recorder = configure_flight_recorder(
+                dump_dir=str(tmp_path), auto_dump=False
+            )
+            assert recorder is flight_recorder()
+            assert recorder.dump_dir == str(tmp_path)
+            assert recorder.auto_dump is False
+        finally:
+            reset_flight_recorder()
+
+
+class TestMetricMirror:
+    def test_events_and_dumps_are_counted_by_label(self, fresh_registry, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        recorder.dump_dir = str(tmp_path)
+        recorder.record("wal_error")
+        recorder.record("wal_error")
+        recorder.record("cluster_decision")
+        recorder.maybe_dump("sigusr2")
+        snapshot = fresh_registry.snapshot()
+        events = {
+            row["labels"]["kind"]: row["value"]
+            for row in snapshot["repro_flight_events_total"]["series"]
+        }
+        assert events["wal_error"] == 2
+        assert events["cluster_decision"] == 1
+        dumps = {
+            row["labels"]["trigger"]: row["value"]
+            for row in snapshot["repro_flight_dumps_total"]["series"]
+        }
+        assert dumps["sigusr2"] == 1
+
+    def test_counter_cache_survives_a_registry_reset(self, fresh_registry):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record("wal_error")  # cached against fresh_registry
+        replacement = instruments.reset_global_registry()
+        try:
+            recorder.record("wal_error")  # must re-resolve, not hit a dead cache
+            series = replacement.snapshot()["repro_flight_events_total"]["series"]
+            counted = {
+                row["labels"]["kind"]: row["value"]
+                for row in series
+                if row["labels"]["kind"] == "wal_error"
+            }
+            assert counted == {"wal_error": 1}
+        finally:
+            instruments.reset_global_registry()
+
+    def test_disabled_obs_keeps_recording_but_not_counting(self, fresh_registry):
+        recorder = FlightRecorder(capacity=4)
+        instruments.configure(enabled=False)
+        try:
+            recorder.record("wal_error")
+        finally:
+            instruments.configure(enabled=True)
+        # The ring has the event (crash triage works without metrics)...
+        assert [event["kind"] for event in recorder.events()] == ["wal_error"]
+        # ...but the mirror counted nothing (the family was never touched).
+        assert "repro_flight_events_total" not in fresh_registry.snapshot()
+
+
+class TestChaosInjectionEvents:
+    def test_failpoint_triggers_land_in_the_global_ring(self, fresh_registry):
+        reset_flight_recorder()
+        try:
+            registry = FailpointRegistry(seed=0)
+            registry.arm("journal.write", mode="delay", delay_s=0.0, every=1)
+            registry.hit("journal.write", sleep=lambda _s: None)
+            events = [
+                event
+                for event in flight_recorder().events()
+                if event["kind"] == "chaos_injection"
+            ]
+            assert len(events) == 1
+            assert events[0]["failpoint"] == "journal.write"
+            assert events[0]["mode"] == "delay"
+            assert events[0]["hit"] == 1
+        finally:
+            reset_flight_recorder()

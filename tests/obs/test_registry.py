@@ -195,3 +195,39 @@ class TestMetricsRegistry:
         registry.counter("b_total")
         registry.counter("a_total")
         assert registry.family_names() == ["a_total", "b_total"]
+
+
+class TestExpositionEdgeCases:
+    """Prometheus text-format corners: escaping, empty series, bad callbacks."""
+
+    def test_label_values_escape_quotes_backslashes_newlines(self):
+        registry = MetricsRegistry()
+        registry.counter("evil_total", "escaping", path='C:\\tmp\\"x"\nend').inc()
+        text = registry.render_prometheus()
+        assert 'path="C:\\\\tmp\\\\\\"x\\"\\nend"' in text
+        # The exposition must stay line-oriented: the raw newline in the
+        # label value must not have produced an extra line.
+        body = [line for line in text.splitlines() if line.startswith("evil_total")]
+        assert len(body) == 1 and body[0].endswith("} 1")
+
+    def test_empty_window_histogram_renders_zero_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("idle_seconds", "never observed", buckets=(0.1, 1.0))
+        text = registry.render_prometheus()
+        assert 'idle_seconds_bucket{le="0.1"} 0' in text
+        assert 'idle_seconds_bucket{le="+Inf"} 0' in text
+        assert "idle_seconds_sum 0" in text
+        assert "idle_seconds_count 0" in text
+        # The snapshot side must be JSON-clean too (no inf min/max leaking).
+        json.dumps(registry.snapshot())
+
+    def test_raising_gauge_callback_renders_zero(self):
+        registry = MetricsRegistry()
+
+        def explode() -> float:
+            raise RuntimeError("torn-down manager")
+
+        registry.gauge("shaky", "raising callback").set_function(explode)
+        text = registry.render_prometheus()
+        assert "shaky 0" in text
+        assert registry.snapshot()["shaky"]["series"][0]["value"] == 0.0

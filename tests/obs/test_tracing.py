@@ -1,10 +1,18 @@
-"""Span tracer: deterministic sampling, phase accumulation, ring buffer."""
+"""Span tracer: deterministic sampling, phase offsets, distributed context."""
 
 import json
+import os
 
 import pytest
 
-from repro.obs.tracing import SpanTracer
+from repro.obs.tracing import (
+    SpanTracer,
+    TraceContext,
+    activate_context,
+    current_context,
+    record_remote_span,
+    take_remote_spans,
+)
 
 
 class TestSampling:
@@ -23,6 +31,108 @@ class TestSampling:
     def test_invalid_sampling_rate(self):
         with pytest.raises(ValueError):
             SpanTracer(sample_every=0)
+
+
+class TestSamplePhase:
+    def test_phase_staggers_which_calls_are_sampled(self):
+        # Two freshly-spawned workers with different phases must not pick
+        # the same startup-biased Nth calls.
+        sampled = {}
+        for phase in (0, 1):
+            tracer = SpanTracer(sample_every=4, phase=phase)
+            results = [tracer.start("alloc") for _ in range(12)]
+            sampled[phase] = {
+                index for index, trace in enumerate(results) if trace is not None
+            }
+        assert sampled[0] == {3, 7, 11}
+        assert sampled[1] == {2, 6, 10}
+        assert not sampled[0] & sampled[1]
+
+    def test_phase_preserves_long_run_rate_and_call_count(self):
+        tracer = SpanTracer(sample_every=4, phase=3)
+        results = [tracer.start("alloc") for _ in range(400)]
+        assert sum(1 for trace in results if trace is not None) == 100
+        assert tracer.call_count == 400  # the offset is not billed as calls
+
+    def test_worker_configure_seeds_the_admission_tracer_phase(self, fresh_registry):
+        # The shard child entry point staggers via configure(sample_phase=k);
+        # the per-process admission tracer must pick it up.
+        from repro.obs import instruments
+
+        instruments.configure(sample_phase=3, sample_every=4)
+        try:
+            tracer = instruments.admission_instruments().tracer
+            results = [tracer.start("admission") for _ in range(8)]
+            live = [i for i, trace in enumerate(results) if trace is not None]
+            assert live == [0, 4]
+        finally:
+            instruments.configure(sample_phase=0, sample_every=1)
+
+
+class TestTraceContext:
+    def test_dict_round_trip(self):
+        context = TraceContext("1234-7", parent="coordinator", sampled=True)
+        clone = TraceContext.from_dict(context.to_dict())
+        assert clone.trace_id == "1234-7"
+        assert clone.parent == "coordinator"
+        assert clone.sampled is True
+
+    def test_from_dict_rejects_non_contexts(self):
+        assert TraceContext.from_dict(None) is None
+        assert TraceContext.from_dict({"parent": "x"}) is None
+        assert TraceContext.from_dict("1234-7") is None
+
+    def test_child_keeps_the_trace_id(self):
+        child = TraceContext("1234-7").child("shard0")
+        assert child.trace_id == "1234-7"
+        assert child.parent == "shard0"
+
+
+class TestForcedSampling:
+    def test_explicit_context_forces_a_trace(self):
+        tracer = SpanTracer(sample_every=1000)
+        trace = tracer.start("admission", context=TraceContext("99-1"))
+        assert trace is not None
+        assert trace.meta["trace_id_global"] == "99-1"
+
+    def test_active_thread_context_forces_a_trace(self):
+        tracer = SpanTracer(sample_every=1000)
+        assert current_context() is None
+        with activate_context(TraceContext("99-2")):
+            assert current_context().trace_id == "99-2"
+            trace = tracer.start("admission")
+        assert current_context() is None
+        assert trace is not None
+        assert trace.meta["trace_id_global"] == "99-2"
+
+    def test_unsampled_context_does_not_force(self):
+        tracer = SpanTracer(sample_every=1000)
+        context = TraceContext("99-3", sampled=False)
+        assert tracer.start("admission", context=context) is None
+
+
+class TestRemoteSpans:
+    def test_take_returns_only_the_wanted_trace(self):
+        record_remote_span("t-a", {"name": "allocate"})
+        record_remote_span("t-b", {"name": "adopt"})
+        record_remote_span("t-a", {"name": "journal"})
+        taken = take_remote_spans("t-a")
+        assert [span["name"] for span in taken] == ["allocate", "journal"]
+        assert all(span["pid"] == os.getpid() for span in taken)
+        # t-a is drained, t-b still buffered.
+        assert take_remote_spans("t-a") == []
+        assert [span["name"] for span in take_remote_spans("t-b")] == ["adopt"]
+
+    def test_remote_spans_fold_into_the_trace_dump(self):
+        tracer = SpanTracer(sample_every=1)
+        trace = tracer.start("cluster_admission")
+        trace.add_remote({"name": "shard0:allocate", "pid": 4242, "shard": 0})
+        tracer.finish(trace)
+        entry = tracer.recent()[-1]
+        assert entry["remote_spans"] == [
+            {"name": "shard0:allocate", "pid": 4242, "shard": 0}
+        ]
+        json.dumps(entry)
 
 
 class TestTraceLifecycle:

@@ -1,0 +1,142 @@
+"""Observability over the wire: the ``obs`` op, top's reconnect loop, obs CLI."""
+
+import json
+import signal
+import socket
+import threading
+import time
+
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.obs_cli import obs_main
+from repro.service.client import ServiceClient
+from repro.service.top import top_main
+
+from .test_server_e2e import mixed_request, read_ready, spawn_server
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestServerObsOp:
+    def test_obs_op_returns_ring_traces_and_disk_dump(self, tmp_path):
+        journal_dir = tmp_path / "journal"
+        proc = spawn_server(journal_dir, extra_args=("--trace-sample", "1"))
+        try:
+            ready = read_ready(proc)
+            with ServiceClient(port=ready["port"], timeout=10) as client:
+                for index in range(3):
+                    client.submit(mixed_request(index))
+                obs = client.obs()
+                assert obs["pid"] == ready["pid"]
+                assert isinstance(obs["flight"], list)
+                # --trace-sample 1 traces every admission server-side.
+                assert len(obs["traces"]) == 3
+                assert all("spans" in trace for trace in obs["traces"])
+
+                dumped = client.obs(dump=True, limit=2)
+                assert len(dumped["flight"]) <= 2  # limit bounds the ring tail
+                # The server persisted its ring next to the journal.
+                dump_path = dumped["dump_path"]
+                assert dump_path is not None
+                on_disk = json.loads(open(dump_path).read())
+                assert on_disk["trigger"] == "request"
+                assert on_disk["pid"] == ready["pid"]
+                client.shutdown()
+            proc.wait(30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(30)
+
+
+class TestTopReconnect:
+    def test_top_gives_up_after_max_reconnects(self, capsys):
+        port = free_port()  # nothing listens here
+        rc = top_main(
+            [
+                "--port",
+                str(port),
+                "--interval",
+                "0.01",
+                "--max-reconnects",
+                "2",
+                "--no-clear",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "cannot reach" in captured.err
+        assert captured.out.count("reconnecting") == 2
+
+    def test_top_survives_a_daemon_restart(self, tmp_path, capsys):
+        journal_dir = tmp_path / "journal"
+        port = free_port()
+        proc = spawn_server(journal_dir, extra_args=("--port", str(port)))
+        try:
+            read_ready(proc)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(30)
+
+            # top starts against the dead daemon, keeps retrying...
+            result = {}
+
+            def run_top():
+                result["rc"] = top_main(
+                    [
+                        "--port",
+                        str(port),
+                        "--interval",
+                        "0.2",
+                        "--iterations",
+                        "1",
+                        "--max-reconnects",
+                        "60",
+                        "--no-clear",
+                    ]
+                )
+
+            top_thread = threading.Thread(target=run_top, daemon=True)
+            top_thread.start()
+            time.sleep(0.5)
+
+            # ...until the daemon comes back on the same port.
+            proc = spawn_server(journal_dir, extra_args=("--port", str(port)))
+            read_ready(proc)
+            top_thread.join(30)
+            assert not top_thread.is_alive(), "top never rendered a frame"
+            with ServiceClient(port=port, timeout=10) as client:
+                client.shutdown()
+            proc.wait(30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(30)
+        captured = capsys.readouterr()
+        assert result["rc"] == 0
+        assert "reconnecting" in captured.out
+        assert "empirical outage rate" in captured.out  # a real frame rendered
+
+
+class TestObsCliWorkdir:
+    def test_workdir_mode_collects_disk_dumps(self, tmp_path, capsys):
+        recorder = FlightRecorder(capacity=8)
+        recorder.dump_dir = str(tmp_path / "svc" / "journal")
+        recorder.record("degradation", to_state="read_only")
+        recorder.maybe_dump("crash")
+        out = tmp_path / "triage.json"
+        rc = obs_main(
+            ["dump", "--workdir", str(tmp_path / "svc"), "--out", str(out)]
+        )
+        assert rc == 0
+        report = json.loads(out.read_text())
+        (dump,) = report["dumps"]
+        assert dump["trigger"] == "crash"
+        assert dump["events"][0]["kind"] == "degradation"
+
+    def test_workdir_mode_rejects_a_missing_directory(self, tmp_path, capsys):
+        rc = obs_main(["dump", "--workdir", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "no such directory" in capsys.readouterr().err
