@@ -143,3 +143,46 @@ class Allocator(abc.ABC):
     def supports(self, request: VirtualClusterRequest) -> bool:
         """Whether this algorithm can handle the given request type."""
         return True
+
+    def batch_context(self) -> "BatchContext":
+        """A context for a run of *sequential* allocate calls that may share
+        work between them (the service's admission batcher drives one batch
+        of coalesced same-shape requests through a single context).
+
+        The contract is strict: ``context.allocate(state, request, rid)``
+        must return exactly what ``self.allocate(state, request, rid)``
+        would — batching is an amortization, never a semantic change.  The
+        base implementation shares nothing; allocators with reusable DP
+        tables override this (see ``svc_homogeneous``).
+        """
+        return BatchContext(self)
+
+
+class BatchContext:
+    """Pass-through batch context: one allocator, no shared state.
+
+    Subclasses may carry caches that survive across ``allocate`` calls, as
+    long as every state-dependent input either is re-read per call or
+    participates in the cache key — that is what keeps batched decisions
+    bit-identical to sequential ones.  Contexts are single-threaded: the
+    admission service drives one context per worker batch, under its lock.
+    """
+
+    def __init__(self, allocator: Allocator) -> None:
+        self.allocator = allocator
+
+    def allocate(
+        self, state: NetworkState, request: VirtualClusterRequest, request_id: int
+    ) -> Optional[Allocation]:
+        return self.allocator.allocate(state, request, request_id)
+
+    def note_commit(self, state: NetworkState, allocation: Allocation) -> None:
+        """The caller committed ``allocation`` to ``state``.
+
+        :meth:`NetworkManager.request` calls this after every successful
+        commit inside a batch, letting caching contexts invalidate exactly
+        the dirty path instead of rediscovering it by re-keying every
+        vertex.  Contexts must stay correct without it (mutations they were
+        not told about are caught via ``state.version``); the notification
+        is purely a precision upgrade.  Default: nothing cached, no-op.
+        """

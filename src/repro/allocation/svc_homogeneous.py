@@ -57,6 +57,7 @@ from repro.abstractions.requests import (
 from repro.allocation.base import (
     Allocation,
     Allocator,
+    BatchContext,
     link_demands_from_counts,
 )
 from repro.allocation.demand_model import homogeneous_split_moments
@@ -126,7 +127,11 @@ class _HomogeneousTreeSearch(Allocator):
         return isinstance(request, (HomogeneousSVC, DeterministicVC))
 
     def allocate(
-        self, state: NetworkState, request: VirtualClusterRequest, request_id: int
+        self,
+        state: NetworkState,
+        request: VirtualClusterRequest,
+        request_id: int,
+        shared: Optional["_SharedTableBatch"] = None,
     ) -> Optional[Allocation]:
         if not self.supports(request):
             raise TypeError(f"{self.name} cannot place a {type(request).__name__}")
@@ -152,11 +157,21 @@ class _HomogeneousTreeSearch(Allocator):
         tables: Dict[int, _VertexTable] = {}
         host: Optional[int] = None
         host_value = np.inf
-        machine_cache: Dict[int, _VertexTable] = {}
-        vertex_cache: Dict[Tuple, _VertexTable] = {}
+        if self._fast and shared is not None:
+            # Batch mode: tables survive across the batch's allocate calls.
+            # Every state-dependent input is either re-read per call (free
+            # slots, hosts) or part of the cache key (link moments, caps),
+            # so reuse cannot change a decision — only skip rebuilding
+            # tables whose inputs did not move since the previous member.
+            machine_cache, vertex_cache, conv = shared.caches_for(state, request, n)
+        else:
+            machine_cache = {}
+            vertex_cache = {}
+            conv = self._convolution_context(n) if self._fast else None
         machine_lookups = 0
         vertex_lookups = 0
-        conv = self._convolution_context(n) if self._fast else None
+        machine_pre = len(machine_cache)
+        vertex_pre = len(vertex_cache)
         if phases is not None:
             phases[PHASE_PRUNE] = perf_counter() - t_start
         for _level, node_ids in tree.bottom_up_levels():
@@ -190,6 +205,7 @@ class _HomogeneousTreeSearch(Allocator):
                     table = self._build_vertex_fast(
                         state, node_id, n, split_mean, split_var, deterministic,
                         tables, machine_cache, vertex_cache, conv, phases,
+                        shared=shared,
                     )
                 else:
                     t_phase = perf_counter() if phases is not None else 0.0
@@ -220,8 +236,18 @@ class _HomogeneousTreeSearch(Allocator):
         if self._fast:
             # Hit/miss bookkeeping is derived once per request: every probe
             # that did not insert a new table was served by a shared one.
-            obs.cache("machine", machine_lookups, machine_lookups - len(machine_cache))
-            obs.cache("vertex", vertex_lookups, vertex_lookups - len(vertex_cache))
+            # Counting inserts relative to the pre-call size keeps the math
+            # right when a batch context carries tables in from earlier calls.
+            obs.cache(
+                "machine",
+                machine_lookups,
+                machine_lookups - (len(machine_cache) - machine_pre),
+            )
+            obs.cache(
+                "vertex",
+                vertex_lookups,
+                vertex_lookups - (len(vertex_cache) - vertex_pre),
+            )
         if host is None:
             obs.done(
                 self.name, perf_counter() - t_start, admitted=False,
@@ -375,6 +401,7 @@ class _HomogeneousTreeSearch(Allocator):
         vertex_cache: Dict[Tuple, _VertexTable],
         conv: Tuple[np.ndarray, np.ndarray, np.ndarray],
         phases: Optional[Dict[str, float]] = None,
+        shared: Optional["_SharedTableBatch"] = None,
     ) -> _VertexTable:
         """Pruned, batched equivalent of :meth:`_build_vertex`.
 
@@ -401,6 +428,18 @@ class _HomogeneousTreeSearch(Allocator):
             partial = np.full(n + 1, np.inf)
             partial[0] = 0.0
             return _VertexTable(values=partial, choices=[])
+
+        if shared is not None:
+            # Dirty-path skip: a batch context knows (from note_commit)
+            # which subtrees the previous members touched.  A clean vertex
+            # provably has the same signature as last call — its children's
+            # tables, uplink moments, and slot caps are all unmoved — so we
+            # can skip re-keying its children entirely.
+            memo_key = shared.signature_for(node_id)
+            if memo_key is not None:
+                memo_hit = vertex_cache.get(memo_key)
+                if memo_hit is not None:
+                    return memo_hit
 
         # ``phases`` (sampled traces only) splits the work into disjoint
         # wall-time sections: table_build = per-child metadata + signature +
@@ -429,6 +468,8 @@ class _HomogeneousTreeSearch(Allocator):
                 (id(tables[child_id]), det[i], mean[i], var[i], capacity[i], cap)
             )
         key = tuple(signature)
+        if shared is not None:
+            shared.store_signature(node_id, key)
         cached = vertex_cache.get(key)
         if phases is not None:
             phases[PHASE_TABLE_BUILD] = (
@@ -554,6 +595,25 @@ class _HomogeneousTreeSearch(Allocator):
             raise RuntimeError(f"backtracking left {remaining} VMs unassigned at {node_id}")
 
     # ------------------------------------------------------------------
+    # Batch admission
+    # ------------------------------------------------------------------
+
+    def batch_context(self) -> "BatchContext":
+        """Cache-sharing batch context (the service batcher's amortizer).
+
+        The DP tables are pure functions of their inputs (child tables,
+        uplink link state, slot caps — all in the vertex-cache key) and the
+        request's split moments (fixed within one shape class), so a run of
+        same-shape requests can keep one machine/vertex cache alive across
+        the whole run: after a commit only the tables along the dirty path
+        from the host machines to the root rebuild, everything else is a
+        cache hit.  Decisions stay bit-identical to sequential calls.
+        """
+        if not self._fast:
+            return BatchContext(self)  # the seed path has no caches to share
+        return _SharedTableBatch(self)
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
 
@@ -577,6 +637,82 @@ class _HomogeneousTreeSearch(Allocator):
             if occ > worst:
                 worst = occ
         return worst
+
+
+def _request_shape(request: VirtualClusterRequest) -> Tuple:
+    """The shape class two requests must share for DP tables to be reusable.
+
+    Vertex tables bake in the request's per-split demand moments, so only
+    requests with identical ``(kind, N, moments)`` may share a cache.
+    """
+    if isinstance(request, DeterministicVC):
+        return ("deterministic", request.n_vms, request.bandwidth)
+    return ("homogeneous", request.n_vms, request.mean, request.std)
+
+
+class _SharedTableBatch(BatchContext):
+    """Batch context holding the machine/vertex caches across allocate calls.
+
+    Single-threaded by contract (the admission worker drives one batch under
+    the service lock).  A shape change inside the batch resets the caches —
+    correctness never depends on the caller coalescing only compatible
+    requests, it only profits from it.
+    """
+
+    def __init__(self, allocator: "_HomogeneousTreeSearch") -> None:
+        super().__init__(allocator)
+        self._shape: Optional[Tuple] = None
+        self._machine_cache: Dict[int, _VertexTable] = {}
+        self._vertex_cache: Dict[Tuple, _VertexTable] = {}
+        self._conv: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        #: node_id -> the signature key computed for it last call.  Valid
+        #: only while the node is not in ``_dirty`` and the state version
+        #: matches ``_state_version``: then every signature input (child
+        #: table ids, uplink moments, free-slot caps) is provably unchanged
+        #: and the per-child re-keying loop can be skipped outright.
+        self._signatures: Dict[int, Tuple] = {}
+        self._dirty: set = set()
+        self._state_version: Optional[int] = None
+
+    def caches_for(self, state: NetworkState, request: VirtualClusterRequest, n: int):
+        shape = _request_shape(request)
+        if shape != self._shape:
+            self._shape = shape
+            self._machine_cache = {}
+            self._vertex_cache = {}
+            self._signatures = {}
+            self._dirty.clear()
+            self._conv = _HomogeneousTreeSearch._convolution_context(n)
+        if state.version != self._state_version:
+            # The state moved without a note_commit (a release, or a commit
+            # outside this batch): every freshness memo is suspect.  The
+            # content-addressed table caches stay — they can only hit when
+            # their full input signature matches, stale or not.
+            self._signatures = {}
+            self._dirty.clear()
+            self._state_version = state.version
+        return self._machine_cache, self._vertex_cache, self._conv
+
+    def signature_for(self, node_id: int) -> Optional[Tuple]:
+        """The node's memoized signature key, or None if it must be re-keyed."""
+        if node_id in self._dirty:
+            return None
+        return self._signatures.get(node_id)
+
+    def store_signature(self, node_id: int, key: Tuple) -> None:
+        self._signatures[node_id] = key
+        self._dirty.discard(node_id)
+
+    def note_commit(self, state: NetworkState, allocation) -> None:
+        """Mark exactly the committed placement's ancestor paths dirty."""
+        for machine_id in allocation.machine_counts:
+            self._dirty.update(state.ancestors(machine_id))
+        self._state_version = state.version
+
+    def allocate(
+        self, state: NetworkState, request: VirtualClusterRequest, request_id: int
+    ) -> Optional[Allocation]:
+        return self.allocator.allocate(state, request, request_id, shared=self)
 
 
 class SVCHomogeneousAllocator(_HomogeneousTreeSearch):

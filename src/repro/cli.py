@@ -7,7 +7,9 @@ Examples::
     svc-repro fig7 --epsilon 0.02               # vary the SLA risk factor
     svc-repro het --allocator baseline          # vary the allocation stack
     svc-repro all --scale paper                 # the full 1,000-machine reproduction
-    svc-repro serve --port 0 --journal-dir /var/lib/svc  # admission daemon
+    svc-repro serve --port 0 --journal-dir /var/lib/svc  # admission daemon (async)
+    svc-repro serve --batch-max 32 --batch-linger-ms 2   # batched admission
+    svc-repro serve --tenant-quota 64 --tenant-weight gold=3  # fair queueing
     svc-repro top --port 40123                  # live metrics view of a daemon
     svc-repro chaos --schedules 200             # fault-injection recovery check
     svc-repro cluster --shards 4 --scale small  # sharded admission cluster

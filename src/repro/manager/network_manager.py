@@ -18,7 +18,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from repro.abstractions.requests import VirtualClusterRequest
-from repro.allocation.base import Allocation, Allocator, expand_vm_placement
+from repro.allocation.base import (
+    Allocation,
+    Allocator,
+    BatchContext,
+    expand_vm_placement,
+)
 from repro.allocation.dispatch import default_allocator
 from repro.manager.rate_limiter import RateLimiterRegistry
 from repro.network.link_state import NetworkState
@@ -97,16 +102,26 @@ class NetworkManager:
             )
         self._next_id = value
 
-    def request(self, request: VirtualClusterRequest) -> Optional[Tenancy]:
+    def request(
+        self, request: VirtualClusterRequest, batch: Optional[BatchContext] = None
+    ) -> Optional[Tenancy]:
         """Admit (place + commit) a tenant request, or reject with None.
 
         Rejection means no valid allocation exists under the probabilistic
         guarantee — in the online scenario of Section VI-B2 such requests are
         dropped; in the batch scenario they wait in the FIFO queue.
+
+        ``batch`` is an optional :meth:`batch_context` from this manager's
+        allocator; when given, the allocate call routes through it so DP
+        tables carry over between members of an admission batch.  Decisions
+        are unchanged — the context contract requires bit-identical results.
         """
         request_id = self._next_id
         self._next_id += 1
-        allocation = self.allocator.allocate(self.state, request, request_id)
+        if batch is not None:
+            allocation = batch.allocate(self.state, request, request_id)
+        else:
+            allocation = self.allocator.allocate(self.state, request, request_id)
         if allocation is None:
             self.rejected_count += 1
             rejected_by = (
@@ -118,6 +133,8 @@ class NetworkManager:
             )
             return None
         self.state.commit(allocation)
+        if batch is not None:
+            batch.note_commit(self.state, allocation)
         tenancy = Tenancy(
             allocation=allocation, vm_machines=expand_vm_placement(allocation)
         )
@@ -125,6 +142,10 @@ class NetworkManager:
         self.rate_limiters.register(tenancy)
         self.admitted_count += 1
         return tenancy
+
+    def batch_context(self) -> BatchContext:
+        """A fresh allocator batch context for a run of :meth:`request` calls."""
+        return self.allocator.batch_context()
 
     def adopt(self, allocation: Allocation) -> Tenancy:
         """Install an already-placed allocation, bypassing the allocator.

@@ -204,6 +204,11 @@ class NetworkState:
                 chain.append(current)
                 current = tree.node(current).parent
             self._ancestors[machine_id] = tuple(chain)
+        #: Mutation counter, bumped by every commit/release.  Batch contexts
+        #: compare it against the version they last synced at: a mismatch
+        #: means the state moved under them (e.g. a release between allocate
+        #: calls) and their per-node freshness memos must be dropped.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Slot accounting
@@ -212,6 +217,10 @@ class NetworkState:
     def free_slots(self, machine_id: int) -> int:
         """Empty VM slots on one machine."""
         return self._free_slots[machine_id]
+
+    def ancestors(self, machine_id: int) -> Tuple[int, ...]:
+        """The machine's ancestor chain (parent first, root last)."""
+        return self._ancestors[machine_id]
 
     def free_slots_under(self, node_id: int) -> int:
         """Empty VM slots in the whole subtree rooted at ``node_id``.
@@ -279,6 +288,7 @@ class NetworkState:
                 state.add_deterministic(allocation.request_id, demand.mean)
             else:
                 state.add_stochastic(allocation.request_id, demand)
+        self.version += 1
 
     def release(self, allocation) -> None:
         """Undo :meth:`commit` when the tenant departs.
@@ -298,6 +308,7 @@ class NetworkState:
             self._vacate(machine_id, count)
         for link_id in allocation.link_demands:
             self.links[link_id].remove_request(allocation.request_id)
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Datacenter-wide views

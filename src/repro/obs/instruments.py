@@ -60,6 +60,9 @@ _ALLOC_BUCKETS: Tuple[float, ...] = (
     0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0,
 )
 
+#: Buckets for admission batch sizes (requests per dispatch).
+_BATCH_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
 # Fast-DP phase names (Algorithm 1 stages, see DESIGN.md).
 PHASE_PRUNE = "prune"
 PHASE_TABLE_BUILD = "table_build"
@@ -336,10 +339,12 @@ class ServiceInstruments:
         "errors",
         "shed",
         "deduped",
+        "batches",
+        "coalesced",
     )
 
     #: Load-shedding reasons (the typed error codes a shed maps to).
-    SHED_REASONS = ("overloaded", "read_only", "unavailable")
+    SHED_REASONS = ("overloaded", "read_only", "unavailable", "over_quota")
 
     #: Degradation-ladder states a transition can land in.
     DEGRADATION_STATES = ("full", "read_only", "fast_fail")
@@ -358,6 +363,25 @@ class ServiceInstruments:
             "repro_service_admission_latency_seconds",
             "End-to-end admission latency: enqueue to decision, queueing included.",
             buckets=DEFAULT_TIME_BUCKETS,
+        )
+        self._batch_size = registry.histogram(
+            "repro_service_batch_size",
+            "Coalesced requests dispatched per admission batch.",
+            buckets=_BATCH_BUCKETS,
+        )
+        self._tenant_sheds: Dict[str, Counter] = {
+            "none": registry.counter(
+                "repro_service_tenant_shed_total",
+                "Over-quota sheds, by tenant.",
+                tenant="none",
+            )
+        }
+        self._tenant_depths: Dict[str, object] = {}
+        # Presence-before-traffic for the per-tenant depth gauge family.
+        registry.gauge(
+            "repro_service_tenant_queue_depth",
+            "Waiting requests (ready + parked) per tenant.",
+            tenant="none",
         )
         self._shed: Dict[str, Counter] = {
             reason: registry.counter(
@@ -403,6 +427,33 @@ class ServiceInstruments:
 
     def observe_latency(self, seconds: float) -> None:
         self._latency.observe(seconds)
+
+    def observe_batch(self, size: int) -> None:
+        """Record one batch dispatch and how many requests rode in it."""
+        self._batch_size.observe(float(size))
+
+    def tenant_shed(self, tenant: str) -> None:
+        counter = self._tenant_sheds.get(tenant)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_service_tenant_shed_total",
+                "Over-quota sheds, by tenant.",
+                tenant=tenant,
+            )
+            self._tenant_sheds[tenant] = counter
+        counter.inc()
+
+    def bind_tenant_depth(self, tenant: str, read) -> None:
+        """Register (or refresh) the pull gauge for one tenant's queue depth."""
+        gauge = self._tenant_depths.get(tenant)
+        if gauge is None:
+            gauge = self.registry.gauge(
+                "repro_service_tenant_queue_depth",
+                "Waiting requests (ready + parked) per tenant.",
+                tenant=tenant,
+            )
+            self._tenant_depths[tenant] = gauge
+        gauge.set_function(read)
 
     def shed_reason(self, reason: str) -> None:
         counter = self._shed.get(reason)
@@ -455,6 +506,11 @@ class ServiceInstruments:
             "repro_service_degradation_state",
             "Degradation ladder position: 0=full, 1=read_only, 2=fast_fail.",
         ).set_function(lambda: float(service.degradation_code()))
+        registry.gauge(
+            "repro_service_coalesce_ratio",
+            "Fraction of processed requests that shared a batch leader's "
+            "DP tables (0 = batching off or never coalesced).",
+        ).set_function(lambda: float(service.coalesce_ratio()))
         bind_network_gauges(registry, service.manager)
 
 
@@ -465,6 +521,15 @@ class _NullService:
         pass
 
     def observe_latency(self, seconds: float) -> None:
+        pass
+
+    def observe_batch(self, size: int) -> None:
+        pass
+
+    def tenant_shed(self, tenant: str) -> None:
+        pass
+
+    def bind_tenant_depth(self, tenant: str, read) -> None:
         pass
 
     def shed_reason(self, reason: str) -> None:

@@ -40,6 +40,7 @@ from repro.service.errors import (
     DeadlineExceededError,
     DegradedError,
     OverloadedError,
+    OverQuotaError,
     RetryExhaustedError,
     ServiceError,
     error_from_response,
@@ -50,6 +51,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "OverloadedError",
+    "OverQuotaError",
     "DegradedError",
     "DeadlineExceededError",
     "RetryExhaustedError",
@@ -183,8 +185,13 @@ class ServiceClient:
         wait: bool = True,
         wait_timeout: Optional[float] = None,
         idempotency_key: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """Submit a request; returns the ticket/outcome payload."""
+        """Submit a request; returns the ticket/outcome payload.
+
+        ``tenant`` names the fair-queue lane (and quota bucket) this
+        request is charged to; omitted requests share the default lane.
+        """
         if isinstance(request, VirtualClusterRequest):
             request = request_to_dict(request)
         fields: Dict[str, Any] = {"request": request, "priority": priority, "wait": wait}
@@ -194,6 +201,8 @@ class ServiceClient:
             fields["wait_timeout"] = wait_timeout
         if idempotency_key is not None:
             fields["idem"] = idempotency_key
+        if tenant is not None:
+            fields["tenant"] = tenant
         return self.call("submit", **fields)
 
     def submit_with_retry(
@@ -204,6 +213,7 @@ class ServiceClient:
         priority: int = 0,
         timeout_s: Optional[float] = None,
         wait_timeout: Optional[float] = 30.0,
+        tenant: Optional[str] = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
     ) -> Dict[str, Any]:
@@ -217,6 +227,11 @@ class ServiceClient:
         and :class:`RetryExhaustedError` (chained to the last failure)
         when the attempt cap is reached.  Non-retryable server errors
         propagate as their typed class immediately.
+
+        Over-quota sheds (:class:`OverQuotaError`) are retryable but
+        *hint-driven*: the next pause is never shorter than the server's
+        ``retry_after``, because the tenant's slice only drains as the
+        batcher works — retrying sooner just re-triggers the shed.
         """
         policy = policy or RetryPolicy()
         key = idempotency_key or uuid.uuid4().hex
@@ -232,6 +247,7 @@ class ServiceClient:
                     wait=True,
                     wait_timeout=wait_timeout,
                     idempotency_key=key,
+                    tenant=tenant,
                 )
                 outcome = reply.get("outcome")
                 if outcome == "expired":

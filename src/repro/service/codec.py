@@ -16,7 +16,7 @@ properties matter:
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.abstractions.requests import (
     DeterministicVC,
@@ -79,6 +79,27 @@ def request_to_dict(request: VirtualClusterRequest) -> Dict[str, Any]:
             "n_vms": request.n_vms,
             "demands": [normal_to_dict(d) for d in request.demands],
         }
+    raise CodecError(f"unsupported request type {type(request).__name__}")
+
+
+def request_shape_key(request: VirtualClusterRequest) -> Tuple[Any, ...]:
+    """Coalescing key for the admission batcher.
+
+    Two requests with equal shape keys take the same allocator path with the
+    same per-request DP inputs (type, VM count, demand moments), so their
+    vertex tables are interchangeable and one shared batch context may serve
+    both.  Requests whose keys differ must never share a context.
+    """
+    if isinstance(request, DeterministicVC):
+        return (_KIND_DETERMINISTIC, request.n_vms, request.bandwidth)
+    if isinstance(request, HomogeneousSVC):
+        return (_KIND_HOMOGENEOUS, request.n_vms, request.mean, request.std)
+    if isinstance(request, HeterogeneousSVC):
+        return (
+            _KIND_HETEROGENEOUS,
+            request.n_vms,
+            tuple((d.mean, d.std) for d in request.demands),
+        )
     raise CodecError(f"unsupported request type {type(request).__name__}")
 
 

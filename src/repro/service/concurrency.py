@@ -53,7 +53,7 @@ from repro.network.snapshot import utilization_by_level
 from repro.obs.flightrec import flight_recorder
 from repro.obs.instruments import global_registry, service_instruments
 from repro.obs.tracing import TraceContext, activate_context, record_remote_span
-from repro.service.codec import request_from_dict, request_to_dict
+from repro.service.codec import request_from_dict, request_shape_key, request_to_dict
 from repro.service.degrade import (
     STATE_FAST_FAIL,
     STATE_FULL,
@@ -66,14 +66,16 @@ from repro.service.errors import (
     ConflictError,
     DegradedError,
     OverloadedError,
+    OverQuotaError,
 )
 from repro.service.journal import DurabilityStore
 from repro.service.queue import (
+    DEFAULT_TENANT,
     MODE_BATCH,
     MODE_ONLINE,
     MODES,
+    FairRequestQueue,
     QueuedRequest,
-    RequestQueue,
 )
 from repro.service.recovery import snapshot_payload
 
@@ -157,6 +159,10 @@ class ServiceCounters:
     shed: int = 0
     #: Submits answered from the idempotency index instead of the queue.
     deduped: int = 0
+    #: Batch dispatches (each covers one or more coalesced requests).
+    batches: int = 0
+    #: Requests that rode in a batch behind its leader (shared DP tables).
+    coalesced: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -175,6 +181,10 @@ class Ticket:
     detail: Optional[str] = None
     latency: Optional[float] = None
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
+    _callbacks: List[Callable[["Ticket"], None]] = field(
+        default_factory=list, repr=False
+    )
+    _cb_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def resolve(
         self,
@@ -187,7 +197,25 @@ class Ticket:
         self.request_id = request_id
         self.detail = detail
         self.latency = latency
-        self._done.set()
+        with self._cb_lock:
+            self._done.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(self, callback: Callable[["Ticket"], None]) -> None:
+        """Run ``callback(self)`` once resolved (immediately if already done).
+
+        The async front door bridges tickets to ``asyncio`` futures through
+        this instead of burning a pool thread per in-flight :meth:`wait`.
+        The lock makes registration race-free against a concurrent resolve:
+        the callback fires exactly once, on whichever side wins.
+        """
+        with self._cb_lock:
+            if not self._done.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the request is decided; False on timeout."""
@@ -243,6 +271,25 @@ class AdmissionService:
         ``{key: {"outcome", "request_id"}}`` recovered from the journal
         (see :func:`repro.service.recovery.recover_manager`), seeding the
         live dedup index so retries of pre-crash submits stay idempotent.
+    batch_max:
+        Upper bound on admission-batch size.  A worker that pops a request
+        keeps popping *consecutive* queue entries with the same shape key
+        (up to this many) and drives them through one shared allocator
+        batch context — one tree traversal's tables amortized across the
+        run, decisions bit-identical to one-at-a-time processing.  ``1``
+        disables coalescing.
+    batch_linger_s:
+        With the queue empty and a batch still below ``batch_max``, how
+        long the worker waits for more same-shape arrivals before
+        dispatching.  ``0`` dispatches immediately (latency-optimal).
+    tenant_quota:
+        Per-tenant queue bound: a tenant with this many waiting requests
+        has further submits shed with :class:`OverQuotaError` (carrying a
+        ``retry_after`` hint) while other tenants continue unharmed.
+        ``None`` disables per-tenant quotas.
+    tenant_weights:
+        Deficit-round-robin weights per tenant name (default 1): a tenant
+        with weight ``w`` is served up to ``w`` requests per rotation lap.
     """
 
     def __init__(
@@ -257,6 +304,10 @@ class AdmissionService:
         default_timeout_s: Optional[float] = None,
         degradation: Optional[DegradationLadder] = None,
         idempotency_index: Optional[Dict[str, Dict[str, Any]]] = None,
+        batch_max: int = 1,
+        batch_linger_s: float = 0.0,
+        tenant_quota: Optional[int] = None,
+        tenant_weights: Optional[Dict[str, int]] = None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"unknown service mode {mode!r}; choose from {MODES}")
@@ -264,6 +315,12 @@ class AdmissionService:
             raise ValueError(f"need at least one worker, got {workers}")
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if batch_linger_s < 0.0:
+            raise ValueError(f"batch_linger_s must be >= 0, got {batch_linger_s}")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError(f"tenant_quota must be >= 1, got {tenant_quota}")
         self.manager = manager
         self.store = store
         self.mode = mode
@@ -271,10 +328,14 @@ class AdmissionService:
         self.clock = clock
         self.max_queue_depth = max_queue_depth
         self.default_timeout_s = default_timeout_s
+        self.batch_max = batch_max
+        self.batch_linger_s = batch_linger_s
+        self.tenant_quota = tenant_quota
         self.counters = ServiceCounters()
         self.latencies = LatencyWindow(maxlen=latency_window)
         self._cond = threading.Condition()
-        self._queue = RequestQueue(mode)
+        self._queue = FairRequestQueue(mode, weights=tenant_weights)
+        self._known_tenants: set = set()
         self._tickets: Dict[int, Ticket] = {}
         self._next_ticket = 1
         self._threads: List[threading.Thread] = []
@@ -372,6 +433,30 @@ class AdmissionService:
         """Current ``(ready, parked)`` queue depths, read under the lock."""
         with self._cond:
             return self._queue.ready_count, self._queue.parked_count
+
+    def tenant_depth(self, tenant: str) -> int:
+        """One tenant's waiting requests (ready + parked), under the lock."""
+        with self._cond:
+            return self._queue.tenant_depth(tenant)
+
+    def tenant_depths(self) -> Dict[str, int]:
+        """Waiting requests per tenant, read under the lock."""
+        with self._cond:
+            return self._queue.tenant_depths()
+
+    def coalesce_ratio(self) -> float:
+        """Fraction of processed requests that shared a batch leader's tables."""
+        processed = self.counters.batches + self.counters.coalesced
+        return self.counters.coalesced / processed if processed else 0.0
+
+    def _observe_tenant(self, tenant: str) -> None:
+        """First submit from a tenant: expose its queue-depth gauge (under lock)."""
+        if tenant in self._known_tenants:
+            return
+        self._known_tenants.add(tenant)
+        self._obs.bind_tenant_depth(
+            tenant, lambda t=tenant: float(self.tenant_depth(t))
+        )
 
     def _count(self, event: str, amount: int = 1) -> None:
         """Bump one lifetime counter and its registry mirror together."""
@@ -496,6 +581,7 @@ class AdmissionService:
         wait_timeout: Optional[float] = None,
         idempotency_key: Optional[str] = None,
         trace_context: Optional[TraceContext] = None,
+        tenant: Optional[str] = None,
     ) -> Ticket:
         """Enqueue a tenant request; optionally block for the decision.
 
@@ -510,6 +596,12 @@ class AdmissionService:
         this process or recovered from the journal) returns the original
         ticket/decision instead of enqueueing a second copy.
 
+        ``tenant`` names the fair-queue lane the request bills to (default
+        ``"default"``); scheduling across tenants is weighted deficit
+        round-robin and the per-tenant quota, when configured, sheds a
+        tenant's overflow with :class:`OverQuotaError` — a *targeted*
+        backpressure that leaves other tenants' admission rate untouched.
+
         Raises :class:`DegradedError` while the ladder forbids mutations
         and :class:`OverloadedError` when the queue bound is reached.
         """
@@ -517,6 +609,7 @@ class AdmissionService:
             request = request_from_dict(request)
         if timeout_s is None:
             timeout_s = self.default_timeout_s
+        tenant = tenant or DEFAULT_TENANT
         now = self.clock()
         deadline = now + timeout_s if timeout_s is not None else None
         with self._cond:
@@ -539,6 +632,17 @@ class AdmissionService:
                         f"admission queue is full ({depth} waiting)",
                         retry_after=self._overload_retry_after(depth),
                     )
+                if self.tenant_quota is not None:
+                    tenant_depth = self._queue.tenant_depth(tenant)
+                    if tenant_depth >= self.tenant_quota:
+                        self._shed(OverQuotaError.code)
+                        self._obs.tenant_shed(tenant)
+                        raise OverQuotaError(
+                            f"tenant {tenant!r} is at its queue quota "
+                            f"({tenant_depth}/{self.tenant_quota} waiting)",
+                            retry_after=self._overload_retry_after(tenant_depth),
+                        )
+                self._observe_tenant(tenant)
                 ticket = Ticket(
                     ticket_id=self._next_ticket,
                     submitted_at=now,
@@ -558,6 +662,8 @@ class AdmissionService:
                     enqueued_at=now,
                     idempotency_key=idempotency_key,
                     trace_context=trace_context,
+                    tenant=tenant,
+                    shape=request_shape_key(request),
                 )
                 self._queue.push(entry)
                 self._cond.notify()
@@ -818,6 +924,21 @@ class AdmissionService:
                     "parked": self._queue.parked_count,
                     "limit": self.max_queue_depth,
                 },
+                "batching": {
+                    "batch_max": self.batch_max,
+                    "linger_s": self.batch_linger_s,
+                    "batches": self.counters.batches,
+                    "coalesced": self.counters.coalesced,
+                    "coalesce_ratio": self.coalesce_ratio(),
+                },
+                "tenants": {
+                    "quota": self.tenant_quota,
+                    "depths": self._queue.tenant_depths(),
+                    "weights": {
+                        tenant: self._queue.weight_of(tenant)
+                        for tenant in sorted(self._known_tenants)
+                    },
+                },
                 "degradation": (
                     self._degradation.describe()
                     if self._degradation is not None
@@ -875,11 +996,12 @@ class AdmissionService:
 
     def _worker_loop(self) -> None:
         while True:
-            entry = None
+            batch: List[QueuedRequest] = []
             expired: List[QueuedRequest] = []
-            decision = None
+            decisions: List[Optional[Tuple]] = []
             try:
                 with self._cond:
+                    entry = None
                     while self._running:
                         now = self.clock()
                         if self._degradation is not None and self._degradation.should_probe(now):
@@ -894,22 +1016,14 @@ class AdmissionService:
                     if not self._running and entry is None and not expired:
                         return
                     if entry is not None:
-                        try:
-                            decision = self._attempt(entry, now)
-                        except Exception as exc:  # journal I/O etc. — fail the
-                            # request, keep the worker alive for the next one
-                            self._count("errors")
-                            self._forget_key(entry.idempotency_key)
-                            logger.warning(
-                                "ticket=%d failed during admission: %s",
-                                entry.ticket_id, exc, exc_info=True,
-                            )
-                            decision = (OUTCOME_ERROR, None, f"{type(exc).__name__}: {exc}")
+                        batch.append(entry)
+                        self._coalesce(batch, expired)
+                        decisions = self._attempt_batch(batch)
             except InjectedCrash as crash:
                 # Simulated process death (chaos harness): freeze the whole
                 # service — no ticket resolution, no drain, no snapshot.
-                # The in-flight entry stays unacknowledged, exactly like a
-                # request caught mid-flight by a real crash.
+                # The in-flight entries stay unacknowledged, exactly like
+                # requests caught mid-flight by a real crash.
                 with self._cond:
                     self._running = False
                     self.crashed = True
@@ -924,11 +1038,82 @@ class AdmissionService:
             # service (status/release) and would contend on the lock.
             for dead in expired:
                 self._resolve(dead, OUTCOME_EXPIRED, detail="deadline passed")
-            if entry is not None and decision is not None:
-                outcome, request_id, detail = decision
-                self._resolve(entry, outcome, request_id=request_id, detail=detail)
+            for member, decision in zip(batch, decisions):
+                if decision is not None:
+                    outcome, request_id, detail = decision
+                    self._resolve(
+                        member, outcome, request_id=request_id, detail=detail
+                    )
 
-    def _attempt(self, entry: QueuedRequest, now: float):
+    def _coalesce(self, batch: List[QueuedRequest], expired: List[QueuedRequest]) -> None:
+        """Grow ``batch`` with consecutive same-shape entries (under lock).
+
+        Only entries the fair queue would serve *next anyway* are taken
+        (:meth:`FairRequestQueue.pop_compatible`), so the batch is exactly a
+        prefix of the sequential serving order — the keystone of the
+        batched-equals-unbatched decision guarantee.  When the queue runs
+        empty below ``batch_max``, the worker lingers up to
+        ``batch_linger_s`` for more same-shape arrivals; a different-shape
+        head always dispatches immediately (waiting could not legally skip
+        past it).
+        """
+        if self.batch_max <= 1:
+            return
+        leader_shape = batch[0].shape
+        linger_deadline = self.clock() + self.batch_linger_s
+        while len(batch) < self.batch_max and self._running:
+            now = self.clock()
+            more, drained = self._queue.pop_compatible(leader_shape, now)
+            if drained:
+                expired.extend(drained)
+                self._count("expired", len(drained))
+            if more is not None:
+                batch.append(more)
+                continue
+            if self._queue.ready_count > 0:
+                break
+            remaining = linger_deadline - now
+            if remaining <= 0.0:
+                break
+            self._cond.wait(timeout=min(remaining, _IDLE_SWEEP_INTERVAL))
+
+    def _attempt_batch(
+        self, batch: List[QueuedRequest]
+    ) -> List[Optional[Tuple]]:
+        """Drive one coalesced batch through the allocator (under lock).
+
+        Everything except the DP tables stays strictly per-request: each
+        member journals its own admit/reject record, parks individually in
+        batch mode, and an allocator/journal failure poisons only its own
+        ticket.  The shared batch context is an amortization, proven
+        decision-neutral by contract (see ``Allocator.batch_context``).
+        """
+        now = self.clock()
+        context = self.manager.batch_context() if len(batch) > 1 else None
+        self._count("batches")
+        if len(batch) > 1:
+            self._count("coalesced", len(batch) - 1)
+        self._obs.observe_batch(len(batch))
+        decisions: List[Optional[Tuple]] = []
+        for entry in batch:
+            try:
+                decisions.append(self._attempt(entry, now, batch=context))
+            except InjectedCrash:
+                raise
+            except Exception as exc:  # journal I/O etc. — fail the
+                # request, keep the worker alive for the next one
+                self._count("errors")
+                self._forget_key(entry.idempotency_key)
+                logger.warning(
+                    "ticket=%d failed during admission: %s",
+                    entry.ticket_id, exc, exc_info=True,
+                )
+                decisions.append(
+                    (OUTCOME_ERROR, None, f"{type(exc).__name__}: {exc}")
+                )
+        return decisions
+
+    def _attempt(self, entry: QueuedRequest, now: float, batch=None):
         """Try one admission under the lock; None means parked for retry."""
         entry.attempts += 1
         manager = self.manager
@@ -942,7 +1127,9 @@ class AdmissionService:
             # own sampled tracer live, so a cross-process trace never loses
             # its shard leg to local every-Nth sampling.
             with activate_context(context):
-                tenancy: Optional[Tenancy] = manager.request(entry.request)
+                tenancy: Optional[Tenancy] = manager.request(
+                    entry.request, batch=batch
+                )
         except Exception as exc:  # allocator bug — fail the request, not the worker
             self._count("errors")
             self._forget_key(entry.idempotency_key)

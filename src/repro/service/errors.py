@@ -25,6 +25,8 @@ CODE_DEADLINE = "deadline_exceeded"
 CODE_RETRY_EXHAUSTED = "retry_exhausted"
 #: An already-placed allocation no longer fits (lost an optimistic race).
 CODE_CONFLICT = "conflict"
+#: The submitting tenant is at its per-tenant queue quota.
+CODE_OVER_QUOTA = "over_quota"
 
 
 class ServiceError(RuntimeError):
@@ -68,6 +70,18 @@ class RetryExhaustedError(ServiceError):
     code = CODE_RETRY_EXHAUSTED
 
 
+class OverQuotaError(ServiceError):
+    """Per-tenant fairness backpressure: this tenant's queue slice is full.
+
+    Unlike :class:`OverloadedError` (the whole service is saturated), an
+    over-quota shed blames one tenant's own backlog — other tenants are
+    still being admitted.  The ``retry_after`` hint scales with the
+    tenant's queue depth; retrying sooner only re-triggers the shed.
+    """
+
+    code = CODE_OVER_QUOTA
+
+
 class ConflictError(ServiceError):
     """An adopt lost its optimistic race: the placement no longer fits.
 
@@ -87,10 +101,16 @@ _CODE_TO_CLASS = {
     CODE_DEADLINE: DeadlineExceededError,
     CODE_RETRY_EXHAUSTED: RetryExhaustedError,
     CODE_CONFLICT: ConflictError,
+    CODE_OVER_QUOTA: OverQuotaError,
 }
 
-#: Response codes a retrying client treats as transient.
-RETRYABLE_CODES = frozenset({CODE_OVERLOADED, CODE_READ_ONLY, CODE_UNAVAILABLE})
+#: Response codes a retrying client treats as transient.  Over-quota sheds
+#: are transient too — the tenant's slice drains as the batcher works — but
+#: retries must honor the server's ``retry_after`` hint (see
+#: ``ServiceClient.submit_with_retry``), not hammer with the base backoff.
+RETRYABLE_CODES = frozenset(
+    {CODE_OVERLOADED, CODE_READ_ONLY, CODE_UNAVAILABLE, CODE_OVER_QUOTA}
+)
 
 
 def error_from_response(op: str, response: Dict[str, Any]) -> ServiceError:

@@ -6,7 +6,7 @@ terminated.  Every response carries ``"ok"``; failures add ``"error"``.
 Operations::
 
     {"op": "ping"}
-    {"op": "submit", "request": {...}, "priority": 0,
+    {"op": "submit", "request": {...}, "priority": 0, "tenant": "gold",
      "timeout_s": 5.0, "wait": true, "wait_timeout": 10.0}
     {"op": "status", "ticket": 7}
     {"op": "release", "request_id": 3}
@@ -19,9 +19,14 @@ Operations::
 Request payloads are the :mod:`repro.service.codec` request encoding, e.g.
 ``{"kind": "homogeneous", "n_vms": 8, "mean": 200.0, "std": 80.0}``.
 
-Everything is stdlib (:mod:`socketserver`); ``svc-repro serve`` wires this
-behind the CLI and prints a single machine-readable ready line so scripts
-and tests can discover the bound port::
+Two wire-compatible front ends serve this protocol: the default ``asyncio``
+accept/decode loop over a bounded worker pool (:mod:`repro.service.aio`)
+and the classic thread-per-connection :mod:`socketserver` handler kept here
+(``--frontend threaded``).  This module owns the shared op table
+(:func:`dispatch_command`) and error envelope (:func:`error_response`), so
+the two cannot drift.  ``svc-repro serve`` wires either behind the CLI and
+prints a single machine-readable ready line so scripts and tests can
+discover the bound port::
 
     {"event": "ready", "host": "127.0.0.1", "port": 40123, "pid": 1234, ...}
 """
@@ -39,7 +44,7 @@ import socketserver
 import sys
 import threading
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.allocation.dispatch import ALLOCATOR_FACTORIES, allocator_by_name
 from repro.experiments.config import SCALES
@@ -64,9 +69,106 @@ logger = logging.getLogger(__name__)
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7421
 
+FRONTEND_ASYNC = "async"
+FRONTEND_THREADED = "threaded"
+FRONTENDS = (FRONTEND_ASYNC, FRONTEND_THREADED)
+
 #: Process-wide protocol request ids, threaded through the handler logs so
 #: one request can be correlated across server, worker and journal lines.
 _REQUEST_IDS = itertools.count(1)
+
+
+def error_response(exc: BaseException) -> Dict[str, Any]:
+    """The ``ok: false`` envelope for one failed protocol op.
+
+    Typed :class:`ServiceError` sheds keep their machine-readable ``code``
+    and ``retry_after`` hint; codec errors surface their message; anything
+    else is reported by exception type without killing the connection.
+    Shared by the threaded and async front doors so the wire contract
+    cannot drift between them.
+    """
+    if isinstance(exc, ServiceError):
+        response: Dict[str, Any] = {"ok": False, "error": str(exc)}
+        if exc.code is not None:
+            response["code"] = exc.code
+        if exc.retry_after is not None:
+            response["retry_after"] = exc.retry_after
+        return response
+    if isinstance(exc, CodecError):
+        return {"ok": False, "error": str(exc)}
+    return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+def dispatch_command(
+    service: AdmissionService,
+    command: Dict[str, Any],
+    request_shutdown: Callable[[], None],
+) -> Dict[str, Any]:
+    """Execute one decoded protocol command against the service.
+
+    This is the single source of truth for the op table: the threaded
+    handler calls it inline and the async front door calls it from its
+    worker pool (``submit`` excepted — the async path enqueues without
+    blocking and awaits the ticket instead, see ``repro.service.aio``).
+    Raises the typed service/codec errors; callers map them through
+    :func:`error_response`.
+    """
+    op = command.get("op")
+    # The degradation gate runs before any work: in fast-fail even
+    # reads shed (with code + retry_after), keeping ping/shutdown as
+    # the operator's lifeline.
+    if isinstance(op, str):
+        service.gate(op)
+    if op == "ping":
+        return {"ok": True, "pong": True, "state": service.degradation_state()}
+    if op == "submit":
+        ticket = service.submit(
+            command["request"],
+            priority=int(command.get("priority", 0)),
+            timeout_s=command.get("timeout_s"),
+            wait=bool(command.get("wait", True)),
+            wait_timeout=command.get("wait_timeout"),
+            idempotency_key=command.get("idem"),
+            tenant=command.get("tenant"),
+        )
+        return {"ok": True, **ticket.describe()}
+    if op == "status":
+        status = service.status(int(command["ticket"]))
+        if status is None:
+            return {"ok": False, "error": f"unknown ticket {command['ticket']}"}
+        return {"ok": True, **status}
+    if op == "release":
+        released = service.release(int(command["request_id"]))
+        if not released:
+            return {
+                "ok": False,
+                "error": f"request {command['request_id']} is not active",
+            }
+        return {"ok": True, "released": int(command["request_id"])}
+    if op == "stats":
+        return {"ok": True, "stats": service.stats()}
+    if op == "metrics":
+        return {"ok": True, **service.metrics()}
+    if op == "obs":
+        tracer = getattr(admission_instruments(), "tracer", None)
+        recorder = flight_recorder()
+        payload: Dict[str, Any] = {
+            "pid": os.getpid(),
+            "flight": recorder.events(limit=command.get("limit")),
+            "traces": tracer.recent() if tracer is not None else [],
+        }
+        if command.get("dump"):
+            payload["dump_path"] = recorder.maybe_dump("request")
+        return {"ok": True, "obs": payload}
+    if op == "snapshot":
+        path = service.take_snapshot()
+        if path is None:
+            return {"ok": False, "error": "durability is not enabled"}
+        return {"ok": True, "snapshot": path}
+    if op == "shutdown":
+        request_shutdown()
+        return {"ok": True, "bye": True}
+    return {"ok": False, "error": f"unknown op {op!r}"}
 
 
 class AdmissionRequestHandler(socketserver.StreamRequestHandler):
@@ -103,19 +205,13 @@ class AdmissionRequestHandler(socketserver.StreamRequestHandler):
                 response = self._dispatch(command)
             except json.JSONDecodeError as exc:
                 response = {"ok": False, "error": f"malformed JSON: {exc.msg}"}
-            except ServiceError as exc:
+            except (ServiceError, CodecError) as exc:
                 # Typed shed/degradation errors: machine-readable code plus
                 # a Retry-After hint so clients can back off sensibly.
-                response = {"ok": False, "error": str(exc)}
-                if exc.code is not None:
-                    response["code"] = exc.code
-                if exc.retry_after is not None:
-                    response["retry_after"] = exc.retry_after
-            except CodecError as exc:
-                response = {"ok": False, "error": str(exc)}
+                response = error_response(exc)
             except Exception as exc:  # never kill the connection on one bad op
                 logger.warning("rid=%d op=%s raised: %s", rid, op, exc, exc_info=True)
-                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                response = error_response(exc)
             logger.debug(
                 "rid=%d peer=%s op=%s ok=%s ticket=%s",
                 rid, self.client_address[0], op,
@@ -129,61 +225,9 @@ class AdmissionRequestHandler(socketserver.StreamRequestHandler):
 
     def _dispatch(self, command: Dict[str, Any]) -> Dict[str, Any]:
         service: AdmissionService = self.server.service  # type: ignore[attr-defined]
-        op = command.get("op")
-        # The degradation gate runs before any work: in fast-fail even
-        # reads shed (with code + retry_after), keeping ping/shutdown as
-        # the operator's lifeline.
-        if isinstance(op, str):
-            service.gate(op)
-        if op == "ping":
-            return {"ok": True, "pong": True, "state": service.degradation_state()}
-        if op == "submit":
-            ticket = service.submit(
-                command["request"],
-                priority=int(command.get("priority", 0)),
-                timeout_s=command.get("timeout_s"),
-                wait=bool(command.get("wait", True)),
-                wait_timeout=command.get("wait_timeout"),
-                idempotency_key=command.get("idem"),
-            )
-            return {"ok": True, **ticket.describe()}
-        if op == "status":
-            status = service.status(int(command["ticket"]))
-            if status is None:
-                return {"ok": False, "error": f"unknown ticket {command['ticket']}"}
-            return {"ok": True, **status}
-        if op == "release":
-            released = service.release(int(command["request_id"]))
-            if not released:
-                return {
-                    "ok": False,
-                    "error": f"request {command['request_id']} is not active",
-                }
-            return {"ok": True, "released": int(command["request_id"])}
-        if op == "stats":
-            return {"ok": True, "stats": service.stats()}
-        if op == "metrics":
-            return {"ok": True, **service.metrics()}
-        if op == "obs":
-            tracer = getattr(admission_instruments(), "tracer", None)
-            recorder = flight_recorder()
-            payload: Dict[str, Any] = {
-                "pid": os.getpid(),
-                "flight": recorder.events(limit=command.get("limit")),
-                "traces": tracer.recent() if tracer is not None else [],
-            }
-            if command.get("dump"):
-                payload["dump_path"] = recorder.maybe_dump("request")
-            return {"ok": True, "obs": payload}
-        if op == "snapshot":
-            path = service.take_snapshot()
-            if path is None:
-                return {"ok": False, "error": "durability is not enabled"}
-            return {"ok": True, "snapshot": path}
-        if op == "shutdown":
-            self.server.request_shutdown()  # type: ignore[attr-defined]
-            return {"ok": True, "bye": True}
-        return {"ok": False, "error": f"unknown op {op!r}"}
+        return dispatch_command(
+            service, command, self.server.request_shutdown  # type: ignore[attr-defined]
+        )
 
 
 class AdmissionTCPServer(socketserver.ThreadingTCPServer):
@@ -251,6 +295,52 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers", type=int, default=4, help="admission worker threads (default: 4)"
+    )
+    parser.add_argument(
+        "--frontend",
+        choices=FRONTENDS,
+        default=FRONTEND_ASYNC,
+        help="connection front end: async = single-threaded asyncio accept/"
+        "decode loop over a bounded pool; threaded = one thread per "
+        "connection (default: async)",
+    )
+    parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=8,
+        help="bounded worker pool bridging the async front end to the sync "
+        "core (async frontend only; default: 8)",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=8,
+        help="coalesce up to this many consecutive same-shape queued "
+        "requests into one admission batch sharing DP tables; 1 disables "
+        "(default: 8)",
+    )
+    parser.add_argument(
+        "--batch-linger-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="with an empty queue and a non-full batch, wait this long for "
+        "more same-shape arrivals before dispatching (default: 0)",
+    )
+    parser.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=0,
+        help="per-tenant queue bound: shed a tenant's submits with "
+        "code=over_quota beyond this many waiting; 0 disables (default: 0)",
+    )
+    parser.add_argument(
+        "--tenant-weight",
+        action="append",
+        default=None,
+        metavar="TENANT=W",
+        help="deficit-round-robin weight for one tenant (repeatable), e.g. "
+        "--tenant-weight gold=4 --tenant-weight batch=1",
     )
     parser.add_argument(
         "--journal-dir",
@@ -333,6 +423,26 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_tenant_weights(specs: Optional[List[str]]) -> Optional[Dict[str, int]]:
+    """Parse repeated ``--tenant-weight TENANT=W`` flags into a dict."""
+    if not specs:
+        return None
+    weights: Dict[str, int] = {}
+    for spec in specs:
+        tenant, sep, raw = spec.partition("=")
+        if not sep or not tenant:
+            raise SystemExit(
+                f"--tenant-weight expects TENANT=WEIGHT, got {spec!r}"
+            )
+        try:
+            weights[tenant] = int(raw)
+        except ValueError:
+            raise SystemExit(
+                f"--tenant-weight {spec!r}: weight must be an integer"
+            ) from None
+    return weights
+
+
 def _build_service(args: argparse.Namespace) -> AdmissionService:
     store: Optional[DurabilityStore] = None
     epsilon = args.epsilon
@@ -383,6 +493,7 @@ def _build_service(args: argparse.Namespace) -> AdmissionService:
     else:
         manager = NetworkManager(tree, epsilon=epsilon, allocator=allocator)
     max_queue = getattr(args, "max_queue", 1024)
+    tenant_quota = getattr(args, "tenant_quota", 0)
     service = AdmissionService(
         manager,
         store=store,
@@ -396,6 +507,10 @@ def _build_service(args: argparse.Namespace) -> AdmissionService:
             else None
         ),
         idempotency_index=recovered.idempotency_index if recovered else None,
+        batch_max=getattr(args, "batch_max", 1),
+        batch_linger_s=getattr(args, "batch_linger_ms", 0.0) / 1000.0,
+        tenant_quota=tenant_quota if tenant_quota else None,
+        tenant_weights=_parse_tenant_weights(getattr(args, "tenant_weight", None)),
     )
     # Publish the SLA bound so the empirical-outage gauges compare against
     # the epsilon this daemon actually guarantees (Eq. 1).
@@ -403,6 +518,48 @@ def _build_service(args: argparse.Namespace) -> AdmissionService:
     service.recovery_report = recovered  # type: ignore[attr-defined]
     service.effective_scale = scale_name  # type: ignore[attr-defined]
     return service
+
+
+def announce_ready(
+    service: AdmissionService, args: argparse.Namespace, host: str, port: int
+) -> None:
+    """Print the machine-readable ready line on stdout (shared by frontends).
+
+    The ready line is protocol output, not logging: it must stay the first
+    (and only) line scripts see on stdout.
+    """
+    ready = {
+        "event": "ready",
+        "host": host,
+        "port": port,
+        "pid": os.getpid(),
+        "scale": getattr(service, "effective_scale", args.scale),
+        "mode": args.mode,
+        "frontend": getattr(args, "frontend", FRONTEND_THREADED),
+        "epsilon": service.manager.epsilon,
+        "journal_dir": args.journal_dir,
+    }
+    report = getattr(service, "recovery_report", None)
+    if report is not None:
+        ready["recovered_records"] = report.replayed_records
+        ready["active_tenancies"] = service.manager.active_tenancies
+    sys.stdout.write(json.dumps(ready) + "\n")
+    sys.stdout.flush()
+
+
+def final_shutdown(service: AdmissionService) -> None:
+    """Common teardown: stop workers, checkpoint, close the journal."""
+    service.stop()
+    if service.store is not None:
+        # A clean shutdown checkpoints, so restart needs no replay.
+        service.store.write_snapshot(snapshot_payload(service.manager))
+        service.store.close()
+    logger.info("server stopped")
+
+
+def dump_flight_on_sigusr2() -> None:
+    path = flight_recorder().maybe_dump("sigusr2")
+    logger.info("flight recorder dump: %s", path or "skipped (no --journal-dir)")
 
 
 def serve_main(argv: Optional[List[str]] = None) -> int:
@@ -423,6 +580,10 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     if args.journal_dir is not None:
         # Crash/degradation/SIGUSR2 flight dumps land next to the journal.
         configure_flight_recorder(dump_dir=args.journal_dir)
+    if getattr(args, "frontend", FRONTEND_THREADED) == FRONTEND_ASYNC:
+        from repro.service.aio import run_async_server  # local: optional layer
+
+        return run_async_server(service, args)
     server = AdmissionTCPServer(
         (args.host, args.port), service, client_timeout=args.client_timeout_s
     )
@@ -433,8 +594,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         server.request_shutdown()
 
     def _dump_flight(_signum, _frame) -> None:
-        path = flight_recorder().maybe_dump("sigusr2")
-        logger.info("flight recorder dump: %s", path or "skipped (no --journal-dir)")
+        dump_flight_on_sigusr2()
 
     try:
         signal.signal(signal.SIGTERM, _terminate)
@@ -445,34 +605,12 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     except AttributeError:
         pass  # platform without SIGUSR2
 
-    ready = {
-        "event": "ready",
-        "host": host,
-        "port": port,
-        "pid": os.getpid(),
-        "scale": getattr(service, "effective_scale", args.scale),
-        "mode": args.mode,
-        "epsilon": service.manager.epsilon,
-        "journal_dir": args.journal_dir,
-    }
-    report = getattr(service, "recovery_report", None)
-    if report is not None:
-        ready["recovered_records"] = report.replayed_records
-        ready["active_tenancies"] = service.manager.active_tenancies
-    # The ready line is machine-readable protocol output, not logging: it
-    # must stay the first (and only) line scripts see on stdout.
-    sys.stdout.write(json.dumps(ready) + "\n")
-    sys.stdout.flush()
+    announce_ready(service, args, host, port)
     try:
         server.serve_forever(poll_interval=0.1)
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
-        service.stop()
-        if service.store is not None:
-            # A clean shutdown checkpoints, so restart needs no replay.
-            service.store.write_snapshot(snapshot_payload(service.manager))
-            service.store.close()
-        logger.info("server stopped")
+        final_shutdown(service)
     return 0

@@ -6,10 +6,12 @@ from repro.service.client import RetryPolicy, ServiceClient
 from repro.service.errors import (
     CODE_DEADLINE,
     CODE_OVERLOADED,
+    CODE_OVER_QUOTA,
     CODE_READ_ONLY,
     DeadlineExceededError,
     DegradedError,
     OverloadedError,
+    OverQuotaError,
     RetryExhaustedError,
     ServiceError,
     error_from_response,
@@ -152,6 +154,41 @@ class TestSubmitWithRetry:
             sleep=lambda _s: None,
         )
         assert client.keys == ["my-key", "my-key"]
+
+    def test_over_quota_shed_is_retried_honoring_retry_after(self):
+        # Regression: over-quota sheds must be retryable AND the server's
+        # retry_after hint must floor the pause — the tenant's slice only
+        # drains as the batcher works, so the base backoff is too eager.
+        client = ScriptedClient(
+            [
+                OverQuotaError("tenant at quota", retry_after=0.75),
+                OverQuotaError("tenant at quota", retry_after=0.5),
+                admitted(),
+            ]
+        )
+        sleeps = []
+        reply = client.submit_with_retry(
+            {"kind": "x"},
+            policy=RetryPolicy(base_delay=0.01, jitter=0.0),
+            tenant="noisy",
+            sleep=sleeps.append,
+        )
+        assert reply["outcome"] == "admitted"
+        assert sleeps == [0.75, 0.5]
+        assert len(set(client.keys)) == 1  # idempotent across quota retries
+
+    def test_over_quota_response_maps_to_typed_error(self):
+        exc = error_from_response(
+            "submit",
+            {
+                "ok": False,
+                "error": "tenant 'noisy' is at its queue quota",
+                "code": CODE_OVER_QUOTA,
+                "retry_after": 1.5,
+            },
+        )
+        assert isinstance(exc, OverQuotaError)
+        assert exc.retry_after == 1.5
 
     def test_retryable_outcome_error_is_retried(self):
         client = ScriptedClient(
