@@ -1,0 +1,109 @@
+"""CI gate: an in-place resize commit is bit-identical to release+re-admit.
+
+:meth:`NetworkManager.resize` mutates link state incrementally (per-link
+Eq. 6 occupancy deltas of the surviving placement).  The equivalent
+from-first-principles path is: release the tenant completely, then adopt
+the post-resize allocation onto the same placement.  Both must land on the
+**same serialized network state, byte for byte** — any drift means the
+delta math disagrees with the commit/release math the rest of the system
+is built on.
+
+The drill: admit a seeded tenant population on manager A and mirror every
+allocation onto manager B via ``adopt``.  Then churn random grow/shrink
+resizes through A; after each accepted resize, B releases that tenant and
+re-adopts A's post-resize allocation.  After every step,
+``network_state_to_dict(A) == network_state_to_dict(B)`` must hold
+exactly.  Exit code 0 only if every comparison matches.
+
+Usage (repo root)::
+
+    PYTHONPATH=src python scripts/check_resize_equivalence.py --scale tiny
+    PYTHONPATH=src python scripts/check_resize_equivalence.py --scale small --rounds 400
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.common import batch_workload, resolve_scale, simulation_rng
+from repro.manager.network_manager import (
+    RESIZE_IN_PLACE,
+    RESIZE_REPLACED,
+    NetworkManager,
+)
+from repro.service.codec import network_state_to_dict
+from repro.simulation.workload import make_request
+from repro.topology.builder import build_datacenter
+
+
+def log(message: str) -> None:
+    print(f"[check_resize_equivalence] {message}", flush=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="tiny")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--tenants", type=int, default=12)
+    parser.add_argument("--rounds", type=int, default=200)
+    args = parser.parse_args()
+
+    scale = resolve_scale(args.scale)
+    tree = build_datacenter(scale.spec)
+    live = NetworkManager(tree, epsilon=0.05)
+    mirror = NetworkManager(tree, epsilon=0.05)
+    rate_cap = tree.min_machine_uplink_capacity
+
+    ids = []
+    for spec in batch_workload(scale, args.seed):
+        if len(ids) >= args.tenants:
+            break
+        tenancy = live.request(make_request(spec, "svc", rate_cap=rate_cap))
+        if tenancy is not None:
+            ids.append(tenancy.request_id)
+            mirror.adopt(tenancy.allocation)
+    if not ids:
+        log("no tenants admitted; nothing to check")
+        return 1
+    if network_state_to_dict(live.state) != network_state_to_dict(mirror.state):
+        log("FAIL: adopt-mirrored baseline already diverges")
+        return 1
+
+    rng = simulation_rng(args.seed)
+    outcomes = {RESIZE_IN_PLACE: 0, RESIZE_REPLACED: 0, "rejected": 0}
+    for round_index in range(args.rounds):
+        request_id = ids[int(rng.integers(len(ids)))]
+        current_n = live.tenancy(request_id).n_vms
+        delta = int(rng.integers(1, 4))
+        new_n = current_n + delta if rng.random() < 0.5 else max(1, current_n - delta)
+        if new_n == current_n:
+            continue
+        result = live.resize(request_id, new_n=new_n)
+        outcomes[result.outcome] += 1
+        if result.accepted:
+            # The reference path: full release, re-admit onto the same
+            # placement the in-place commit produced.
+            mirror.release(mirror.tenancy(request_id))
+            mirror.adopt(live.tenancy(request_id).allocation)
+        if network_state_to_dict(live.state) != network_state_to_dict(mirror.state):
+            log(
+                f"FAIL at round {round_index}: in-place state diverged from "
+                f"release+re-admit after resizing tenant {request_id} "
+                f"{current_n}->{new_n} ({result.outcome})"
+            )
+            return 1
+    if outcomes[RESIZE_IN_PLACE] == 0:
+        log(f"FAIL: churn produced no in-place commits to compare {outcomes}")
+        return 1
+    log(
+        f"OK: {sum(outcomes.values())} resizes over {len(ids)} tenants "
+        f"(in_place={outcomes[RESIZE_IN_PLACE]} "
+        f"replaced={outcomes[RESIZE_REPLACED]} rejected={outcomes['rejected']}); "
+        "every commit bit-identical to release+re-admit"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,12 @@ from repro.allocation.svc_het_exact import SVCHeterogeneousExactAllocator
 from repro.allocation.svc_het_heuristic import SVCHeterogeneousAllocator
 from repro.allocation.first_fit import FirstFitAllocator
 from repro.allocation.dispatch import DispatchingAllocator, default_allocator, baseline_allocator
+from repro.allocation.resize import (
+    ResizePlan,
+    plan_in_place,
+    resized_request,
+    swap_occupancies,
+)
 
 __all__ = [
     "Allocation",
@@ -55,4 +61,8 @@ __all__ = [
     "DispatchingAllocator",
     "default_allocator",
     "baseline_allocator",
+    "ResizePlan",
+    "plan_in_place",
+    "resized_request",
+    "swap_occupancies",
 ]

@@ -144,6 +144,38 @@ class Allocator(abc.ABC):
         """Whether this algorithm can handle the given request type."""
         return True
 
+    def resize_link_demands(
+        self,
+        state: NetworkState,
+        new_request: VirtualClusterRequest,
+        host_node: int,
+        machine_counts: Dict[int, int],
+        machine_vms: Optional[Dict[int, Tuple[int, ...]]] = None,
+    ) -> Dict[int, Normal]:
+        """Recompute a placement's per-link demand for a resized request.
+
+        The in-place resize planner (:mod:`repro.allocation.resize`) keeps a
+        tenant's placement and asks the allocator that understands the
+        request kind for the new Eq. 6 footprint over that placement.
+        Allocators that cannot answer leave this default, which refuses.
+        """
+        raise TypeError(
+            f"{self.name} cannot recompute link demands for a "
+            f"{type(new_request).__name__}"
+        )
+
+    def occupancy_delta(
+        self, state: NetworkState, old_allocation: Allocation, new_allocation: Allocation
+    ) -> Dict[int, float]:
+        """Per-link Eq. 6 occupancy if ``old`` were swapped for ``new``.
+
+        A read-only probe over the links either footprint touches; the
+        in-place resize commits only when every value stays below 1 (Eq. 4).
+        """
+        from repro.allocation.resize import swap_occupancies
+
+        return swap_occupancies(state, old_allocation, new_allocation)
+
     def batch_context(self) -> "BatchContext":
         """A context for a run of *sequential* allocate calls that may share
         work between them (the service's admission batcher drives one batch

@@ -73,6 +73,24 @@ class DispatchingAllocator(Allocator):
             f"(registered: {[a.name for a in self._allocators]})"
         )
 
+    def resize_link_demands(
+        self,
+        state: NetworkState,
+        new_request: VirtualClusterRequest,
+        host_node: int,
+        machine_counts,
+        machine_vms=None,
+    ):
+        for allocator in self._allocators:
+            if allocator.supports(new_request):
+                return allocator.resize_link_demands(
+                    state, new_request, host_node, machine_counts, machine_vms
+                )
+        raise TypeError(
+            f"no registered allocator supports {type(new_request).__name__} "
+            f"(registered: {[a.name for a in self._allocators]})"
+        )
+
     def batch_context(self) -> "BatchContext":
         return _DispatchingBatch(self)
 

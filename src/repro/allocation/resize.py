@@ -1,0 +1,214 @@
+"""Elastic resize planning: in-place feasibility for a resized tenancy.
+
+The paper's admission model is placement-once, but tenants grow and shrink.
+This module plans an **in-place** resize — reuse the tenant's existing
+placement, recompute the per-link Eq. 6 occupancy with the new
+``(N, mu, sigma)`` via :mod:`repro.allocation.demand_model`, and accept only
+if every touched link stays strictly feasible (Eq. 4, ``O_L < 1``):
+
+* *grow* adds the new VMs to the tenant's current machines first (then to
+  other machines under the same hosting subtree), so locality is preserved
+  and no existing VM migrates;
+* *shrink* releases the highest-index VMs, exactly inverting the VM
+  numbering of :func:`repro.allocation.base.expand_vm_placement`.
+
+When no in-place plan exists (``plan_in_place`` returns None) the caller
+falls back to an atomic release + re-admit through the allocator — see
+:meth:`repro.manager.network_manager.NetworkManager.resize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.abstractions.requests import (
+    DeterministicVC,
+    HeterogeneousSVC,
+    HomogeneousSVC,
+    VirtualClusterRequest,
+)
+from repro.allocation.base import Allocation, Allocator, expand_vm_placement
+from repro.network.link_state import NetworkState
+from repro.stochastic.normal import Normal
+
+_FEASIBLE_LIMIT = 1.0  # validity is the strict inequality O_L < 1 (Eq. 4)
+
+
+def resized_request(
+    request: VirtualClusterRequest,
+    new_n: Optional[int] = None,
+    new_mu: Optional[float] = None,
+    new_sigma: Optional[float] = None,
+) -> VirtualClusterRequest:
+    """The request a tenant becomes after a resize; kind is preserved.
+
+    ``new_mu`` maps onto the per-VM bandwidth for :class:`DeterministicVC`
+    and the per-VM demand mean for the stochastic kinds.  For
+    :class:`HeterogeneousSVC` a shrink truncates the highest VM indices and
+    a grow appends VMs whose demand defaults to the last VM's; when the VM
+    count is unchanged, ``new_mu``/``new_sigma`` override every VM's moment.
+    Validation happens in the request dataclasses themselves.
+    """
+    if new_n is None and new_mu is None and new_sigma is None:
+        raise ValueError("resize needs at least one of new_n, new_mu, new_sigma")
+    if isinstance(request, DeterministicVC):
+        if new_sigma is not None and new_sigma != 0.0:
+            raise ValueError("deterministic requests carry no sigma to resize")
+        return DeterministicVC(
+            n_vms=request.n_vms if new_n is None else int(new_n),
+            bandwidth=request.bandwidth if new_mu is None else float(new_mu),
+        )
+    if isinstance(request, HomogeneousSVC):
+        return HomogeneousSVC(
+            n_vms=request.n_vms if new_n is None else int(new_n),
+            mean=request.mean if new_mu is None else float(new_mu),
+            std=request.std if new_sigma is None else float(new_sigma),
+        )
+    if isinstance(request, HeterogeneousSVC):
+        n = request.n_vms if new_n is None else int(new_n)
+        if n < 1:
+            raise ValueError(f"resize target must keep at least one VM, got {n}")
+        demands = list(request.demands[:n])
+        if n <= request.n_vms and (new_mu is not None or new_sigma is not None):
+            demands = [
+                Normal(
+                    d.mean if new_mu is None else float(new_mu),
+                    d.std if new_sigma is None else float(new_sigma),
+                )
+                for d in demands
+            ]
+        template = demands[-1]
+        while len(demands) < n:
+            demands.append(
+                Normal(
+                    template.mean if new_mu is None else float(new_mu),
+                    template.std if new_sigma is None else float(new_sigma),
+                )
+            )
+        return HeterogeneousSVC(n_vms=n, demands=tuple(demands))
+    raise TypeError(f"cannot resize a {type(request).__name__}")
+
+
+def swap_occupancies(
+    state: NetworkState, old_allocation: Allocation, new_allocation: Allocation
+) -> Dict[int, float]:
+    """Eq. 6 occupancy of every touched link if old were swapped for new.
+
+    Probes :meth:`LinkState.occupancy_with` with the *delta* between the new
+    and old footprints — the resident old footprint is still committed, so
+    the delta form asks exactly "what would ``O_L`` be after the swap"
+    without mutating anything.
+    """
+    deterministic = old_allocation.deterministic
+    occupancies: Dict[int, float] = {}
+    touched = set(old_allocation.link_demands) | set(new_allocation.link_demands)
+    for link_id in touched:
+        link_state = state.links[link_id]
+        old_demand = old_allocation.link_demands.get(link_id)
+        new_demand = new_allocation.link_demands.get(link_id)
+        old_mean = old_demand.mean if old_demand is not None else 0.0
+        old_var = old_demand.variance if old_demand is not None else 0.0
+        new_mean = new_demand.mean if new_demand is not None else 0.0
+        new_var = new_demand.variance if new_demand is not None else 0.0
+        if deterministic:
+            occupancies[link_id] = link_state.occupancy_with(
+                state.risk_c, extra_deterministic=new_mean - old_mean
+            )
+        else:
+            occupancies[link_id] = link_state.occupancy_with(
+                state.risk_c,
+                extra_mean=new_mean - old_mean,
+                extra_var=new_var - old_var,
+            )
+    return occupancies
+
+
+@dataclass(frozen=True)
+class ResizePlan:
+    """A feasible in-place resize: the new allocation + its occupancy probe."""
+
+    allocation: Allocation
+    occupancy_after: Dict[int, float]
+
+
+def plan_in_place(
+    state: NetworkState,
+    allocator: Allocator,
+    old_allocation: Allocation,
+    new_request: VirtualClusterRequest,
+) -> Optional[ResizePlan]:
+    """Plan a resize on the tenant's current placement, or None.
+
+    None means either the grow does not fit under the current hosting
+    subtree or a touched link would violate Eq. 4 — the caller falls back
+    to release + re-admit.  The returned allocation keeps the tenant's
+    request id and host node; only counts/identities and link demands move.
+    """
+    old = old_allocation
+    n_old = old.request.n_vms
+    n_new = new_request.n_vms
+    heterogeneous = old.machine_vms is not None
+
+    machine_vms: Optional[Dict[int, tuple]] = None
+    if n_new == n_old:
+        machine_counts = dict(old.machine_counts)
+        if heterogeneous:
+            machine_vms = {m: tuple(v) for m, v in old.machine_vms.items()}
+    elif n_new < n_old:
+        if heterogeneous:
+            machine_vms = {}
+            for machine_id, vms in old.machine_vms.items():
+                kept = tuple(vm for vm in vms if vm < n_new)
+                if kept:
+                    machine_vms[machine_id] = kept
+            machine_counts = {m: len(v) for m, v in machine_vms.items()}
+        else:
+            placement = expand_vm_placement(old)
+            machine_counts = {}
+            for machine_id in placement[:n_new]:
+                machine_counts[machine_id] = machine_counts.get(machine_id, 0) + 1
+    else:
+        machine_counts = dict(old.machine_counts)
+        if heterogeneous:
+            machine_vms = {m: tuple(v) for m, v in old.machine_vms.items()}
+        remaining = n_new - n_old
+        next_vm = n_old
+        current = sorted(machine_counts)
+        others = [
+            machine_id
+            for machine_id in state.tree.machines_under(old.host_node)
+            if machine_id not in machine_counts
+        ]
+        for machine_id in current + sorted(others):
+            if remaining == 0:
+                break
+            take = min(state.free_slots(machine_id), remaining)
+            if take <= 0:
+                continue
+            machine_counts[machine_id] = machine_counts.get(machine_id, 0) + take
+            if machine_vms is not None:
+                machine_vms[machine_id] = machine_vms.get(machine_id, ()) + tuple(
+                    range(next_vm, next_vm + take)
+                )
+                next_vm += take
+            remaining -= take
+        if remaining:
+            return None  # the grow does not fit under the current host subtree
+
+    link_demands = allocator.resize_link_demands(
+        state, new_request, old.host_node, machine_counts, machine_vms
+    )
+    allocation = Allocation(
+        request=new_request,
+        request_id=old.request_id,
+        host_node=old.host_node,
+        machine_counts=machine_counts,
+        link_demands=link_demands,
+        machine_vms=machine_vms,
+    )
+    occupancy_after = swap_occupancies(state, old, allocation)
+    if any(occ >= _FEASIBLE_LIMIT for occ in occupancy_after.values()):
+        return None
+    allocation.max_occupancy = max(occupancy_after.values(), default=0.0)
+    return ResizePlan(allocation=allocation, occupancy_after=occupancy_after)

@@ -192,6 +192,46 @@ class SVCHeterogeneousAllocator(Allocator):
     def supports(self, request: VirtualClusterRequest) -> bool:
         return isinstance(request, HeterogeneousSVC)
 
+    def resize_link_demands(
+        self,
+        state: NetworkState,
+        new_request: VirtualClusterRequest,
+        host_node: int,
+        machine_counts,
+        machine_vms=None,
+    ) -> Dict[int, Normal]:
+        """Occupancy-delta query: the resized footprint on a fixed placement.
+
+        Heterogeneous VMs are *not* interchangeable, so the per-link demand
+        is the exact Lemma-1 subset demand (Section V-A ground truth) of the
+        VM identities each link separates from the rest — computed from the
+        placement's ``machine_vms`` accumulated up to the host node.
+        """
+        if not isinstance(new_request, HeterogeneousSVC):
+            raise TypeError(f"{self.name} cannot resize a {type(new_request).__name__}")
+        if machine_vms is None:
+            raise ValueError("heterogeneous resize needs per-machine VM identities")
+        from repro.allocation.demand_model import subset_split_demand
+
+        tree = state.tree
+        below: Dict[int, List[int]] = {}
+        for machine_id, vms in machine_vms.items():
+            node_id = machine_id
+            while node_id != host_node:
+                below.setdefault(node_id, []).extend(vms)
+                parent = tree.node(node_id).parent
+                if parent is None:
+                    raise ValueError(
+                        f"machine {machine_id} is not under host node {host_node}"
+                    )
+                node_id = parent
+        n = new_request.n_vms
+        demands: Dict[int, Normal] = {}
+        for node_id, subset in below.items():
+            if 0 < len(subset) < n:
+                demands[node_id] = subset_split_demand(new_request, subset)
+        return demands
+
     def allocate(
         self, state: NetworkState, request: VirtualClusterRequest, request_id: int
     ) -> Optional[Allocation]:

@@ -595,6 +595,31 @@ class _HomogeneousTreeSearch(Allocator):
             raise RuntimeError(f"backtracking left {remaining} VMs unassigned at {node_id}")
 
     # ------------------------------------------------------------------
+    # Elastic resize support
+    # ------------------------------------------------------------------
+
+    def resize_link_demands(
+        self,
+        state: NetworkState,
+        new_request: VirtualClusterRequest,
+        host_node: int,
+        machine_counts,
+        machine_vms=None,
+    ):
+        """Occupancy-delta query: the resized footprint on a fixed placement.
+
+        Homogeneous VMs are interchangeable, so the new per-link demand is
+        just the Lemma-1 split moments of the *new* request looked up at the
+        placement's unchanged per-link VM counts.
+        """
+        if not self.supports(new_request):
+            raise TypeError(f"{self.name} cannot resize a {type(new_request).__name__}")
+        split_mean, split_var = homogeneous_split_moments(new_request)
+        return link_demands_from_counts(
+            state.tree, host_node, machine_counts, split_mean, split_var
+        )
+
+    # ------------------------------------------------------------------
     # Batch admission
     # ------------------------------------------------------------------
 

@@ -35,7 +35,6 @@ Request lifecycle:
 
 from __future__ import annotations
 
-import dataclasses
 import logging
 import os
 import threading
@@ -55,15 +54,23 @@ from repro.cluster.ledger import CoreDemand, CoreLinkLedger, core_demands_of
 from repro.cluster.partition import ClusterPartition
 from repro.cluster.rebalance import ShardLoadRebalancer
 from repro.cluster.shard import ShardHandle
+from repro.allocation.resize import plan_in_place, resized_request
 from repro.faults.failpoints import (
     FAILPOINTS,
     FP_COORD_AFTER_COMMIT,
     FP_COORD_AFTER_RESERVE,
     FP_COORD_BEFORE_COMMIT,
     FP_COORD_BEFORE_WAL,
+    FP_COORD_RESIZE_AFTER_WAL,
+    FP_COORD_RESIZE_BEFORE_WAL,
     InjectedCrash,
 )
-from repro.manager.network_manager import NetworkManager
+from repro.manager.network_manager import (
+    RESIZE_IN_PLACE,
+    RESIZE_REJECTED,
+    RESIZE_REPLACED,
+    NetworkManager,
+)
 from repro.obs.federation import federation_meta, merge_snapshots
 from repro.obs.flightrec import flight_recorder
 from repro.obs.instruments import cluster_instruments, global_registry
@@ -88,6 +95,8 @@ OP_XINTENT = "xintent"    # two-phase round: reserved + fragments chosen
 OP_XCOMMIT = "xcommit"    # two-phase round: all fragments adopted
 OP_XABORT = "xabort"      # two-phase round: rolled back
 OP_RELEASE = "release"    # tenant departure completed
+OP_RSINTENT = "rsintent"  # resize routed to the owning shard, awaiting its ack
+OP_RSDONE = "rsdone"      # resize decided (accepted records carry the new size)
 
 ROUTE_LOCAL = "local"
 ROUTE_CROSS = "cross_shard"
@@ -156,6 +165,16 @@ class ClusterCoordinator:
         self._shard_stats: Dict[int, Dict[str, Any]] = {}
         self.admitted_count = 0
         self.rejected_count = 0
+        #: Per-outcome resize tallies — separate from the admission
+        #: counters, same discipline as ``NetworkManager.resize_counts``.
+        self.resize_counts: Dict[str, int] = {
+            RESIZE_IN_PLACE: 0,
+            RESIZE_REPLACED: 0,
+            RESIZE_REJECTED: 0,
+        }
+        #: Monotonic resize round counter (restored from the WAL) so every
+        #: round hands its shard a fresh idempotency key.
+        self._resize_seq = 0
         self._wal: Optional[Journal] = None
         if directory is not None:
             directory = Path(directory)
@@ -235,6 +254,7 @@ class ClusterCoordinator:
                 "admitted_total": self.admitted_count,
                 "rejected_total": self.rejected_count,
                 "active_tenancies": len(self._gid_map),
+                "resizes": dict(self.resize_counts),
                 "pending_reservations": self.ledger.pending_reservations,
                 "core_occupancy": self.ledger.occupancies(),
                 "replica_max_occupancy": self.replica.max_occupancy(),
@@ -947,6 +967,298 @@ class ClusterCoordinator:
         return True
 
     # ------------------------------------------------------------------
+    # Resize
+    # ------------------------------------------------------------------
+
+    def resize(
+        self,
+        gid: int,
+        new_n: Optional[int] = None,
+        new_mu: Optional[float] = None,
+        new_sigma: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Resize one admitted tenant at its owning shard.
+
+        Single-fragment tenancies route to their shard, whose serialized
+        resize path revalidates Eq. (6) on every link it owns.  Grows that
+        would add effective bandwidth to the shared core links first pass a
+        two-phase **delta reservation** on the ledger (estimated from an
+        in-place plan on the replica), so a concurrent cross-shard round
+        cannot race the grown footprint past ``O_L = 1``; the reservation
+        is dropped once the ledger's committed entry is swapped to the
+        post-resize footprint (or on any failure).  Cross-shard tenancies
+        are rejected — shrinking or growing a placement that spans shards
+        would need a cross-shard re-plan, not a resize.
+
+        Raises :class:`CoordinatorError` when the outcome is unknown (the
+        shard acked nothing durable); a retry with the same
+        ``idempotency_key`` converges on the journaled decision.
+        """
+        started = self.clock()
+        if idempotency_key is not None:
+            with self._lock:
+                known = self._idem.get(idempotency_key)
+                if known is not None:
+                    return dict(known, deduped=True)
+                if idempotency_key in self._inflight:
+                    raise CoordinatorError(
+                        f"key {idempotency_key!r} already has a decision in "
+                        "flight; retry after it resolves"
+                    )
+                self._inflight.add(idempotency_key)
+        try:
+            return self._resize(
+                gid, new_n, new_mu, new_sigma, idempotency_key, started
+            )
+        finally:
+            if idempotency_key is not None:
+                with self._lock:
+                    self._inflight.discard(idempotency_key)
+
+    def _resize(
+        self,
+        gid: int,
+        new_n: Optional[int],
+        new_mu: Optional[float],
+        new_sigma: Optional[float],
+        idempotency_key: Optional[str],
+        started: float,
+    ) -> Dict[str, Any]:
+        reserve_id = -gid  # synthetic ledger id for the delta hold
+        with self._lock:
+            for _expired in self.ledger.expire():
+                self._obs.reservation("expire")
+            entry = self._gid_map.get(gid)
+            if entry is None:
+                return {
+                    "outcome": "unknown",
+                    "request_id": gid,
+                    "detail": f"no active tenancy with id {gid}",
+                }
+            if len(entry) > 1:
+                return self._resize_rejected(
+                    gid,
+                    "tenancy spans multiple shards; resize requires a "
+                    "single-shard placement",
+                    idempotency_key,
+                    started,
+                )
+            ((shard_index, srid),) = entry.items()
+            tenancy = self.replica.get_tenancy(gid)
+            if tenancy is None:
+                raise CoordinatorError(
+                    f"gid {gid} mapped to shard {shard_index} but absent "
+                    "from the replica"
+                )
+            old_allocation = tenancy.allocation
+            try:
+                new_request = resized_request(
+                    old_allocation.request,
+                    new_n=new_n,
+                    new_mu=new_mu,
+                    new_sigma=new_sigma,
+                )
+            except ValueError as exc:
+                return self._resize_rejected(
+                    gid, str(exc), idempotency_key, started
+                )
+            # Two-phase delta: estimate the post-resize core footprint from
+            # an in-place plan on the replica and reserve the positive
+            # component deltas before asking the shard.  The estimate only
+            # guards capacity — the committed footprint is reconciled from
+            # the shard's actual post-resize allocation afterwards.
+            delta = self._core_delta(old_allocation, new_request)
+            if delta:
+                reserved = self.ledger.reserve(reserve_id, delta)
+                if not reserved:
+                    self._obs.reservation("reserve_denied")
+                    self._flight("reservation_denied", gid=gid, resize=True)
+                    return self._resize_rejected(
+                        gid,
+                        "core links at capacity (resize delta denied)",
+                        idempotency_key,
+                        started,
+                    )
+                self._obs.reservation("reserve")
+            self._resize_seq += 1
+            rseq = self._resize_seq
+            skey = f"rs-{gid}-{rseq}"
+            FAILPOINTS.hit(FP_COORD_RESIZE_BEFORE_WAL)
+            if self._wal is not None:
+                try:
+                    self._wal.append(
+                        OP_RSINTENT,
+                        gid=gid,
+                        shard=shard_index,
+                        srid=srid,
+                        skey=skey,
+                        rseq=rseq,
+                        idem=idempotency_key,
+                    )
+                except InjectedCrash:
+                    raise
+                except Exception as exc:
+                    self.ledger.abort(reserve_id)
+                    self._flight(
+                        "wal_error", op=OP_RSINTENT, gid=gid, error=str(exc)
+                    )
+                    raise CoordinatorError(
+                        f"resize intent not journaled ({type(exc).__name__})"
+                    ) from exc
+        try:
+            decision = self.shards[shard_index].resize(
+                srid,
+                new_n=new_n,
+                new_mu=new_mu,
+                new_sigma=new_sigma,
+                idempotency_key=skey,
+            )
+        except ServiceError as exc:
+            with self._lock:
+                self.ledger.abort(reserve_id)
+                self._obs.reservation("abort")
+            raise CoordinatorError(
+                f"resize of gid {gid} did not conclude at shard "
+                f"{shard_index}: {exc}"
+            ) from exc
+        outcome = decision.get("outcome")
+        with self._lock:
+            self.ledger.abort(reserve_id)
+            if outcome not in (RESIZE_IN_PLACE, RESIZE_REPLACED):
+                if outcome != RESIZE_REJECTED:
+                    raise CoordinatorError(
+                        f"shard {shard_index} returned resize outcome "
+                        f"{outcome!r} for gid {gid}"
+                    )
+                return self._resize_rejected(
+                    gid, decision.get("detail"), idempotency_key, started
+                )
+            local_allocation = decision.get("allocation")
+            if local_allocation is None:
+                # The shard deduplicated the key onto an earlier round; its
+                # live tenancy is the post-resize truth.
+                local_allocation = self._shard_active(shard_index).get(srid)
+                if local_allocation is None:
+                    raise CoordinatorError(
+                        f"shard {shard_index} acked resize of srid {srid} "
+                        "without an allocation"
+                    )
+            view = self.shards[shard_index].view
+            global_allocation = view.allocation_to_global(
+                local_allocation, request_id=gid
+            )
+            if self._wal is not None:
+                try:
+                    self._wal.append(
+                        OP_RSDONE,
+                        gid=gid,
+                        shard=shard_index,
+                        srid=srid,
+                        outcome=outcome,
+                        idem=idempotency_key,
+                        allocation=allocation_to_dict(global_allocation),
+                    )
+                except InjectedCrash:
+                    raise
+                except Exception as exc:
+                    # Roll forward: the shard has already committed the new
+                    # size and its journal is authoritative — recovery's
+                    # shard reconciliation re-derives the post-resize
+                    # allocation without this record.
+                    self._flight(
+                        "wal_error", op=OP_RSDONE, gid=gid, error=str(exc)
+                    )
+                    logger.warning("gid=%d: resize not journaled: %s", gid, exc)
+            FAILPOINTS.hit(FP_COORD_RESIZE_AFTER_WAL)
+            old_tenancy = self.replica.get_tenancy(gid)
+            if old_tenancy is not None:
+                self.replica.release(old_tenancy)
+            self.replica.adopt(global_allocation)
+            self.ledger.release(gid)
+            core = core_demands_of(global_allocation, self.partition.core_link_ids)
+            if core:
+                self.ledger.commit_direct(gid, core)
+                self._obs.reservation("mirror")
+            self.resize_counts[outcome] += 1
+            payload = self._decision(
+                gid, outcome, decision.get("detail"), ROUTE_LOCAL
+            )
+            self._remember(idempotency_key, payload)
+            self._obs.observe_latency("resize", self.clock() - started)
+            self._flight(
+                "cluster_resize", gid=gid, outcome=outcome, shard=shard_index,
+            )
+            return payload
+
+    def _resize_rejected(
+        self,
+        gid: int,
+        detail: Optional[str],
+        idempotency_key: Optional[str],
+        started: float,
+    ) -> Dict[str, Any]:
+        """Settle a rejected resize: journal, tally, remember. Lock held."""
+        if self._wal is not None:
+            try:
+                self._wal.append(
+                    OP_RSDONE, gid=gid, outcome=RESIZE_REJECTED,
+                    idem=idempotency_key,
+                )
+            except InjectedCrash:
+                raise
+            except Exception as exc:
+                # Roll forward: the old allocation stands either way; a
+                # post-crash retry re-runs the (deterministic) decision.
+                logger.warning(
+                    "gid=%d: resize reject not journaled: %s", gid, exc
+                )
+        self.resize_counts[RESIZE_REJECTED] += 1
+        payload = self._decision(gid, RESIZE_REJECTED, detail, ROUTE_LOCAL)
+        self._remember(idempotency_key, payload)
+        self._obs.observe_latency("resize", self.clock() - started)
+        self._flight(
+            "cluster_resize", gid=gid, outcome=RESIZE_REJECTED, detail=detail,
+        )
+        return payload
+
+    def _core_delta(
+        self, old_allocation: Allocation, new_request
+    ) -> Dict[int, CoreDemand]:
+        """Positive core-link demand delta of an in-place resize estimate.
+
+        Returns ``{}`` when no in-place plan exists on the replica (the
+        shard may still accept via its fallback path — its own links are
+        revalidated there; only the *extra* core headroom cannot be held in
+        advance, which matches what the local-admit path risks today).
+        """
+        try:
+            plan = plan_in_place(
+                self.replica.state,
+                self.replica.allocator,
+                old_allocation,
+                new_request,
+            )
+        except Exception:  # noqa: BLE001 — an estimate must never block
+            plan = None
+        if plan is None:
+            return {}
+        core_ids = self.partition.core_link_ids
+        new_core = core_demands_of(plan.allocation, core_ids)
+        old_core = core_demands_of(old_allocation, core_ids)
+        delta: Dict[int, CoreDemand] = {}
+        for link_id, new_demand in new_core.items():
+            old_demand = old_core.get(link_id, CoreDemand())
+            mean = max(0.0, new_demand.mean - old_demand.mean)
+            variance = max(0.0, new_demand.variance - old_demand.variance)
+            det = max(0.0, new_demand.deterministic - old_demand.deterministic)
+            if mean > 0.0 or variance > 0.0 or det > 0.0:
+                delta[link_id] = CoreDemand(
+                    mean=mean, variance=variance, deterministic=det
+                )
+        return delta
+
+    # ------------------------------------------------------------------
     # Shutdown
     # ------------------------------------------------------------------
 
@@ -987,6 +1299,7 @@ class ClusterCoordinator:
         assert self._wal is not None
         open_rintents: Dict[int, Dict[str, Any]] = {}
         open_xintents: Dict[int, Dict[str, Any]] = {}
+        open_resizes: Dict[int, Dict[str, Any]] = {}
         closed_xintents: List[Dict[str, Any]] = []
         # gid -> (fragments {shard: srid}, global Allocation): the WAL's
         # view of what is admitted, before shard reconciliation.
@@ -1053,11 +1366,28 @@ class ClusterCoordinator:
                     closed_xintents.append(intent)
             elif op == OP_RELEASE:
                 entry = recovered.pop(gid, None)
+                open_resizes.pop(gid, None)
                 if entry is None:
                     continue
                 for shard_index, srid in entry[0].items():
                     srid_to_gid.pop((shard_index, srid), None)
                     released_srids.add((shard_index, srid))
+            elif op == OP_RSINTENT:
+                self._resize_seq = max(self._resize_seq, int(record.get("rseq", 0)))
+                open_resizes[gid] = record
+            elif op == OP_RSDONE:
+                open_resizes.pop(gid, None)
+                outcome = str(record.get("outcome", RESIZE_REJECTED))
+                key = record.get("idem")
+                if key is not None:
+                    self._idem[key] = self._decision(gid, outcome, None)
+                if outcome in self.resize_counts and not record.get("reconciled"):
+                    self.resize_counts[outcome] += 1
+                if "allocation" in record and gid in recovered:
+                    srids, _stale = recovered[gid]
+                    recovered[gid] = (
+                        srids, allocation_from_dict(record["allocation"])
+                    )
             # Unknown ops are skipped (forward compatibility).
         self._next_gid = max(self._next_gid, max_gid + 1)
 
@@ -1116,7 +1446,12 @@ class ClusterCoordinator:
         # whose WAL record was lost in a roll-forward): a gid with ANY
         # fragment gone from its shard was being released — shards are the
         # source of truth, so drop it and release the remaining fragments.
-        active_by_shard = self._active_srids()
+        live_by_shard: Dict[int, Dict[int, Allocation]] = {
+            shard.index: self._shard_active(shard.index) for shard in self.shards
+        }
+        active_by_shard = {
+            shard_index: set(active) for shard_index, active in live_by_shard.items()
+        }
         for gid in sorted(list(recovered)):
             fragments = recovered[gid][0]
             if all(
@@ -1137,6 +1472,75 @@ class ClusterCoordinator:
                 srid_to_gid.pop((shard_index, srid), None)
             recovered.pop(gid, None)
             self._wal.append(OP_RELEASE, gid=gid)
+
+        # Resolve in-flight resizes against the owning shard's journal: an
+        # intent without a done record means the crash hit between the two
+        # appends — the shard either never saw the round (nothing changed)
+        # or committed it (its journal is authoritative for the new size).
+        for gid, record in sorted(open_resizes.items()):
+            if gid not in recovered:
+                continue
+            shard_index = int(record["shard"])
+            srid = int(record["srid"])
+            skey = record.get("skey")
+            key = record.get("idem")
+            found = self._shard_idem(shard_index, skey) if skey else None
+            if found is None:
+                continue  # never reached the shard; a retry starts fresh
+            outcome = found.get("outcome")
+            if outcome in (RESIZE_IN_PLACE, RESIZE_REPLACED):
+                live = live_by_shard.get(shard_index, {}).get(srid)
+                if live is None:
+                    continue  # the release pass already settled this gid
+                view = self.shards[shard_index].view
+                live_global = view.allocation_to_global(live, request_id=gid)
+                self._wal.append(
+                    OP_RSDONE,
+                    gid=gid,
+                    shard=shard_index,
+                    srid=srid,
+                    outcome=outcome,
+                    idem=key,
+                    allocation=allocation_to_dict(live_global),
+                )
+                srids = recovered[gid][0]
+                recovered[gid] = (srids, live_global)
+                if key is not None:
+                    self._idem[key] = self._decision(gid, outcome, None)
+                self.resize_counts[outcome] += 1
+            elif outcome == RESIZE_REJECTED:
+                self._wal.append(
+                    OP_RSDONE, gid=gid, outcome=RESIZE_REJECTED, idem=key
+                )
+                if key is not None:
+                    self._idem[key] = self._decision(gid, RESIZE_REJECTED, None)
+                self.resize_counts[RESIZE_REJECTED] += 1
+
+        # Shard-authoritative size reconciliation: whatever the WAL believes
+        # a single-fragment tenant's allocation is, the shard's live tenancy
+        # wins (a resize whose done record was rolled forward past a WAL
+        # failure is re-derived here — no tenant stays half-sized).
+        for gid in sorted(recovered):
+            srids, allocation = recovered[gid]
+            if len(srids) != 1:
+                continue
+            ((shard_index, srid),) = srids.items()
+            live = live_by_shard.get(shard_index, {}).get(srid)
+            if live is None:
+                continue
+            view = self.shards[shard_index].view
+            live_global = view.allocation_to_global(live, request_id=gid)
+            if self._footprint(live_global) != self._footprint(allocation):
+                self._wal.append(
+                    OP_RSDONE,
+                    gid=gid,
+                    shard=shard_index,
+                    srid=srid,
+                    outcome=RESIZE_IN_PLACE,
+                    reconciled=True,
+                    allocation=allocation_to_dict(live_global),
+                )
+                recovered[gid] = (srids, live_global)
 
         # Orphan sweep: shard tenancies the coordinator WAL never linked
         # (crash between shard ack and the radmit append).  Re-attach them
@@ -1187,6 +1591,18 @@ class ClusterCoordinator:
             for shard_index, srid in srids.items():
                 self._srid_map[(shard_index, srid)] = gid
 
+    @staticmethod
+    def _footprint(allocation: Allocation) -> Dict[str, Any]:
+        """An allocation's capacity footprint, for shard reconciliation.
+
+        ``host_node`` is excluded: a spilled tenant's fragment is rebuilt
+        with the shard root as its host while the WAL keeps the replica's
+        deeper pick — same links, same machines, not a size divergence.
+        """
+        payload = allocation_to_dict(allocation)
+        payload.pop("host_node", None)
+        return payload
+
     def _presume_abort(self, intent: Dict[str, Any], journal_abort: bool) -> None:
         """Release any adopted fragments of a round that never committed."""
         gid = int(intent["gid"])
@@ -1223,12 +1639,6 @@ class ClusterCoordinator:
             return self.shards[shard_index].active_allocations()
         except ServiceError:
             return {}
-
-    def _active_srids(self) -> Dict[int, set]:
-        return {
-            shard.index: set(self._shard_active(shard.index))
-            for shard in self.shards
-        }
 
     # ------------------------------------------------------------------
 

@@ -67,6 +67,18 @@ class ShardHandle:
     def release(self, request_id: int) -> bool:
         raise NotImplementedError
 
+    def resize(
+        self,
+        request_id: int,
+        new_n: Optional[int] = None,
+        new_mu: Optional[float] = None,
+        new_sigma: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Resize a shard-local tenancy; the decision carries the
+        post-resize shard-local allocation for accepted outcomes."""
+        raise NotImplementedError
+
     def stats(self) -> Dict[str, Any]:
         raise NotImplementedError
 
@@ -194,6 +206,30 @@ class LocalShard(ShardHandle):
     def release(self, request_id: int) -> bool:
         return self.service.release(request_id)
 
+    def resize(
+        self,
+        request_id: int,
+        new_n: Optional[int] = None,
+        new_mu: Optional[float] = None,
+        new_sigma: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        decision = dict(
+            self.service.resize(
+                request_id,
+                new_n=new_n,
+                new_mu=new_mu,
+                new_sigma=new_sigma,
+                idempotency_key=idempotency_key,
+            )
+        )
+        decision.setdefault("allocation", None)
+        if decision.get("outcome") in ("in_place", "replaced"):
+            tenancy = self.manager.get_tenancy(request_id)
+            if tenancy is not None:
+                decision["allocation"] = tenancy.allocation
+        return decision
+
     def stats(self) -> Dict[str, Any]:
         manager = self.manager
         ready, parked = self.service.queue_depths()
@@ -233,15 +269,24 @@ class LocalShard(ShardHandle):
             return None
         request_id = known.get("request_id")
         allocation = None
-        if known.get("outcome") == "admitted" and request_id is not None:
+        # Accepted resizes attach the tenancy's *current* allocation the
+        # same way admissions do — the coordinator's recovery treats the
+        # shard as authoritative for post-resize sizes.
+        if (
+            known.get("outcome") in ("admitted", "in_place", "replaced")
+            and request_id is not None
+        ):
             tenancy = self.manager.get_tenancy(int(request_id))
             if tenancy is not None:
                 allocation = tenancy.allocation
-        return {
+        found = {
             "outcome": known.get("outcome"),
             "request_id": request_id,
             "allocation": allocation,
         }
+        if known.get("resize"):
+            found["resize"] = True
+        return found
 
     def active_allocations(self) -> Dict[int, Allocation]:
         return {

@@ -134,6 +134,15 @@ def _shard_child_main(
                     reply = {"ok": True, "result": shard.obs_dump()}
                 elif op == "release":
                     reply = {"ok": True, "result": shard.release(message["request_id"])}
+                elif op == "resize":
+                    decision = shard.resize(
+                        message["request_id"],
+                        new_n=message.get("new_n"),
+                        new_mu=message.get("new_mu"),
+                        new_sigma=message.get("new_sigma"),
+                        idempotency_key=message.get("idem"),
+                    )
+                    reply = {"ok": True, "result": _decision_to_wire(decision)}
                 elif op == "stats":
                     reply = {"ok": True, "result": shard.stats()}
                 elif op == "idem":
@@ -299,6 +308,26 @@ class ProcessShard(ShardHandle):
 
     def release(self, request_id: int) -> bool:
         return self._call("release", request_id=request_id)
+
+    def resize(
+        self,
+        request_id: int,
+        new_n: Optional[int] = None,
+        new_mu: Optional[float] = None,
+        new_sigma: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        decision = self._call(
+            "resize",
+            request_id=request_id,
+            new_n=new_n,
+            new_mu=new_mu,
+            new_sigma=new_sigma,
+            idem=idempotency_key,
+        )
+        if decision.get("allocation") is not None:
+            decision["allocation"] = allocation_from_dict(decision["allocation"])
+        return decision
 
     def stats(self) -> Dict[str, Any]:
         return self._call("stats")

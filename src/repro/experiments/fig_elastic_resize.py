@@ -1,0 +1,171 @@
+"""Elastic resize under churn — acceptance rate and the Eq. (1) guard.
+
+Not a figure of the paper: the paper admits fixed-size tenants, but the
+tentpole resize path must preserve the paper's invariants while tenants
+grow and shrink.  This experiment fills the datacenter to a target load,
+then drives rounds of random grow/shrink resizes through
+:meth:`NetworkManager.resize` and reports
+
+* the per-outcome split (``in_place`` / ``replaced`` / ``rejected``) and
+  overall acceptance rate, and
+* the **validity guard**: after every committed resize, every link must
+  still satisfy the Eq. (4) admission invariant ``O_L < 1`` at the paper's
+  epsilon — the condition under which the Eq. (1) outage bound holds.  Any
+  violation is counted; the expected count is zero.
+
+Cells-protocol compatible (``EXPERIMENT``/``enumerate_cells``/``run_cell``
+/``aggregate``/``run``), so it rides the parallel checkpointing harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.cells import (
+    Cell,
+    CellOutcome,
+    ordered_unique,
+    run_cells_sequentially,
+)
+from repro.experiments.common import batch_workload, resolve_scale, simulation_rng
+from repro.experiments.tables import ExperimentResult, Table
+from repro.manager.network_manager import (
+    RESIZE_IN_PLACE,
+    RESIZE_REJECTED,
+    RESIZE_REPLACED,
+    NetworkManager,
+)
+from repro.simulation.workload import make_request
+from repro.topology.builder import build_datacenter
+
+DEFAULT_LOADS = (0.4, 0.7)
+#: The paper's epsilon: the Eq. (1) guard runs at the SLA the paper uses.
+PAPER_EPSILON = 0.05
+#: Resize attempts per admitted tenant (scaled by the cell's tenant count).
+CHURN_FACTOR = 4
+
+EXPERIMENT = "elastic-resize"
+
+
+def enumerate_cells(
+    scale="small",
+    seed: int = 0,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    epsilon: float = PAPER_EPSILON,
+) -> List[Cell]:
+    """One cell per initial datacenter load."""
+    scale = resolve_scale(scale)
+    return [
+        Cell(
+            experiment=EXPERIMENT,
+            key=f"load={load:g}",
+            scale=scale.name,
+            seed=seed,
+            params={"load": float(load), "epsilon": float(epsilon)},
+        )
+        for load in loads
+    ]
+
+
+def run_cell(cell: Cell) -> CellOutcome:
+    """Fill to the target load, then churn grow/shrink resizes."""
+    scale = resolve_scale(cell.scale)
+    params = cell.params
+    epsilon = params["epsilon"]
+    tree = build_datacenter(scale.spec)
+    manager = NetworkManager(tree, epsilon=epsilon)
+    rate_cap = tree.min_machine_uplink_capacity
+
+    # Phase 1: admit the shared job batch until the slot load target.
+    target_slots = int(params["load"] * tree.total_slots)
+    admitted_ids: List[int] = []
+    used_slots = 0
+    for spec in batch_workload(scale, cell.seed):
+        if used_slots >= target_slots:
+            break
+        request = make_request(spec, "svc", rate_cap=rate_cap)
+        tenancy = manager.request(request)
+        if tenancy is not None:
+            admitted_ids.append(tenancy.request_id)
+            used_slots += request.n_vms
+
+    # Phase 2: grow/shrink churn over the resident tenants.
+    rng = simulation_rng(cell.seed)
+    outcomes = {RESIZE_IN_PLACE: 0, RESIZE_REPLACED: 0, RESIZE_REJECTED: 0}
+    violations = 0
+    rounds = CHURN_FACTOR * max(1, len(admitted_ids))
+    for _ in range(rounds):
+        request_id = admitted_ids[int(rng.integers(len(admitted_ids)))]
+        current_n = manager.tenancy(request_id).n_vms
+        if rng.random() < 0.5:
+            new_n = current_n + int(rng.integers(1, 4))
+        else:
+            new_n = max(1, current_n - int(rng.integers(1, 4)))
+        if new_n == current_n:
+            continue
+        result = manager.resize(request_id, new_n=new_n)
+        outcomes[result.outcome] += 1
+        if result.accepted:
+            # Eq. (4) validity at the paper epsilon: every link O_L < 1,
+            # the admission invariant under which Eq. (1) holds.
+            if manager.max_occupancy() >= 1.0:
+                violations += 1
+    attempts = sum(outcomes.values())
+    accepted = outcomes[RESIZE_IN_PLACE] + outcomes[RESIZE_REPLACED]
+    return CellOutcome(
+        payload={
+            "tenants": len(admitted_ids),
+            "attempts": attempts,
+            "in_place": outcomes[RESIZE_IN_PLACE],
+            "replaced": outcomes[RESIZE_REPLACED],
+            "rejected": outcomes[RESIZE_REJECTED],
+            "accepted_pct": 100.0 * accepted / attempts if attempts else 0.0,
+            "validity_violations": violations,
+        },
+    )
+
+
+def aggregate(
+    cells: Sequence[Cell], outcomes: Dict[str, CellOutcome]
+) -> ExperimentResult:
+    """Fold cell outcomes back into the resize-churn table."""
+    table = Table(
+        title=(
+            f"Elastic resize — acceptance under grow/shrink churn, "
+            f"Eq. (1) guard at eps={cells[0].params['epsilon']:g} "
+            f"[{cells[0].scale}]"
+        ),
+        headers=[
+            "load", "tenants", "attempts", "in-place", "replaced",
+            "rejected", "accepted %", "Eq.1 violations",
+        ],
+    )
+    raw = {}
+    for load in ordered_unique(cell.params["load"] for cell in cells):
+        for cell in cells:
+            if cell.params["load"] != load:
+                continue
+            payload = outcomes[cell.key].payload
+            table.add_row(
+                f"{load:.0%}",
+                float(payload["tenants"]),
+                float(payload["attempts"]),
+                float(payload["in_place"]),
+                float(payload["replaced"]),
+                float(payload["rejected"]),
+                payload["accepted_pct"],
+                float(payload["validity_violations"]),
+            )
+            raw[load] = payload
+    return ExperimentResult(experiment=EXPERIMENT, tables=[table], raw=raw)
+
+
+def run(
+    scale="small",
+    seed: int = 0,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    epsilon: float = PAPER_EPSILON,
+) -> ExperimentResult:
+    """Measure resize acceptance and the Eq. (1) guard under churn."""
+    cells = enumerate_cells(scale=scale, seed=seed, loads=loads, epsilon=epsilon)
+    return aggregate(cells, run_cells_sequentially(cells, run_cell))

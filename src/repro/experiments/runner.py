@@ -14,6 +14,7 @@ from repro.experiments import (
     fig8_concurrency,
     fig9_occupancy_cdf,
     fig10_svc_vs_tivc_rejection,
+    fig_elastic_resize,
     het_vs_first_fit,
 )
 from repro.experiments.common import experiment_seed
@@ -29,6 +30,7 @@ EXPERIMENT_MODULES = {
     "fig9": fig9_occupancy_cdf,
     "fig10": fig10_svc_vs_tivc_rejection,
     "het": het_vs_first_fit,
+    "elastic-resize": fig_elastic_resize,
     "ablation-epsilon": ablation_epsilon,
     "ablation-locality": ablation_locality,
     "validate-outage": validation_outage,

@@ -68,6 +68,8 @@ FP_WORKER_BEFORE_JOURNAL = "worker.crash_before_journal"
 FP_WORKER_AFTER_JOURNAL = "worker.crash_after_journal"
 FP_RELEASE_BEFORE_JOURNAL = "release.crash_before_journal"
 FP_RELEASE_AFTER_JOURNAL = "release.crash_after_journal"
+FP_RESIZE_BEFORE_JOURNAL = "resize.crash_before_journal"
+FP_RESIZE_AFTER_JOURNAL = "resize.crash_after_journal"
 FP_QUEUE_ACCEPT = "queue.accept"
 FP_SERVER_RESPONSE = "server.response_stall"
 # Cluster coordinator sites (repro.cluster.coordinator): placed around the
@@ -77,6 +79,8 @@ FP_COORD_BEFORE_WAL = "cluster.coordinator.crash_before_wal"
 FP_COORD_AFTER_RESERVE = "cluster.coordinator.crash_after_reserve"
 FP_COORD_BEFORE_COMMIT = "cluster.coordinator.crash_before_commit"
 FP_COORD_AFTER_COMMIT = "cluster.coordinator.crash_after_commit"
+FP_COORD_RESIZE_BEFORE_WAL = "cluster.coordinator.crash_before_resize_wal"
+FP_COORD_RESIZE_AFTER_WAL = "cluster.coordinator.crash_after_resize_wal"
 
 KNOWN_FAILPOINTS = (
     FP_JOURNAL_WRITE,
@@ -86,12 +90,16 @@ KNOWN_FAILPOINTS = (
     FP_WORKER_AFTER_JOURNAL,
     FP_RELEASE_BEFORE_JOURNAL,
     FP_RELEASE_AFTER_JOURNAL,
+    FP_RESIZE_BEFORE_JOURNAL,
+    FP_RESIZE_AFTER_JOURNAL,
     FP_QUEUE_ACCEPT,
     FP_SERVER_RESPONSE,
     FP_COORD_BEFORE_WAL,
     FP_COORD_AFTER_RESERVE,
     FP_COORD_BEFORE_COMMIT,
     FP_COORD_AFTER_COMMIT,
+    FP_COORD_RESIZE_BEFORE_WAL,
+    FP_COORD_RESIZE_AFTER_WAL,
 )
 
 

@@ -25,9 +25,15 @@ from repro.allocation.base import (
     expand_vm_placement,
 )
 from repro.allocation.dispatch import default_allocator
+from repro.allocation.resize import plan_in_place, resized_request
 from repro.manager.rate_limiter import RateLimiterRegistry
 from repro.network.link_state import NetworkState
 from repro.topology.tree import Tree
+
+#: Resize outcomes (the ``repro_resize_total`` label values).
+RESIZE_IN_PLACE = "in_place"
+RESIZE_REPLACED = "replaced"
+RESIZE_REJECTED = "rejected"
 
 
 @dataclass
@@ -49,6 +55,24 @@ class Tenancy:
     @property
     def n_vms(self) -> int:
         return self.allocation.request.n_vms
+
+
+@dataclass(frozen=True)
+class ResizeResult:
+    """Outcome of one :meth:`NetworkManager.resize` call.
+
+    ``tenancy`` is the tenant's *current* tenancy after the call: the
+    resized one for ``in_place``/``replaced``, the untouched original for
+    ``rejected`` (the tenant never loses its old allocation).
+    """
+
+    outcome: str  # RESIZE_IN_PLACE | RESIZE_REPLACED | RESIZE_REJECTED
+    tenancy: "Tenancy"
+    detail: Optional[str] = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.outcome != RESIZE_REJECTED
 
 
 class NetworkManager:
@@ -79,6 +103,14 @@ class NetworkManager:
         #: surfaced by the admission service's stats endpoint.
         self.last_rejection_allocator: Optional[str] = None
         self.rejections_by_allocator: Dict[str, int] = {}
+        #: Lifetime resize tallies by outcome.  Deliberately separate from
+        #: ``admitted_count``/``rejected_count``: a resize is not an
+        #: admission decision and must never move ``rejection_rate()``.
+        self.resize_counts: Dict[str, int] = {
+            RESIZE_IN_PLACE: 0,
+            RESIZE_REPLACED: 0,
+            RESIZE_REJECTED: 0,
+        }
 
     @property
     def epsilon(self) -> float:
@@ -182,6 +214,99 @@ class NetworkManager:
         self.state.release(stored.allocation)
         del self._tenancies[tenancy.request_id]
         self.rate_limiters.unregister(stored)
+
+    def resize(
+        self,
+        request_id: int,
+        new_n: Optional[int] = None,
+        new_mu: Optional[float] = None,
+        new_sigma: Optional[float] = None,
+    ) -> ResizeResult:
+        """Grow or shrink an active tenancy, atomically.
+
+        First attempts an **in-place** resize on the tenant's current
+        placement (per-link Eq. 6 delta check via the allocator's
+        occupancy-delta query; grow fills the tenant's own machines/racks
+        first, shrink releases the highest-index VMs).  When that is
+        infeasible, falls back to a full **release + re-admit** through the
+        allocator; a rejected fallback restores the old allocation exactly,
+        so the tenant never loses what it had.
+
+        Resize outcomes are tallied in :attr:`resize_counts` and never touch
+        the admission counters — ``rejection_rate()`` is about admission
+        decisions only.
+        """
+        stored = self._tenancies.get(request_id)
+        if stored is None:
+            raise KeyError(f"tenancy {request_id} is not active")
+        new_request = resized_request(
+            stored.request, new_n=new_n, new_mu=new_mu, new_sigma=new_sigma
+        )
+        if new_request == stored.request:
+            # No-op resize: idempotent success without touching any state.
+            self.resize_counts[RESIZE_IN_PLACE] += 1
+            return ResizeResult(RESIZE_IN_PLACE, stored, detail="no change")
+        plan = plan_in_place(self.state, self.allocator, stored.allocation, new_request)
+        if plan is not None:
+            self.state.release(stored.allocation)
+            try:
+                self.state.commit(plan.allocation)
+            except Exception:
+                self.state.commit(stored.allocation)  # all-or-nothing
+                raise
+            tenancy = self._swap_tenancy(stored, plan.allocation)
+            self.resize_counts[RESIZE_IN_PLACE] += 1
+            return ResizeResult(RESIZE_IN_PLACE, tenancy)
+        # Fallback: atomic release + re-admit.  The allocator may move the
+        # tenant anywhere; on rejection the old allocation is re-committed
+        # verbatim (the slots it just vacated are necessarily still free).
+        self.state.release(stored.allocation)
+        allocation = self._allocate_unattributed(new_request, request_id)
+        if allocation is None:
+            self.state.commit(stored.allocation)
+            self.resize_counts[RESIZE_REJECTED] += 1
+            return ResizeResult(
+                RESIZE_REJECTED, stored, detail="no feasible placement for the resize"
+            )
+        self.state.commit(allocation)
+        tenancy = self._swap_tenancy(stored, allocation)
+        self.resize_counts[RESIZE_REPLACED] += 1
+        return ResizeResult(RESIZE_REPLACED, tenancy)
+
+    def _swap_tenancy(self, stored: Tenancy, allocation: Allocation) -> Tenancy:
+        """Replace a tenancy's record and rate caps with a resized allocation.
+
+        The old caps are unregistered *before* the new ones land: both sets
+        share the ``(request_id, vm_index)`` key space, and unregistering
+        second would strip the overlapping indices (or, on a shrink, strand
+        the high-index residues the registry-residue test hunts for).
+        """
+        tenancy = Tenancy(
+            allocation=allocation, vm_machines=expand_vm_placement(allocation)
+        )
+        self.rate_limiters.unregister(stored)
+        self._tenancies[allocation.request_id] = tenancy
+        self.rate_limiters.register(tenancy)
+        return tenancy
+
+    def _allocate_unattributed(
+        self, request: VirtualClusterRequest, request_id: int
+    ) -> Optional[Allocation]:
+        """Run the allocator without polluting admission-rejection stats.
+
+        The dispatcher attributes every ``None`` to the allocator that
+        produced it; a resize fallback probe is not an admission decision,
+        so its rejection is rolled back out of those tallies.
+        """
+        last = getattr(self.allocator, "last_rejected_by", None)
+        counts = getattr(self.allocator, "rejection_counts", None)
+        snapshot = dict(counts) if counts is not None else None
+        allocation = self.allocator.allocate(self.state, request, request_id)
+        if allocation is None and counts is not None:
+            counts.clear()
+            counts.update(snapshot)
+            self.allocator.last_rejected_by = last
+        return allocation
 
     def tenancy(self, request_id: int) -> Tenancy:
         return self._tenancies[request_id]

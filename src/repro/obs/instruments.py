@@ -341,7 +341,12 @@ class ServiceInstruments:
         "deduped",
         "batches",
         "coalesced",
+        "resized",
+        "resize_rejected",
     )
+
+    #: Resize outcome label values (mirror of the manager's tallies).
+    RESIZE_OUTCOMES = ("in_place", "replaced", "rejected")
 
     #: Load-shedding reasons (the typed error codes a shed maps to).
     SHED_REASONS = ("overloaded", "read_only", "unavailable", "over_quota")
@@ -368,6 +373,21 @@ class ServiceInstruments:
             "repro_service_batch_size",
             "Coalesced requests dispatched per admission batch.",
             buckets=_BATCH_BUCKETS,
+        )
+        # Presence-before-traffic: all three outcome series exist from the
+        # first scrape, so dashboards can rate() them without gaps.
+        self._resize_outcomes: Dict[str, Counter] = {
+            outcome: registry.counter(
+                "repro_resize_total",
+                "Elastic resize operations, by outcome.",
+                outcome=outcome,
+            )
+            for outcome in self.RESIZE_OUTCOMES
+        }
+        self._resize_latency = registry.histogram(
+            "repro_service_resize_latency_seconds",
+            "End-to-end resize latency under the service lock.",
+            buckets=DEFAULT_TIME_BUCKETS,
         )
         self._tenant_sheds: Dict[str, Counter] = {
             "none": registry.counter(
@@ -431,6 +451,19 @@ class ServiceInstruments:
     def observe_batch(self, size: int) -> None:
         """Record one batch dispatch and how many requests rode in it."""
         self._batch_size.observe(float(size))
+
+    def resize(self, outcome: str, seconds: float) -> None:
+        """Record one resize decision and its latency."""
+        counter = self._resize_outcomes.get(outcome)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_resize_total",
+                "Elastic resize operations, by outcome.",
+                outcome=outcome,
+            )
+            self._resize_outcomes[outcome] = counter
+        counter.inc()
+        self._resize_latency.observe(seconds)
 
     def tenant_shed(self, tenant: str) -> None:
         counter = self._tenant_sheds.get(tenant)
@@ -524,6 +557,9 @@ class _NullService:
         pass
 
     def observe_batch(self, size: int) -> None:
+        pass
+
+    def resize(self, outcome: str, seconds: float) -> None:
         pass
 
     def tenant_shed(self, tenant: str) -> None:

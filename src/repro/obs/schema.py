@@ -18,7 +18,7 @@ from pathlib import Path
 from typing import Dict, List, Tuple
 
 SCHEMA_FILENAME = "METRICS_SCHEMA.json"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def bootstrap_registry():

@@ -296,6 +296,32 @@ class ServiceClient:
     def release(self, request_id: int) -> Dict[str, Any]:
         return self.call("release", request_id=request_id)
 
+    def resize(
+        self,
+        request_id: int,
+        new_n: Optional[int] = None,
+        new_mu: Optional[float] = None,
+        new_sigma: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Grow or shrink an admitted tenancy in place (or by re-admit).
+
+        Returns the decision payload: ``outcome`` is ``in_place``,
+        ``replaced`` or ``rejected`` (rejected keeps the old allocation).
+        Pass the same ``idempotency_key`` on retry to get the original
+        decision back instead of resizing twice.
+        """
+        fields: Dict[str, Any] = {"request_id": request_id}
+        if new_n is not None:
+            fields["new_n"] = new_n
+        if new_mu is not None:
+            fields["new_mu"] = new_mu
+        if new_sigma is not None:
+            fields["new_sigma"] = new_sigma
+        if idempotency_key is not None:
+            fields["idem"] = idempotency_key
+        return self.call("resize", **fields)
+
     def stats(self) -> Dict[str, Any]:
         return self.call("stats")["stats"]
 

@@ -44,6 +44,8 @@ from repro.faults.failpoints import (
     FP_QUEUE_ACCEPT,
     FP_RELEASE_AFTER_JOURNAL,
     FP_RELEASE_BEFORE_JOURNAL,
+    FP_RESIZE_AFTER_JOURNAL,
+    FP_RESIZE_BEFORE_JOURNAL,
     FP_WORKER_AFTER_JOURNAL,
     FP_WORKER_BEFORE_JOURNAL,
     InjectedCrash,
@@ -99,7 +101,7 @@ DEFAULT_MAX_QUEUE_DEPTH = 1024
 _IDEMPOTENCY_CAPACITY = 65536
 
 #: Ops that mutate manager/journal state and are shed while degraded.
-MUTATING_OPS = frozenset({"submit", "release", "snapshot"})
+MUTATING_OPS = frozenset({"submit", "release", "resize", "snapshot"})
 
 
 class LatencyWindow:
@@ -163,6 +165,11 @@ class ServiceCounters:
     batches: int = 0
     #: Requests that rode in a batch behind its leader (shared DP tables).
     coalesced: int = 0
+    #: Accepted resizes (in-place + replaced).  Kept apart from
+    #: ``admitted``/``rejected`` so ``rejection_rate`` never moves.
+    resized: int = 0
+    #: Resizes that found no feasible new size (old allocation kept).
+    resize_rejected: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -768,6 +775,133 @@ class AdmissionService:
         logger.debug("release request_id=%d retried=%d", request_id, retried)
         return True
 
+    def resize(
+        self,
+        request_id: int,
+        new_n: Optional[int] = None,
+        new_mu: Optional[float] = None,
+        new_sigma: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Resize an active tenancy; returns the decision payload.
+
+        Runs :meth:`NetworkManager.resize` under the service lock with the
+        same durability ordering as every other mutation: mutate, journal,
+        and roll the mutation back if the journal append fails (the old
+        allocation is re-adopted verbatim — memory never acknowledges a
+        size the journal will not remember).  Idempotent per
+        ``idempotency_key``: a retried resize returns the journaled
+        decision instead of resizing twice.
+
+        Resize outcomes never touch the admission counters or
+        ``rejection_rate`` — they have their own tallies (``resized`` /
+        ``resize_rejected`` and the manager's per-outcome counts).
+
+        In batch mode an accepted shrink requeues parked requests: the
+        freed capacity may be exactly what they were waiting for.
+        """
+        t0 = time.perf_counter()
+        with self._cond:
+            if not self._running:
+                raise RuntimeError("service is not running")
+            if idempotency_key is not None:
+                known = self._idem.get(idempotency_key)
+                if known is not None and known.get("resize"):
+                    self._count("deduped")
+                    return {
+                        "outcome": str(known.get("outcome")),
+                        "request_id": known.get("request_id"),
+                        "detail": "deduplicated: decision already recorded",
+                    }
+            self.gate("resize")
+            manager = self.manager
+            stored = manager.get_tenancy(request_id)
+            if stored is None:
+                return {
+                    "outcome": "unknown",
+                    "request_id": request_id,
+                    "detail": f"request {request_id} is not active",
+                }
+            old_allocation = stored.allocation
+            FAILPOINTS.hit(FP_RESIZE_BEFORE_JOURNAL)
+            result = manager.resize(
+                request_id, new_n=new_n, new_mu=new_mu, new_sigma=new_sigma
+            )
+            if self.store is not None:
+                try:
+                    self.store.log_resize(
+                        request_id,
+                        result.outcome,
+                        allocation=(
+                            result.tenancy.allocation if result.accepted else None
+                        ),
+                        idempotency_key=idempotency_key,
+                    )
+                except InjectedCrash:
+                    raise
+                except Exception as exc:
+                    # The journal will not remember this resize, so memory
+                    # must forget it: swap the old allocation back in (the
+                    # reverse resize always fits — it just vacated those
+                    # resources) and undo the tally before degrading.
+                    if result.accepted and result.tenancy.allocation is not old_allocation:
+                        current = manager.get_tenancy(request_id)
+                        manager.release(current)
+                        manager.adopt(old_allocation)
+                    manager.resize_counts[result.outcome] -= 1
+                    self._degrade(exc)
+                    self._count("errors")
+                    flight_recorder().record(
+                        "wal_error",
+                        op="resize",
+                        request_id=request_id,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    raise DegradedError(
+                        f"resize not journaled ({type(exc).__name__}); rolled back",
+                        code=CODE_READ_ONLY,
+                        retry_after=(
+                            self._degradation.retry_after() if self._degradation else 1.0
+                        ),
+                    ) from exc
+                FAILPOINTS.hit(FP_RESIZE_AFTER_JOURNAL)
+            if idempotency_key is not None:
+                self._remember_key(
+                    idempotency_key,
+                    {
+                        "resize": True,
+                        "outcome": result.outcome,
+                        "request_id": request_id,
+                    },
+                )
+            self._count("resized" if result.accepted else "resize_rejected")
+            self._obs.resize(result.outcome, time.perf_counter() - t0)
+            retried = 0
+            if result.accepted and self.mode == MODE_BATCH:
+                retried = self._queue.requeue_parked()
+                self._count("retries", retried)
+            self._maybe_snapshot()
+            if retried:
+                self._cond.notify_all()
+            flight_recorder().record(
+                "resize",
+                outcome=result.outcome,
+                request_id=request_id,
+                n_vms=result.tenancy.n_vms,
+            )
+            payload: Dict[str, Any] = {
+                "outcome": result.outcome,
+                "request_id": request_id,
+                "n_vms": result.tenancy.n_vms,
+            }
+            if result.detail:
+                payload["detail"] = result.detail
+        logger.debug(
+            "resize request_id=%d outcome=%s retried=%d",
+            request_id, result.outcome, retried,
+        )
+        return payload
+
     def adopt(
         self,
         allocation,
@@ -918,6 +1052,7 @@ class AdmissionService:
                 "rejected_total": manager.rejected_count,
                 "rejection_rate": manager.rejection_rate(),
                 "rejections_by_allocator": dict(manager.rejections_by_allocator),
+                "resizes": dict(manager.resize_counts),
                 "active_tenancies": manager.active_tenancies,
                 "queue": {
                     "ready": self._queue.ready_count,

@@ -5,10 +5,12 @@ Layout of a durability directory::
     <dir>/wal.jsonl             append-only journal, one JSON record per line
     <dir>/snapshot-<seq>.json   periodic full-state snapshots
 
-Journal records carry a monotonically increasing ``seq`` and one of three
-operations: ``admit`` (with the full serialized allocation, so replay
-re-commits exactly what the live manager committed), ``release`` (by request
-id) and ``reject`` (counter only — rejections never touch link state).
+Journal records carry a monotonically increasing ``seq`` and an operation:
+``admit`` (with the full serialized allocation, so replay re-commits
+exactly what the live manager committed), ``release`` (by request id),
+``reject`` (counter only — rejections never touch link state) and
+``resize`` (accepted outcomes carry the post-resize allocation; replay
+swaps it in for the old one).
 
 Durability model: each record is written as a single ``write`` of one line
 and flushed; with ``fsync=True`` it is also fsynced before the append call
@@ -65,6 +67,10 @@ _SNAPSHOT_RE = re.compile(r"^snapshot-(\d+)\.json$")
 OP_ADMIT = "admit"
 OP_RELEASE = "release"
 OP_REJECT = "reject"
+#: Elastic resize of an active tenancy.  Accepted outcomes carry the full
+#: post-resize allocation (replay = release old + re-commit new, exactly
+#: what the live manager applied); rejected outcomes are counters only.
+OP_RESIZE = "resize"
 #: Free-form marker record (journal health probes); replay skips it.
 OP_NOTE = "note"
 
@@ -298,6 +304,27 @@ class DurabilityStore:
 
     def log_release(self, request_id: int) -> int:
         return self._log(OP_RELEASE, request_id=request_id)
+
+    def log_resize(
+        self,
+        request_id: int,
+        outcome: str,
+        allocation=None,
+        idempotency_key: Optional[str] = None,
+    ) -> int:
+        """Journal one resize decision.
+
+        ``allocation`` is the tenant's allocation *after* an accepted
+        resize (in-place or replaced); rejected resizes journal no
+        allocation — the old one stays committed and replay only restores
+        the tally.
+        """
+        fields: Dict[str, Any] = {"request_id": request_id, "outcome": outcome}
+        if allocation is not None:
+            fields["allocation"] = allocation_to_dict(allocation)
+        if idempotency_key is not None:
+            fields["idem"] = idempotency_key
+        return self._log(OP_RESIZE, **fields)
 
     def log_reject(
         self,

@@ -8,7 +8,8 @@ Recovery restores the longest consistent prefix of acknowledged operations:
 2. replay journal records with ``seq`` greater than the snapshot's —
    ``admit`` re-commits the journaled allocation verbatim, ``release``
    tears the tenancy down, ``reject`` only restores counters and the id
-   cursor.
+   cursor, and ``resize`` swaps the journaled post-resize allocation in
+   for the tenant's old one (rejected resizes restore tallies only).
 
 Because both paths re-apply the *exact* allocation the live manager
 committed (not a re-run of the allocator), the reconstructed
@@ -33,6 +34,7 @@ from repro.service.journal import (
     OP_ADMIT,
     OP_REJECT,
     OP_RELEASE,
+    OP_RESIZE,
     DurabilityStore,
     Journal,
     ReplaySummary,
@@ -54,6 +56,7 @@ class RecoveryReport:
     admits_replayed: int = 0
     releases_replayed: int = 0
     rejects_replayed: int = 0
+    resizes_replayed: int = 0
     #: ``{idempotency_key: {"outcome", "request_id"}}`` scanned from the
     #: *whole* journal (the WAL is never truncated), so a client retrying
     #: a pre-crash submit is answered with the journaled decision instead
@@ -72,6 +75,7 @@ def snapshot_payload(manager: NetworkManager) -> Dict:
         "admitted_count": manager.admitted_count,
         "rejected_count": manager.rejected_count,
         "next_request_id": manager.next_request_id,
+        "resize_counts": dict(manager.resize_counts),
         "allocations": [
             allocation_to_dict(tenancy.allocation) for tenancy in manager.tenancies()
         ],
@@ -111,6 +115,16 @@ def recover_manager(
                         "outcome": "rejected",
                         "request_id": None,
                     }
+                elif op == OP_RESIZE:
+                    # Resize keys keep their own outcome vocabulary
+                    # (in_place/replaced/rejected); the ``resize`` marker
+                    # tells the live dedup path not to confuse them with
+                    # admission decisions.
+                    report.idempotency_index[str(key)] = {
+                        "outcome": str(record.get("outcome", "rejected")),
+                        "request_id": record.get("request_id"),
+                        "resize": True,
+                    }
         journal_last_seq = tail.last_seq
     snapshot = store.latest_snapshot(max_seq=journal_last_seq)
     if snapshot is not None:
@@ -125,6 +139,9 @@ def recover_manager(
                 manager.adopt(allocation_from_dict(entry))
             manager.admitted_count = int(payload["admitted_count"])
             manager.rejected_count = int(payload["rejected_count"])
+            for outcome, count in payload.get("resize_counts", {}).items():
+                if outcome in manager.resize_counts:
+                    manager.resize_counts[outcome] = int(count)
             next_id = int(payload["next_request_id"])
         except (KeyError, TypeError, ValueError) as exc:
             raise RecoveryError(f"snapshot-{seq} is malformed: {exc}") from exc
@@ -163,6 +180,30 @@ def recover_manager(
             if request_id is not None and int(request_id) >= manager.next_request_id:
                 manager.next_request_id = int(request_id) + 1
             report.rejects_replayed += 1
+        elif op == OP_RESIZE:
+            outcome = str(record.get("outcome", ""))
+            if "allocation" in record:
+                allocation = allocation_from_dict(record["allocation"])
+                tenancy = manager.get_tenancy(allocation.request_id)
+                if tenancy is None:
+                    raise RecoveryError(
+                        f"journal seq {record['seq']}: resize of unknown request "
+                        f"{allocation.request_id}"
+                    )
+                # Swap exactly what the live manager committed: release the
+                # old allocation, adopt the journaled post-resize one.  No
+                # admission counters move — a resize is not an admission.
+                manager.release(tenancy)
+                try:
+                    manager.adopt(allocation)
+                except ValueError as exc:
+                    raise RecoveryError(
+                        f"journal seq {record['seq']}: cannot re-apply resize of "
+                        f"request {allocation.request_id}: {exc}"
+                    ) from exc
+            if outcome in manager.resize_counts:
+                manager.resize_counts[outcome] += 1
+            report.resizes_replayed += 1
         # Unknown ops are skipped: old journals must stay replayable by
         # newer code, and extra record types must not poison recovery.
     return manager, report
@@ -199,4 +240,15 @@ def oracle_replay(
                     f"journal seq {record['seq']}: release of unknown request {request_id}"
                 )
             state.release(allocation)
+        elif op == OP_RESIZE and "allocation" in record:
+            allocation = allocation_from_dict(record["allocation"])
+            old = active.get(allocation.request_id)
+            if old is None:
+                raise RecoveryError(
+                    f"journal seq {record['seq']}: resize of unknown request "
+                    f"{allocation.request_id}"
+                )
+            state.release(old)
+            state.commit(allocation)
+            active[allocation.request_id] = allocation
     return state, active

@@ -10,6 +10,8 @@ Operations::
      "timeout_s": 5.0, "wait": true, "wait_timeout": 10.0}
     {"op": "status", "ticket": 7}
     {"op": "release", "request_id": 3}
+    {"op": "resize", "request_id": 3, "new_n": 12, "new_mu": 250.0,
+     "new_sigma": 90.0, "idem": "client-key"}
     {"op": "stats"}
     {"op": "metrics"}
     {"op": "obs", "dump": false}
@@ -145,6 +147,23 @@ def dispatch_command(
                 "error": f"request {command['request_id']} is not active",
             }
         return {"ok": True, "released": int(command["request_id"])}
+    if op == "resize":
+        new_n = command.get("new_n")
+        new_mu = command.get("new_mu")
+        new_sigma = command.get("new_sigma")
+        decision = service.resize(
+            int(command["request_id"]),
+            new_n=int(new_n) if new_n is not None else None,
+            new_mu=float(new_mu) if new_mu is not None else None,
+            new_sigma=float(new_sigma) if new_sigma is not None else None,
+            idempotency_key=command.get("idem"),
+        )
+        if decision.get("outcome") == "unknown":
+            return {
+                "ok": False,
+                "error": f"request {command['request_id']} is not active",
+            }
+        return {"ok": True, **decision}
     if op == "stats":
         return {"ok": True, "stats": service.stats()}
     if op == "metrics":

@@ -175,6 +175,7 @@ class TestRunnerRegistry:
         assert set(EXPERIMENTS) == {
             "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "het",
             "ablation-epsilon", "ablation-locality", "validate-outage",
+            "elastic-resize",
         }
 
     def test_format_renders(self):
